@@ -1,0 +1,72 @@
+// Shared scaffolding for the figure/table benches: a standard flag set
+// (dataset scale, query budget, repeats, output directory) and helpers to
+// build the experiment datasets with progress logging.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "common/cli.hpp"
+#include "common/log.hpp"
+#include "common/timer.hpp"
+#include "core/experiments.hpp"
+#include "core/report.hpp"
+
+namespace alba::bench {
+
+struct BenchFlags {
+  bool full = false;       // paper-scale dataset (slow)
+  int queries = 150;       // AL query budget per method
+  int repeats = 3;         // train/test splits (paper uses 5)
+  std::uint64_t seed = 7;
+  std::string out_dir = ".";
+  bool quiet = false;
+};
+
+inline void add_standard_flags(Cli& cli, BenchFlags& flags) {
+  cli.flag("full", &flags.full, "paper-scale dataset (much slower)");
+  cli.flag("queries", &flags.queries, "active-learning query budget");
+  cli.flag("repeats", &flags.repeats, "train/test split repeats");
+  cli.flag("seed", &flags.seed, "experiment seed");
+  cli.flag("out", &flags.out_dir, "directory for CSV dumps");
+  cli.flag("quiet", &flags.quiet, "suppress progress logging");
+}
+
+inline void apply_logging(const BenchFlags& flags) {
+  set_log_level(flags.quiet ? LogLevel::Warn : LogLevel::Info);
+}
+
+inline ExperimentData build_data(SystemKind system, const BenchFlags& flags) {
+  DatasetConfig cfg = system == SystemKind::Volta
+                          ? volta_config(flags.full)
+                          : eclipse_config(flags.full);
+  cfg.seed = flags.seed;
+  Timer timer;
+  ExperimentData data = build_experiment_data(cfg);
+  std::printf("dataset: %s, %zu samples, %zu usable features (%s), %.1fs\n",
+              std::string(system_name(system)).c_str(),
+              data.features.num_samples(), data.features.num_features(),
+              std::string(extractor_name(cfg.extractor)).c_str(),
+              timer.seconds());
+  return data;
+}
+
+inline ExperimentOptions make_options(const BenchFlags& flags) {
+  ExperimentOptions opt;
+  opt.max_queries = flags.queries;
+  opt.repeats = flags.repeats;
+  opt.seed = flags.seed;
+  return opt;
+}
+
+/// One standard AL realization (split → scale/select → seed/pool/test) for
+/// ablation benches that drive ActiveLearner directly.
+inline ALSetup standard_setup(const ExperimentData& data, std::uint64_t seed) {
+  const SplitIndices split =
+      make_split(data, data.config.test_fraction, seed);
+  const PreparedSplit prepared =
+      prepare_split(data, split, data.config.select_k);
+  return make_al_setup(prepared, seed * 31 + 7);
+}
+
+}  // namespace alba::bench

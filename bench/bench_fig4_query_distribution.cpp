@@ -1,0 +1,58 @@
+// Reproduces Fig. 4: the distribution of queried (application, label)
+// pairs over the first 50 queries of the uncertainty strategy on Volta.
+// Expected shape: healthy dominates the early queries (the seed set has no
+// healthy samples, so the learner asks for them first), `dial` is the most
+// queried anomaly (the hardest type), and high-variability applications
+// (Kripke, MiniAMR) attract the most queries.
+#include "bench_common.hpp"
+
+using namespace alba;
+using namespace alba::bench;
+
+int main(int argc, char** argv) {
+  BenchFlags flags;
+  int first_n = 50;
+  Cli cli("bench_fig4_query_distribution",
+          "Fig. 4 — which samples the uncertainty strategy queries first");
+  add_standard_flags(cli, flags);
+  cli.flag("first", &first_n, "number of initial queries to tally");
+  cli.parse(argc, argv);
+  apply_logging(flags);
+
+  std::printf("=== Fig. 4: early query distribution (Volta, uncertainty) ===\n");
+  const ExperimentData data = build_data(SystemKind::Volta, flags);
+
+  ExperimentOptions opt = make_options(flags);
+  opt.methods = {"uncertainty"};
+  const QueryDistribution dist = run_query_distribution(data, first_n, opt);
+
+  std::printf("\n%s\n", render_query_distribution(dist).c_str());
+
+  // Headline comparisons from the paper's narrative.
+  const double healthy = dist.label_totals[0];
+  double top_anomaly = 0.0;
+  int top_anomaly_label = 1;
+  for (int c = 1; c < kNumClasses; ++c) {
+    if (dist.label_totals[static_cast<std::size_t>(c)] > top_anomaly) {
+      top_anomaly = dist.label_totals[static_cast<std::size_t>(c)];
+      top_anomaly_label = c;
+    }
+  }
+  std::printf("healthy share of first %d queries: %.0f%%\n", first_n,
+              100.0 * healthy / first_n);
+  std::printf("most-queried anomaly type: %s (%.1f queries on average)\n",
+              std::string(anomaly_name(anomaly_from_label(top_anomaly_label)))
+                  .c_str(),
+              top_anomaly);
+  std::size_t top_app = 0;
+  for (std::size_t a = 1; a < dist.app_totals.size(); ++a) {
+    if (dist.app_totals[a] > dist.app_totals[top_app]) top_app = a;
+  }
+  std::printf("most-queried application: %s (%.1f queries on average)\n",
+              dist.app_names[top_app].c_str(), dist.app_totals[top_app]);
+
+  const std::string csv = flags.out_dir + "/fig4_query_distribution.csv";
+  write_distribution_csv(csv, dist);
+  std::printf("distribution written to %s\n", csv.c_str());
+  return 0;
+}

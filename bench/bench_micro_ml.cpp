@@ -1,0 +1,131 @@
+// Microbenchmarks for the ML layer: classifier fit/predict cost at the
+// shapes the active learning loop actually uses (a few hundred labeled
+// samples × a few hundred selected features), chi-square selection, and
+// query-strategy scoring over a pool.
+#include <benchmark/benchmark.h>
+
+#include "active/strategy.hpp"
+#include "common/rng.hpp"
+#include "ml/gbm.hpp"
+#include "ml/logreg.hpp"
+#include "ml/random_forest.hpp"
+#include "preprocess/select_kbest.hpp"
+
+namespace {
+
+using namespace alba;
+
+struct Synth {
+  Matrix x;
+  std::vector<int> y;
+};
+
+Synth make_synth(std::size_t n, std::size_t f, int classes,
+                 std::uint64_t seed) {
+  Rng rng(seed);
+  Synth s;
+  s.x = Matrix(n, f);
+  for (std::size_t i = 0; i < n; ++i) {
+    const int c = static_cast<int>(i % static_cast<std::size_t>(classes));
+    s.y.push_back(c);
+    for (std::size_t j = 0; j < f; ++j) {
+      const double signal = (j % static_cast<std::size_t>(classes) ==
+                             static_cast<std::size_t>(c))
+                                ? 0.6
+                                : 0.0;
+      s.x(i, j) = std::min(1.0, std::max(0.0, signal + 0.2 * rng.uniform()));
+    }
+  }
+  return s;
+}
+
+void BM_RandomForestFit(benchmark::State& state) {
+  const Synth s = make_synth(static_cast<std::size_t>(state.range(0)), 500, 6, 1);
+  ForestConfig cfg;
+  cfg.num_classes = 6;
+  cfg.n_estimators = 20;
+  cfg.max_depth = 8;
+  for (auto _ : state) {
+    RandomForest rf(cfg, 1);
+    rf.fit(s.x, s.y);
+    benchmark::DoNotOptimize(rf.trees().size());
+  }
+}
+BENCHMARK(BM_RandomForestFit)->Arg(60)->Arg(300);
+
+void BM_RandomForestPredictPool(benchmark::State& state) {
+  const Synth train = make_synth(300, 500, 6, 2);
+  const Synth pool = make_synth(static_cast<std::size_t>(state.range(0)), 500, 6, 3);
+  ForestConfig cfg;
+  cfg.num_classes = 6;
+  cfg.n_estimators = 20;
+  cfg.max_depth = 8;
+  RandomForest rf(cfg, 1);
+  rf.fit(train.x, train.y);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rf.predict_proba(pool.x));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_RandomForestPredictPool)->Arg(500)->Arg(2500);
+
+void BM_GbmFit(benchmark::State& state) {
+  const Synth s = make_synth(static_cast<std::size_t>(state.range(0)), 200, 6, 4);
+  GbmConfig cfg;
+  cfg.num_classes = 6;
+  cfg.n_estimators = 20;
+  cfg.num_leaves = 31;
+  for (auto _ : state) {
+    GbmClassifier gbm(cfg, 1);
+    gbm.fit(s.x, s.y);
+    benchmark::DoNotOptimize(gbm.num_rounds());
+  }
+}
+BENCHMARK(BM_GbmFit)->Arg(60)->Arg(300);
+
+void BM_LogRegFit(benchmark::State& state) {
+  const Synth s = make_synth(static_cast<std::size_t>(state.range(0)), 500, 6, 5);
+  LogRegConfig cfg;
+  cfg.num_classes = 6;
+  cfg.max_iter = 100;
+  for (auto _ : state) {
+    LogisticRegression lr(cfg, 1);
+    lr.fit(s.x, s.y);
+    benchmark::DoNotOptimize(lr.bias().data());
+  }
+}
+BENCHMARK(BM_LogRegFit)->Arg(60)->Arg(300);
+
+void BM_Chi2SelectKBest(benchmark::State& state) {
+  const Synth s =
+      make_synth(1000, static_cast<std::size_t>(state.range(0)), 6, 6);
+  for (auto _ : state) {
+    SelectKBestChi2 selector(500);
+    selector.fit(s.x, s.y);
+    benchmark::DoNotOptimize(selector.selected_indices().data());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Chi2SelectKBest)->Arg(2000)->Arg(8000);
+
+void BM_QueryStrategyScan(benchmark::State& state) {
+  Rng rng(7);
+  Matrix probs(static_cast<std::size_t>(state.range(0)), 6);
+  for (std::size_t i = 0; i < probs.rows(); ++i) {
+    auto row = probs.row(i);
+    double sum = 0.0;
+    for (auto& p : row) {
+      p = rng.uniform();
+      sum += p;
+    }
+    for (auto& p : row) p /= sum;
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(select_query(QueryStrategy::Margin, probs, {},
+                                          probs.rows(), 0, 0, rng));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_QueryStrategyScan)->Arg(1000)->Arg(10000);
+
+}  // namespace

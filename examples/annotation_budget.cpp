@@ -1,0 +1,77 @@
+// Annotation-budget planning: the operational question behind the paper —
+// "how many samples does my admin have to label to reach a target
+// diagnosis quality?" Sweeps all query strategies against a range of
+// annotation budgets and prints the achieved F1 per (strategy, budget),
+// plus the labels-to-target comparison that yields the paper's headline
+// "28x fewer labels" style numbers.
+//
+// Build & run:  ./build/examples/annotation_budget
+#include <cstdio>
+
+#include "active/learner.hpp"
+#include "common/log.hpp"
+#include "common/table.hpp"
+#include "common/string_util.hpp"
+#include "core/pipeline.hpp"
+#include "ml/grid_search.hpp"
+
+using namespace alba;
+
+int main() {
+  set_log_level(LogLevel::Warn);
+
+  DatasetConfig config = volta_config();
+  config.num_apps = 6;
+  std::printf("building dataset...\n");
+  const ExperimentData data = build_experiment_data(config);
+  const SplitIndices split = make_split(data, 0.3, 21);
+  const PreparedSplit prepared = prepare_split(data, split, config.select_k);
+
+  const std::vector<QueryStrategy> strategies{
+      QueryStrategy::Uncertainty, QueryStrategy::Margin,
+      QueryStrategy::Entropy, QueryStrategy::Random, QueryStrategy::EqualApp};
+  const std::vector<int> budgets{10, 25, 50, 100};
+  const int max_budget = budgets.back();
+  constexpr double kTarget = 0.95;
+
+  std::vector<std::string> header{"strategy"};
+  for (const int b : budgets) header.push_back(strformat("F1@%d", b));
+  header.emplace_back("labels to F1>=0.95");
+  TextTable table(header);
+
+  for (const QueryStrategy strategy : strategies) {
+    const ALSetup setup = make_al_setup(prepared, 22);
+    ActiveLearnerConfig al_config;
+    al_config.strategy = strategy;
+    al_config.max_queries = max_budget;
+    al_config.num_apps = static_cast<int>(data.num_apps);
+    al_config.seed = 23;
+    ActiveLearner learner(make_model_factory("rf", kNumClasses, 24)(
+                              table4_optimum("rf", false)),
+                          al_config);
+    LabelOracle oracle(setup.pool_y, kNumClasses);
+    const ActiveLearnerResult result =
+        learner.run(setup.seed, setup.pool_x, oracle, setup.pool_app,
+                    setup.test_x, setup.test_y);
+
+    std::vector<std::string> row{std::string(strategy_name(strategy))};
+    for (const int b : budgets) {
+      row.push_back(strformat("%.3f", result.curve[static_cast<std::size_t>(b)].f1));
+    }
+    const int to_target = queries_to_reach(result.curve, kTarget);
+    row.push_back(to_target >= 0 ? strformat("%d", to_target)
+                                 : std::string("> ") +
+                                       strformat("%d", max_budget));
+    table.add_row(std::move(row));
+    std::printf("  %-12s done (final F1 %.3f)\n",
+                std::string(strategy_name(strategy)).c_str(), result.final_f1);
+  }
+
+  std::printf("\nAnnotation budget vs diagnosis quality "
+              "(seed = one label per app x anomaly pair):\n%s",
+              table.render().c_str());
+  std::printf("\nreading guide: informativeness-driven strategies should hit "
+              "the target with a\nfraction of the labels Random needs — the "
+              "ratio is the paper's headline metric.\n");
+  return 0;
+}

@@ -1,0 +1,111 @@
+// Annotator assistance: the interactive-dashboard workflow the paper's
+// conclusion proposes. While the active learner queries samples, the
+// QueryExplainer shows the human *why* each sample was selected — which
+// metrics deviate most from the labeled-healthy profile — so the annotator
+// can label faster and with more confidence.
+//
+// Build & run:  ./build/examples/annotator_assist
+#include <algorithm>
+#include <cstdio>
+
+#include "active/explain.hpp"
+#include "active/learner.hpp"
+#include "common/log.hpp"
+#include "core/pipeline.hpp"
+#include "ml/grid_search.hpp"
+#include "ml/random_forest.hpp"
+
+using namespace alba;
+
+int main() {
+  set_log_level(LogLevel::Warn);
+
+  DatasetConfig config = volta_config();
+  config.num_apps = 6;
+  std::printf("building dataset...\n");
+  const ExperimentData data = build_experiment_data(config);
+  const SplitIndices split = make_split(data, 0.3, 31);
+  const PreparedSplit prepared = prepare_split(data, split, config.select_k);
+  const ALSetup setup = make_al_setup(prepared, 32);
+
+  // Run a short active-learning session and keep the query records.
+  ActiveLearnerConfig al_config;
+  al_config.strategy = QueryStrategy::Uncertainty;
+  al_config.max_queries = 30;
+  ActiveLearner learner(make_model_factory("rf", kNumClasses, 33)(
+                            table4_optimum("rf", false)),
+                        al_config);
+  LabelOracle oracle(setup.pool_y, kNumClasses);
+  const ActiveLearnerResult result = learner.run(
+      setup.seed, setup.pool_x, oracle, setup.pool_app, setup.test_x,
+      setup.test_y);
+  std::printf("%zu samples queried; F1 %.3f -> %.3f\n\n",
+              result.queried.size(), result.curve.front().f1, result.final_f1);
+
+  // Build the healthy profile from everything labeled healthy so far (the
+  // seed has none — in a live deployment the profile appears after the
+  // first healthy queries arrive).
+  LabeledData labeled = setup.seed;
+  for (const auto& q : result.queried) {
+    labeled.append(setup.pool_x.row(q.pool_index), q.label);
+  }
+  std::size_t healthy = 0;
+  for (const int y : labeled.y) healthy += (y == 0) ? 1 : 0;
+  if (healthy < 2) {
+    std::printf("fewer than 2 healthy labels gathered — no profile yet\n");
+    return 0;
+  }
+  const QueryExplainer explainer(labeled, prepared.selected_names);
+  std::printf("healthy profile built from %zu labeled healthy samples\n\n",
+              explainer.healthy_samples());
+
+  // Explain the last few anomalous queries the way a dashboard would.
+  int shown = 0;
+  for (auto it = result.queried.rbegin();
+       it != result.queried.rend() && shown < 4; ++it) {
+    if (it->label == 0) continue;
+    ++shown;
+    std::printf("queried sample (app %s) — annotator labeled it '%s'\n",
+                data.app_names[static_cast<std::size_t>(it->app_id)].c_str(),
+                std::string(anomaly_name(anomaly_from_label(it->label)))
+                    .c_str());
+    const auto metrics =
+        explainer.top_metrics(setup.pool_x.row(it->pool_index), 4);
+    std::printf("  most deviant metrics vs healthy profile:\n");
+    for (const auto& m : metrics) {
+      std::printf("    %-22s |z| = %6.1f (%zu features flagged)\n",
+                  m.metric.c_str(), m.max_abs_z, m.features);
+    }
+    const auto features =
+        explainer.top_features(setup.pool_x.row(it->pool_index), 3);
+    std::printf("  top features:\n");
+    for (const auto& f : features) {
+      std::printf("    %-40s value %.3f vs healthy median %.3f (z %+0.1f)\n",
+                  f.feature.c_str(), f.value, f.healthy_median, f.z);
+    }
+    std::printf("\n");
+  }
+  if (shown == 0) {
+    std::printf("(no anomalous samples among the queries this run)\n");
+  }
+
+  // What the *model* considers globally important (mean decrease in
+  // impurity) — the complementary dashboard panel to per-query deviations.
+  if (const auto* rf = dynamic_cast<const RandomForest*>(&learner.model())) {
+    const auto importances =
+        rf->feature_importances(prepared.selected_names.size());
+    std::vector<std::size_t> order(importances.size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::partial_sort(order.begin(), order.begin() + 5, order.end(),
+                      [&](std::size_t a, std::size_t b) {
+                        return importances[a] > importances[b];
+                      });
+    std::printf("model's most important features (forest MDI):\n");
+    for (std::size_t i = 0; i < 5; ++i) {
+      std::printf("  %-45s %.3f\n",
+                  prepared.selected_names[order[i]].c_str(),
+                  importances[order[i]]);
+    }
+  }
+  return 0;
+}

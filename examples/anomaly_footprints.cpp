@@ -1,0 +1,97 @@
+// Anomaly footprint explorer: uses the telemetry substrate directly to
+// show *why* the classifier can diagnose anomaly types — each HPAS-style
+// injector perturbs a characteristic set of metrics. For every anomaly
+// type this prints the per-channel deviation of an injected node against a
+// healthy node of the same run, at low and high intensity.
+//
+// Build & run:  ./build/examples/anomaly_footprints
+#include <cmath>
+#include <cstdio>
+
+#include "common/log.hpp"
+#include "common/string_util.hpp"
+#include "common/table.hpp"
+#include "features/preprocessing.hpp"
+#include "stats/descriptive.hpp"
+#include "telemetry/run_generator.hpp"
+
+using namespace alba;
+
+namespace {
+
+// Mean of a preprocessed metric column.
+double column_mean(const Matrix& clean, std::size_t idx) {
+  return stats::mean(clean.col(idx));
+}
+
+}  // namespace
+
+int main() {
+  set_log_level(LogLevel::Warn);
+
+  RegistryConfig registry_config;
+  NodeSimConfig sim_config;
+  sim_config.duration_steps = 180;  // longer run → cleaner statistics
+  const RunGenerator generator(SystemKind::Volta, registry_config, sim_config);
+  const MetricRegistry& registry = generator.registry();
+  const PreprocessConfig preprocess;
+
+  // Representative metric per subsystem channel.
+  const std::vector<std::pair<std::string, std::string>> watched{
+      {"cpu.user#0", "CPU user time"},
+      {"cpu.sys#0", "CPU system time"},
+      {"cray.power", "node power"},
+      {"cray.llc_misses", "LLC misses"},
+      {"cray.wb_count", "mem-BW write-backs"},
+      {"meminfo.Active", "resident memory"},
+      {"net.tx_packets#0", "network TX"},
+      {"lustre.write_bytes", "filesystem writes"},
+  };
+
+  std::printf("Relative deviation of an injected node vs the healthy baseline\n");
+  std::printf("(same application, same run seed; >0 means the metric went up)\n\n");
+
+  for (const double intensity : {0.05, 1.0}) {
+    std::vector<std::string> header{"anomaly"};
+    for (const auto& [name, label] : watched) header.emplace_back(label);
+    TextTable table(header);
+
+    for (const AnomalyType type : kAnomalyTypes) {
+      RunSpec healthy;
+      healthy.app_id = 0;  // BT
+      healthy.nodes = 1;
+      healthy.seed = 4242;
+      RunSpec injected = healthy;
+      injected.anomaly = type;
+      injected.intensity = intensity;
+      injected.run_id = 1;
+
+      const auto base_run = generator.generate_run(healthy);
+      const auto anomalous_run = generator.generate_run(injected);
+      const Matrix base =
+          preprocess_series(base_run[0].series, registry, preprocess);
+      const Matrix anom =
+          preprocess_series(anomalous_run[0].series, registry, preprocess);
+
+      std::vector<std::string> row{std::string(anomaly_name(type))};
+      for (const auto& [metric, label] : watched) {
+        const std::size_t idx = registry.index_of(metric);
+        const double b = column_mean(base, idx);
+        const double a = column_mean(anom, idx);
+        const double rel = std::abs(b) > 1e-9 ? (a - b) / std::abs(b) : 0.0;
+        row.push_back(strformat("%+.0f%%", 100.0 * rel));
+      }
+      table.add_row(std::move(row));
+    }
+
+    std::printf("--- intensity %.0f%% ---\n%s\n", 100.0 * intensity,
+                table.render().c_str());
+  }
+
+  std::printf(
+      "reading guide: cpuoccupy shows up in CPU/user + power; cachecopy in\n"
+      "LLC misses; membw in write-backs; memleak in resident memory; dial\n"
+      "depresses power and throughput. Low intensities leave faint but\n"
+      "non-zero footprints — the reason active learning still finds them.\n");
+  return 0;
+}

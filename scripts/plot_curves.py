@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Plot the query-curve CSVs the figure benches emit.
+
+Each bench writes a CSV with columns
+    method, queries, f1_mean, f1_lo, f1_hi,
+    far_mean, far_lo, far_hi, amr_mean, amr_lo, amr_hi
+(one row per method per query count). This script renders the three panels
+of the paper's Figs. 3/5/8 — F1-score, false alarm rate, anomaly miss rate
+vs number of queried labels — with shaded 95% confidence bands.
+
+Usage:
+    python3 scripts/plot_curves.py results/fig3_volta_curves.csv [out.png]
+
+Requires matplotlib (not needed to build or test the C++ library).
+"""
+
+import csv
+import sys
+from collections import defaultdict
+
+
+def load(path):
+    series = defaultdict(lambda: defaultdict(list))
+    with open(path, newline="") as fh:
+        for row in csv.DictReader(fh):
+            method = row["method"]
+            series[method]["queries"].append(int(row["queries"]))
+            for key in (
+                "f1_mean", "f1_lo", "f1_hi",
+                "far_mean", "far_lo", "far_hi",
+                "amr_mean", "amr_lo", "amr_hi",
+            ):
+                series[method][key].append(float(row[key]))
+    return series
+
+
+def main():
+    if len(sys.argv) < 2:
+        sys.exit(__doc__)
+    path = sys.argv[1]
+    out = sys.argv[2] if len(sys.argv) > 2 else path.rsplit(".", 1)[0] + ".png"
+
+    try:
+        import matplotlib
+        matplotlib.use("Agg")
+        import matplotlib.pyplot as plt
+    except ImportError:
+        sys.exit("matplotlib is required: pip install matplotlib")
+
+    series = load(path)
+    panels = [
+        ("f1", "F1-score"),
+        ("far", "False alarm rate"),
+        ("amr", "Anomaly miss rate"),
+    ]
+    fig, axes = plt.subplots(1, 3, figsize=(15, 4), sharex=True)
+    for ax, (prefix, title) in zip(axes, panels):
+        for method, data in sorted(series.items()):
+            q = data["queries"]
+            ax.plot(q, data[f"{prefix}_mean"], label=method, linewidth=1.6)
+            ax.fill_between(q, data[f"{prefix}_lo"], data[f"{prefix}_hi"],
+                            alpha=0.15)
+        if prefix == "f1":
+            ax.axhline(0.95, color="red", linestyle="--", linewidth=0.8,
+                       label="F1 = 0.95")
+        ax.set_title(title)
+        ax.set_xlabel("# of queried labels")
+        ax.set_ylim(0.0, 1.02)
+        ax.grid(alpha=0.3)
+    axes[0].legend(fontsize=8)
+    fig.suptitle(path)
+    fig.tight_layout()
+    fig.savefig(out, dpi=150)
+    print(f"wrote {out}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,105 @@
+#include "active/committee.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace alba {
+
+Committee::Committee(const Classifier& prototype, int size,
+                     std::uint64_t seed)
+    : num_classes_(prototype.num_classes()) {
+  ALBA_CHECK(size >= 2) << "a committee needs at least 2 members, got " << size;
+  SplitMix64 seeder(seed);
+  members_.reserve(static_cast<std::size_t>(size));
+  for (int i = 0; i < size; ++i) {
+    members_.push_back(prototype.clone_reseeded(seeder.next()));
+  }
+}
+
+void Committee::fit(const Matrix& x, std::span<const int> y) {
+  for (auto& member : members_) member->fit(x, y);
+}
+
+bool Committee::fitted() const noexcept {
+  for (const auto& member : members_) {
+    if (!member->fitted()) return false;
+  }
+  return true;
+}
+
+Matrix Committee::predict_proba(const Matrix& x) const {
+  ALBA_CHECK(fitted()) << "committee predict before fit";
+  Matrix consensus(x.rows(), static_cast<std::size_t>(num_classes_), 0.0);
+  for (const auto& member : members_) {
+    const Matrix probs = member->predict_proba(x);
+    for (std::size_t i = 0; i < x.rows(); ++i) {
+      auto crow = consensus.row(i);
+      const auto prow = probs.row(i);
+      for (std::size_t c = 0; c < crow.size(); ++c) crow[c] += prow[c];
+    }
+  }
+  const double inv = 1.0 / static_cast<double>(members_.size());
+  for (std::size_t i = 0; i < consensus.rows(); ++i) {
+    for (auto& p : consensus.row(i)) p *= inv;
+  }
+  return consensus;
+}
+
+std::vector<int> Committee::predict(const Matrix& x) const {
+  const Matrix probs = predict_proba(x);
+  std::vector<int> out(x.rows());
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    out[i] = argmax_label(probs.row(i));
+  }
+  return out;
+}
+
+std::vector<double> Committee::vote_entropy(const Matrix& x) const {
+  ALBA_CHECK(fitted()) << "committee scoring before fit";
+  const auto k = static_cast<std::size_t>(num_classes_);
+  Matrix votes(x.rows(), k, 0.0);
+  for (const auto& member : members_) {
+    const std::vector<int> pred = member->predict(x);
+    for (std::size_t i = 0; i < x.rows(); ++i) {
+      votes(i, static_cast<std::size_t>(pred[i])) += 1.0;
+    }
+  }
+  const double inv = 1.0 / static_cast<double>(members_.size());
+  std::vector<double> out(x.rows(), 0.0);
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    double h = 0.0;
+    for (const double v : votes.row(i)) {
+      const double p = v * inv;
+      if (p > 0.0) h -= p * std::log(p);
+    }
+    out[i] = h;
+  }
+  return out;
+}
+
+std::vector<double> Committee::consensus_kl(const Matrix& x) const {
+  ALBA_CHECK(fitted()) << "committee scoring before fit";
+  const Matrix consensus = predict_proba(x);
+  std::vector<double> out(x.rows(), 0.0);
+  for (const auto& member : members_) {
+    const Matrix probs = member->predict_proba(x);
+    for (std::size_t i = 0; i < x.rows(); ++i) {
+      const auto prow = probs.row(i);
+      const auto crow = consensus.row(i);
+      double kl = 0.0;
+      for (std::size_t c = 0; c < prow.size(); ++c) {
+        if (prow[c] > 1e-12 && crow[c] > 1e-12) {
+          kl += prow[c] * std::log(prow[c] / crow[c]);
+        }
+      }
+      out[i] += kl;
+    }
+  }
+  const double inv = 1.0 / static_cast<double>(members_.size());
+  for (auto& v : out) v *= inv;
+  return out;
+}
+
+}  // namespace alba

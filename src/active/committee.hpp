@@ -1,0 +1,47 @@
+// Query-by-committee (Freund et al., Machine Learning 1997 — cited by the
+// paper as the origin of stream-based selective sampling). A committee of
+// identically configured models trained with different random seeds votes
+// on each pool sample; samples with high disagreement are the most
+// informative. Two classic disagreement measures:
+//   vote entropy    H(vote distribution over predicted labels)
+//   consensus KL    mean KL(member ‖ consensus) over members
+// This extends ALBADross beyond the paper (which uses single-model
+// strategies) along its stated future-work axis of better query strategies.
+#pragma once
+
+#include <memory>
+
+#include "ml/classifier.hpp"
+
+namespace alba {
+
+class Committee {
+ public:
+  /// Builds `size` unfitted members by cloning `prototype` (each clone gets
+  /// its own stream of randomness through its training seed — members must
+  /// differ via their stochastic training, e.g. forest bagging, MLP init).
+  Committee(const Classifier& prototype, int size, std::uint64_t seed);
+
+  void fit(const Matrix& x, std::span<const int> y);
+  bool fitted() const noexcept;
+
+  std::size_t size() const noexcept { return members_.size(); }
+  int num_classes() const noexcept { return num_classes_; }
+  const Classifier& member(std::size_t i) const { return *members_.at(i); }
+
+  /// Consensus probabilities: the member average (soft voting).
+  Matrix predict_proba(const Matrix& x) const;
+  std::vector<int> predict(const Matrix& x) const;
+
+  /// Vote entropy per row: entropy of the hard-vote distribution.
+  std::vector<double> vote_entropy(const Matrix& x) const;
+
+  /// Mean KL divergence of each member's distribution from the consensus.
+  std::vector<double> consensus_kl(const Matrix& x) const;
+
+ private:
+  std::vector<std::unique_ptr<Classifier>> members_;
+  int num_classes_ = 0;
+};
+
+}  // namespace alba

@@ -1,0 +1,85 @@
+#include "active/curves.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace alba {
+
+AggregatedCurve aggregate_curves(const std::vector<QueryCurve>& repeats) {
+  ALBA_CHECK(!repeats.empty());
+  std::size_t max_len = 0;
+  for (const auto& r : repeats) max_len = std::max(max_len, r.size());
+  ALBA_CHECK(max_len > 0);
+
+  AggregatedCurve out;
+  auto aggregate_point = [&](std::size_t p, auto metric) {
+    double sum = 0.0;
+    double sum_sq = 0.0;
+    std::size_t n = 0;
+    for (const auto& r : repeats) {
+      if (p < r.size()) {
+        const double v = metric(r[p]);
+        sum += v;
+        sum_sq += v * v;
+        ++n;
+      }
+    }
+    const double mean = sum / static_cast<double>(n);
+    const double var =
+        std::max(0.0, sum_sq / static_cast<double>(n) - mean * mean);
+    // 95% CI half-width with the normal approximation the paper's bands use.
+    const double half =
+        n > 1 ? 1.96 * std::sqrt(var / static_cast<double>(n)) : 0.0;
+    return std::array<double, 3>{mean, mean - half, mean + half};
+  };
+
+  for (std::size_t p = 0; p < max_len; ++p) {
+    // Query index from the first repeat that has this point.
+    int q = 0;
+    for (const auto& r : repeats) {
+      if (p < r.size()) {
+        q = r[p].queries;
+        break;
+      }
+    }
+    out.queries.push_back(q);
+
+    const auto f1 =
+        aggregate_point(p, [](const QueryCurvePoint& pt) { return pt.f1; });
+    out.f1_mean.push_back(f1[0]);
+    out.f1_lo.push_back(f1[1]);
+    out.f1_hi.push_back(f1[2]);
+
+    const auto far = aggregate_point(
+        p, [](const QueryCurvePoint& pt) { return pt.false_alarm_rate; });
+    out.far_mean.push_back(far[0]);
+    out.far_lo.push_back(far[1]);
+    out.far_hi.push_back(far[2]);
+
+    const auto amr = aggregate_point(
+        p, [](const QueryCurvePoint& pt) { return pt.anomaly_miss_rate; });
+    out.amr_mean.push_back(amr[0]);
+    out.amr_lo.push_back(amr[1]);
+    out.amr_hi.push_back(amr[2]);
+  }
+  return out;
+}
+
+int queries_to_reach(const AggregatedCurve& curve, double target_f1) {
+  for (std::size_t p = 0; p < curve.queries.size(); ++p) {
+    if (curve.f1_mean[p] >= target_f1) return curve.queries[p];
+  }
+  return -1;
+}
+
+int queries_to_reach(const QueryCurve& curve, double target_f1) {
+  for (const auto& pt : curve) {
+    if (pt.f1 >= target_f1) return pt.queries;
+  }
+  return -1;
+}
+
+}  // namespace alba

@@ -1,0 +1,39 @@
+// Per-query metric curves and their aggregation across repeated train/test
+// splits. Every figure in the paper's evaluation is one of these curves
+// (F1 / false-alarm / miss-rate vs number of queried labels) with a 95%
+// confidence band over 5 splits.
+#pragma once
+
+#include <vector>
+
+namespace alba {
+
+/// Metrics measured on the fixed test set after `queries` labels.
+struct QueryCurvePoint {
+  int queries = 0;  // additional labels beyond the initial seed set
+  double f1 = 0.0;
+  double false_alarm_rate = 0.0;
+  double anomaly_miss_rate = 0.0;
+};
+
+using QueryCurve = std::vector<QueryCurvePoint>;
+
+/// Mean curve with a symmetric 95% CI (normal approximation, the paper's
+/// shaded band) across repeats. Repeats may have different lengths; each
+/// point aggregates the repeats that reach it.
+struct AggregatedCurve {
+  std::vector<int> queries;
+  std::vector<double> f1_mean, f1_lo, f1_hi;
+  std::vector<double> far_mean, far_lo, far_hi;
+  std::vector<double> amr_mean, amr_lo, amr_hi;
+};
+
+AggregatedCurve aggregate_curves(const std::vector<QueryCurve>& repeats);
+
+/// First query count at which the mean F1 reaches `target`; -1 if never.
+int queries_to_reach(const AggregatedCurve& curve, double target_f1);
+
+/// Same on a single repeat.
+int queries_to_reach(const QueryCurve& curve, double target_f1);
+
+}  // namespace alba

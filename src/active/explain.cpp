@@ -1,0 +1,99 @@
+#include "active/explain.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "common/error.hpp"
+#include "stats/descriptive.hpp"
+
+namespace alba {
+
+QueryExplainer::QueryExplainer(const LabeledData& labeled,
+                               std::vector<std::string> feature_names,
+                               int healthy_label)
+    : names_(std::move(feature_names)) {
+  ALBA_CHECK(labeled.x.cols() == names_.size())
+      << "feature-name count " << names_.size() << " != columns "
+      << labeled.x.cols();
+
+  std::vector<std::size_t> healthy_rows;
+  for (std::size_t i = 0; i < labeled.size(); ++i) {
+    if (labeled.y[i] == healthy_label) healthy_rows.push_back(i);
+  }
+  n_healthy_ = healthy_rows.size();
+  ALBA_CHECK(n_healthy_ >= 2)
+      << "need at least 2 labeled healthy samples for a profile, have "
+      << n_healthy_;
+
+  const Matrix healthy = labeled.x.select_rows(healthy_rows);
+  median_.resize(names_.size());
+  mad_.resize(names_.size());
+  std::vector<double> col(n_healthy_);
+  std::vector<double> deviations(n_healthy_);
+  for (std::size_t j = 0; j < names_.size(); ++j) {
+    for (std::size_t i = 0; i < n_healthy_; ++i) col[i] = healthy(i, j);
+    median_[j] = stats::median(col);
+    for (std::size_t i = 0; i < n_healthy_; ++i) {
+      deviations[i] = std::abs(col[i] - median_[j]);
+    }
+    // 1.4826 scales MAD to the stddev of a normal distribution. Floors keep
+    // healthy-constant features (e.g. boolean tsfresh features that are
+    // always 0 on healthy nodes) from swamping the ranking with unbounded
+    // z-scores: a flip of such a feature is strong evidence, but it should
+    // compete on the same scale as continuous deviations. The absolute
+    // floor assumes features of comparable scale (the pipeline Min-Max
+    // scales them to [0, 1]).
+    const double healthy_range = stats::range(col);
+    mad_[j] = std::max({1.4826 * stats::median(deviations),
+                        0.05 * healthy_range, 0.05});
+  }
+}
+
+std::vector<FeatureDeviation> QueryExplainer::top_features(
+    std::span<const double> sample, std::size_t k) const {
+  ALBA_CHECK(sample.size() == names_.size());
+  std::vector<FeatureDeviation> all(names_.size());
+  for (std::size_t j = 0; j < names_.size(); ++j) {
+    all[j].feature = names_[j];
+    all[j].value = sample[j];
+    all[j].healthy_median = median_[j];
+    all[j].z = std::clamp((sample[j] - median_[j]) / mad_[j], -100.0, 100.0);
+  }
+  k = std::min(k, all.size());
+  std::partial_sort(all.begin(), all.begin() + static_cast<std::ptrdiff_t>(k),
+                    all.end(),
+                    [](const FeatureDeviation& a, const FeatureDeviation& b) {
+                      return std::abs(a.z) > std::abs(b.z);
+                    });
+  all.resize(k);
+  return all;
+}
+
+std::vector<MetricDeviation> QueryExplainer::top_metrics(
+    std::span<const double> sample, std::size_t k) const {
+  // Aggregate the strongest feature deviations up to metric granularity.
+  const auto features = top_features(sample, std::min<std::size_t>(
+                                                 names_.size(), 10 * k));
+  std::map<std::string, MetricDeviation> by_metric;
+  for (const auto& f : features) {
+    const auto sep = f.feature.find('|');
+    const std::string metric =
+        sep == std::string::npos ? f.feature : f.feature.substr(0, sep);
+    auto& entry = by_metric[metric];
+    entry.metric = metric;
+    entry.max_abs_z = std::max(entry.max_abs_z, std::abs(f.z));
+    entry.features += 1;
+  }
+  std::vector<MetricDeviation> out;
+  out.reserve(by_metric.size());
+  for (auto& [metric, dev] : by_metric) out.push_back(std::move(dev));
+  std::sort(out.begin(), out.end(),
+            [](const MetricDeviation& a, const MetricDeviation& b) {
+              return a.max_abs_z > b.max_abs_z;
+            });
+  if (out.size() > k) out.resize(k);
+  return out;
+}
+
+}  // namespace alba

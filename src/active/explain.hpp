@@ -1,0 +1,58 @@
+// Annotator assistance — the paper's planned "interactive dashboard"
+// direction (Sec. VI): when the query strategy selects a sample, show the
+// human which metrics make it unusual so labeling is faster and more
+// reliable. A queried sample is explained by the features that deviate
+// most from the labeled healthy profile (robust z-scores against the
+// healthy samples' median/MAD), aggregated up to metric level.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+#include "ml/dataset.hpp"
+
+namespace alba {
+
+struct FeatureDeviation {
+  std::string feature;   // "metric|feature" column name
+  double z = 0.0;        // robust z-score vs the healthy profile
+  double value = 0.0;    // the sample's value
+  double healthy_median = 0.0;
+};
+
+struct MetricDeviation {
+  std::string metric;       // metric part of the column names
+  double max_abs_z = 0.0;   // strongest deviation among its features
+  std::size_t features = 0; // features of this metric among the top-k
+};
+
+class QueryExplainer {
+ public:
+  /// Builds the healthy profile from the labeled data's healthy rows
+  /// (label == healthy_label). Throws when no healthy samples exist yet —
+  /// early in an ALBADross run the seed has none; callers should fall back
+  /// to "no reference profile yet".
+  QueryExplainer(const LabeledData& labeled,
+                 std::vector<std::string> feature_names,
+                 int healthy_label = 0);
+
+  /// Top-k features of `sample` by |robust z| against the healthy profile.
+  std::vector<FeatureDeviation> top_features(std::span<const double> sample,
+                                             std::size_t k = 10) const;
+
+  /// The same deviations grouped by metric (column names "metric|feature");
+  /// what a dashboard would highlight.
+  std::vector<MetricDeviation> top_metrics(std::span<const double> sample,
+                                           std::size_t k = 5) const;
+
+  std::size_t healthy_samples() const noexcept { return n_healthy_; }
+
+ private:
+  std::vector<std::string> names_;
+  std::vector<double> median_;
+  std::vector<double> mad_;  // median absolute deviation, floored
+  std::size_t n_healthy_ = 0;
+};
+
+}  // namespace alba

@@ -1,0 +1,210 @@
+#include "active/learner.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "active/committee.hpp"
+#include "common/error.hpp"
+#include "ml/metrics.hpp"
+
+namespace alba {
+
+ActiveLearner::ActiveLearner(std::unique_ptr<Classifier> model,
+                             ActiveLearnerConfig config)
+    : model_(std::move(model)), config_(config) {
+  ALBA_CHECK(model_ != nullptr);
+  ALBA_CHECK(config_.max_queries >= 0);
+  ALBA_CHECK(config_.batch_size >= 1);
+  ALBA_CHECK(config_.committee_size >= 2);
+  ALBA_CHECK(config_.density_beta >= 0.0);
+  if (config_.strategy == QueryStrategy::EqualApp) {
+    ALBA_CHECK(config_.num_apps > 0) << "equal-app baseline needs num_apps";
+  }
+}
+
+ActiveLearnerResult ActiveLearner::run(const LabeledData& seed,
+                                       const Matrix& pool_x,
+                                       LabelOracle& oracle,
+                                       std::span<const int> pool_app_ids,
+                                       const Matrix& test_x,
+                                       std::span<const int> test_y) {
+  ALBA_CHECK(!seed.empty()) << "the labeled seed set is empty";
+  ALBA_CHECK(pool_x.rows() == oracle.pool_size())
+      << "pool/oracle size mismatch";
+  ALBA_CHECK(pool_app_ids.empty() || pool_app_ids.size() == pool_x.rows());
+  ALBA_CHECK(test_x.rows() == test_y.size());
+  const int k = model_->num_classes();
+  seed.validate_labels(k);
+
+  Rng rng(config_.seed);
+  LabeledData labeled = seed;
+
+  const bool use_committee = strategy_uses_committee(config_.strategy);
+  std::unique_ptr<Committee> committee;
+  if (use_committee) {
+    committee = std::make_unique<Committee>(*model_, config_.committee_size,
+                                            config_.seed ^ 0xC0117EE);
+  }
+
+  // Information density over the *original* pool (representativeness does
+  // not change as samples get labeled).
+  std::vector<double> density;
+  if (config_.strategy == QueryStrategy::DensityWeighted) {
+    density = information_density(pool_x, config_.density_ref_cap,
+                                  config_.seed ^ 0xDE4517);
+  }
+
+  // Remaining pool positions (indices into pool_x).
+  std::vector<std::size_t> remaining(pool_x.rows());
+  std::iota(remaining.begin(), remaining.end(), std::size_t{0});
+
+  auto refit = [&] {
+    if (use_committee) {
+      committee->fit(labeled.x, labeled.y);
+    } else {
+      model_->fit(labeled.x, labeled.y);
+    }
+  };
+  auto predictions = [&](const Matrix& x) {
+    return use_committee ? committee->predict(x) : model_->predict(x);
+  };
+
+  ActiveLearnerResult result;
+  auto evaluate_now = [&](int queries) {
+    const EvalResult ev = evaluate(test_y, predictions(test_x), k);
+    QueryCurvePoint pt;
+    pt.queries = queries;
+    pt.f1 = ev.macro_f1;
+    pt.false_alarm_rate = ev.false_alarm_rate;
+    pt.anomaly_miss_rate = ev.anomaly_miss_rate;
+    result.curve.push_back(pt);
+    return ev.macro_f1;
+  };
+
+  refit();
+  double f1 = evaluate_now(0);
+
+  std::vector<int> remaining_apps;
+  Matrix remaining_x;
+  int labels_used = 0;
+  while (labels_used < config_.max_queries && !remaining.empty()) {
+    if (config_.target_f1 > 0.0 && f1 >= config_.target_f1 &&
+        result.queries_to_target < 0) {
+      result.queries_to_target = labels_used;
+      break;
+    }
+
+    // Candidate views of the remaining pool.
+    remaining_x = pool_x.select_rows(remaining);
+    remaining_apps.clear();
+    if (!pool_app_ids.empty()) {
+      for (const std::size_t i : remaining) {
+        remaining_apps.push_back(pool_app_ids[i]);
+      }
+    }
+
+    const std::size_t batch = std::min<std::size_t>(
+        {static_cast<std::size_t>(config_.batch_size), remaining.size(),
+         static_cast<std::size_t>(config_.max_queries - labels_used)});
+
+    // Positions (into `remaining`) to query this round.
+    std::vector<std::size_t> picks;
+    switch (config_.strategy) {
+      case QueryStrategy::VoteEntropy:
+      case QueryStrategy::ConsensusKl: {
+        const std::vector<double> scores =
+            config_.strategy == QueryStrategy::VoteEntropy
+                ? committee->vote_entropy(remaining_x)
+                : committee->consensus_kl(remaining_x);
+        picks = select_query_batch(scores, batch);
+        break;
+      }
+      case QueryStrategy::DensityWeighted: {
+        const Matrix probs = model_->predict_proba(remaining_x);
+        std::vector<double> scores(remaining.size());
+        for (std::size_t i = 0; i < remaining.size(); ++i) {
+          scores[i] = uncertainty_score(probs.row(i)) *
+                      std::pow(density[remaining[i]], config_.density_beta);
+        }
+        picks = select_query_batch(scores, batch);
+        break;
+      }
+      default: {
+        if (batch == 1 || !strategy_uses_model(config_.strategy)) {
+          // Sequential picks; random/equal-app draw without re-scoring.
+          Matrix probs;
+          if (strategy_uses_model(config_.strategy)) {
+            probs = model_->predict_proba(remaining_x);
+          }
+          std::vector<bool> taken(remaining.size(), false);
+          for (std::size_t b = 0; b < batch; ++b) {
+            std::size_t pos;
+            do {
+              pos = select_query(config_.strategy, probs, remaining_apps,
+                                 remaining.size(), labels_used + static_cast<int>(b),
+                                 config_.num_apps, rng);
+            } while (taken[pos] && !strategy_uses_model(config_.strategy));
+            if (taken[pos]) {
+              // Model strategies re-pick deterministically; fall back to
+              // the next best untaken candidate.
+              for (pos = 0; pos < taken.size() && taken[pos]; ++pos) {
+              }
+            }
+            taken[pos] = true;
+            picks.push_back(pos);
+          }
+        } else {
+          // Batch > 1 with a probability strategy: take the top-k scores.
+          const Matrix probs = model_->predict_proba(remaining_x);
+          std::vector<double> scores(remaining.size());
+          for (std::size_t i = 0; i < remaining.size(); ++i) {
+            const auto row = probs.row(i);
+            switch (config_.strategy) {
+              case QueryStrategy::Uncertainty:
+                scores[i] = uncertainty_score(row);
+                break;
+              case QueryStrategy::Margin:
+                scores[i] = -margin_score(row);
+                break;
+              case QueryStrategy::Entropy:
+                scores[i] = entropy_score(row);
+                break;
+              default:
+                break;
+            }
+          }
+          picks = select_query_batch(scores, batch);
+        }
+        break;
+      }
+    }
+
+    // Label the batch, then retrain once.
+    std::sort(picks.begin(), picks.end(), std::greater<>());  // erase safely
+    for (const std::size_t pos : picks) {
+      const std::size_t pool_index = remaining[pos];
+      QueryRecord record;
+      record.pool_index = pool_index;
+      record.label = oracle.annotate(pool_index);
+      record.app_id = pool_app_ids.empty() ? -1 : pool_app_ids[pool_index];
+      result.queried.push_back(record);
+      labeled.append(pool_x.row(pool_index), record.label);
+      remaining.erase(remaining.begin() + static_cast<std::ptrdiff_t>(pos));
+    }
+    labels_used += static_cast<int>(picks.size());
+
+    // Re-train with the newly labeled samples included (Sec. III-D).
+    refit();
+    f1 = evaluate_now(labels_used);
+  }
+
+  result.final_f1 = result.curve.back().f1;
+  if (result.queries_to_target < 0 && config_.target_f1 > 0.0) {
+    result.queries_to_target =
+        queries_to_reach(result.curve, config_.target_f1);
+  }
+  return result;
+}
+
+}  // namespace alba

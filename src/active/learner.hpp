@@ -1,0 +1,78 @@
+// The pool-based active learning loop (Fig. 1 of the paper):
+//
+//   1. train the supervised model on the labeled seed set
+//      (one sample per (application, anomaly) pair — no healthy samples);
+//   2. the query strategy selects a pool sample; the oracle labels it;
+//   3. the model is re-trained with the grown labeled set;
+//   4. measure F1 / false-alarm / miss-rate on a fixed withheld test set;
+//   5. repeat until the query budget or the target F1 is reached.
+//
+// The learner owns nothing about where features came from — any Classifier,
+// any pool — so Proctor (autoencoder codes + logistic regression, random
+// queries) runs through the same loop.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "active/curves.hpp"
+#include "active/oracle.hpp"
+#include "active/strategy.hpp"
+#include "ml/classifier.hpp"
+#include "ml/dataset.hpp"
+
+namespace alba {
+
+struct ActiveLearnerConfig {
+  QueryStrategy strategy = QueryStrategy::Uncertainty;
+  int max_queries = 250;
+  double target_f1 = -1.0;  // stop early when reached; <0 disables
+  int num_apps = 0;         // required by the equal-app baseline
+  std::uint64_t seed = 0;
+
+  // --- extensions beyond the paper ---
+  // Labels requested per re-training round. 1 reproduces the paper's loop;
+  // larger batches trade annotation round-trips against informativeness
+  // staleness (scores are not refreshed within a batch).
+  int batch_size = 1;
+  // Members for the query-by-committee strategies.
+  int committee_size = 5;
+  // Density exponent for the density-weighted strategy (Settles' beta).
+  double density_beta = 1.0;
+  // Reference subsample for the density estimate.
+  std::size_t density_ref_cap = 256;
+};
+
+/// One answered query, for drill-down analyses (paper Fig. 4).
+struct QueryRecord {
+  std::size_t pool_index = 0;  // index into the original pool
+  int label = 0;               // oracle's answer
+  int app_id = -1;
+};
+
+struct ActiveLearnerResult {
+  QueryCurve curve;                  // point 0 = seed-only model
+  std::vector<QueryRecord> queried;  // in query order
+  double final_f1 = 0.0;
+  int queries_to_target = -1;        // -1 when target disabled/missed
+};
+
+class ActiveLearner {
+ public:
+  ActiveLearner(std::unique_ptr<Classifier> model, ActiveLearnerConfig config);
+
+  /// Runs the loop. `pool_x` rows align with `oracle` and `pool_app_ids`.
+  /// The test set stays fixed across all queries, as in the paper.
+  ActiveLearnerResult run(const LabeledData& seed, const Matrix& pool_x,
+                          LabelOracle& oracle,
+                          std::span<const int> pool_app_ids,
+                          const Matrix& test_x, std::span<const int> test_y);
+
+  const Classifier& model() const noexcept { return *model_; }
+
+ private:
+  std::unique_ptr<Classifier> model_;
+  ActiveLearnerConfig config_;
+};
+
+}  // namespace alba

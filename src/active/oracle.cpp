@@ -1,0 +1,40 @@
+#include "active/oracle.hpp"
+
+#include "common/error.hpp"
+
+namespace alba {
+
+LabelOracle::LabelOracle(std::vector<int> true_labels, int num_classes,
+                         double error_rate, std::uint64_t seed)
+    : labels_(std::move(true_labels)),
+      num_classes_(num_classes),
+      error_rate_(error_rate),
+      rng_(seed) {
+  ALBA_CHECK(num_classes_ >= 2);
+  ALBA_CHECK(error_rate_ >= 0.0 && error_rate_ < 1.0);
+  for (const int label : labels_) {
+    ALBA_CHECK(label >= 0 && label < num_classes_)
+        << "oracle label " << label << " out of range";
+  }
+}
+
+int LabelOracle::annotate(std::size_t index) {
+  ALBA_CHECK(index < labels_.size()) << "oracle query out of range";
+  ++queries_;
+  const int truth = labels_[index];
+  if (error_rate_ > 0.0 && rng_.bernoulli(error_rate_)) {
+    // Wrong answer: uniform over the other classes.
+    int wrong = static_cast<int>(rng_.uniform_index(
+        static_cast<std::size_t>(num_classes_ - 1)));
+    if (wrong >= truth) ++wrong;
+    return wrong;
+  }
+  return truth;
+}
+
+int LabelOracle::true_label(std::size_t index) const {
+  ALBA_CHECK(index < labels_.size());
+  return labels_[index];
+}
+
+}  // namespace alba

@@ -1,0 +1,41 @@
+// The human annotator of Sec. III: asked for the label of a selected
+// sample, answers with ground truth (optionally corrupted with a
+// configurable error rate to study imperfect annotators — an extension
+// beyond the paper, which assumes a perfect oracle). Tracks how many
+// labels were requested: that count is the paper's headline cost metric.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace alba {
+
+class LabelOracle {
+ public:
+  /// `true_labels[i]` is the ground truth of pool sample i.
+  /// `error_rate` = probability of answering with a wrong (uniformly drawn
+  /// among the other classes) label; 0 reproduces the paper's setting.
+  LabelOracle(std::vector<int> true_labels, int num_classes,
+              double error_rate = 0.0, std::uint64_t seed = 0);
+
+  /// Answers a query for pool sample `index`.
+  int annotate(std::size_t index);
+
+  std::size_t queries_answered() const noexcept { return queries_; }
+  std::size_t pool_size() const noexcept { return labels_.size(); }
+
+  /// Ground truth access (for evaluation code, not for the learner).
+  int true_label(std::size_t index) const;
+
+ private:
+  std::vector<int> labels_;
+  int num_classes_;
+  double error_rate_;
+  Rng rng_;
+  std::size_t queries_ = 0;
+};
+
+}  // namespace alba

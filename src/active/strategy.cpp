@@ -1,0 +1,204 @@
+#include "active/strategy.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <string>
+
+#include "common/error.hpp"
+
+namespace alba {
+
+std::string_view strategy_name(QueryStrategy s) noexcept {
+  switch (s) {
+    case QueryStrategy::Uncertainty: return "uncertainty";
+    case QueryStrategy::Margin: return "margin";
+    case QueryStrategy::Entropy: return "entropy";
+    case QueryStrategy::Random: return "random";
+    case QueryStrategy::EqualApp: return "equal_app";
+    case QueryStrategy::VoteEntropy: return "vote_entropy";
+    case QueryStrategy::ConsensusKl: return "consensus_kl";
+    case QueryStrategy::DensityWeighted: return "density_weighted";
+  }
+  return "unknown";
+}
+
+QueryStrategy strategy_from_name(std::string_view name) {
+  for (const QueryStrategy s :
+       {QueryStrategy::Uncertainty, QueryStrategy::Margin,
+        QueryStrategy::Entropy, QueryStrategy::Random, QueryStrategy::EqualApp,
+        QueryStrategy::VoteEntropy, QueryStrategy::ConsensusKl,
+        QueryStrategy::DensityWeighted}) {
+    if (strategy_name(s) == name) return s;
+  }
+  throw Error("unknown query strategy: " + std::string(name));
+}
+
+bool strategy_uses_model(QueryStrategy s) noexcept {
+  return s == QueryStrategy::Uncertainty || s == QueryStrategy::Margin ||
+         s == QueryStrategy::Entropy || s == QueryStrategy::DensityWeighted;
+}
+
+bool strategy_uses_committee(QueryStrategy s) noexcept {
+  return s == QueryStrategy::VoteEntropy || s == QueryStrategy::ConsensusKl;
+}
+
+double uncertainty_score(std::span<const double> probs) noexcept {
+  double best = 0.0;
+  for (const double p : probs) best = std::max(best, p);
+  return 1.0 - best;
+}
+
+double margin_score(std::span<const double> probs) noexcept {
+  double first = -1.0;
+  double second = -1.0;
+  for (const double p : probs) {
+    if (p > first) {
+      second = first;
+      first = p;
+    } else if (p > second) {
+      second = p;
+    }
+  }
+  if (second < 0.0) second = 0.0;  // single-class edge case
+  return first - second;
+}
+
+double entropy_score(std::span<const double> probs) noexcept {
+  double h = 0.0;
+  for (const double p : probs) {
+    if (p > 0.0) h -= p * std::log(p);
+  }
+  return h;
+}
+
+std::size_t select_query(QueryStrategy strategy, const Matrix& pool_probs,
+                         std::span<const int> pool_app_ids,
+                         std::size_t pool_size, int step, int num_apps,
+                         Rng& rng) {
+  ALBA_CHECK(pool_size > 0) << "query on an empty pool";
+
+  switch (strategy) {
+    case QueryStrategy::Random:
+      return rng.uniform_index(pool_size);
+
+    case QueryStrategy::EqualApp: {
+      ALBA_CHECK(pool_app_ids.size() == pool_size);
+      ALBA_CHECK(num_apps > 0);
+      const int want_app = step % num_apps;
+      // Reservoir-sample uniformly among candidates of the wanted app.
+      std::size_t chosen = pool_size;  // sentinel
+      std::size_t seen = 0;
+      for (std::size_t i = 0; i < pool_size; ++i) {
+        if (pool_app_ids[i] == want_app) {
+          ++seen;
+          if (rng.uniform_index(seen) == 0) chosen = i;
+        }
+      }
+      if (chosen != pool_size) return chosen;
+      return rng.uniform_index(pool_size);  // app exhausted: fall back
+    }
+
+    case QueryStrategy::Uncertainty:
+    case QueryStrategy::Margin:
+    case QueryStrategy::Entropy:
+      break;
+
+    case QueryStrategy::VoteEntropy:
+    case QueryStrategy::ConsensusKl:
+    case QueryStrategy::DensityWeighted:
+      throw Error(
+          "strategy needs precomputed scores — use select_query_scored");
+  }
+
+  ALBA_CHECK(pool_probs.rows() == pool_size)
+      << "probability matrix has " << pool_probs.rows() << " rows, pool has "
+      << pool_size;
+  std::size_t best = 0;
+  double best_score = -std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < pool_size; ++i) {
+    const auto row = pool_probs.row(i);
+    double score = 0.0;
+    switch (strategy) {
+      case QueryStrategy::Uncertainty: score = uncertainty_score(row); break;
+      case QueryStrategy::Margin: score = -margin_score(row); break;  // min
+      case QueryStrategy::Entropy: score = entropy_score(row); break;
+      default: break;
+    }
+    if (score > best_score) {
+      best_score = score;
+      best = i;
+    }
+  }
+  return best;
+}
+
+std::size_t select_query_scored(std::span<const double> scores) {
+  ALBA_CHECK(!scores.empty()) << "query on an empty pool";
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < scores.size(); ++i) {
+    if (scores[i] > scores[best]) best = i;
+  }
+  return best;
+}
+
+std::vector<std::size_t> select_query_batch(std::span<const double> scores,
+                                            std::size_t k) {
+  ALBA_CHECK(!scores.empty()) << "query on an empty pool";
+  k = std::min(k, scores.size());
+  std::vector<std::size_t> order(scores.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::partial_sort(order.begin(), order.begin() + static_cast<std::ptrdiff_t>(k),
+                    order.end(), [&scores](std::size_t a, std::size_t b) {
+                      if (scores[a] != scores[b]) return scores[a] > scores[b];
+                      return a < b;
+                    });
+  order.resize(k);
+  return order;
+}
+
+std::vector<double> information_density(const Matrix& pool,
+                                        std::size_t ref_cap,
+                                        std::uint64_t seed) {
+  ALBA_CHECK(pool.rows() > 0 && ref_cap > 0);
+  Rng rng(seed);
+  const std::size_t n_ref = std::min(ref_cap, pool.rows());
+  const std::vector<std::size_t> ref =
+      rng.sample_without_replacement(pool.rows(), n_ref);
+
+  // Bandwidth: mean distance among a handful of reference pairs.
+  double dist_acc = 0.0;
+  std::size_t dist_n = 0;
+  for (std::size_t a = 0; a < n_ref; ++a) {
+    const std::size_t b = (a + 1) % n_ref;
+    const auto ra = pool.row(ref[a]);
+    const auto rb = pool.row(ref[b]);
+    double d2 = 0.0;
+    for (std::size_t j = 0; j < ra.size(); ++j) {
+      d2 += (ra[j] - rb[j]) * (ra[j] - rb[j]);
+    }
+    dist_acc += std::sqrt(d2);
+    ++dist_n;
+  }
+  const double bandwidth =
+      std::max(1e-9, dist_acc / static_cast<double>(std::max<std::size_t>(1, dist_n)));
+  const double inv_two_sigma2 = 1.0 / (2.0 * bandwidth * bandwidth);
+
+  std::vector<double> density(pool.rows(), 0.0);
+  for (std::size_t i = 0; i < pool.rows(); ++i) {
+    const auto row = pool.row(i);
+    double acc = 0.0;
+    for (const std::size_t r : ref) {
+      const auto rr = pool.row(r);
+      double d2 = 0.0;
+      for (std::size_t j = 0; j < row.size(); ++j) {
+        d2 += (row[j] - rr[j]) * (row[j] - rr[j]);
+      }
+      acc += std::exp(-d2 * inv_two_sigma2);
+    }
+    density[i] = acc / static_cast<double>(n_ref);
+  }
+  return density;
+}
+
+}  // namespace alba

@@ -1,0 +1,77 @@
+// Pool-based query strategies (Sec. III-D). The three informativeness
+// measures from the paper plus its two sampling baselines:
+//   uncertainty  U(x) = 1 − P(ŷ|x)            → query the max
+//   margin       M(x) = P(y₁|x) − P(y₂|x)     → query the min
+//   entropy      H(x) = −Σ p log p            → query the max
+//   random       uniform over the pool (the standard AL baseline)
+//   equal-app    round-robin over application types, random within the type
+//                (the paper's Equal App baseline: "query in increments of
+//                [#apps] and guarantee one sample from each application")
+#pragma once
+
+#include <span>
+#include <string_view>
+
+#include "common/rng.hpp"
+#include "linalg/matrix.hpp"
+
+namespace alba {
+
+enum class QueryStrategy {
+  Uncertainty,
+  Margin,
+  Entropy,
+  Random,
+  EqualApp,
+  // Extensions beyond the paper (its stated future-work direction of
+  // stronger query strategies):
+  VoteEntropy,      // query-by-committee, vote-entropy disagreement
+  ConsensusKl,      // query-by-committee, mean KL from the consensus
+  DensityWeighted,  // information density × uncertainty (Settles)
+};
+
+std::string_view strategy_name(QueryStrategy s) noexcept;
+QueryStrategy strategy_from_name(std::string_view name);
+
+/// True when the strategy needs model probabilities to pick a sample.
+bool strategy_uses_model(QueryStrategy s) noexcept;
+
+/// True for the query-by-committee strategies (the learner then maintains
+/// a committee instead of a single model).
+bool strategy_uses_committee(QueryStrategy s) noexcept;
+
+/// The three informativeness scores over one probability row.
+double uncertainty_score(std::span<const double> probs) noexcept;
+double margin_score(std::span<const double> probs) noexcept;
+double entropy_score(std::span<const double> probs) noexcept;
+
+/// Selects the pool position to query.
+///   pool_probs   per-candidate class probabilities (model strategies only;
+///                may be empty for random/equal-app)
+///   pool_app_ids application id per candidate (equal-app only)
+///   step         0-based query counter (drives equal-app's round robin)
+///   num_apps     number of application types (equal-app only)
+/// Returns an index into the candidate arrays.
+std::size_t select_query(QueryStrategy strategy, const Matrix& pool_probs,
+                         std::span<const int> pool_app_ids,
+                         std::size_t pool_size, int step, int num_apps,
+                         Rng& rng);
+
+/// Argmax over precomputed informativeness scores (committee disagreement,
+/// density-weighted uncertainty, ...). Ties go to the lowest index.
+std::size_t select_query_scored(std::span<const double> scores);
+
+/// Indices of the k highest-scoring candidates (batch-mode querying);
+/// k is clamped to the pool size.
+std::vector<std::size_t> select_query_batch(std::span<const double> scores,
+                                            std::size_t k);
+
+/// Information density (Settles 2009): each row's mean RBF similarity to a
+/// reference subsample of the pool (≤ ref_cap rows; the kernel bandwidth is
+/// the mean pairwise distance within the reference). Dense regions score
+/// near 1, outliers near 0 — multiplying uncertainty by density^beta stops
+/// the learner from querying unrepresentative outliers.
+std::vector<double> information_density(const Matrix& pool,
+                                        std::size_t ref_cap, std::uint64_t seed);
+
+}  // namespace alba

@@ -1,0 +1,80 @@
+#include "active/stream.hpp"
+
+#include <algorithm>
+
+#include "active/strategy.hpp"
+#include "common/error.hpp"
+#include "ml/metrics.hpp"
+
+namespace alba {
+
+StreamSampler::StreamSampler(std::unique_ptr<Classifier> model,
+                             StreamSamplerConfig config)
+    : model_(std::move(model)), config_(config) {
+  ALBA_CHECK(model_ != nullptr);
+  ALBA_CHECK(config_.uncertainty_threshold > 0.0 &&
+             config_.uncertainty_threshold < 1.0)
+      << "threshold must be in (0, 1)";
+  ALBA_CHECK(config_.max_queries >= 0);
+  ALBA_CHECK(config_.adapt_rate >= 0.0 && config_.adapt_rate < 1.0);
+}
+
+StreamResult StreamSampler::run(const LabeledData& seed,
+                                const Matrix& stream_x, LabelOracle& oracle,
+                                const Matrix& test_x,
+                                std::span<const int> test_y) {
+  ALBA_CHECK(!seed.empty()) << "the labeled seed set is empty";
+  ALBA_CHECK(stream_x.rows() == oracle.pool_size());
+  ALBA_CHECK(test_x.rows() == test_y.size());
+  const int k = model_->num_classes();
+  seed.validate_labels(k);
+
+  LabeledData labeled = seed;
+  model_->fit(labeled.x, labeled.y);
+
+  StreamResult result;
+  double threshold = config_.uncertainty_threshold;
+
+  auto evaluate_now = [&](int queries) {
+    const EvalResult ev = evaluate(test_y, model_->predict(test_x), k);
+    QueryCurvePoint pt;
+    pt.queries = queries;
+    pt.f1 = ev.macro_f1;
+    pt.false_alarm_rate = ev.false_alarm_rate;
+    pt.anomaly_miss_rate = ev.anomaly_miss_rate;
+    result.curve.push_back(pt);
+  };
+  evaluate_now(0);
+
+  Matrix one(1, stream_x.cols());
+  for (std::size_t i = 0; i < stream_x.rows(); ++i) {
+    ++result.seen;
+    if (result.queried >= static_cast<std::size_t>(config_.max_queries)) {
+      break;  // budget exhausted; nothing more to learn from the stream
+    }
+
+    std::copy_n(stream_x.row(i).data(), stream_x.cols(), one.row(0).data());
+    const Matrix probs = model_->predict_proba(one);
+    const double uncertainty = uncertainty_score(probs.row(0));
+
+    if (uncertainty >= threshold) {
+      const int label = oracle.annotate(i);
+      labeled.append(stream_x.row(i), label);
+      ++result.queried;
+      model_->fit(labeled.x, labeled.y);
+      evaluate_now(static_cast<int>(result.queried));
+      // After a query the model got sharper: demand more uncertainty
+      // before the next one, damping the query rate.
+      threshold = std::min(0.999, threshold / (1.0 - config_.adapt_rate));
+    } else {
+      // Long quiet spells decay the threshold so the sampler never starves.
+      threshold *= 1.0 - config_.adapt_rate;
+    }
+  }
+
+  result.final_f1 = result.curve.back().f1;
+  result.final_threshold = threshold;
+  return result;
+}
+
+}  // namespace alba

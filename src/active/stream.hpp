@@ -1,0 +1,58 @@
+// Stream-based selective sampling — the second of the three active
+// learning scenarios the paper describes (Sec. II-A): unlabeled samples
+// arrive one at a time (e.g. straight off the monitoring bus) and the
+// learner decides *immediately* whether to ask the annotator for a label,
+// based on an uncertainty threshold. Unlike pool-based sampling it never
+// sees the whole pool, so it trades label efficiency for O(1) memory and
+// zero query latency — the trade-off quantified by the stream-vs-pool
+// ablation bench.
+#pragma once
+
+#include <memory>
+
+#include "active/curves.hpp"
+#include "active/oracle.hpp"
+#include "ml/classifier.hpp"
+#include "ml/dataset.hpp"
+
+namespace alba {
+
+struct StreamSamplerConfig {
+  /// Query when the model's uncertainty (1 − max prob) exceeds this.
+  double uncertainty_threshold = 0.5;
+  /// Hard cap on oracle queries; the stream keeps flowing without labeling
+  /// once exhausted.
+  int max_queries = 250;
+  /// Adapt the threshold: raise it after each query (demand more
+  /// uncertainty as the model sharpens) and decay it during quiet spells
+  /// (never starve). 0 disables adaptation.
+  double adapt_rate = 0.0;
+};
+
+struct StreamResult {
+  QueryCurve curve;          // one point per *query* (not per stream item)
+  std::size_t seen = 0;      // stream items observed
+  std::size_t queried = 0;   // labels requested
+  double final_f1 = 0.0;
+  double final_threshold = 0.0;
+};
+
+class StreamSampler {
+ public:
+  StreamSampler(std::unique_ptr<Classifier> model, StreamSamplerConfig config);
+
+  /// Consumes the stream (rows of stream_x in order). The oracle indexes
+  /// align with stream rows. Evaluates on the fixed test set after every
+  /// accepted query, like the pool-based learner.
+  StreamResult run(const LabeledData& seed, const Matrix& stream_x,
+                   LabelOracle& oracle, const Matrix& test_x,
+                   std::span<const int> test_y);
+
+  const Classifier& model() const noexcept { return *model_; }
+
+ private:
+  std::unique_ptr<Classifier> model_;
+  StreamSamplerConfig config_;
+};
+
+}  // namespace alba

@@ -1,0 +1,35 @@
+#include "anomaly/anomaly.hpp"
+
+#include <string>
+
+#include "common/error.hpp"
+
+namespace alba {
+
+std::string_view anomaly_name(AnomalyType type) noexcept {
+  switch (type) {
+    case AnomalyType::Healthy: return "healthy";
+    case AnomalyType::CpuOccupy: return "cpuoccupy";
+    case AnomalyType::CacheCopy: return "cachecopy";
+    case AnomalyType::MemBw: return "membw";
+    case AnomalyType::MemLeak: return "memleak";
+    case AnomalyType::Dial: return "dial";
+  }
+  return "unknown";
+}
+
+AnomalyType anomaly_from_name(std::string_view name) {
+  for (int label = 0; label < kNumClasses; ++label) {
+    const auto type = static_cast<AnomalyType>(label);
+    if (anomaly_name(type) == name) return type;
+  }
+  throw Error("unknown anomaly name: " + std::string(name));
+}
+
+AnomalyType anomaly_from_label(int label) {
+  ALBA_CHECK(label >= 0 && label < kNumClasses)
+      << "anomaly label out of range: " << label;
+  return static_cast<AnomalyType>(label);
+}
+
+}  // namespace alba

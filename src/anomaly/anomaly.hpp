@@ -1,0 +1,49 @@
+// Anomaly taxonomy. Mirrors the five HPAS synthetic anomalies the paper
+// injects (Table III + the `dial` anomaly discussed in Sec. V-A):
+//   cpuoccupy — CPU-intensive interfering process (arithmetic operations)
+//   cachecopy — cache contention (cache-sized read & write loops)
+//   membw     — memory bandwidth contention (uncached memory writes)
+//   memleak   — memory leakage (increasingly allocate & fill memory)
+//   dial      — periodic CPU frequency reduction (the subtlest anomaly;
+//               the paper finds it is the most-queried / most-confused type)
+// `Healthy` is the no-anomaly label; class ids are stable and used as ML
+// labels throughout the library.
+#pragma once
+
+#include <array>
+#include <string_view>
+
+namespace alba {
+
+enum class AnomalyType : int {
+  Healthy = 0,
+  CpuOccupy = 1,
+  CacheCopy = 2,
+  MemBw = 3,
+  MemLeak = 4,
+  Dial = 5,
+};
+
+inline constexpr int kNumClasses = 6;        // healthy + 5 anomaly types
+inline constexpr int kNumAnomalyTypes = 5;   // excluding healthy
+
+/// All injectable anomaly types (excludes Healthy).
+inline constexpr std::array<AnomalyType, kNumAnomalyTypes> kAnomalyTypes = {
+    AnomalyType::CpuOccupy, AnomalyType::CacheCopy, AnomalyType::MemBw,
+    AnomalyType::MemLeak, AnomalyType::Dial};
+
+/// Stable short name ("healthy", "cpuoccupy", ...), matching HPAS naming.
+std::string_view anomaly_name(AnomalyType type) noexcept;
+
+/// Inverse of anomaly_name; throws alba::Error on unknown names.
+AnomalyType anomaly_from_name(std::string_view name);
+
+/// Class label (0..5) for a type; the label space of all classifiers.
+inline constexpr int anomaly_label(AnomalyType type) noexcept {
+  return static_cast<int>(type);
+}
+
+/// Inverse of anomaly_label; throws on out-of-range labels.
+AnomalyType anomaly_from_label(int label);
+
+}  // namespace alba

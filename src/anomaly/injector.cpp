@@ -1,0 +1,179 @@
+#include "anomaly/injector.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace alba {
+
+namespace {
+
+double clamp01(double v) noexcept { return std::clamp(v, 0.0, 1.0); }
+
+// Steals a fraction of the node's CPU: the interfering process runs at
+// `intensity` of one socket's worth of compute. The victim's own activity
+// scales down by the contention factor.
+class CpuOccupyInjector final : public AnomalyInjector {
+ public:
+  explicit CpuOccupyInjector(double intensity) : AnomalyInjector(intensity) {}
+  AnomalyType type() const noexcept override { return AnomalyType::CpuOccupy; }
+
+  void apply(const InjectionContext&, NodeLoad& load, Rng& rng) const override {
+    const double burn = 0.85 * effect() * (1.0 + 0.05 * rng.normal());
+    // Victim loses throughput roughly proportionally to stolen cycles.
+    const double slowdown = 1.0 / (1.0 + 0.8 * effect());
+    load.net_tx_rate *= slowdown;
+    load.net_rx_rate *= slowdown;
+    load.io_read_rate *= slowdown;
+    load.io_write_rate *= slowdown;
+    load.cpu_user = clamp01(load.cpu_user * slowdown + burn);
+    // Scheduler churn from the extra runnable process.
+    load.cpu_system = clamp01(load.cpu_system + 0.12 * effect());
+    load.power_watts *= 1.0 + 0.38 * effect();
+  }
+};
+
+// Cache-thrashing copy loop: the dominant signal is the LLC miss ratio and
+// the induced memory traffic from write-backs.
+class CacheCopyInjector final : public AnomalyInjector {
+ public:
+  explicit CacheCopyInjector(double intensity) : AnomalyInjector(intensity) {}
+  AnomalyType type() const noexcept override { return AnomalyType::CacheCopy; }
+
+  void apply(const InjectionContext&, NodeLoad& load, Rng& rng) const override {
+    const double thrash = 0.6 * effect() * (1.0 + 0.04 * rng.normal());
+    load.cache_miss_rate = clamp01(load.cache_miss_rate + thrash);
+    load.mem_bw_util = clamp01(load.mem_bw_util + 0.28 * effect());
+    load.cpu_user = clamp01(load.cpu_user + 0.10 * effect());
+    // Victim slowdown from extra memory stalls.
+    const double slowdown = 1.0 / (1.0 + 0.25 * effect());
+    load.net_tx_rate *= slowdown;
+    load.net_rx_rate *= slowdown;
+    load.power_watts *= 1.0 + 0.10 * effect();
+  }
+};
+
+// Uncached streaming writes saturate the memory controllers.
+class MemBwInjector final : public AnomalyInjector {
+ public:
+  explicit MemBwInjector(double intensity) : AnomalyInjector(intensity) {}
+  AnomalyType type() const noexcept override { return AnomalyType::MemBw; }
+
+  void apply(const InjectionContext&, NodeLoad& load, Rng& rng) const override {
+    const double stream = 0.85 * effect() * (1.0 + 0.03 * rng.normal());
+    load.mem_bw_util = clamp01(load.mem_bw_util + stream);
+    load.cache_miss_rate = clamp01(load.cache_miss_rate + 0.25 * effect());
+    load.cpu_user = clamp01(load.cpu_user + 0.06 * effect());
+    const double slowdown = 1.0 / (1.0 + 0.6 * effect());
+    load.net_tx_rate *= slowdown;
+    load.net_rx_rate *= slowdown;
+    load.io_read_rate *= slowdown;
+    load.io_write_rate *= slowdown;
+    load.power_watts *= 1.0 + 0.15 * effect();
+  }
+};
+
+// Steadily allocates and touches memory: linear RSS growth over the run,
+// bounded by node capacity; paging pressure once above ~85% of capacity.
+class MemLeakInjector final : public AnomalyInjector {
+ public:
+  explicit MemLeakInjector(double intensity) : AnomalyInjector(intensity) {}
+  AnomalyType type() const noexcept override { return AnomalyType::MemLeak; }
+
+  void apply(const InjectionContext& ctx, NodeLoad& load, Rng& rng) const override {
+    // intensity scales the leak rate; at 1.0 the leak would consume ~60% of
+    // node memory over a full run.
+    const double leaked =
+        0.6 * effect() * ctx.t_frac * ctx.mem_capacity_gb *
+        (1.0 + 0.02 * rng.normal());
+    load.mem_used_gb =
+        std::min(load.mem_used_gb + leaked, 0.97 * ctx.mem_capacity_gb);
+    load.cpu_system = clamp01(load.cpu_system + 0.02 * effect());
+    if (load.mem_used_gb > 0.85 * ctx.mem_capacity_gb) {
+      // Allocation pressure: reclaim/paging activity shows up as system
+      // time and IO, and the victim slows down.
+      load.cpu_system = clamp01(load.cpu_system + 0.10 * effect());
+      load.io_write_rate += 40.0 * effect();
+      load.net_tx_rate *= 0.9;
+      load.net_rx_rate *= 0.9;
+    }
+  }
+};
+
+// Periodic CPU frequency reduction (HPAS `dial`). Every rate-derived
+// channel breathes with the dial period; at small intensities the dips are
+// within normal noise, which is exactly why the paper finds dial hardest.
+class DialInjector final : public AnomalyInjector {
+ public:
+  explicit DialInjector(double intensity) : AnomalyInjector(intensity) {}
+  AnomalyType type() const noexcept override { return AnomalyType::Dial; }
+
+  void apply(const InjectionContext& ctx, NodeLoad& load, Rng& rng) const override {
+    // HPAS dial switches the governor between max and min frequency; the
+    // throttle depth is fixed by the CPU's P-state range and the intensity
+    // knob controls how much of each period is spent throttled.
+    constexpr double kDialPeriodSeconds = 20.0;
+    const double duty = 0.30 + 0.45 * effect();
+    double pos = ctx.t_seconds / kDialPeriodSeconds;
+    pos -= std::floor(pos);
+    const double dip = (pos < duty) ? 1.0 : 0.0;
+    const double freq_drop = 0.58 * dip * (1.0 + 0.02 * rng.normal());
+    load.cpu_freq = std::clamp(load.cpu_freq - freq_drop, 0.2, 1.0);
+    // Work takes longer at lower frequency: busy fraction rises while
+    // delivered throughput falls.
+    const double stretch = 1.0 / load.cpu_freq;
+    load.cpu_user = clamp01(load.cpu_user * std::min(stretch, 2.2));
+    load.net_tx_rate *= load.cpu_freq;
+    load.net_rx_rate *= load.cpu_freq;
+    load.io_read_rate *= load.cpu_freq;
+    load.io_write_rate *= load.cpu_freq;
+    load.power_watts *= 0.30 + 0.70 * load.cpu_freq;
+  }
+};
+
+}  // namespace
+
+AnomalyInjector::AnomalyInjector(double intensity)
+    : intensity_(intensity), effect_(std::pow(intensity, 0.25)) {
+  ALBA_CHECK(intensity > 0.0 && intensity <= 1.0)
+      << "anomaly intensity must be in (0, 1], got " << intensity;
+}
+
+std::unique_ptr<AnomalyInjector> make_injector(AnomalyType type,
+                                               double intensity) {
+  switch (type) {
+    case AnomalyType::CpuOccupy:
+      return std::make_unique<CpuOccupyInjector>(intensity);
+    case AnomalyType::CacheCopy:
+      return std::make_unique<CacheCopyInjector>(intensity);
+    case AnomalyType::MemBw:
+      return std::make_unique<MemBwInjector>(intensity);
+    case AnomalyType::MemLeak:
+      return std::make_unique<MemLeakInjector>(intensity);
+    case AnomalyType::Dial:
+      return std::make_unique<DialInjector>(intensity);
+    case AnomalyType::Healthy:
+      break;
+  }
+  throw Error("cannot construct an injector for the healthy class");
+}
+
+std::vector<double> volta_intensities() {
+  return {0.02, 0.05, 0.10, 0.20, 0.50, 1.00};
+}
+
+std::vector<double> eclipse_intensities(AnomalyType type) {
+  switch (type) {
+    case AnomalyType::CpuOccupy: return {0.05, 0.20, 1.00};
+    case AnomalyType::CacheCopy: return {0.05, 0.50};
+    case AnomalyType::MemBw: return {0.05, 0.20, 1.00};
+    case AnomalyType::MemLeak: return {0.05, 0.50};
+    case AnomalyType::Dial: return {0.05, 0.20, 1.00};
+    case AnomalyType::Healthy: break;
+  }
+  throw Error("no intensity settings for the healthy class");
+}
+
+}  // namespace alba

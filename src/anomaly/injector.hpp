@@ -1,0 +1,100 @@
+// HPAS-like anomaly injection.
+//
+// The real HPAS runs an interfering process on a compute node; its effect is
+// visible only through the node's telemetry. Our simulator represents the
+// instantaneous resource state of a node as a `NodeLoad` and derives every
+// telemetry metric from it, so injectors perturb the NodeLoad directly with
+// the same per-subsystem footprint the HPAS anomalies produce:
+//
+//   cpuoccupy — steals user-CPU cycles and raises power; the victim
+//               application's communication/IO throughput drops because it
+//               is descheduled part of the time.
+//   cachecopy — repeatedly reads+writes a cache-sized buffer: LLC miss rate
+//               and write-back traffic jump, small CPU cost.
+//   membw     — streams uncached writes: memory bandwidth saturates, misses
+//               rise, the victim's effective compute rate drops.
+//   memleak   — allocates and touches memory at a steady rate: monotonic
+//               growth of used memory (the telltale long-run trend), minor
+//               paging activity late in the run.
+//   dial      — periodically reduces effective CPU frequency; every
+//               rate-derived metric breathes with the dial period. At low
+//               intensity this is nearly invisible — matching the paper's
+//               finding that dial is the most-confused anomaly.
+#pragma once
+
+#include <memory>
+
+#include "anomaly/anomaly.hpp"
+#include "common/rng.hpp"
+
+namespace alba {
+
+/// Instantaneous resource state of one simulated compute node. Utilization
+/// channels are fractions in [0, 1]; sizes/rates are in natural units.
+struct NodeLoad {
+  double cpu_user = 0.0;        // fraction of CPU time in user mode
+  double cpu_system = 0.0;      // fraction in system mode
+  double cpu_freq = 1.0;        // effective frequency multiplier (0..1]
+  double cache_miss_rate = 0.0; // LLC miss ratio (0..1)
+  double mem_used_gb = 0.0;     // resident memory in GB
+  double mem_bw_util = 0.0;     // memory bandwidth utilization (0..1)
+  double net_tx_rate = 0.0;     // packets/s transmitted
+  double net_rx_rate = 0.0;     // packets/s received
+  double io_read_rate = 0.0;    // filesystem read ops/s
+  double io_write_rate = 0.0;   // filesystem write ops/s
+  double power_watts = 0.0;     // node power draw
+
+  /// CPU idle fraction implied by user+system (clamped at 0).
+  double cpu_idle() const noexcept {
+    const double busy = cpu_user + cpu_system;
+    return busy >= 1.0 ? 0.0 : 1.0 - busy;
+  }
+};
+
+/// Context passed to injectors each timestep.
+struct InjectionContext {
+  double t_seconds = 0.0;   // time since application start
+  double t_frac = 0.0;      // fraction of total run elapsed (0..1)
+  double mem_capacity_gb = 64.0;
+};
+
+/// One synthetic anomaly with a fixed intensity, applied timestep-by-
+/// timestep to the node that hosts it. Stateless across runs; any
+/// within-run state (e.g. the leak accumulator) is keyed off the context.
+class AnomalyInjector {
+ public:
+  virtual ~AnomalyInjector() = default;
+
+  virtual AnomalyType type() const noexcept = 0;
+  double intensity() const noexcept { return intensity_; }
+
+  /// Perturbs `load` in place. `rng` provides per-step jitter (each node
+  /// simulation owns an rng stream, so injection stays deterministic).
+  virtual void apply(const InjectionContext& ctx, NodeLoad& load,
+                     Rng& rng) const = 0;
+
+ protected:
+  explicit AnomalyInjector(double intensity);
+
+  /// Telemetry-visible effect size. HPAS intensity knobs (thread counts,
+  /// buffer sizes) do not map linearly onto metric deviations — even a 2%
+  /// anomaly leaves a clear footprint in sensitive counters — so injectors
+  /// scale their footprint by intensity^(1/4).
+  double effect() const noexcept { return effect_; }
+
+  double intensity_;
+  double effect_;
+};
+
+/// Factory for a given type and intensity in (0, 1]. Healthy is rejected —
+/// absence of an injector is the healthy case.
+std::unique_ptr<AnomalyInjector> make_injector(AnomalyType type,
+                                               double intensity);
+
+/// The intensity grid used on Volta in the paper: 2, 5, 10, 20, 50, 100 %.
+std::vector<double> volta_intensities();
+
+/// The reduced per-type settings used on Eclipse (2-3 per type).
+std::vector<double> eclipse_intensities(AnomalyType type);
+
+}  // namespace alba

@@ -1,0 +1,114 @@
+#include "common/cli.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/error.hpp"
+#include "common/string_util.hpp"
+
+namespace alba {
+
+Cli::Cli(std::string program, std::string description)
+    : program_(std::move(program)), description_(std::move(description)) {}
+
+void Cli::flag(const std::string& name, int* target, const std::string& help) {
+  flags_.push_back({name, Kind::Int, target, help, strformat("%d", *target)});
+}
+void Cli::flag(const std::string& name, double* target, const std::string& help) {
+  flags_.push_back({name, Kind::Double, target, help, strformat("%g", *target)});
+}
+void Cli::flag(const std::string& name, bool* target, const std::string& help) {
+  flags_.push_back({name, Kind::Bool, target, help, *target ? "true" : "false"});
+}
+void Cli::flag(const std::string& name, std::string* target,
+               const std::string& help) {
+  flags_.push_back({name, Kind::String, target, help, *target});
+}
+void Cli::flag(const std::string& name, std::uint64_t* target,
+               const std::string& help) {
+  flags_.push_back(
+      {name, Kind::U64, target, help, strformat("%llu", (unsigned long long)*target)});
+}
+
+const Cli::Flag* Cli::find(const std::string& name) const {
+  for (const auto& f : flags_) {
+    if (f.name == name) return &f;
+  }
+  return nullptr;
+}
+
+std::string Cli::usage() const {
+  std::string out = program_ + " — " + description_ + "\n\nFlags:\n";
+  for (const auto& f : flags_) {
+    out += strformat("  --%-18s %s (default: %s)\n", f.name.c_str(),
+                     f.help.c_str(), f.default_repr.c_str());
+  }
+  out += "  --help               print this message\n";
+  return out;
+}
+
+void Cli::parse(int argc, char** argv) {
+  auto fail = [this](const std::string& msg) {
+    std::fprintf(stderr, "%s: %s\n\n%s", program_.c_str(), msg.c_str(),
+                 usage().c_str());
+    std::exit(2);
+  };
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::fputs(usage().c_str(), stdout);
+      std::exit(0);
+    }
+    if (!starts_with(arg, "--")) fail("unexpected argument '" + arg + "'");
+    arg = arg.substr(2);
+
+    std::string name = arg;
+    std::string value;
+    bool has_value = false;
+    if (const auto eq = arg.find('='); eq != std::string::npos) {
+      name = arg.substr(0, eq);
+      value = arg.substr(eq + 1);
+      has_value = true;
+    }
+
+    const Flag* f = find(name);
+    if (!f) fail("unknown flag '--" + name + "'");
+
+    if (f->kind == Kind::Bool && !has_value) {
+      *static_cast<bool*>(f->target) = true;
+      continue;
+    }
+    if (!has_value) {
+      if (i + 1 >= argc) fail("flag '--" + name + "' expects a value");
+      value = argv[++i];
+    }
+
+    try {
+      switch (f->kind) {
+        case Kind::Int:
+          *static_cast<int*>(f->target) = static_cast<int>(parse_long(value));
+          break;
+        case Kind::U64:
+          *static_cast<std::uint64_t*>(f->target) =
+              static_cast<std::uint64_t>(parse_long(value));
+          break;
+        case Kind::Double:
+          *static_cast<double*>(f->target) = parse_double(value);
+          break;
+        case Kind::Bool: {
+          const std::string v = to_lower(value);
+          *static_cast<bool*>(f->target) = (v == "1" || v == "true" || v == "yes");
+          break;
+        }
+        case Kind::String:
+          *static_cast<std::string*>(f->target) = value;
+          break;
+      }
+    } catch (const Error& e) {
+      fail("bad value for '--" + name + "': " + e.what());
+    }
+  }
+}
+
+}  // namespace alba

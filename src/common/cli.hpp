@@ -1,0 +1,53 @@
+// Tiny declarative CLI flag parser used by the bench and example binaries.
+//
+//   alba::Cli cli("bench_fig3", "Reproduces Fig. 3 ...");
+//   int queries = 250;
+//   bool full = false;
+//   cli.flag("queries", &queries, "query budget per method");
+//   cli.flag("full", &full, "run at paper scale");
+//   cli.parse(argc, argv);   // exits with usage on --help / bad flag
+//
+// Accepted syntaxes: --name value, --name=value, and bare --name for bools.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace alba {
+
+class Cli {
+ public:
+  Cli(std::string program, std::string description);
+
+  void flag(const std::string& name, int* target, const std::string& help);
+  void flag(const std::string& name, double* target, const std::string& help);
+  void flag(const std::string& name, bool* target, const std::string& help);
+  void flag(const std::string& name, std::string* target, const std::string& help);
+  void flag(const std::string& name, std::uint64_t* target, const std::string& help);
+
+  /// Parses argv. On --help prints usage and exits 0; on an unknown flag or
+  /// malformed value prints usage to stderr and exits 2.
+  void parse(int argc, char** argv);
+
+  std::string usage() const;
+
+ private:
+  enum class Kind { Int, Double, Bool, String, U64 };
+  struct Flag {
+    std::string name;
+    Kind kind;
+    void* target;
+    std::string help;
+    std::string default_repr;
+  };
+
+  const Flag* find(const std::string& name) const;
+  static std::string repr(const Flag& f);
+
+  std::string program_;
+  std::string description_;
+  std::vector<Flag> flags_;
+};
+
+}  // namespace alba

@@ -1,0 +1,114 @@
+#include "common/csv.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/string_util.hpp"
+
+namespace alba {
+
+CsvWriter::CsvWriter(const std::string& path)
+    : path_(path), out_(std::make_unique<std::ofstream>(path)) {
+  ALBA_CHECK(out_->good()) << "cannot open '" << path << "' for writing";
+}
+
+CsvWriter::~CsvWriter() = default;
+
+void CsvWriter::write_row(const std::vector<std::string>& fields) {
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i) (*out_) << ',';
+    (*out_) << csv_escape(fields[i]);
+  }
+  (*out_) << '\n';
+  ALBA_CHECK(out_->good()) << "write to '" << path_ << "' failed";
+}
+
+void CsvWriter::write_numeric_row(const std::vector<double>& values) {
+  std::vector<std::string> fields;
+  fields.reserve(values.size());
+  for (double v : values) fields.push_back(strformat("%.10g", v));
+  write_row(fields);
+}
+
+std::string csv_escape(const std::string& field) {
+  const bool needs_quote = field.find_first_of(",\"\n") != std::string::npos;
+  if (!needs_quote) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+namespace {
+
+// Parses one logical CSV record (handles quoted fields with embedded
+// newlines by pulling more lines from the stream).
+bool read_record(std::istream& in, std::vector<std::string>& fields) {
+  fields.clear();
+  std::string line;
+  if (!std::getline(in, line)) return false;
+
+  std::string field;
+  bool in_quotes = false;
+  std::size_t i = 0;
+  for (;;) {
+    if (i >= line.size()) {
+      if (in_quotes) {
+        // Quoted field continues on the next physical line.
+        field += '\n';
+        if (!std::getline(in, line)) break;
+        i = 0;
+        continue;
+      }
+      break;
+    }
+    const char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          field += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field += c;
+      }
+    } else if (c == '"') {
+      in_quotes = true;
+    } else if (c == ',') {
+      fields.push_back(std::move(field));
+      field.clear();
+    } else {
+      field += c;
+    }
+    ++i;
+  }
+  fields.push_back(std::move(field));
+  return true;
+}
+
+}  // namespace
+
+std::size_t CsvTable::column_index(const std::string& name) const {
+  for (std::size_t i = 0; i < header.size(); ++i) {
+    if (header[i] == name) return i;
+  }
+  throw Error("CSV column not found: " + name);
+}
+
+CsvTable read_csv(const std::string& path) {
+  std::ifstream in(path);
+  ALBA_CHECK(in.good()) << "cannot open '" << path << "' for reading";
+  CsvTable table;
+  std::vector<std::string> fields;
+  if (read_record(in, fields)) table.header = fields;
+  while (read_record(in, fields)) table.rows.push_back(fields);
+  return table;
+}
+
+}  // namespace alba

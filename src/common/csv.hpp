@@ -1,0 +1,49 @@
+// CSV reading/writing for experiment outputs (every figure bench dumps its
+// series as CSV next to the printed table so results can be re-plotted).
+// Supports RFC-4180-style quoting for fields containing commas/quotes.
+#pragma once
+
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace alba {
+
+class CsvWriter {
+ public:
+  /// Opens (truncates) `path`. Throws alba::Error when the file cannot be
+  /// created.
+  explicit CsvWriter(const std::string& path);
+  ~CsvWriter();
+
+  CsvWriter(const CsvWriter&) = delete;
+  CsvWriter& operator=(const CsvWriter&) = delete;
+
+  void write_row(const std::vector<std::string>& fields);
+
+  /// Convenience: header then rows of doubles with a label column.
+  void write_header(const std::vector<std::string>& names) { write_row(names); }
+  void write_numeric_row(const std::vector<double>& values);
+
+  const std::string& path() const noexcept { return path_; }
+
+ private:
+  std::string path_;
+  std::unique_ptr<std::ofstream> out_;
+};
+
+struct CsvTable {
+  std::vector<std::string> header;
+  std::vector<std::vector<std::string>> rows;
+
+  std::size_t column_index(const std::string& name) const;
+};
+
+/// Reads an entire CSV file (first row treated as header).
+CsvTable read_csv(const std::string& path);
+
+/// Escapes a single field per RFC-4180 when needed.
+std::string csv_escape(const std::string& field);
+
+}  // namespace alba

@@ -1,0 +1,70 @@
+// Error handling for the ALBADross library.
+//
+// Library code throws `alba::Error` (a std::runtime_error subtype) on
+// contract violations discovered at runtime: bad configuration, shape
+// mismatches, malformed input files. `ALBA_CHECK` is the throwing assert
+// used at public API boundaries; `ALBA_DCHECK` compiles out in release
+// builds and guards internal invariants on hot paths.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace alba {
+
+/// Exception type thrown by all ALBADross components.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+
+// Accumulates the streamed message of a failed ALBA_CHECK and throws
+// alba::Error from its destructor (glog LogMessageFatal style, adapted to
+// exceptions). Only ever constructed when the check already failed.
+class CheckFailure {
+ public:
+  CheckFailure(const char* expr, const char* file, int line) {
+    os_ << "check failed: " << expr << " at " << file << ":" << line;
+  }
+  CheckFailure(const CheckFailure&) = delete;
+  CheckFailure& operator=(const CheckFailure&) = delete;
+
+  ~CheckFailure() noexcept(false) { throw Error(os_.str()); }
+
+  template <typename T>
+  const CheckFailure& operator<<(const T& v) const {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  mutable std::ostringstream os_;
+};
+
+// Lets the macro expand to a void expression regardless of whether a
+// message was streamed.
+struct Voidifier {
+  void operator&(const CheckFailure&) const {}
+};
+
+}  // namespace detail
+}  // namespace alba
+
+/// Throwing assertion: always evaluated, throws alba::Error on failure.
+/// Usage: ALBA_CHECK(n > 0) << "n was " << n;
+#define ALBA_CHECK(expr)                  \
+  (expr) ? (void)0                        \
+         : ::alba::detail::Voidifier() &  \
+               ::alba::detail::CheckFailure(#expr, __FILE__, __LINE__) << ""
+
+#ifndef NDEBUG
+#define ALBA_DCHECK(expr) ALBA_CHECK(expr)
+#else
+#define ALBA_DCHECK(expr)                \
+  true ? (void)0                         \
+       : ::alba::detail::Voidifier() &   \
+             ::alba::detail::CheckFailure("", "", 0) << ""
+#endif

@@ -1,0 +1,44 @@
+// Minimal leveled logger. Experiments and benches narrate progress through
+// this instead of raw std::cerr so verbosity is centrally controllable
+// (tests run silent, benches run at Info).
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace alba {
+
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+/// Global minimum level; messages below it are discarded.
+void set_log_level(LogLevel level) noexcept;
+LogLevel log_level() noexcept;
+
+namespace detail {
+void log_emit(LogLevel level, const std::string& msg);
+
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) noexcept : level_(level) {}
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+  ~LogLine() { log_emit(level_, os_.str()); }
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+}  // namespace detail
+
+}  // namespace alba
+
+#define ALBA_LOG(level)                                        \
+  if (::alba::LogLevel::level < ::alba::log_level()) {         \
+  } else                                                       \
+    ::alba::detail::LogLine(::alba::LogLevel::level)

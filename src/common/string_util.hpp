@@ -1,0 +1,32 @@
+// Small string helpers shared by the CSV layer, CLI parser, and reports.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace alba {
+
+/// Split on a single-character delimiter; keeps empty fields.
+std::vector<std::string> split(std::string_view s, char delim);
+
+/// Strip ASCII whitespace from both ends.
+std::string_view trim(std::string_view s) noexcept;
+
+bool starts_with(std::string_view s, std::string_view prefix) noexcept;
+bool ends_with(std::string_view s, std::string_view suffix) noexcept;
+
+/// Lowercase copy (ASCII only).
+std::string to_lower(std::string_view s);
+
+/// Join with a separator.
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// printf-style formatting into a std::string.
+std::string strformat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// Parses a double/long, throwing alba::Error with context on failure.
+double parse_double(std::string_view s);
+long parse_long(std::string_view s);
+
+}  // namespace alba

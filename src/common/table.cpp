@@ -1,0 +1,119 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/string_util.hpp"
+
+namespace alba {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  ALBA_CHECK(!header_.empty());
+}
+
+void TextTable::add_row(std::vector<std::string> row) {
+  ALBA_CHECK(row.size() == header_.size())
+      << "row has " << row.size() << " fields, header has " << header_.size();
+  rows_.push_back(std::move(row));
+}
+
+void TextTable::add_row_numeric(const std::vector<double>& values,
+                                int precision) {
+  std::vector<std::string> row;
+  row.reserve(values.size());
+  for (double v : values) row.push_back(strformat("%.*f", precision, v));
+  add_row(std::move(row));
+}
+
+std::string TextTable::render() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::string line = "|";
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      line += ' ';
+      line += row[c];
+      line += std::string(widths[c] - row[c].size(), ' ');
+      line += " |";
+    }
+    return line + "\n";
+  };
+
+  std::string sep = "+";
+  for (const auto w : widths) sep += std::string(w + 2, '-') + "+";
+  sep += "\n";
+
+  std::string out = sep + render_row(header_) + sep;
+  for (const auto& row : rows_) out += render_row(row);
+  out += sep;
+  return out;
+}
+
+std::string ascii_chart(const std::vector<double>& values, int width,
+                        int height, double lo, double hi) {
+  return ascii_chart_multi({values}, {""}, width, height, lo, hi);
+}
+
+std::string ascii_chart_multi(const std::vector<std::vector<double>>& series,
+                              const std::vector<std::string>& names, int width,
+                              int height, double lo, double hi) {
+  ALBA_CHECK(series.size() == names.size());
+  ALBA_CHECK(height >= 2 && width >= 8);
+  static const char kGlyphs[] = "*o+x#@%&";
+  const std::size_t max_len =
+      series.empty() ? 0
+                     : std::max_element(series.begin(), series.end(),
+                                        [](const auto& a, const auto& b) {
+                                          return a.size() < b.size();
+                                        })
+                           ->size();
+  if (max_len == 0) return "(empty chart)\n";
+  if (hi <= lo) hi = lo + 1.0;
+
+  std::vector<std::string> grid(static_cast<std::size_t>(height),
+                                std::string(static_cast<std::size_t>(width), ' '));
+  for (std::size_t s = 0; s < series.size(); ++s) {
+    const char glyph = kGlyphs[s % (sizeof(kGlyphs) - 1)];
+    const auto& v = series[s];
+    for (std::size_t i = 0; i < v.size(); ++i) {
+      if (!std::isfinite(v[i])) continue;
+      const int col = max_len <= 1
+                          ? 0
+                          : static_cast<int>(static_cast<double>(i) /
+                                             static_cast<double>(max_len - 1) *
+                                             (width - 1));
+      double y = (v[i] - lo) / (hi - lo);
+      y = std::clamp(y, 0.0, 1.0);
+      const int row = (height - 1) - static_cast<int>(y * (height - 1));
+      grid[static_cast<std::size_t>(row)][static_cast<std::size_t>(col)] = glyph;
+    }
+  }
+
+  std::string out;
+  for (int r = 0; r < height; ++r) {
+    const double axis_val = hi - (hi - lo) * r / (height - 1);
+    out += strformat("%8.3f |", axis_val);
+    out += grid[static_cast<std::size_t>(r)];
+    out += '\n';
+  }
+  out += std::string(9, ' ') + '+' + std::string(static_cast<std::size_t>(width), '-') + '\n';
+  if (series.size() > 1 || !names[0].empty()) {
+    out += "  legend:";
+    for (std::size_t s = 0; s < series.size(); ++s) {
+      out += strformat(" %c=%s", kGlyphs[s % (sizeof(kGlyphs) - 1)],
+                       names[s].c_str());
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace alba

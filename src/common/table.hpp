@@ -1,0 +1,39 @@
+// Aligned plain-text table rendering. The figure/table benches print the
+// paper's rows through this so their stdout is directly comparable to the
+// published tables.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace alba {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> row);
+  void add_row_numeric(const std::vector<double>& values, int precision = 4);
+
+  /// Renders with column alignment and a header separator.
+  std::string render() const;
+
+  std::size_t num_rows() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Renders a compact ASCII line chart (values vs index) used by the figure
+/// benches to visualize curves directly in the terminal.
+std::string ascii_chart(const std::vector<double>& values, int width = 72,
+                        int height = 12, double lo = 0.0, double hi = 1.0);
+
+/// Multi-series variant: one glyph per series, shared axes.
+std::string ascii_chart_multi(const std::vector<std::vector<double>>& series,
+                              const std::vector<std::string>& names,
+                              int width = 72, int height = 12, double lo = 0.0,
+                              double hi = 1.0);
+
+}  // namespace alba

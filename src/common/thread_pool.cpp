@@ -1,0 +1,125 @@
+#include "common/thread_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+
+#include "common/error.hpp"
+
+namespace alba {
+
+namespace {
+// Set while executing inside a pool worker; nested parallel_for calls run
+// inline on the caller to avoid self-deadlock (a waiting worker would
+// otherwise hold the only execution slot for its own sub-tasks).
+thread_local bool t_in_worker = false;
+}  // namespace
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+  if (num_threads == 0) {
+    num_threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(num_threads);
+  for (std::size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+      if (stop_ && tasks_.empty()) return;
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    t_in_worker = true;
+    task();
+    t_in_worker = false;
+  }
+}
+
+void ThreadPool::enqueue(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    tasks_.push(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::parallel_for_chunked(
+    std::size_t n,
+    const std::function<void(std::size_t, std::size_t)>& body) {
+  if (n == 0) return;
+  const std::size_t nchunks = std::min(n, workers_.size());
+  if (nchunks <= 1 || t_in_worker) {
+    body(0, n);
+    return;
+  }
+
+  // Completion latch + first-exception capture, shared by all chunks.
+  struct State {
+    std::mutex m;
+    std::condition_variable done_cv;
+    std::size_t remaining;
+    std::exception_ptr error;
+  };
+  State state;
+  state.remaining = nchunks;
+
+  const std::size_t chunk = (n + nchunks - 1) / nchunks;
+  for (std::size_t c = 0; c < nchunks; ++c) {
+    const std::size_t begin = c * chunk;
+    const std::size_t end = std::min(n, begin + chunk);
+    enqueue([&state, &body, begin, end] {
+      try {
+        if (begin < end) body(begin, end);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(state.m);
+        if (!state.error) state.error = std::current_exception();
+      }
+      std::lock_guard<std::mutex> lock(state.m);
+      if (--state.remaining == 0) state.done_cv.notify_one();
+    });
+  }
+
+  std::unique_lock<std::mutex> lock(state.m);
+  state.done_cv.wait(lock, [&state] { return state.remaining == 0; });
+  if (state.error) std::rethrow_exception(state.error);
+}
+
+void ThreadPool::parallel_for(std::size_t n,
+                              const std::function<void(std::size_t)>& body) {
+  parallel_for_chunked(n, [&body](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) body(i);
+  });
+}
+
+ThreadPool& global_pool() {
+  static ThreadPool pool([] {
+    if (const char* env = std::getenv("ALBA_THREADS")) {
+      const long v = std::strtol(env, nullptr, 10);
+      if (v > 0) return static_cast<std::size_t>(v);
+    }
+    return std::size_t{0};
+  }());
+  return pool;
+}
+
+void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body) {
+  global_pool().parallel_for(n, body);
+}
+
+}  // namespace alba

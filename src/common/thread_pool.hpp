@@ -1,0 +1,62 @@
+// Work-sharing thread pool with a blocking parallel_for.
+//
+// All data-parallel loops in the library (feature extraction over samples,
+// tree building in the forest, gemm tiles) go through ThreadPool rather than
+// spawning ad-hoc threads. The pool is created once per process via
+// `global_pool()` and sized to the hardware concurrency (overridable with
+// the ALBA_THREADS environment variable — set ALBA_THREADS=1 to force a
+// deterministic serial schedule when debugging).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace alba {
+
+class ThreadPool {
+ public:
+  /// Creates `num_threads` workers; 0 means hardware concurrency.
+  explicit ThreadPool(std::size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const noexcept { return workers_.size(); }
+
+  /// Runs body(i) for every i in [0, n), blocking until all complete.
+  /// The range is split into contiguous chunks, one queue entry per worker,
+  /// so per-iteration overhead stays negligible even for tiny bodies.
+  /// Exceptions from the body are captured and the first one rethrown on
+  /// the calling thread.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body);
+
+  /// Like parallel_for but hands each worker a contiguous [begin, end) range
+  /// so the body can amortize per-chunk setup (e.g. scratch buffers).
+  void parallel_for_chunked(
+      std::size_t n,
+      const std::function<void(std::size_t begin, std::size_t end)>& body);
+
+ private:
+  void worker_loop();
+  void enqueue(std::function<void()> task);
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+/// Process-wide pool. Lazily constructed; sized from ALBA_THREADS if set.
+ThreadPool& global_pool();
+
+/// Convenience wrapper over global_pool().parallel_for.
+void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body);
+
+}  // namespace alba

@@ -1,0 +1,39 @@
+// End-to-end experiment configuration: one struct wires the telemetry
+// simulator, the collection plan, the feature extractor, and the selection /
+// split parameters together. `volta_config()` / `eclipse_config()` return
+// the paper's two settings (Volta: TSFRESH features; Eclipse: MVTS — the
+// best combination per dataset reported in Sec. IV-E-1), scaled down by
+// default for a single-core box; pass full=true for paper-scale runs.
+#pragma once
+
+#include <cstdint>
+
+#include "features/extractor.hpp"
+#include "telemetry/run_generator.hpp"
+
+namespace alba {
+
+struct DatasetConfig {
+  SystemKind system = SystemKind::Volta;
+  RegistryConfig registry;
+  NodeSimConfig sim;
+  PreprocessConfig preprocess;
+  CollectionPlan plan;
+  ExtractorKind extractor = ExtractorKind::Tsfresh;
+  std::size_t inputs_per_app = 3;
+  std::size_t num_apps = 0;      // 0 = the full catalog
+  std::size_t select_k = 500;    // chi-square top-k (paper sweeps to 2000)
+  double test_fraction = 0.3;    // withheld test share per split
+  std::uint64_t seed = 42;
+};
+
+/// Volta testbed setting (11 apps, TSFRESH, uncertainty works best).
+DatasetConfig volta_config(bool full = false);
+
+/// Eclipse production setting (6 apps, MVTS, margin works best).
+DatasetConfig eclipse_config(bool full = false);
+
+/// Tiny configuration for unit tests (2 apps, short runs, few metrics).
+DatasetConfig tiny_config(SystemKind system = SystemKind::Volta);
+
+}  // namespace alba

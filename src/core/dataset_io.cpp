@@ -1,0 +1,91 @@
+#include "core/dataset_io.hpp"
+
+#include <fstream>
+
+#include "anomaly/anomaly.hpp"
+#include "common/csv.hpp"
+#include "common/error.hpp"
+#include "common/string_util.hpp"
+#include "ml/serialize.hpp"
+
+namespace alba {
+
+namespace {
+constexpr std::uint64_t kFeatureMagic = 0x414C4241464D5458ULL;  // "ALBAFMTX"
+constexpr std::uint64_t kFeatureVersion = 1;
+}  // namespace
+
+void save_feature_matrix(const std::string& path, const FeatureMatrix& fm) {
+  ALBA_CHECK(fm.num_samples() > 0) << "refusing to save an empty matrix";
+  ALBA_CHECK(fm.names.size() == fm.num_features());
+  std::ofstream out(path, std::ios::binary);
+  ALBA_CHECK(out.good()) << "cannot open '" << path << "' for writing";
+
+  ArchiveWriter w(out);
+  w.write_u64(kFeatureMagic);
+  w.write_u64(kFeatureVersion);
+  w.write_matrix(fm.x);
+  w.write_u64(fm.names.size());
+  for (const auto& name : fm.names) w.write_string(name);
+  w.write_ints(fm.labels);
+  w.write_ints(fm.app_ids);
+  w.write_ints(fm.input_ids);
+  w.write_ints(fm.run_ids);
+  w.write_ints(fm.node_ids);
+}
+
+FeatureMatrix load_feature_matrix(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  ALBA_CHECK(in.good()) << "cannot open '" << path << "' for reading";
+
+  ArchiveReader r(in);
+  ALBA_CHECK(r.read_u64() == kFeatureMagic)
+      << "'" << path << "' is not an ALBADross feature-matrix file";
+  const std::uint64_t version = r.read_u64();
+  ALBA_CHECK(version == kFeatureVersion)
+      << "unsupported feature-matrix version " << version;
+
+  FeatureMatrix fm;
+  fm.x = r.read_matrix();
+  const std::uint64_t names = r.read_u64();
+  fm.names.reserve(names);
+  for (std::uint64_t i = 0; i < names; ++i) fm.names.push_back(r.read_string());
+  fm.labels = r.read_ints();
+  fm.app_ids = r.read_ints();
+  fm.input_ids = r.read_ints();
+  fm.run_ids = r.read_ints();
+  fm.node_ids = r.read_ints();
+
+  ALBA_CHECK(fm.names.size() == fm.num_features())
+      << "name/column mismatch in '" << path << "'";
+  const std::size_t n = fm.num_samples();
+  ALBA_CHECK(fm.labels.size() == n && fm.app_ids.size() == n &&
+             fm.input_ids.size() == n && fm.run_ids.size() == n &&
+             fm.node_ids.size() == n)
+      << "provenance length mismatch in '" << path << "'";
+  return fm;
+}
+
+void write_feature_matrix_csv(const std::string& path,
+                              const FeatureMatrix& fm) {
+  CsvWriter csv(path);
+  std::vector<std::string> header{"label", "anomaly", "app_id", "input_id",
+                                  "run_id", "node_id"};
+  header.insert(header.end(), fm.names.begin(), fm.names.end());
+  csv.write_row(header);
+
+  std::vector<std::string> row;
+  for (std::size_t i = 0; i < fm.num_samples(); ++i) {
+    row.clear();
+    row.push_back(strformat("%d", fm.labels[i]));
+    row.emplace_back(anomaly_name(anomaly_from_label(fm.labels[i])));
+    row.push_back(strformat("%d", fm.app_ids[i]));
+    row.push_back(strformat("%d", fm.input_ids[i]));
+    row.push_back(strformat("%d", fm.run_ids[i]));
+    row.push_back(strformat("%d", fm.node_ids[i]));
+    for (const double v : fm.x.row(i)) row.push_back(strformat("%.8g", v));
+    csv.write_row(row);
+  }
+}
+
+}  // namespace alba

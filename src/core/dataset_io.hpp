@@ -1,0 +1,25 @@
+// Feature-dataset persistence: telemetry generation + TSFRESH-style
+// extraction dominate every experiment's wall-clock, and both are
+// deterministic — so extract once, save, and share the matrix across
+// experiment processes (the same role the paper's preprocessed HDF5 dumps
+// play in the original Python pipeline). Binary format via the model
+// archive layer; a CSV export is provided for external tools.
+#pragma once
+
+#include <string>
+
+#include "features/extractor.hpp"
+
+namespace alba {
+
+/// Saves the matrix, column names, labels, and full sample provenance.
+void save_feature_matrix(const std::string& path, const FeatureMatrix& fm);
+
+/// Loads a matrix saved by save_feature_matrix; throws on corrupt files.
+FeatureMatrix load_feature_matrix(const std::string& path);
+
+/// Human-readable export: header = provenance columns + feature names,
+/// one row per sample. Intended for pandas/R, not for re-loading here.
+void write_feature_matrix_csv(const std::string& path, const FeatureMatrix& fm);
+
+}  // namespace alba

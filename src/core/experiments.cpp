@@ -1,0 +1,504 @@
+#include "core/experiments.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <numeric>
+
+#include "anomaly/anomaly.hpp"
+#include "common/log.hpp"
+#include "common/timer.hpp"
+#include "core/proctor.hpp"
+#include "ml/grid_search.hpp"
+#include "ml/metrics.hpp"
+
+namespace alba {
+
+namespace {
+
+std::unique_ptr<Classifier> make_base_model(const ExperimentData& data,
+                                            const std::string& model,
+                                            std::uint64_t seed) {
+  const bool eclipse = data.config.system == SystemKind::Eclipse;
+  return make_model_factory(model, kNumClasses, seed)(
+      table4_optimum(model, eclipse));
+}
+
+std::unique_ptr<ProctorClassifier> make_proctor(std::uint64_t seed,
+                                                int epochs) {
+  ProctorConfig cfg;
+  cfg.num_classes = kNumClasses;
+  cfg.autoencoder.encoder_layers = {128};
+  cfg.autoencoder.code_size = 32;
+  cfg.autoencoder.epochs = epochs;
+  cfg.head.max_iter = 150;
+  return std::make_unique<ProctorClassifier>(cfg, seed);
+}
+
+// Runs one AL method on one prepared setup; returns the repeat curve and
+// the query drill-down.
+ActiveLearnerResult run_method(const std::string& method,
+                               const ExperimentData& data,
+                               const ALSetup& setup,
+                               const ExperimentOptions& options,
+                               std::uint64_t seed) {
+  ActiveLearnerConfig cfg;
+  cfg.max_queries = options.max_queries;
+  cfg.num_apps = static_cast<int>(data.num_apps);
+  cfg.seed = seed;
+
+  std::unique_ptr<Classifier> model;
+  if (method == "proctor") {
+    cfg.strategy = QueryStrategy::Random;  // Proctor queries randomly
+    auto proctor = make_proctor(seed, options.proctor_epochs);
+    proctor->pretrain(setup.pool_x);
+    model = std::move(proctor);
+  } else {
+    cfg.strategy = strategy_from_name(method);
+    model = make_base_model(data, options.model, seed);
+  }
+
+  LabelOracle oracle(setup.pool_y, kNumClasses, 0.0, seed ^ 0x0A11CE);
+  ActiveLearner learner(std::move(model), cfg);
+  return learner.run(setup.seed, setup.pool_x, oracle, setup.pool_app,
+                     setup.test_x, setup.test_y);
+}
+
+// Mean/CI helper over a vector of doubles.
+std::array<double, 3> mean_ci(const std::vector<double>& v) {
+  ALBA_CHECK(!v.empty());
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (const double x : v) {
+    sum += x;
+    sum_sq += x * x;
+  }
+  const double n = static_cast<double>(v.size());
+  const double mean = sum / n;
+  const double var = std::max(0.0, sum_sq / n - mean * mean);
+  const double half = v.size() > 1 ? 1.96 * std::sqrt(var / n) : 0.0;
+  return {mean, mean - half, mean + half};
+}
+
+}  // namespace
+
+QueryCurveResult run_query_curve_experiment(const ExperimentData& data,
+                                            const ExperimentOptions& options) {
+  QueryCurveResult result;
+  for (const auto& method : options.methods) {
+    MethodCurve mc;
+    mc.method = method;
+    result.methods.push_back(std::move(mc));
+  }
+
+  std::vector<double> starting;
+  std::vector<double> full_f1;
+  Timer timer;
+
+  for (int r = 0; r < options.repeats; ++r) {
+    const SplitIndices split =
+        make_split(data, data.config.test_fraction, options.seed + 100u * r);
+    const PreparedSplit prepared =
+        prepare_split(data, split, data.config.select_k);
+    const ALSetup setup =
+        make_al_setup(prepared, options.seed * 31 + 7u * r);
+
+    for (std::size_t m = 0; m < options.methods.size(); ++m) {
+      const auto al = run_method(options.methods[m], data, setup, options,
+                                 options.seed + 1000u * r + m);
+      result.methods[m].repeats.push_back(al.curve);
+      for (const auto& q : al.queried) {
+        result.methods[m].queried_label_app.emplace_back(q.label, q.app_id);
+      }
+      if (m == 0) starting.push_back(al.curve.front().f1);
+      ALBA_LOG(Debug) << options.methods[m] << " split " << r << ": final F1 "
+                      << al.final_f1;
+    }
+
+    // Supervised reference: the model trained on the entire AL training
+    // dataset (seed + every pool label revealed).
+    {
+      LabeledData all = setup.seed;
+      for (std::size_t i = 0; i < setup.pool_x.rows(); ++i) {
+        all.append(setup.pool_x.row(i), setup.pool_y[i]);
+      }
+      auto model = make_base_model(data, options.model, options.seed + 5u * r);
+      model->fit(all.x, all.y);
+      full_f1.push_back(
+          macro_f1(setup.test_y, model->predict(setup.test_x), kNumClasses));
+      result.al_train_size = all.size();
+    }
+    ALBA_LOG(Info) << "query-curve split " << (r + 1) << "/" << options.repeats
+                   << " done (" << static_cast<int>(timer.seconds()) << "s)";
+  }
+
+  for (auto& mc : result.methods) {
+    mc.aggregated = aggregate_curves(mc.repeats);
+  }
+  result.starting_f1 = mean_ci(starting)[0];
+  result.full_train_f1 = mean_ci(full_f1)[0];
+
+  // Table V's last column: 5-fold CV ceiling on the entire dataset.
+  {
+    const SplitIndices split =
+        make_split(data, data.config.test_fraction, options.seed);
+    const PreparedSplit prepared =
+        prepare_split(data, split, data.config.select_k);
+    // Assemble the full matrix back from train+test partitions.
+    Matrix full_x = prepared.train_x;
+    std::vector<int> full_y = prepared.train_y;
+    for (std::size_t i = 0; i < prepared.test_x.rows(); ++i) {
+      full_x.append_row(prepared.test_x.row(i));
+      full_y.push_back(prepared.test_y[i]);
+    }
+    const auto folds = stratified_kfold(full_y, 5, options.seed ^ 0xCF);
+    std::vector<double> scores;
+    for (const auto& fold : folds) {
+      auto model = make_base_model(data, options.model, options.seed);
+      const Matrix x_train = full_x.select_rows(fold.train);
+      const Matrix x_test = full_x.select_rows(fold.test);
+      std::vector<int> y_train, y_test;
+      for (const std::size_t i : fold.train) y_train.push_back(full_y[i]);
+      for (const std::size_t i : fold.test) y_test.push_back(full_y[i]);
+      model->fit(x_train, y_train);
+      scores.push_back(macro_f1(y_test, model->predict(x_test), kNumClasses));
+    }
+    result.cv_max_f1 = mean_ci(scores)[0];
+    result.full_size = full_y.size();
+  }
+  return result;
+}
+
+Table5Row summarize_table5(const ExperimentData& data,
+                           const QueryCurveResult& result,
+                           const std::string& method) {
+  const MethodCurve* mc = nullptr;
+  for (const auto& m : result.methods) {
+    if (m.method == method) mc = &m;
+  }
+  ALBA_CHECK(mc != nullptr) << "method " << method << " not in result";
+
+  Table5Row row;
+  row.dataset = std::string(system_name(data.config.system));
+  row.feature_extraction = std::string(extractor_name(data.config.extractor));
+  row.query_strategy = method;
+  // Initial seed size = one per (app, anomaly type) pair.
+  row.initial_samples = data.num_apps * kNumAnomalyTypes;
+  row.starting_f1 = result.starting_f1;
+  row.samples_to_085 = queries_to_reach(mc->aggregated, 0.85);
+  row.samples_to_090 = queries_to_reach(mc->aggregated, 0.90);
+  row.samples_to_095 = queries_to_reach(mc->aggregated, 0.95);
+  row.full_train_f1 = result.full_train_f1;
+  row.al_train_size = result.al_train_size;
+  row.cv_max_f1 = result.cv_max_f1;
+  row.full_size = result.full_size;
+  return row;
+}
+
+QueryDistribution run_query_distribution(const ExperimentData& data,
+                                         int first_n,
+                                         const ExperimentOptions& options) {
+  ALBA_CHECK(first_n > 0);
+  QueryDistribution dist;
+  dist.app_names = data.app_names;
+  dist.first_n = first_n;
+  dist.app_label_counts.assign(
+      data.num_apps, std::vector<double>(kNumClasses, 0.0));
+  dist.label_totals.assign(kNumClasses, 0.0);
+  dist.app_totals.assign(data.num_apps, 0.0);
+
+  const std::string method =
+      options.methods.empty() ? "uncertainty" : options.methods.front();
+  ExperimentOptions one = options;
+  one.max_queries = first_n;
+
+  for (int r = 0; r < options.repeats; ++r) {
+    const SplitIndices split =
+        make_split(data, data.config.test_fraction, options.seed + 100u * r);
+    const PreparedSplit prepared =
+        prepare_split(data, split, data.config.select_k);
+    const ALSetup setup = make_al_setup(prepared, options.seed * 31 + 7u * r);
+    const auto al =
+        run_method(method, data, setup, one, options.seed + 1000u * r);
+    for (const auto& q : al.queried) {
+      if (q.app_id >= 0 && q.app_id < static_cast<int>(data.num_apps)) {
+        dist.app_label_counts[static_cast<std::size_t>(q.app_id)]
+                             [static_cast<std::size_t>(q.label)] += 1.0;
+        dist.app_totals[static_cast<std::size_t>(q.app_id)] += 1.0;
+      }
+      dist.label_totals[static_cast<std::size_t>(q.label)] += 1.0;
+    }
+  }
+
+  const double inv = 1.0 / static_cast<double>(options.repeats);
+  for (auto& per_app : dist.app_label_counts) {
+    for (auto& v : per_app) v *= inv;
+  }
+  for (auto& v : dist.label_totals) v *= inv;
+  for (auto& v : dist.app_totals) v *= inv;
+  return dist;
+}
+
+std::vector<UnseenAppsScenario> run_unseen_apps_experiment(
+    const ExperimentData& data, const std::vector<int>& train_app_counts,
+    const ExperimentOptions& options) {
+  std::vector<UnseenAppsScenario> scenarios;
+
+  for (const int n_train : train_app_counts) {
+    ALBA_CHECK(n_train >= 1 &&
+               static_cast<std::size_t>(n_train) < data.num_apps)
+        << "train app count " << n_train << " incompatible with "
+        << data.num_apps << " apps";
+    UnseenAppsScenario scenario;
+    scenario.train_apps = n_train;
+    for (const auto& method : options.methods) {
+      MethodCurve mc;
+      mc.method = method;
+      scenario.methods.push_back(std::move(mc));
+    }
+
+    std::vector<double> starting;
+    for (int r = 0; r < options.repeats; ++r) {
+      // Random app subset per repeat (the paper sweeps all combinations;
+      // repeats sample them).
+      Rng rng(options.seed + 7919u * r + static_cast<unsigned>(n_train));
+      std::vector<std::size_t> order =
+          rng.sample_without_replacement(data.num_apps, data.num_apps);
+      std::vector<int> seed_apps(order.begin(),
+                                 order.begin() + n_train);
+
+      const SplitIndices split =
+          make_split(data, data.config.test_fraction, options.seed + 100u * r);
+      const PreparedSplit prepared =
+          prepare_split(data, split, data.config.select_k);
+      ALSetup setup =
+          make_al_setup(prepared, options.seed * 31 + 7u * r, seed_apps);
+
+      // Test only on the unseen applications.
+      std::vector<std::size_t> unseen_rows;
+      for (std::size_t i = 0; i < prepared.test_x.rows(); ++i) {
+        const int app = prepared.test_app[i];
+        if (std::find(seed_apps.begin(), seed_apps.end(), app) ==
+            seed_apps.end()) {
+          unseen_rows.push_back(i);
+        }
+      }
+      ALBA_CHECK(!unseen_rows.empty());
+      setup.test_x = prepared.test_x.select_rows(unseen_rows);
+      std::vector<int> test_y;
+      for (const std::size_t i : unseen_rows) {
+        test_y.push_back(prepared.test_y[i]);
+      }
+      setup.test_y = std::move(test_y);
+
+      for (std::size_t m = 0; m < options.methods.size(); ++m) {
+        const auto al = run_method(options.methods[m], data, setup, options,
+                                   options.seed + 1000u * r + m);
+        scenario.methods[m].repeats.push_back(al.curve);
+        if (m == 0) starting.push_back(al.curve.front().f1);
+      }
+    }
+
+    for (auto& mc : scenario.methods) {
+      mc.aggregated = aggregate_curves(mc.repeats);
+    }
+    scenario.starting_f1 = mean_ci(starting)[0];
+    scenarios.push_back(std::move(scenario));
+    ALBA_LOG(Info) << "unseen-apps scenario with " << n_train
+                   << " training apps done";
+  }
+  return scenarios;
+}
+
+RobustnessResult run_robustness_experiment(const ExperimentData& data,
+                                           const std::vector<int>& train_counts,
+                                           int test_apps,
+                                           const ExperimentOptions& options) {
+  ALBA_CHECK(test_apps >= 1 &&
+             static_cast<std::size_t>(test_apps) < data.num_apps);
+  RobustnessResult result;
+
+  // Per train-count metric samples across repeats.
+  std::vector<std::vector<double>> f1(train_counts.size());
+  std::vector<std::vector<double>> far(train_counts.size());
+  std::vector<std::vector<double>> amr(train_counts.size());
+
+  for (int r = 0; r < options.repeats; ++r) {
+    Rng rng(options.seed + 7529u * r);
+    const std::vector<std::size_t> order =
+        rng.sample_without_replacement(data.num_apps, data.num_apps);
+    const std::vector<std::size_t> test_set(order.begin(),
+                                            order.begin() + test_apps);
+    const std::vector<std::size_t> train_candidates(order.begin() + test_apps,
+                                                    order.end());
+
+    const SplitIndices split =
+        make_split(data, data.config.test_fraction, options.seed + 100u * r);
+    const PreparedSplit prepared =
+        prepare_split(data, split, data.config.select_k);
+
+    // Fixed test rows: test partition restricted to the held-out apps.
+    std::vector<std::size_t> test_rows;
+    for (std::size_t i = 0; i < prepared.test_x.rows(); ++i) {
+      const auto app = static_cast<std::size_t>(prepared.test_app[i]);
+      if (std::find(test_set.begin(), test_set.end(), app) != test_set.end()) {
+        test_rows.push_back(i);
+      }
+    }
+    ALBA_CHECK(!test_rows.empty());
+    const Matrix test_x = prepared.test_x.select_rows(test_rows);
+    std::vector<int> test_y;
+    for (const std::size_t i : test_rows) test_y.push_back(prepared.test_y[i]);
+
+    for (std::size_t c = 0; c < train_counts.size(); ++c) {
+      const auto n_train = static_cast<std::size_t>(train_counts[c]);
+      ALBA_CHECK(n_train <= train_candidates.size())
+          << "cannot train on " << n_train << " of "
+          << train_candidates.size() << " candidate apps";
+      const std::vector<std::size_t> train_apps(
+          train_candidates.begin(), train_candidates.begin() + n_train);
+
+      std::vector<std::size_t> train_rows;
+      for (std::size_t i = 0; i < prepared.train_x.rows(); ++i) {
+        const auto app = static_cast<std::size_t>(prepared.train_app[i]);
+        if (std::find(train_apps.begin(), train_apps.end(), app) !=
+            train_apps.end()) {
+          train_rows.push_back(i);
+        }
+      }
+      ALBA_CHECK(!train_rows.empty());
+      const Matrix train_x = prepared.train_x.select_rows(train_rows);
+      std::vector<int> train_y;
+      for (const std::size_t i : train_rows) {
+        train_y.push_back(prepared.train_y[i]);
+      }
+
+      auto model = make_base_model(data, options.model,
+                                   options.seed + 100u * r + c);
+      model->fit(train_x, train_y);
+      const EvalResult ev =
+          evaluate(test_y, model->predict(test_x), kNumClasses);
+      f1[c].push_back(ev.macro_f1);
+      far[c].push_back(ev.false_alarm_rate);
+      amr[c].push_back(ev.anomaly_miss_rate);
+    }
+    ALBA_LOG(Info) << "robustness repeat " << (r + 1) << "/" << options.repeats
+                   << " done";
+  }
+
+  for (std::size_t c = 0; c < train_counts.size(); ++c) {
+    RobustnessPoint p;
+    p.train_apps = train_counts[c];
+    const auto f = mean_ci(f1[c]);
+    p.f1_mean = f[0];
+    p.f1_lo = f[1];
+    p.f1_hi = f[2];
+    const auto fa = mean_ci(far[c]);
+    p.far_mean = fa[0];
+    p.far_lo = fa[1];
+    p.far_hi = fa[2];
+    const auto am = mean_ci(amr[c]);
+    p.amr_mean = am[0];
+    p.amr_lo = am[1];
+    p.amr_hi = am[2];
+    result.points.push_back(p);
+  }
+
+  // Reference: 5-fold CV with all applications present (the dashed lines).
+  {
+    const SplitIndices split =
+        make_split(data, data.config.test_fraction, options.seed);
+    const PreparedSplit prepared =
+        prepare_split(data, split, data.config.select_k);
+    Matrix full_x = prepared.train_x;
+    std::vector<int> full_y = prepared.train_y;
+    for (std::size_t i = 0; i < prepared.test_x.rows(); ++i) {
+      full_x.append_row(prepared.test_x.row(i));
+      full_y.push_back(prepared.test_y[i]);
+    }
+    const auto folds = stratified_kfold(full_y, 5, options.seed ^ 0xCF);
+    std::vector<double> cf1, cfar, camr;
+    for (const auto& fold : folds) {
+      auto model = make_base_model(data, options.model, options.seed);
+      const Matrix x_train = full_x.select_rows(fold.train);
+      const Matrix x_test = full_x.select_rows(fold.test);
+      std::vector<int> y_train, y_test;
+      for (const std::size_t i : fold.train) y_train.push_back(full_y[i]);
+      for (const std::size_t i : fold.test) y_test.push_back(full_y[i]);
+      model->fit(x_train, y_train);
+      const EvalResult ev =
+          evaluate(y_test, model->predict(x_test), kNumClasses);
+      cf1.push_back(ev.macro_f1);
+      cfar.push_back(ev.false_alarm_rate);
+      camr.push_back(ev.anomaly_miss_rate);
+    }
+    result.cv_f1 = mean_ci(cf1)[0];
+    result.cv_far = mean_ci(cfar)[0];
+    result.cv_amr = mean_ci(camr)[0];
+  }
+  return result;
+}
+
+UnseenInputsResult run_unseen_inputs_experiment(
+    const ExperimentData& data, const ExperimentOptions& options) {
+  UnseenInputsResult result;
+  for (const auto& method : options.methods) {
+    MethodCurve mc;
+    mc.method = method;
+    result.methods.push_back(std::move(mc));
+  }
+
+  std::vector<double> starting_f1;
+  std::vector<double> starting_far;
+  std::vector<double> full_f1;
+
+  const auto decks = static_cast<int>(data.inputs_per_app);
+  int repeat = 0;
+  for (int deck = 0; deck < decks && repeat < options.repeats; ++deck) {
+    // Train on every other deck; test on the held-out deck entirely.
+    SplitIndices split;
+    for (std::size_t i = 0; i < data.features.num_samples(); ++i) {
+      (data.features.input_ids[i] == deck ? split.test : split.train)
+          .push_back(i);
+    }
+    ALBA_CHECK(!split.train.empty() && !split.test.empty());
+    const PreparedSplit prepared =
+        prepare_split(data, split, data.config.select_k);
+    const ALSetup setup =
+        make_al_setup(prepared, options.seed * 31 + 7u * deck);
+
+    for (std::size_t m = 0; m < options.methods.size(); ++m) {
+      const auto al = run_method(options.methods[m], data, setup, options,
+                                 options.seed + 1000u * deck + m);
+      result.methods[m].repeats.push_back(al.curve);
+      if (m == 0) {
+        starting_f1.push_back(al.curve.front().f1);
+        starting_far.push_back(al.curve.front().false_alarm_rate);
+      }
+    }
+
+    // Reference: model trained on the whole training side.
+    {
+      LabeledData all = setup.seed;
+      for (std::size_t i = 0; i < setup.pool_x.rows(); ++i) {
+        all.append(setup.pool_x.row(i), setup.pool_y[i]);
+      }
+      auto model = make_base_model(data, options.model, options.seed + deck);
+      model->fit(all.x, all.y);
+      full_f1.push_back(
+          macro_f1(setup.test_y, model->predict(setup.test_x), kNumClasses));
+    }
+    ++repeat;
+    ALBA_LOG(Info) << "unseen-inputs deck " << deck << " done";
+  }
+
+  for (auto& mc : result.methods) {
+    mc.aggregated = aggregate_curves(mc.repeats);
+  }
+  result.starting_f1 = mean_ci(starting_f1)[0];
+  result.starting_far = mean_ci(starting_far)[0];
+  result.full_train_f1 = mean_ci(full_f1)[0];
+  return result;
+}
+
+}  // namespace alba

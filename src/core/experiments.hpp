@@ -1,0 +1,132 @@
+// Experiment runners, one per table/figure of the paper's evaluation:
+//   run_query_curve_experiment   — Figs. 3 & 5 (+ the data behind Table V)
+//   summarize_table5             — Table V rows from the curve result
+//   run_query_distribution       — Fig. 4 (what gets queried early)
+//   run_unseen_apps_experiment   — Fig. 6
+//   run_robustness_experiment    — Fig. 7 (supervised-only motivation)
+//   run_unseen_inputs_experiment — Fig. 8
+// All runners take prepared ExperimentData (built once per bench) and are
+// deterministic for a fixed options.seed.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "active/learner.hpp"
+#include "core/pipeline.hpp"
+
+namespace alba {
+
+struct ExperimentOptions {
+  int max_queries = 250;
+  int repeats = 5;              // train/test splits (paper: 5)
+  std::string model = "rf";     // AL base classifier: rf / lr / lgbm / mlp
+  std::vector<std::string> methods = {"uncertainty", "margin", "entropy",
+                                      "random",      "equal_app", "proctor"};
+  int proctor_epochs = 12;      // autoencoder pretraining epochs
+  std::uint64_t seed = 7;
+};
+
+struct MethodCurve {
+  std::string method;
+  AggregatedCurve aggregated;
+  std::vector<QueryCurve> repeats;
+  // Drill-down: (label, app) of each query, concatenated across repeats.
+  std::vector<std::pair<int, int>> queried_label_app;
+};
+
+/// Figs. 3/5: per-method query curves plus the supervised reference points
+/// of Table V.
+struct QueryCurveResult {
+  std::vector<MethodCurve> methods;
+  double starting_f1 = 0.0;       // mean seed-only F1 across repeats
+  double full_train_f1 = 0.0;     // model on the full AL training dataset
+  std::size_t al_train_size = 0;  // labeled size of that reference
+  double cv_max_f1 = 0.0;         // 5-fold CV ceiling on the whole dataset
+  std::size_t full_size = 0;
+};
+
+QueryCurveResult run_query_curve_experiment(const ExperimentData& data,
+                                            const ExperimentOptions& options);
+
+/// Table V row: labels needed to reach each target with the given method.
+struct Table5Row {
+  std::string dataset;
+  std::string feature_extraction;
+  std::string query_strategy;
+  std::size_t initial_samples = 0;
+  double starting_f1 = 0.0;
+  int samples_to_085 = -1;
+  int samples_to_090 = -1;
+  int samples_to_095 = -1;
+  double full_train_f1 = 0.0;
+  std::size_t al_train_size = 0;
+  double cv_max_f1 = 0.0;
+  std::size_t full_size = 0;
+};
+
+Table5Row summarize_table5(const ExperimentData& data,
+                           const QueryCurveResult& result,
+                           const std::string& method);
+
+/// Fig. 4: how often each (application, label) is queried in the first N
+/// queries, averaged over repeats.
+struct QueryDistribution {
+  std::vector<std::string> app_names;
+  // mean count per repeat: [app][class].
+  std::vector<std::vector<double>> app_label_counts;
+  std::vector<double> label_totals;  // per class
+  std::vector<double> app_totals;    // per app
+  int first_n = 0;
+};
+
+QueryDistribution run_query_distribution(const ExperimentData& data,
+                                         int first_n,
+                                         const ExperimentOptions& options);
+
+/// Fig. 6: unseen applications — seed from `train_apps` applications, test
+/// on the rest; the unlabeled pool still spans the whole system.
+struct UnseenAppsScenario {
+  int train_apps = 0;
+  std::vector<MethodCurve> methods;
+  double starting_f1 = 0.0;
+};
+
+std::vector<UnseenAppsScenario> run_unseen_apps_experiment(
+    const ExperimentData& data, const std::vector<int>& train_app_counts,
+    const ExperimentOptions& options);
+
+/// Fig. 7: supervised robustness motivation — a random forest trained on
+/// k applications, tested on a fixed 3-application unseen test set.
+struct RobustnessPoint {
+  int train_apps = 0;
+  double f1_mean = 0.0, f1_lo = 0.0, f1_hi = 0.0;
+  double far_mean = 0.0, far_lo = 0.0, far_hi = 0.0;
+  double amr_mean = 0.0, amr_lo = 0.0, amr_hi = 0.0;
+};
+
+struct RobustnessResult {
+  std::vector<RobustnessPoint> points;
+  double cv_f1 = 0.0;   // all-apps 5-fold CV reference (dashed lines)
+  double cv_far = 0.0;
+  double cv_amr = 0.0;
+};
+
+RobustnessResult run_robustness_experiment(const ExperimentData& data,
+                                           const std::vector<int>& train_counts,
+                                           int test_apps,
+                                           const ExperimentOptions& options);
+
+/// Fig. 8: unseen input decks — one deck's runs moved wholesale to the test
+/// side; seed and pool come from the remaining decks.
+struct UnseenInputsResult {
+  std::vector<MethodCurve> methods;
+  double starting_f1 = 0.0;
+  double starting_far = 0.0;
+  double full_train_f1 = 0.0;
+};
+
+UnseenInputsResult run_unseen_inputs_experiment(
+    const ExperimentData& data, const ExperimentOptions& options);
+
+}  // namespace alba

@@ -1,0 +1,135 @@
+#include "core/pipeline.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "common/log.hpp"
+#include "common/timer.hpp"
+#include "preprocess/scalers.hpp"
+
+namespace alba {
+
+ExperimentData build_experiment_data(const DatasetConfig& config) {
+  Timer timer;
+  RunGenerator generator(config.system, config.registry, config.sim);
+  const std::size_t num_apps =
+      config.num_apps == 0
+          ? generator.apps().size()
+          : std::min(config.num_apps, generator.apps().size());
+
+  const auto specs = make_collection_specs(config.system, num_apps,
+                                           config.inputs_per_app, config.plan);
+  const auto samples = generator.generate(specs);
+  ALBA_LOG(Info) << "generated " << samples.size() << " samples from "
+                 << specs.size() << " runs on " << system_name(config.system)
+                 << " (" << generator.registry().size() << " metrics) in "
+                 << static_cast<int>(timer.seconds()) << "s";
+
+  timer.reset();
+  const auto extractor = make_extractor(config.extractor);
+  ExperimentData data;
+  data.features = extract_features(samples, generator.registry(), *extractor,
+                                   config.preprocess);
+  const std::size_t dropped = drop_unusable_columns(data.features);
+  ALBA_LOG(Info) << extractor->name() << " extraction: "
+                 << data.features.num_features() << " usable features ("
+                 << dropped << " dropped) in "
+                 << static_cast<int>(timer.seconds()) << "s";
+
+  for (std::size_t a = 0; a < num_apps; ++a) {
+    data.app_names.push_back(generator.apps()[a].name);
+  }
+  data.num_apps = num_apps;
+  data.inputs_per_app = config.inputs_per_app;
+  data.config = config;
+  return data;
+}
+
+SplitIndices make_split(const ExperimentData& data, double test_fraction,
+                        std::uint64_t seed) {
+  return stratified_split(data.features.labels, test_fraction, seed);
+}
+
+PreparedSplit prepare_split(const ExperimentData& data,
+                            const SplitIndices& split, std::size_t select_k) {
+  ALBA_CHECK(!split.train.empty() && !split.test.empty());
+  const FeatureMatrix& fm = data.features;
+
+  PreparedSplit out;
+  Matrix train_x = fm.x.select_rows(split.train);
+  Matrix test_x = fm.x.select_rows(split.test);
+  for (const std::size_t i : split.train) {
+    out.train_y.push_back(fm.labels[i]);
+    out.train_app.push_back(fm.app_ids[i]);
+    out.train_input.push_back(fm.input_ids[i]);
+  }
+  for (const std::size_t i : split.test) {
+    out.test_y.push_back(fm.labels[i]);
+    out.test_app.push_back(fm.app_ids[i]);
+    out.test_input.push_back(fm.input_ids[i]);
+  }
+
+  // Min-Max scaling fitted on the training partition (keeps features
+  // non-negative for chi-square), then top-k chi-square selection.
+  MinMaxScaler scaler;
+  scaler.fit(train_x);
+  scaler.transform(train_x);
+  scaler.transform(test_x);
+
+  SelectKBestChi2 selector(std::min(select_k, train_x.cols()));
+  selector.fit(train_x, out.train_y);
+  out.train_x = selector.transform(train_x);
+  out.test_x = selector.transform(test_x);
+  out.selected_names = selector.transform_names(fm.names);
+  return out;
+}
+
+ALSetup make_al_setup(const PreparedSplit& split, std::uint64_t seed,
+                      std::span<const int> seed_apps) {
+  Rng rng(seed);
+  const std::size_t n = split.train_x.rows();
+
+  auto seed_allowed = [&](int app) {
+    if (seed_apps.empty()) return true;
+    return std::find(seed_apps.begin(), seed_apps.end(), app) !=
+           seed_apps.end();
+  };
+
+  // Candidate rows per (app, anomaly-type) pair; healthy is never seeded
+  // (Fig. 2: the labeled dataset holds one sample per app × anomaly pair).
+  std::map<std::pair<int, int>, std::vector<std::size_t>> candidates;
+  for (std::size_t i = 0; i < n; ++i) {
+    const int label = split.train_y[i];
+    if (label == 0) continue;
+    if (!seed_allowed(split.train_app[i])) continue;
+    candidates[{split.train_app[i], label}].push_back(i);
+  }
+  ALBA_CHECK(!candidates.empty()) << "no seedable (app, anomaly) pairs";
+
+  ALSetup setup;
+  std::vector<bool> used(n, false);
+  for (auto& [key, rows] : candidates) {
+    const std::size_t pick = rows[rng.uniform_index(rows.size())];
+    setup.seed.append(split.train_x.row(pick), split.train_y[pick]);
+    setup.seed_rows.push_back(pick);
+    used[pick] = true;
+  }
+
+  // Everything else in the training partition forms the unlabeled pool.
+  std::vector<std::size_t> pool_rows;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!used[i]) pool_rows.push_back(i);
+  }
+  ALBA_CHECK(!pool_rows.empty()) << "empty unlabeled pool";
+  setup.pool_x = split.train_x.select_rows(pool_rows);
+  for (const std::size_t i : pool_rows) {
+    setup.pool_y.push_back(split.train_y[i]);
+    setup.pool_app.push_back(split.train_app[i]);
+  }
+
+  setup.test_x = split.test_x;
+  setup.test_y = split.test_y;
+  return setup;
+}
+
+}  // namespace alba

@@ -1,0 +1,65 @@
+// The ALBADross pipeline: telemetry generation → preprocessing → feature
+// extraction → (per split) Min-Max scaling and chi-square selection fitted
+// on the training partition only → seed / pool / test assembly for the
+// active learning loop (Fig. 2 of the paper).
+#pragma once
+
+#include "core/config.hpp"
+#include "features/extractor.hpp"
+#include "ml/dataset.hpp"
+#include "preprocess/select_kbest.hpp"
+#include "preprocess/split.hpp"
+
+namespace alba {
+
+/// The extracted (unscaled, unselected) dataset plus system metadata.
+struct ExperimentData {
+  FeatureMatrix features;
+  std::vector<std::string> app_names;
+  std::size_t num_apps = 0;
+  std::size_t inputs_per_app = 0;
+  DatasetConfig config;
+};
+
+/// Generates telemetry per the config's collection plan and extracts
+/// features (the expensive step — build once, split many times).
+ExperimentData build_experiment_data(const DatasetConfig& config);
+
+/// One train/test realization with scaling + selection fitted on train.
+struct PreparedSplit {
+  Matrix train_x;  // scaled, top-k columns
+  Matrix test_x;
+  std::vector<int> train_y, test_y;
+  std::vector<int> train_app, test_app;
+  std::vector<int> train_input, test_input;
+  std::vector<std::string> selected_names;
+};
+
+PreparedSplit prepare_split(const ExperimentData& data,
+                            const SplitIndices& split, std::size_t select_k);
+
+/// Stratified split helper over the extracted labels.
+SplitIndices make_split(const ExperimentData& data, double test_fraction,
+                        std::uint64_t seed);
+
+/// Everything the ActiveLearner::run call needs, derived from a prepared
+/// split: the seed set (one sample per (application, anomaly-type) pair —
+/// healthy excluded, per Fig. 2), the unlabeled pool (the rest of the
+/// training partition), and the withheld test set.
+struct ALSetup {
+  LabeledData seed;
+  std::vector<std::size_t> seed_rows;   // rows of train_x used as seed
+  Matrix pool_x;
+  std::vector<int> pool_y;              // ground truth, for the oracle
+  std::vector<int> pool_app;
+  Matrix test_x;
+  std::vector<int> test_y;
+};
+
+/// `seed_apps`: restrict the seed set to these app ids (empty = all) — the
+/// unseen-application scenario seeds from a subset while the pool keeps
+/// every application's unlabeled samples.
+ALSetup make_al_setup(const PreparedSplit& split, std::uint64_t seed,
+                      std::span<const int> seed_apps = {});
+
+}  // namespace alba

@@ -1,0 +1,54 @@
+#include "core/proctor.hpp"
+
+#include "common/error.hpp"
+
+namespace alba {
+
+namespace {
+LogRegConfig head_config(const ProctorConfig& cfg) {
+  LogRegConfig head = cfg.head;
+  head.num_classes = cfg.num_classes;
+  return head;
+}
+}  // namespace
+
+ProctorClassifier::ProctorClassifier(ProctorConfig config, std::uint64_t seed)
+    : config_(config),
+      seed_(seed),
+      encoder_(std::make_shared<Autoencoder>(config.autoencoder, seed)),
+      head_(head_config(config), seed ^ 0x9E3779B9ULL) {
+  ALBA_CHECK(config_.num_classes >= 2);
+}
+
+double ProctorClassifier::pretrain(const Matrix& unlabeled) {
+  return encoder_->fit(unlabeled);
+}
+
+void ProctorClassifier::fit(const Matrix& x, std::span<const int> y) {
+  ALBA_CHECK(pretrained())
+      << "Proctor needs pretrain(unlabeled) before fit()";
+  head_ = LogisticRegression(head_config(config_), seed_ ^ 0x9E3779B9ULL);
+  head_.fit(encoder_->encode(x), y);
+}
+
+Matrix ProctorClassifier::predict_proba(const Matrix& x) const {
+  ALBA_CHECK(fitted()) << "predict before fit";
+  return head_.predict_proba(encoder_->encode(x));
+}
+
+std::unique_ptr<Classifier> ProctorClassifier::clone() const {
+  auto copy = std::make_unique<ProctorClassifier>(config_, seed_);
+  copy->encoder_ = encoder_;  // share the pretrained representation
+  return copy;
+}
+
+std::unique_ptr<Classifier> ProctorClassifier::clone_reseeded(
+    std::uint64_t seed) const {
+  auto copy = std::make_unique<ProctorClassifier>(config_, seed);
+  copy->encoder_ = encoder_;
+  return copy;
+}
+
+const Autoencoder& ProctorClassifier::encoder() const { return *encoder_; }
+
+}  // namespace alba

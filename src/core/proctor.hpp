@@ -1,0 +1,54 @@
+// Proctor baseline (Aksar et al., "Proctor: a semi-supervised performance
+// anomaly diagnosis framework", ISC 2021) as configured in Sec. IV-D/E-3 of
+// the ALBADross paper: a deep autoencoder pretrained on the unlabeled pool
+// learns a code-layer representation; a logistic-regression head is trained
+// on the encoded labeled samples; new labels arrive through *random*
+// queries. The pretrained encoder is shared across clone()s so the active
+// learning loop only re-trains the head each query — which is why Proctor's
+// F1 curve stays flat in Figs. 3/5 (random labels add little information).
+#pragma once
+
+#include <memory>
+
+#include "ml/autoencoder.hpp"
+#include "ml/classifier.hpp"
+#include "ml/logreg.hpp"
+
+namespace alba {
+
+struct ProctorConfig {
+  int num_classes = 2;
+  AutoencoderConfig autoencoder;
+  LogRegConfig head;  // num_classes is overwritten with the outer value
+};
+
+class ProctorClassifier final : public Classifier {
+ public:
+  explicit ProctorClassifier(ProctorConfig config, std::uint64_t seed = 0);
+
+  /// Trains the autoencoder on (unlabeled) data. Must run before fit().
+  /// Returns the final reconstruction MSE.
+  double pretrain(const Matrix& unlabeled);
+
+  bool pretrained() const noexcept { return encoder_ && encoder_->fitted(); }
+
+  void fit(const Matrix& x, std::span<const int> y) override;
+  Matrix predict_proba(const Matrix& x) const override;
+
+  /// Shares the pretrained encoder; only the head is re-initialized.
+  std::unique_ptr<Classifier> clone() const override;
+  std::unique_ptr<Classifier> clone_reseeded(std::uint64_t seed) const override;
+  std::string name() const override { return "proctor"; }
+  int num_classes() const noexcept override { return config_.num_classes; }
+  bool fitted() const noexcept override { return head_.fitted(); }
+
+  const Autoencoder& encoder() const;
+
+ private:
+  ProctorConfig config_;
+  std::uint64_t seed_;
+  std::shared_ptr<Autoencoder> encoder_;
+  LogisticRegression head_;
+};
+
+}  // namespace alba

@@ -1,0 +1,181 @@
+#include "core/report.hpp"
+
+#include "anomaly/anomaly.hpp"
+#include "common/csv.hpp"
+#include "common/string_util.hpp"
+#include "common/table.hpp"
+
+namespace alba {
+
+std::string render_query_curves(const std::vector<MethodCurve>& methods,
+                                int stride) {
+  ALBA_CHECK(!methods.empty());
+  ALBA_CHECK(stride >= 1);
+
+  std::vector<std::string> header{"queries"};
+  for (const auto& m : methods) {
+    header.push_back(m.method + " F1");
+    header.push_back(m.method + " FAR");
+    header.push_back(m.method + " AMR");
+  }
+  TextTable table(header);
+
+  const std::size_t len = methods.front().aggregated.queries.size();
+  for (std::size_t p = 0; p < len;
+       p += static_cast<std::size_t>(stride)) {
+    std::vector<std::string> row{
+        strformat("%d", methods.front().aggregated.queries[p])};
+    for (const auto& m : methods) {
+      const auto& agg = m.aggregated;
+      if (p < agg.queries.size()) {
+        row.push_back(strformat("%.3f", agg.f1_mean[p]));
+        row.push_back(strformat("%.3f", agg.far_mean[p]));
+        row.push_back(strformat("%.3f", agg.amr_mean[p]));
+      } else {
+        row.insert(row.end(), {"-", "-", "-"});
+      }
+    }
+    table.add_row(std::move(row));
+  }
+
+  std::string out = table.render();
+  std::vector<std::vector<double>> f1_series, far_series, amr_series;
+  std::vector<std::string> names;
+  for (const auto& m : methods) {
+    f1_series.push_back(m.aggregated.f1_mean);
+    far_series.push_back(m.aggregated.far_mean);
+    amr_series.push_back(m.aggregated.amr_mean);
+    names.push_back(m.method);
+  }
+  out += "\nF1-score vs queries:\n" + ascii_chart_multi(f1_series, names);
+  out += "\nFalse alarm rate vs queries:\n" +
+         ascii_chart_multi(far_series, names);
+  out += "\nAnomaly miss rate vs queries:\n" +
+         ascii_chart_multi(amr_series, names);
+  return out;
+}
+
+std::string render_table5(const std::vector<Table5Row>& rows) {
+  TextTable table({"Dataset", "Feature Extraction", "Query Strategy",
+                   "Initial Samples", "Starting F1", "F1=0.85", "F1=0.90",
+                   "F1=0.95", "AL Train F1 (size)", "5-fold CV max (size)"});
+  auto fmt_target = [](int q) {
+    if (q < 0) return std::string("not reached");
+    if (q == 0) return std::string("already passed");
+    return strformat("%d samples", q);
+  };
+  for (const auto& r : rows) {
+    table.add_row({r.dataset, r.feature_extraction, r.query_strategy,
+                   strformat("%zu", r.initial_samples),
+                   strformat("%.2f", r.starting_f1),
+                   fmt_target(r.samples_to_085), fmt_target(r.samples_to_090),
+                   fmt_target(r.samples_to_095),
+                   strformat("%.2f (%zu)", r.full_train_f1, r.al_train_size),
+                   strformat("%.2f (%zu)", r.cv_max_f1, r.full_size)});
+  }
+  return table.render();
+}
+
+std::string render_query_distribution(const QueryDistribution& dist) {
+  std::vector<std::string> header{"application"};
+  for (int c = 0; c < kNumClasses; ++c) {
+    header.emplace_back(anomaly_name(anomaly_from_label(c)));
+  }
+  header.emplace_back("total");
+  TextTable table(header);
+
+  for (std::size_t a = 0; a < dist.app_names.size(); ++a) {
+    std::vector<std::string> row{dist.app_names[a]};
+    for (int c = 0; c < kNumClasses; ++c) {
+      row.push_back(strformat(
+          "%.1f", dist.app_label_counts[a][static_cast<std::size_t>(c)]));
+    }
+    row.push_back(strformat("%.1f", dist.app_totals[a]));
+    table.add_row(std::move(row));
+  }
+  std::vector<std::string> totals{"(all apps)"};
+  for (int c = 0; c < kNumClasses; ++c) {
+    totals.push_back(
+        strformat("%.1f", dist.label_totals[static_cast<std::size_t>(c)]));
+  }
+  double all = 0.0;
+  for (const double v : dist.label_totals) all += v;
+  totals.push_back(strformat("%.1f", all));
+  table.add_row(std::move(totals));
+
+  return strformat("Queried (application, label) counts over the first %d "
+                   "queries (mean per split):\n",
+                   dist.first_n) +
+         table.render();
+}
+
+std::string render_robustness(const RobustnessResult& result) {
+  TextTable table({"train apps", "F1 (95% CI)", "false alarm (95% CI)",
+                   "miss rate (95% CI)"});
+  for (const auto& p : result.points) {
+    table.add_row({strformat("%d", p.train_apps),
+                   strformat("%.3f [%.3f, %.3f]", p.f1_mean, p.f1_lo, p.f1_hi),
+                   strformat("%.3f [%.3f, %.3f]", p.far_mean, p.far_lo,
+                             p.far_hi),
+                   strformat("%.3f [%.3f, %.3f]", p.amr_mean, p.amr_lo,
+                             p.amr_hi)});
+  }
+  std::string out = table.render();
+  out += strformat(
+      "5-fold CV reference (all apps in train+test): F1 %.3f, "
+      "false alarm %.3f, miss rate %.3f\n",
+      result.cv_f1, result.cv_far, result.cv_amr);
+  return out;
+}
+
+void write_curves_csv(const std::string& path,
+                      const std::vector<MethodCurve>& methods) {
+  CsvWriter csv(path);
+  csv.write_header({"method", "queries", "f1_mean", "f1_lo", "f1_hi",
+                    "far_mean", "far_lo", "far_hi", "amr_mean", "amr_lo",
+                    "amr_hi"});
+  for (const auto& m : methods) {
+    const auto& a = m.aggregated;
+    for (std::size_t p = 0; p < a.queries.size(); ++p) {
+      csv.write_row({m.method, strformat("%d", a.queries[p]),
+                     strformat("%.6f", a.f1_mean[p]),
+                     strformat("%.6f", a.f1_lo[p]),
+                     strformat("%.6f", a.f1_hi[p]),
+                     strformat("%.6f", a.far_mean[p]),
+                     strformat("%.6f", a.far_lo[p]),
+                     strformat("%.6f", a.far_hi[p]),
+                     strformat("%.6f", a.amr_mean[p]),
+                     strformat("%.6f", a.amr_lo[p]),
+                     strformat("%.6f", a.amr_hi[p])});
+    }
+  }
+}
+
+void write_distribution_csv(const std::string& path,
+                            const QueryDistribution& dist) {
+  CsvWriter csv(path);
+  csv.write_header({"application", "label", "mean_queries"});
+  for (std::size_t a = 0; a < dist.app_names.size(); ++a) {
+    for (int c = 0; c < kNumClasses; ++c) {
+      csv.write_row({dist.app_names[a],
+                     std::string(anomaly_name(anomaly_from_label(c))),
+                     strformat("%.4f",
+                               dist.app_label_counts[a]
+                                                    [static_cast<std::size_t>(c)])});
+    }
+  }
+}
+
+void write_robustness_csv(const std::string& path,
+                          const RobustnessResult& result) {
+  CsvWriter csv(path);
+  csv.write_header({"train_apps", "f1_mean", "f1_lo", "f1_hi", "far_mean",
+                    "far_lo", "far_hi", "amr_mean", "amr_lo", "amr_hi"});
+  for (const auto& p : result.points) {
+    csv.write_numeric_row({static_cast<double>(p.train_apps), p.f1_mean,
+                           p.f1_lo, p.f1_hi, p.far_mean, p.far_lo, p.far_hi,
+                           p.amr_mean, p.amr_lo, p.amr_hi});
+  }
+}
+
+}  // namespace alba

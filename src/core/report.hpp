@@ -1,0 +1,34 @@
+// Result presentation for the figure/table benches: aligned text tables,
+// terminal line charts, and CSV dumps so every reproduced figure can be
+// re-plotted outside the terminal.
+#pragma once
+
+#include <string>
+
+#include "core/experiments.hpp"
+
+namespace alba {
+
+/// Renders per-method query curves like Fig. 3/5: one sampled table (every
+/// `stride` queries) plus three ASCII charts (F1 / false-alarm / miss-rate).
+std::string render_query_curves(const std::vector<MethodCurve>& methods,
+                                int stride = 25);
+
+/// Renders a Table V-style row block.
+std::string render_table5(const std::vector<Table5Row>& rows);
+
+/// Renders the Fig. 4 query-distribution breakdown.
+std::string render_query_distribution(const QueryDistribution& dist);
+
+/// Renders the Fig. 7 robustness table.
+std::string render_robustness(const RobustnessResult& result);
+
+/// CSV dumps (one file per call). Paths are created/truncated.
+void write_curves_csv(const std::string& path,
+                      const std::vector<MethodCurve>& methods);
+void write_distribution_csv(const std::string& path,
+                            const QueryDistribution& dist);
+void write_robustness_csv(const std::string& path,
+                          const RobustnessResult& result);
+
+}  // namespace alba

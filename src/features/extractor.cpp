@@ -1,0 +1,131 @@
+#include "features/extractor.hpp"
+
+#include <cmath>
+#include <unordered_map>
+
+#include "common/error.hpp"
+#include "common/thread_pool.hpp"
+
+namespace alba {
+
+FeatureMatrix FeatureMatrix::select_rows(
+    std::span<const std::size_t> indices) const {
+  FeatureMatrix out;
+  out.x = x.select_rows(indices);
+  out.names = names;
+  out.labels.reserve(indices.size());
+  for (const std::size_t i : indices) {
+    ALBA_CHECK(i < labels.size());
+    out.labels.push_back(labels[i]);
+    out.app_ids.push_back(app_ids[i]);
+    out.input_ids.push_back(input_ids[i]);
+    out.run_ids.push_back(run_ids[i]);
+    out.node_ids.push_back(node_ids[i]);
+  }
+  return out;
+}
+
+std::string_view extractor_name(ExtractorKind kind) noexcept {
+  return kind == ExtractorKind::Mvts ? "mvts" : "tsfresh";
+}
+
+std::unique_ptr<FeatureExtractor> make_extractor(ExtractorKind kind) {
+  if (kind == ExtractorKind::Mvts) return std::make_unique<MvtsExtractor>();
+  return std::make_unique<TsfreshExtractor>();
+}
+
+FeatureMatrix extract_features(const std::vector<Sample>& samples,
+                               const MetricRegistry& registry,
+                               const FeatureExtractor& extractor,
+                               const PreprocessConfig& preprocess) {
+  ALBA_CHECK(!samples.empty());
+  const std::size_t m = registry.size();
+  const std::size_t f = extractor.num_features();
+  const std::size_t cols = m * f;
+
+  FeatureMatrix fm;
+  fm.x = Matrix(samples.size(), cols);
+  fm.names.reserve(cols);
+  const auto& feature_names = extractor.feature_names();
+  for (std::size_t j = 0; j < m; ++j) {
+    for (std::size_t k = 0; k < f; ++k) {
+      fm.names.push_back(registry.metric(j).name + "|" + feature_names[k]);
+    }
+  }
+
+  fm.labels.resize(samples.size());
+  fm.app_ids.resize(samples.size());
+  fm.input_ids.resize(samples.size());
+  fm.run_ids.resize(samples.size());
+  fm.node_ids.resize(samples.size());
+
+  parallel_for(samples.size(), [&](std::size_t s) {
+    const Sample& sample = samples[s];
+    const Matrix clean = preprocess_series(sample.series, registry, preprocess);
+    auto row = fm.x.row(s);
+    for (std::size_t j = 0; j < m; ++j) {
+      const std::vector<double> col = clean.col(j);
+      extractor.extract(col, row.subspan(j * f, f));
+    }
+    fm.labels[s] = anomaly_label(sample.label);
+    fm.app_ids[s] = sample.app_id;
+    fm.input_ids[s] = sample.input_id;
+    fm.run_ids[s] = sample.run_id;
+    fm.node_ids[s] = sample.node_index;
+  });
+  return fm;
+}
+
+std::size_t drop_unusable_columns(FeatureMatrix& fm) {
+  const std::size_t n = fm.x.rows();
+  const std::size_t c = fm.x.cols();
+  std::vector<std::size_t> keep;
+  keep.reserve(c);
+  for (std::size_t j = 0; j < c; ++j) {
+    bool usable = true;
+    const double first = fm.x(0, j);
+    bool constant = true;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double v = fm.x(i, j);
+      if (!std::isfinite(v)) {
+        usable = false;
+        break;
+      }
+      if (v != first) constant = false;
+    }
+    if (usable && !constant) keep.push_back(j);
+  }
+
+  const std::size_t dropped = c - keep.size();
+  if (dropped == 0) return 0;
+  fm.x = fm.x.select_cols(keep);
+  std::vector<std::string> names;
+  names.reserve(keep.size());
+  for (const std::size_t j : keep) names.push_back(std::move(fm.names[j]));
+  fm.names = std::move(names);
+  return dropped;
+}
+
+Matrix select_features_by_name(const FeatureMatrix& fm,
+                               const std::vector<std::string>& names) {
+  std::unordered_map<std::string_view, std::size_t> index;
+  index.reserve(fm.names.size());
+  for (std::size_t j = 0; j < fm.names.size(); ++j) index[fm.names[j]] = j;
+
+  std::vector<std::size_t> cols;
+  cols.reserve(names.size());
+  for (const auto& name : names) {
+    const auto it = index.find(name);
+    ALBA_CHECK(it != index.end()) << "feature '" << name << "' not present";
+    cols.push_back(it->second);
+  }
+  Matrix out = fm.x.select_cols(cols);
+  for (std::size_t i = 0; i < out.rows(); ++i) {
+    for (auto& v : out.row(i)) {
+      if (!std::isfinite(v)) v = 0.0;
+    }
+  }
+  return out;
+}
+
+}  // namespace alba

@@ -1,0 +1,61 @@
+// Feature-matrix assembly: runs preprocessing + a per-metric extractor over
+// every sample (parallel over samples), producing the labeled feature
+// matrix the ML layer consumes, then drops NaN and constant columns (the
+// paper "drop[s] features with NaN or zero values" after extraction).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "features/mvts.hpp"
+#include "features/preprocessing.hpp"
+#include "features/tsfresh.hpp"
+#include "linalg/matrix.hpp"
+#include "telemetry/run_generator.hpp"
+
+namespace alba {
+
+/// Labeled feature matrix with sample provenance (which app/input/run/node
+/// each row came from — the robustness experiments split on these).
+struct FeatureMatrix {
+  Matrix x;                          // samples × features
+  std::vector<std::string> names;    // "metric|feature" per column
+  std::vector<int> labels;           // anomaly class per row (0 = healthy)
+  std::vector<int> app_ids;
+  std::vector<int> input_ids;
+  std::vector<int> run_ids;
+  std::vector<int> node_ids;
+
+  std::size_t num_samples() const noexcept { return x.rows(); }
+  std::size_t num_features() const noexcept { return x.cols(); }
+
+  /// Subset of rows, preserving provenance.
+  FeatureMatrix select_rows(std::span<const std::size_t> indices) const;
+};
+
+enum class ExtractorKind { Mvts, Tsfresh };
+
+std::string_view extractor_name(ExtractorKind kind) noexcept;
+std::unique_ptr<FeatureExtractor> make_extractor(ExtractorKind kind);
+
+/// Extracts features from every sample. Column j*F+f is feature f of
+/// metric j.
+FeatureMatrix extract_features(const std::vector<Sample>& samples,
+                               const MetricRegistry& registry,
+                               const FeatureExtractor& extractor,
+                               const PreprocessConfig& preprocess);
+
+/// Removes columns that contain any non-finite value or are constant across
+/// all samples. Returns the number of columns dropped.
+std::size_t drop_unusable_columns(FeatureMatrix& fm);
+
+/// Projects `fm` onto the named columns, in the given order — how freshly
+/// extracted production samples are aligned with a training-time feature
+/// space that had columns dropped/selected. Throws when a name is absent.
+/// Non-finite values in the projected matrix are replaced with 0 (a fresh
+/// run can produce a NaN feature the training data never did).
+Matrix select_features_by_name(const FeatureMatrix& fm,
+                               const std::vector<std::string>& names);
+
+}  // namespace alba

@@ -1,0 +1,86 @@
+#include "features/preprocessing.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace alba {
+
+void interpolate_nans(std::span<double> x) noexcept {
+  const std::size_t n = x.size();
+  std::size_t i = 0;
+  while (i < n) {
+    if (!std::isnan(x[i])) {
+      ++i;
+      continue;
+    }
+    // Find the NaN gap [i, j).
+    std::size_t j = i;
+    while (j < n && std::isnan(x[j])) ++j;
+
+    const bool has_left = i > 0;
+    const bool has_right = j < n;
+    if (!has_left && !has_right) {
+      for (std::size_t k = 0; k < n; ++k) x[k] = 0.0;
+      return;
+    }
+    if (!has_left) {
+      for (std::size_t k = i; k < j; ++k) x[k] = x[j];
+    } else if (!has_right) {
+      for (std::size_t k = i; k < j; ++k) x[k] = x[i - 1];
+    } else {
+      const double left = x[i - 1];
+      const double right = x[j];
+      const double span_len = static_cast<double>(j - (i - 1));
+      for (std::size_t k = i; k < j; ++k) {
+        const double frac = static_cast<double>(k - (i - 1)) / span_len;
+        x[k] = left + frac * (right - left);
+      }
+    }
+    i = j;
+  }
+}
+
+std::vector<double> difference_counter(std::span<const double> x) {
+  ALBA_CHECK(x.size() >= 2) << "cannot difference a series of length " << x.size();
+  std::vector<double> out(x.size() - 1);
+  for (std::size_t i = 0; i + 1 < x.size(); ++i) {
+    const double d = x[i + 1] - x[i];
+    out[i] = d < 0.0 ? 0.0 : d;  // counter reset/wrap
+  }
+  return out;
+}
+
+Matrix preprocess_series(const Matrix& raw, const MetricRegistry& registry,
+                         const PreprocessConfig& config) {
+  ALBA_CHECK(raw.cols() == registry.size())
+      << "series has " << raw.cols() << " metrics, registry has "
+      << registry.size();
+  ALBA_CHECK(config.trim_head >= 0 && config.trim_tail >= 0);
+  const std::size_t t_raw = raw.rows();
+  const auto head = static_cast<std::size_t>(config.trim_head);
+  const auto tail = static_cast<std::size_t>(config.trim_tail);
+  ALBA_CHECK(t_raw > head + tail + 1)
+      << "series too short (" << t_raw << ") for trim " << head << "+" << tail;
+
+  const std::size_t t_kept = t_raw - head - tail;  // samples after trimming
+  const std::size_t t_out = t_kept - 1;            // after differencing
+  const std::size_t m = raw.cols();
+
+  Matrix out(t_out, m);
+  std::vector<double> col(t_kept);
+  for (std::size_t j = 0; j < m; ++j) {
+    for (std::size_t t = 0; t < t_kept; ++t) col[t] = raw(head + t, j);
+    interpolate_nans(col);
+    if (registry.metric(j).kind == MetricKind::Counter) {
+      const auto rates = difference_counter(col);
+      for (std::size_t t = 0; t < t_out; ++t) out(t, j) = rates[t];
+    } else {
+      // Drop the first kept sample so gauge rows align with counter rates.
+      for (std::size_t t = 0; t < t_out; ++t) out(t, j) = col[t + 1];
+    }
+  }
+  return out;
+}
+
+}  // namespace alba

@@ -1,0 +1,37 @@
+// Raw-series preprocessing, replicating Sec. IV-E-1 of the paper:
+//  1. trim the init/termination intervals (metrics fluctuate there),
+//  2. difference cumulative counters (the change matters, not the value),
+//  3. linearly interpolate missing samples (LDMS drops occur in practice).
+// The output of `preprocess_series` is a clean T' x M matrix of
+// gauge-values / counter-rates with no NaNs, ready for feature extraction.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+#include "telemetry/registry.hpp"
+
+namespace alba {
+
+struct PreprocessConfig {
+  int trim_head = 6;  // samples dropped at the start (init phase)
+  int trim_tail = 5;  // samples dropped at the end (termination phase)
+};
+
+/// Linear interpolation of NaNs in place. Interior gaps are interpolated
+/// between the nearest finite neighbours; leading/trailing NaNs take the
+/// nearest finite value. An all-NaN series becomes all zeros.
+void interpolate_nans(std::span<double> x) noexcept;
+
+/// First difference: out[i] = x[i+1] - x[i] (length n-1). Negative steps
+/// (counter wrap/reset) are clamped to 0.
+std::vector<double> difference_counter(std::span<const double> x);
+
+/// Full preprocessing of one sample's raw series. The result has
+/// T - trim_head - trim_tail - 1 rows (one row lost to differencing; gauge
+/// columns drop their first trimmed sample to stay aligned).
+Matrix preprocess_series(const Matrix& raw, const MetricRegistry& registry,
+                         const PreprocessConfig& config);
+
+}  // namespace alba

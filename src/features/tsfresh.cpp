@@ -1,0 +1,248 @@
+#include "features/tsfresh.hpp"
+
+#include <cmath>
+#include <complex>
+
+#include "common/error.hpp"
+#include "common/string_util.hpp"
+#include "stats/autocorr.hpp"
+#include "stats/descriptive.hpp"
+#include "stats/entropy.hpp"
+#include "stats/fft.hpp"
+#include "stats/regression.hpp"
+#include "stats/welch.hpp"
+
+namespace alba {
+
+namespace {
+using namespace alba::stats;
+
+// Stride-decimates x to at most `cap` points (for the O(n²) entropies).
+std::vector<double> decimate(std::span<const double> x, std::size_t cap) {
+  if (x.size() <= cap) return {x.begin(), x.end()};
+  std::vector<double> out;
+  out.reserve(cap);
+  const double stride =
+      static_cast<double>(x.size()) / static_cast<double>(cap);
+  for (std::size_t i = 0; i < cap; ++i) {
+    out.push_back(x[static_cast<std::size_t>(static_cast<double>(i) * stride)]);
+  }
+  return out;
+}
+
+// Energy of chunk k out of `chunks` equal slices, as a fraction of total.
+double energy_ratio_by_chunk(std::span<const double> x, std::size_t chunks,
+                             std::size_t k) {
+  const double total = abs_energy(x);
+  if (total < 1e-300 || x.empty()) return 0.0;
+  const std::size_t chunk_len = (x.size() + chunks - 1) / chunks;
+  const std::size_t begin = k * chunk_len;
+  if (begin >= x.size()) return 0.0;
+  const std::size_t len = std::min(chunk_len, x.size() - begin);
+  return abs_energy(x.subspan(begin, len)) / total;
+}
+
+// Relative index where the cumulative |x| mass reaches fraction q.
+double index_mass_quantile(std::span<const double> x, double q) {
+  double total = 0.0;
+  for (double v : x) total += std::abs(v);
+  if (total < 1e-300) return 1.0;
+  double acc = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    acc += std::abs(x[i]);
+    if (acc >= q * total) {
+      return static_cast<double>(i + 1) / static_cast<double>(x.size());
+    }
+  }
+  return 1.0;
+}
+}  // namespace
+
+TsfreshExtractor::TsfreshExtractor(TsfreshConfig config) : config_(config) {
+  ALBA_CHECK(config_.acf_lags >= 1 && config_.pacf_lags >= 1);
+  ALBA_CHECK(config_.fft_coeffs >= 1 && config_.psd_bins >= 1);
+  ALBA_CHECK(config_.entropy_cap >= 8);
+
+  // --- distribution / descriptive ---
+  names_ = {"sum",      "mean",     "std",      "var",       "min",
+            "max",      "median",   "skewness", "kurtosis",  "rms",
+            "abs_energy", "variation_coef", "iqr"};
+  for (int q = 1; q <= 9; ++q) names_.push_back(strformat("quantile_q%d0", q));
+
+  // --- change statistics ---
+  for (const char* n :
+       {"mean_abs_change", "mean_change", "mean_second_derivative",
+        "abs_sum_changes", "cid_norm", "cid_raw"}) {
+    names_.emplace_back(n);
+  }
+
+  // --- counts / locations / runs ---
+  for (const char* n :
+       {"count_above_mean", "count_below_mean", "crossings_mean",
+        "num_peaks1", "num_peaks3", "num_peaks5", "longest_above_mean",
+        "longest_below_mean", "longest_inc_run", "longest_dec_run",
+        "first_loc_max", "first_loc_min", "last_loc_max", "last_loc_min",
+        "ratio_beyond_1sigma", "ratio_beyond_2sigma", "ratio_beyond_3sigma"}) {
+    names_.emplace_back(n);
+  }
+
+  // --- recurrence / duplicates / symmetry ---
+  for (const char* n :
+       {"has_duplicate", "has_duplicate_max", "has_duplicate_min",
+        "sum_reoccurring", "perc_reoccurring", "large_std_r025",
+        "symmetry_r005", "symmetry_r025"}) {
+    names_.emplace_back(n);
+  }
+
+  // --- autocorrelation family ---
+  for (std::size_t lag = 1; lag <= config_.acf_lags; ++lag) {
+    names_.push_back(strformat("acf_lag%zu", lag));
+  }
+  names_.emplace_back("agg_acf_mean_abs");
+  for (std::size_t lag = 1; lag <= config_.pacf_lags; ++lag) {
+    names_.push_back(strformat("pacf_lag%zu", lag));
+  }
+
+  // --- entropies ---
+  for (const char* n : {"binned_entropy10", "approx_entropy", "sample_entropy"}) {
+    names_.emplace_back(n);
+  }
+
+  // --- nonlinearity ---
+  for (std::size_t lag = 1; lag <= 3; ++lag) {
+    names_.push_back(strformat("c3_lag%zu", lag));
+  }
+  for (std::size_t lag = 1; lag <= 3; ++lag) {
+    names_.push_back(strformat("time_rev_asym_lag%zu", lag));
+  }
+
+  // --- spectral: FFT coefficients + Welch PSD ---
+  for (std::size_t k = 1; k <= config_.fft_coeffs; ++k) {
+    names_.push_back(strformat("fft_abs_k%zu", k));
+    names_.push_back(strformat("fft_real_k%zu", k));
+    names_.push_back(strformat("fft_imag_k%zu", k));
+  }
+  for (std::size_t b = 0; b < config_.psd_bins; ++b) {
+    names_.push_back(strformat("welch_band%zu", b));
+  }
+  names_.emplace_back("spectral_centroid");
+  names_.emplace_back("dominant_freq");
+
+  // --- trend / mass distribution ---
+  for (const char* n : {"trend_slope", "trend_intercept", "trend_rvalue",
+                        "trend_stderr", "energy_chunk0", "energy_chunk1",
+                        "energy_chunk2", "energy_chunk3", "index_mass_q25",
+                        "index_mass_q50", "index_mass_q75"}) {
+    names_.emplace_back(n);
+  }
+}
+
+void TsfreshExtractor::extract(std::span<const double> x,
+                               std::span<double> out) const {
+  ALBA_CHECK(out.size() == names_.size());
+  ALBA_CHECK(x.size() >= 8) << "series too short for TSFRESH extraction";
+  std::size_t i = 0;
+
+  out[i++] = sum(x);
+  out[i++] = mean(x);
+  out[i++] = stddev(x);
+  out[i++] = variance(x);
+  out[i++] = minimum(x);
+  out[i++] = maximum(x);
+  out[i++] = median(x);
+  out[i++] = skewness(x);
+  out[i++] = kurtosis(x);
+  out[i++] = root_mean_square(x);
+  out[i++] = abs_energy(x);
+  out[i++] = variation_coefficient(x);
+  out[i++] = quantile(x, 0.75) - quantile(x, 0.25);
+  for (int q = 1; q <= 9; ++q) out[i++] = quantile(x, 0.1 * q);
+
+  out[i++] = mean_abs_change(x);
+  out[i++] = mean_change(x);
+  out[i++] = mean_second_derivative_central(x);
+  out[i++] = absolute_sum_of_changes(x);
+  out[i++] = cid_ce(x, true);
+  out[i++] = cid_ce(x, false);
+
+  out[i++] = static_cast<double>(count_above_mean(x));
+  out[i++] = static_cast<double>(count_below_mean(x));
+  out[i++] = static_cast<double>(number_of_crossings(x, mean(x)));
+  out[i++] = static_cast<double>(number_of_peaks(x, 1));
+  out[i++] = static_cast<double>(number_of_peaks(x, 3));
+  out[i++] = static_cast<double>(number_of_peaks(x, 5));
+  out[i++] = static_cast<double>(longest_run_above_mean(x));
+  out[i++] = static_cast<double>(longest_run_below_mean(x));
+  out[i++] = static_cast<double>(longest_strictly_increasing_run(x));
+  out[i++] = static_cast<double>(longest_strictly_decreasing_run(x));
+  out[i++] = first_location_of_maximum(x);
+  out[i++] = first_location_of_minimum(x);
+  out[i++] = last_location_of_maximum(x);
+  out[i++] = last_location_of_minimum(x);
+  out[i++] = ratio_beyond_r_sigma(x, 1.0);
+  out[i++] = ratio_beyond_r_sigma(x, 2.0);
+  out[i++] = ratio_beyond_r_sigma(x, 3.0);
+
+  out[i++] = has_duplicate(x) ? 1.0 : 0.0;
+  out[i++] = has_duplicate_max(x) ? 1.0 : 0.0;
+  out[i++] = has_duplicate_min(x) ? 1.0 : 0.0;
+  out[i++] = sum_of_reoccurring_values(x);
+  out[i++] = percentage_of_reoccurring_datapoints(x);
+  out[i++] = large_standard_deviation(x, 0.25) ? 1.0 : 0.0;
+  out[i++] = symmetry_looking(x, 0.05) ? 1.0 : 0.0;
+  out[i++] = symmetry_looking(x, 0.25) ? 1.0 : 0.0;
+
+  for (std::size_t lag = 1; lag <= config_.acf_lags; ++lag) {
+    out[i++] = autocorrelation(x, lag);
+  }
+  out[i++] = agg_autocorrelation_mean_abs(x, config_.acf_lags);
+  for (std::size_t lag = 1; lag <= config_.pacf_lags; ++lag) {
+    out[i++] = partial_autocorrelation(x, lag);
+  }
+
+  const std::vector<double> xd = decimate(x, config_.entropy_cap);
+  out[i++] = binned_entropy(x, 10);
+  out[i++] = approximate_entropy(xd, 2, 0.2);
+  out[i++] = sample_entropy(xd, 2, 0.2);
+
+  for (std::size_t lag = 1; lag <= 3; ++lag) out[i++] = c3(x, lag);
+  for (std::size_t lag = 1; lag <= 3; ++lag) {
+    out[i++] = time_reversal_asymmetry(x, lag);
+  }
+
+  const auto spectrum = fft_real(x);
+  for (std::size_t k = 1; k <= config_.fft_coeffs; ++k) {
+    const std::complex<double> c =
+        k < spectrum.size() ? spectrum[k] : std::complex<double>(0.0, 0.0);
+    out[i++] = std::abs(c);
+    out[i++] = c.real();
+    out[i++] = c.imag();
+  }
+
+  const WelchResult psd = welch_psd(x, 64);
+  // Band powers: psd_bins equal frequency bands.
+  for (std::size_t b = 0; b < config_.psd_bins; ++b) {
+    const std::size_t nb = psd.power.size();
+    const std::size_t begin = b * nb / config_.psd_bins;
+    const std::size_t end = (b + 1) * nb / config_.psd_bins;
+    double acc = 0.0;
+    for (std::size_t k = begin; k < end && k < nb; ++k) acc += psd.power[k];
+    out[i++] = acc;
+  }
+  out[i++] = spectral_centroid(psd);
+  out[i++] = dominant_frequency(psd);
+
+  const LinearTrend trend = linear_trend(x);
+  out[i++] = trend.slope;
+  out[i++] = trend.intercept;
+  out[i++] = trend.rvalue;
+  out[i++] = trend.stderr_;
+  for (std::size_t k = 0; k < 4; ++k) out[i++] = energy_ratio_by_chunk(x, 4, k);
+  out[i++] = index_mass_quantile(x, 0.25);
+  out[i++] = index_mass_quantile(x, 0.50);
+  out[i++] = index_mass_quantile(x, 0.75);
+
+  ALBA_CHECK(i == names_.size());
+}
+
+}  // namespace alba

@@ -1,0 +1,60 @@
+#include "linalg/matrix.hpp"
+
+#include <algorithm>
+
+namespace alba {
+
+Matrix Matrix::from_rows(const std::vector<std::vector<double>>& rows) {
+  Matrix m;
+  for (const auto& r : rows) m.append_row(r);
+  return m;
+}
+
+std::vector<double> Matrix::col(std::size_t c) const {
+  ALBA_CHECK(c < cols_);
+  std::vector<double> out(rows_);
+  for (std::size_t r = 0; r < rows_; ++r) out[r] = data_[r * cols_ + c];
+  return out;
+}
+
+Matrix Matrix::select_rows(std::span<const std::size_t> indices) const {
+  Matrix out(indices.size(), cols_);
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    ALBA_CHECK(indices[i] < rows_) << "row index " << indices[i] << " out of range";
+    std::copy_n(data_.data() + indices[i] * cols_, cols_,
+                out.data_.data() + i * cols_);
+  }
+  return out;
+}
+
+Matrix Matrix::select_cols(std::span<const std::size_t> indices) const {
+  Matrix out(rows_, indices.size());
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    ALBA_CHECK(indices[i] < cols_) << "col index " << indices[i] << " out of range";
+  }
+  for (std::size_t r = 0; r < rows_; ++r) {
+    const double* src = data_.data() + r * cols_;
+    double* dst = out.data_.data() + r * indices.size();
+    for (std::size_t i = 0; i < indices.size(); ++i) dst[i] = src[indices[i]];
+  }
+  return out;
+}
+
+void Matrix::append_row(std::span<const double> values) {
+  if (rows_ == 0 && cols_ == 0) cols_ = values.size();
+  ALBA_CHECK(values.size() == cols_)
+      << "appending row of width " << values.size() << " to matrix of width "
+      << cols_;
+  data_.insert(data_.end(), values.begin(), values.end());
+  ++rows_;
+}
+
+Matrix Matrix::transposed() const {
+  Matrix out(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) out(c, r) = (*this)(r, c);
+  }
+  return out;
+}
+
+}  // namespace alba

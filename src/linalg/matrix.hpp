@@ -1,0 +1,80 @@
+// Dense row-major double matrix — the storage type for feature matrices,
+// network weights, and telemetry series snapshots.
+//
+// Design notes: row-major so a sample's feature vector is a contiguous
+// `row()` span; bounds checked in debug builds only (`operator()` is on the
+// tree-building hot path); no expression templates — the handful of kernels
+// the library needs live in linalg/ops.hpp and are written directly.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace alba {
+
+class Matrix {
+ public:
+  Matrix() noexcept = default;
+
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  /// Builds from nested initializer-style data; all rows must be equal length.
+  static Matrix from_rows(const std::vector<std::vector<double>>& rows);
+
+  std::size_t rows() const noexcept { return rows_; }
+  std::size_t cols() const noexcept { return cols_; }
+  std::size_t size() const noexcept { return data_.size(); }
+  bool empty() const noexcept { return data_.empty(); }
+
+  double& operator()(std::size_t r, std::size_t c) noexcept {
+    ALBA_DCHECK(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  double operator()(std::size_t r, std::size_t c) const noexcept {
+    ALBA_DCHECK(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+
+  std::span<double> row(std::size_t r) noexcept {
+    ALBA_DCHECK(r < rows_);
+    return {data_.data() + r * cols_, cols_};
+  }
+  std::span<const double> row(std::size_t r) const noexcept {
+    ALBA_DCHECK(r < rows_);
+    return {data_.data() + r * cols_, cols_};
+  }
+
+  double* data() noexcept { return data_.data(); }
+  const double* data() const noexcept { return data_.data(); }
+
+  /// Copies column c into a new vector (columns are strided).
+  std::vector<double> col(std::size_t c) const;
+
+  /// New matrix containing the selected rows, in the given order.
+  Matrix select_rows(std::span<const std::size_t> indices) const;
+
+  /// New matrix containing the selected columns, in the given order.
+  Matrix select_cols(std::span<const std::size_t> indices) const;
+
+  /// Appends a row (must match cols(); first append fixes the width).
+  void append_row(std::span<const double> values);
+
+  Matrix transposed() const;
+
+  void fill(double v) noexcept { data_.assign(data_.size(), v); }
+
+  bool same_shape(const Matrix& other) const noexcept {
+    return rows_ == other.rows_ && cols_ == other.cols_;
+  }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+}  // namespace alba

@@ -1,0 +1,140 @@
+#include "linalg/ops.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/thread_pool.hpp"
+
+namespace alba {
+
+namespace {
+constexpr std::size_t kParallelRowThreshold = 64;
+}
+
+void gemm(const Matrix& a, const Matrix& b, Matrix& out) {
+  ALBA_CHECK(a.cols() == b.rows())
+      << "gemm shape mismatch: " << a.rows() << "x" << a.cols() << " * "
+      << b.rows() << "x" << b.cols();
+  const std::size_t m = a.rows();
+  const std::size_t k = a.cols();
+  const std::size_t n = b.cols();
+  out = Matrix(m, n);
+
+  auto row_block = [&](std::size_t r0, std::size_t r1) {
+    // ikj loop order: streams B rows, accumulates into the output row.
+    for (std::size_t i = r0; i < r1; ++i) {
+      double* orow = out.data() + i * n;
+      const double* arow = a.data() + i * k;
+      for (std::size_t p = 0; p < k; ++p) {
+        const double av = arow[p];
+        if (av == 0.0) continue;
+        const double* brow = b.data() + p * n;
+        for (std::size_t j = 0; j < n; ++j) orow[j] += av * brow[j];
+      }
+    }
+  };
+
+  if (m >= kParallelRowThreshold) {
+    global_pool().parallel_for_chunked(m, row_block);
+  } else {
+    row_block(0, m);
+  }
+}
+
+void gemm_bt(const Matrix& a, const Matrix& b_t, Matrix& out) {
+  ALBA_CHECK(a.cols() == b_t.cols())
+      << "gemm_bt inner dimension mismatch: " << a.cols() << " vs "
+      << b_t.cols();
+  const std::size_t m = a.rows();
+  const std::size_t k = a.cols();
+  const std::size_t n = b_t.rows();
+  out = Matrix(m, n);
+
+  auto row_block = [&](std::size_t r0, std::size_t r1) {
+    for (std::size_t i = r0; i < r1; ++i) {
+      const double* arow = a.data() + i * k;
+      double* orow = out.data() + i * n;
+      for (std::size_t j = 0; j < n; ++j) {
+        const double* brow = b_t.data() + j * k;
+        double acc = 0.0;
+        for (std::size_t p = 0; p < k; ++p) acc += arow[p] * brow[p];
+        orow[j] = acc;
+      }
+    }
+  };
+
+  if (m >= kParallelRowThreshold) {
+    global_pool().parallel_for_chunked(m, row_block);
+  } else {
+    row_block(0, m);
+  }
+}
+
+void gemm_at(const Matrix& a, const Matrix& b, Matrix& out) {
+  ALBA_CHECK(a.rows() == b.rows())
+      << "gemm_at outer dimension mismatch: " << a.rows() << " vs " << b.rows();
+  const std::size_t m = a.rows();
+  const std::size_t k = a.cols();
+  const std::size_t n = b.cols();
+  out = Matrix(k, n);
+
+  // Deterministic single accumulation pass (parallelizing over m would need
+  // per-thread partials; gradient matrices here are small enough not to).
+  for (std::size_t i = 0; i < m; ++i) {
+    const double* arow = a.data() + i * k;
+    const double* brow = b.data() + i * n;
+    for (std::size_t p = 0; p < k; ++p) {
+      const double av = arow[p];
+      if (av == 0.0) continue;
+      double* orow = out.data() + p * n;
+      for (std::size_t j = 0; j < n; ++j) orow[j] += av * brow[j];
+    }
+  }
+}
+
+void gemv(const Matrix& m, std::span<const double> x, std::span<double> y) {
+  ALBA_CHECK(m.cols() == x.size() && m.rows() == y.size());
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    y[r] = dot(m.row(r), x);
+  }
+}
+
+double dot(std::span<const double> a, std::span<const double> b) noexcept {
+  ALBA_DCHECK(a.size() == b.size());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+void axpy(double alpha, std::span<const double> x, std::span<double> y) noexcept {
+  ALBA_DCHECK(x.size() == y.size());
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+}
+
+double l2_norm(std::span<const double> v) noexcept {
+  return std::sqrt(dot(v, v));
+}
+
+double l1_norm(std::span<const double> v) noexcept {
+  double acc = 0.0;
+  for (double x : v) acc += std::abs(x);
+  return acc;
+}
+
+void softmax(std::span<double> v) noexcept {
+  if (v.empty()) return;
+  const double mx = *std::max_element(v.begin(), v.end());
+  double sum = 0.0;
+  for (auto& x : v) {
+    x = std::exp(x - mx);
+    sum += x;
+  }
+  const double inv = 1.0 / sum;
+  for (auto& x : v) x *= inv;
+}
+
+void softmax_rows(Matrix& m) noexcept {
+  for (std::size_t r = 0; r < m.rows(); ++r) softmax(m.row(r));
+}
+
+}  // namespace alba

@@ -1,0 +1,40 @@
+// The small set of dense kernels the ML layer needs: gemm/gemv for the MLP
+// and autoencoder, plus vector primitives. gemm is cache-blocked and runs
+// its row tiles on the global thread pool; everything here is deterministic
+// for a fixed input regardless of thread count (per-row accumulation only).
+#pragma once
+
+#include <span>
+
+#include "linalg/matrix.hpp"
+
+namespace alba {
+
+/// out = A (m×k) * B (k×n). Shapes validated; out is resized.
+void gemm(const Matrix& a, const Matrix& b, Matrix& out);
+
+/// out = A (m×k) * B^T where bT is given as (n×k). Used by backward passes.
+void gemm_bt(const Matrix& a, const Matrix& b_t, Matrix& out);
+
+/// out = A^T (k×m→m rows?) — computes A^T (k×n result) * B: out = Aᵀ·B with
+/// A (m×k), B (m×n) → out (k×n). Used for weight gradients.
+void gemm_at(const Matrix& a, const Matrix& b, Matrix& out);
+
+/// y = M (m×n) * x (n).
+void gemv(const Matrix& m, std::span<const double> x, std::span<double> y);
+
+double dot(std::span<const double> a, std::span<const double> b) noexcept;
+
+/// y += alpha * x.
+void axpy(double alpha, std::span<const double> x, std::span<double> y) noexcept;
+
+double l2_norm(std::span<const double> v) noexcept;
+double l1_norm(std::span<const double> v) noexcept;
+
+/// Row-wise softmax in place; numerically stabilized by row-max subtraction.
+void softmax_rows(Matrix& m) noexcept;
+
+/// Numerically stable softmax of a single vector in place.
+void softmax(std::span<double> v) noexcept;
+
+}  // namespace alba

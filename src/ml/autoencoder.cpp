@@ -1,0 +1,198 @@
+#include "ml/autoencoder.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/error.hpp"
+#include "linalg/ops.hpp"
+
+namespace alba {
+
+Autoencoder::Autoencoder(AutoencoderConfig config, std::uint64_t seed)
+    : config_(config), seed_(seed) {
+  ALBA_CHECK(config_.code_size >= 1);
+  ALBA_CHECK(config_.epochs >= 1);
+  ALBA_CHECK(config_.batch_size >= 1);
+  for (const int h : config_.encoder_layers) ALBA_CHECK(h >= 1);
+}
+
+Matrix Autoencoder::forward(const Matrix& x, std::vector<Matrix>* activations,
+                            std::size_t stop_after_layer) const {
+  Matrix cur = x;
+  if (activations) activations->push_back(cur);
+  for (std::size_t l = 0; l < weights_.size(); ++l) {
+    Matrix next;
+    gemm(cur, weights_[l], next);
+    const auto& b = bias_[l];
+    // The code layer and the output layer are linear; hidden layers ReLU.
+    const bool linear = (l == code_layer_) || (l + 1 == weights_.size());
+    for (std::size_t i = 0; i < next.rows(); ++i) {
+      auto row = next.row(i);
+      for (std::size_t j = 0; j < row.size(); ++j) {
+        row[j] += b[j];
+        if (!linear && row[j] < 0.0) row[j] = 0.0;
+      }
+    }
+    cur = std::move(next);
+    if (l == stop_after_layer) return cur;
+    if (activations && l + 1 < weights_.size()) activations->push_back(cur);
+  }
+  return cur;
+}
+
+double Autoencoder::fit(const Matrix& x) {
+  ALBA_CHECK(x.rows() > 0 && x.cols() > 0);
+  const std::size_t n = x.rows();
+  const std::size_t f = x.cols();
+
+  // Symmetric topology: f → enc... → code → ...cne → f.
+  std::vector<std::size_t> sizes{f};
+  for (const int h : config_.encoder_layers) {
+    sizes.push_back(static_cast<std::size_t>(h));
+  }
+  code_layer_ = sizes.size() - 1;  // weight index producing the code
+  sizes.push_back(static_cast<std::size_t>(config_.code_size));
+  for (auto it = config_.encoder_layers.rbegin();
+       it != config_.encoder_layers.rend(); ++it) {
+    sizes.push_back(static_cast<std::size_t>(*it));
+  }
+  sizes.push_back(f);
+
+  Rng rng(seed_);
+  weights_.clear();
+  bias_.clear();
+  for (std::size_t l = 0; l + 1 < sizes.size(); ++l) {
+    Matrix w(sizes[l], sizes[l + 1]);
+    const double bound = std::sqrt(6.0 / static_cast<double>(sizes[l]));
+    for (std::size_t i = 0; i < w.rows(); ++i) {
+      for (std::size_t j = 0; j < w.cols(); ++j) {
+        w(i, j) = rng.uniform(-bound, bound);
+      }
+    }
+    weights_.push_back(std::move(w));
+    bias_.emplace_back(sizes[l + 1], 0.0);
+  }
+
+  // Adadelta state: accumulated squared gradients and updates.
+  std::vector<Matrix> eg_w;
+  std::vector<Matrix> ex_w;
+  std::vector<std::vector<double>> eg_b;
+  std::vector<std::vector<double>> ex_b;
+  for (std::size_t l = 0; l < weights_.size(); ++l) {
+    eg_w.emplace_back(weights_[l].rows(), weights_[l].cols());
+    ex_w.emplace_back(weights_[l].rows(), weights_[l].cols());
+    eg_b.emplace_back(bias_[l].size(), 0.0);
+    ex_b.emplace_back(bias_[l].size(), 0.0);
+  }
+  const double rho = config_.rho;
+  const double eps = config_.eps;
+
+  auto adadelta = [rho, eps](double g, double& eg, double& ex) {
+    eg = rho * eg + (1.0 - rho) * g * g;
+    const double dx = -std::sqrt(ex + eps) / std::sqrt(eg + eps) * g;
+    ex = rho * ex + (1.0 - rho) * dx * dx;
+    return dx;
+  };
+
+  const std::size_t batch =
+      std::min<std::size_t>(static_cast<std::size_t>(config_.batch_size), n);
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  double epoch_mse = 0.0;
+
+  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    rng.shuffle(order);
+    double mse_acc = 0.0;
+
+    for (std::size_t start = 0; start < n; start += batch) {
+      const std::size_t count = std::min(batch, n - start);
+      const std::span<const std::size_t> batch_idx(order.data() + start, count);
+      const Matrix bx = x.select_rows(batch_idx);
+
+      std::vector<Matrix> activations;
+      Matrix out = forward(bx, &activations, weights_.size());
+
+      // MSE gradient on the output: delta = 2 (out - x) / F.
+      Matrix delta(out.rows(), out.cols());
+      const double scale = 2.0 / static_cast<double>(f);
+      for (std::size_t i = 0; i < out.rows(); ++i) {
+        const auto orow = out.row(i);
+        const auto xrow = bx.row(i);
+        auto drow = delta.row(i);
+        for (std::size_t j = 0; j < f; ++j) {
+          const double diff = orow[j] - xrow[j];
+          mse_acc += diff * diff;
+          drow[j] = scale * diff;
+        }
+      }
+
+      const double inv_b = 1.0 / static_cast<double>(count);
+      for (std::size_t l = weights_.size(); l-- > 0;) {
+        Matrix gw;
+        gemm_at(activations[l], delta, gw);
+        std::vector<double> gb(bias_[l].size(), 0.0);
+        for (std::size_t i = 0; i < delta.rows(); ++i) {
+          const auto row = delta.row(i);
+          for (std::size_t j = 0; j < gb.size(); ++j) gb[j] += row[j];
+        }
+
+        Matrix next_delta;
+        if (l > 0) {
+          gemm_bt(delta, weights_[l], next_delta);
+          const bool upstream_linear = (l - 1 == code_layer_);
+          if (!upstream_linear) {
+            const Matrix& act = activations[l];
+            for (std::size_t i = 0; i < next_delta.rows(); ++i) {
+              auto row = next_delta.row(i);
+              const auto arow = act.row(i);
+              for (std::size_t j = 0; j < row.size(); ++j) {
+                if (arow[j] <= 0.0) row[j] = 0.0;
+              }
+            }
+          }
+        }
+
+        for (std::size_t i = 0; i < gw.rows(); ++i) {
+          for (std::size_t j = 0; j < gw.cols(); ++j) {
+            weights_[l](i, j) +=
+                adadelta(gw(i, j) * inv_b, eg_w[l](i, j), ex_w[l](i, j));
+          }
+        }
+        for (std::size_t j = 0; j < gb.size(); ++j) {
+          bias_[l][j] += adadelta(gb[j] * inv_b, eg_b[l][j], ex_b[l][j]);
+        }
+        delta = std::move(next_delta);
+      }
+    }
+    epoch_mse = mse_acc / (static_cast<double>(n) * static_cast<double>(f));
+  }
+  return epoch_mse;
+}
+
+Matrix Autoencoder::encode(const Matrix& x) const {
+  ALBA_CHECK(fitted()) << "encode before fit";
+  return forward(x, nullptr, code_layer_);
+}
+
+Matrix Autoencoder::reconstruct(const Matrix& x) const {
+  ALBA_CHECK(fitted()) << "reconstruct before fit";
+  return forward(x, nullptr, weights_.size());
+}
+
+std::vector<double> Autoencoder::reconstruction_error(const Matrix& x) const {
+  const Matrix out = reconstruct(x);
+  std::vector<double> errors(x.rows(), 0.0);
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    const auto a = x.row(i);
+    const auto b = out.row(i);
+    double acc = 0.0;
+    for (std::size_t j = 0; j < a.size(); ++j) {
+      acc += (a[j] - b[j]) * (a[j] - b[j]);
+    }
+    errors[i] = acc / static_cast<double>(a.size());
+  }
+  return errors;
+}
+
+}  // namespace alba

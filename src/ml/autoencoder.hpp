@@ -1,0 +1,54 @@
+// Deep autoencoder — the representation learner inside the Proctor baseline
+// (Aksar et al., ISC 2021): symmetric ReLU encoder/decoder around a linear
+// code layer, mean-squared-error reconstruction loss, Adadelta optimizer
+// (the paper trains Proctor's autoencoder with adadelta + MSE).
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+#include "linalg/matrix.hpp"
+
+namespace alba {
+
+struct AutoencoderConfig {
+  std::vector<int> encoder_layers = {256};  // hidden sizes before the code
+  int code_size = 64;
+  int epochs = 30;
+  int batch_size = 64;
+  double rho = 0.95;       // Adadelta decay
+  double eps = 1e-6;       // Adadelta epsilon
+};
+
+class Autoencoder {
+ public:
+  explicit Autoencoder(AutoencoderConfig config, std::uint64_t seed = 0);
+
+  /// Trains on unlabeled data (rows = samples). Returns the final epoch's
+  /// mean reconstruction MSE.
+  double fit(const Matrix& x);
+
+  /// Code-layer embedding of each row (n × code_size).
+  Matrix encode(const Matrix& x) const;
+
+  /// Full reconstruction (n × input_size).
+  Matrix reconstruct(const Matrix& x) const;
+
+  /// Per-sample reconstruction errors (mean squared, length n).
+  std::vector<double> reconstruction_error(const Matrix& x) const;
+
+  bool fitted() const noexcept { return !weights_.empty(); }
+  const AutoencoderConfig& config() const noexcept { return config_; }
+
+ private:
+  Matrix forward(const Matrix& x, std::vector<Matrix>* activations,
+                 std::size_t stop_after_layer) const;
+
+  AutoencoderConfig config_;
+  std::uint64_t seed_;
+  std::size_t code_layer_ = 0;  // index of the layer whose output is the code
+  std::vector<Matrix> weights_;
+  std::vector<std::vector<double>> bias_;
+};
+
+}  // namespace alba

@@ -1,0 +1,26 @@
+#include "ml/classifier.hpp"
+
+#include "common/error.hpp"
+
+namespace alba {
+
+int argmax_label(std::span<const double> probs) noexcept {
+  int best = 0;
+  for (std::size_t c = 1; c < probs.size(); ++c) {
+    if (probs[c] > probs[static_cast<std::size_t>(best)]) {
+      best = static_cast<int>(c);
+    }
+  }
+  return best;
+}
+
+std::vector<int> Classifier::predict(const Matrix& x) const {
+  const Matrix probs = predict_proba(x);
+  std::vector<int> out(x.rows());
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    out[i] = argmax_label(probs.row(i));
+  }
+  return out;
+}
+
+}  // namespace alba

@@ -1,0 +1,52 @@
+// Abstract multiclass probabilistic classifier — the contract every model
+// (random forest, LGBM-style boosting, logistic regression, MLP) satisfies
+// and the only interface the active-learning layer sees.
+//
+// The class count is fixed at construction rather than inferred from fit():
+// ALBADross seeds training with one sample per (application, anomaly) pair
+// and *no healthy samples*, so a fitted model must still emit a probability
+// column for classes it has not seen yet (zero until the first healthy
+// label arrives via a query).
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace alba {
+
+class Classifier {
+ public:
+  virtual ~Classifier() = default;
+
+  /// Trains on x (samples × features) with labels y in [0, num_classes).
+  /// Replaces any previous fit (the active learner re-fits on the grown
+  /// labeled set each query, per Sec. III-D).
+  virtual void fit(const Matrix& x, std::span<const int> y) = 0;
+
+  /// Per-class probabilities, one row per sample, rows sum to 1.
+  virtual Matrix predict_proba(const Matrix& x) const = 0;
+
+  /// Fresh unfitted copy with identical hyperparameters.
+  virtual std::unique_ptr<Classifier> clone() const = 0;
+
+  /// Fresh unfitted copy with identical hyperparameters but a different
+  /// training seed — what committee methods use to diversify members.
+  virtual std::unique_ptr<Classifier> clone_reseeded(
+      std::uint64_t seed) const = 0;
+
+  virtual std::string name() const = 0;
+  virtual int num_classes() const noexcept = 0;
+  virtual bool fitted() const noexcept = 0;
+
+  /// Argmax of predict_proba.
+  std::vector<int> predict(const Matrix& x) const;
+};
+
+/// Argmax over one probability row.
+int argmax_label(std::span<const double> probs) noexcept;
+
+}  // namespace alba

@@ -1,0 +1,38 @@
+#include "ml/dataset.hpp"
+
+#include "common/error.hpp"
+
+namespace alba {
+
+void LabeledData::append(std::span<const double> features, int label) {
+  x.append_row(features);
+  y.push_back(label);
+}
+
+void LabeledData::append_all(const LabeledData& other) {
+  for (std::size_t i = 0; i < other.size(); ++i) {
+    append(other.x.row(i), other.y[i]);
+  }
+}
+
+LabeledData LabeledData::select(std::span<const std::size_t> indices) const {
+  LabeledData out;
+  out.x = x.select_rows(indices);
+  out.y.reserve(indices.size());
+  for (const std::size_t i : indices) {
+    ALBA_CHECK(i < y.size());
+    out.y.push_back(y[i]);
+  }
+  return out;
+}
+
+void LabeledData::validate_labels(int num_classes) const {
+  ALBA_CHECK(y.size() == x.rows())
+      << "labels/rows mismatch: " << y.size() << " vs " << x.rows();
+  for (const int label : y) {
+    ALBA_CHECK(label >= 0 && label < num_classes)
+        << "label " << label << " outside [0, " << num_classes << ")";
+  }
+}
+
+}  // namespace alba

@@ -1,0 +1,32 @@
+// Labeled design matrix + convenience row operations used by the active
+// learning loop (growing a labeled set one query at a time).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace alba {
+
+struct LabeledData {
+  Matrix x;
+  std::vector<int> y;
+
+  std::size_t size() const noexcept { return x.rows(); }
+  bool empty() const noexcept { return x.rows() == 0; }
+
+  /// Appends one labeled sample (feature widths must agree).
+  void append(std::span<const double> features, int label);
+
+  /// Appends all rows of another labeled set.
+  void append_all(const LabeledData& other);
+
+  /// Subset by row indices.
+  LabeledData select(std::span<const std::size_t> indices) const;
+
+  /// Sanity check: every label within [0, num_classes).
+  void validate_labels(int num_classes) const;
+};
+
+}  // namespace alba

@@ -1,0 +1,284 @@
+#include "ml/decision_tree.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/error.hpp"
+
+namespace alba {
+
+namespace {
+
+double impurity(std::span<const double> counts, double total,
+                SplitCriterion criterion) noexcept {
+  if (total <= 0.0) return 0.0;
+  if (criterion == SplitCriterion::Gini) {
+    double acc = 0.0;
+    for (const double c : counts) {
+      const double p = c / total;
+      acc += p * p;
+    }
+    return 1.0 - acc;
+  }
+  double acc = 0.0;
+  for (const double c : counts) {
+    if (c <= 0.0) continue;
+    const double p = c / total;
+    acc -= p * std::log2(p);
+  }
+  return acc;
+}
+
+}  // namespace
+
+DecisionTree::DecisionTree(TreeConfig config, std::uint64_t seed)
+    : config_(config), seed_(seed) {
+  ALBA_CHECK(config_.num_classes >= 2);
+  ALBA_CHECK(config_.min_samples_split >= 2);
+  ALBA_CHECK(config_.min_samples_leaf >= 1);
+  ALBA_CHECK(config_.max_features >= -1);
+}
+
+void DecisionTree::fit(const Matrix& x, std::span<const int> y) {
+  std::vector<std::size_t> idx(x.rows());
+  std::iota(idx.begin(), idx.end(), std::size_t{0});
+  fit_on(x, y, std::move(idx));
+}
+
+void DecisionTree::fit_on(const Matrix& x, std::span<const int> y,
+                          std::vector<std::size_t> indices) {
+  ALBA_CHECK(x.rows() == y.size());
+  ALBA_CHECK(!indices.empty()) << "fitting a tree on zero samples";
+  for (const int label : y) {
+    ALBA_CHECK(label >= 0 && label < config_.num_classes)
+        << "label " << label << " outside [0, " << config_.num_classes << ")";
+  }
+  nodes_.clear();
+  leaf_probs_.clear();
+  Rng rng(seed_);
+  build_node(x, y, indices, 0, indices.size(), 0, rng);
+}
+
+int DecisionTree::make_leaf(std::span<const int> y,
+                            std::span<const std::size_t> indices) {
+  const auto k = static_cast<std::size_t>(config_.num_classes);
+  const int leaf_start = static_cast<int>(leaf_probs_.size());
+  leaf_probs_.resize(leaf_probs_.size() + k, 0.0);
+  double* probs = leaf_probs_.data() + leaf_start;
+  for (const std::size_t i : indices) {
+    probs[static_cast<std::size_t>(y[i])] += 1.0;
+  }
+  const double inv = 1.0 / static_cast<double>(indices.size());
+  for (std::size_t c = 0; c < k; ++c) probs[c] *= inv;
+
+  Node node;
+  node.leaf_start = leaf_start;
+  nodes_.push_back(node);
+  return static_cast<int>(nodes_.size() - 1);
+}
+
+int DecisionTree::build_node(const Matrix& x, std::span<const int> y,
+                             std::vector<std::size_t>& indices,
+                             std::size_t begin, std::size_t end, int depth,
+                             Rng& rng) {
+  const std::size_t n = end - begin;
+  const auto k = static_cast<std::size_t>(config_.num_classes);
+  const auto node_span =
+      std::span<const std::size_t>(indices.data() + begin, n);
+
+  // Class histogram; detect purity.
+  std::vector<double> counts(k, 0.0);
+  for (const std::size_t i : node_span) {
+    counts[static_cast<std::size_t>(y[i])] += 1.0;
+  }
+  bool pure = false;
+  for (const double c : counts) {
+    if (c == static_cast<double>(n)) pure = true;
+  }
+
+  const bool depth_capped =
+      config_.max_depth >= 0 && depth >= config_.max_depth;
+  if (pure || depth_capped ||
+      n < static_cast<std::size_t>(config_.min_samples_split)) {
+    return make_leaf(y, node_span);
+  }
+
+  // Feature subset for this split.
+  const std::size_t f_total = x.cols();
+  std::size_t f_try = f_total;
+  if (config_.max_features == -1) {
+    f_try = std::max<std::size_t>(
+        1, static_cast<std::size_t>(std::sqrt(static_cast<double>(f_total))));
+  } else if (config_.max_features > 0) {
+    f_try = std::min<std::size_t>(static_cast<std::size_t>(config_.max_features),
+                                  f_total);
+  }
+  std::vector<std::size_t> features =
+      f_try == f_total
+          ? [&] {
+              std::vector<std::size_t> all(f_total);
+              std::iota(all.begin(), all.end(), std::size_t{0});
+              return all;
+            }()
+          : rng.sample_without_replacement(f_total, f_try);
+
+  // Exact best split: sort node samples by feature value and scan.
+  const double parent_impurity =
+      impurity(counts, static_cast<double>(n), config_.criterion);
+  double best_gain = 1e-12;
+  std::size_t best_feature = 0;
+  double best_threshold = 0.0;
+
+  std::vector<std::pair<double, int>> sorted(n);  // (value, label)
+  std::vector<double> left_counts(k);
+  const auto min_leaf = static_cast<std::size_t>(config_.min_samples_leaf);
+
+  for (const std::size_t f : features) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::size_t row = node_span[i];
+      sorted[i] = {x(row, f), y[row]};
+    }
+    std::sort(sorted.begin(), sorted.end());
+    if (sorted.front().first == sorted.back().first) continue;  // constant
+
+    std::fill(left_counts.begin(), left_counts.end(), 0.0);
+    for (std::size_t i = 0; i + 1 < n; ++i) {
+      left_counts[static_cast<std::size_t>(sorted[i].second)] += 1.0;
+      const std::size_t n_left = i + 1;
+      const std::size_t n_right = n - n_left;
+      if (n_left < min_leaf || n_right < min_leaf) continue;
+      if (sorted[i].first == sorted[i + 1].first) continue;  // same value
+
+      double right_total = 0.0;
+      double imp_left =
+          impurity(left_counts, static_cast<double>(n_left), config_.criterion);
+      // right counts = counts - left_counts
+      double imp_right;
+      {
+        std::vector<double> right_counts(k);
+        for (std::size_t c = 0; c < k; ++c) {
+          right_counts[c] = counts[c] - left_counts[c];
+          right_total += right_counts[c];
+        }
+        imp_right = impurity(right_counts, right_total, config_.criterion);
+      }
+      const double weighted =
+          (static_cast<double>(n_left) * imp_left +
+           static_cast<double>(n_right) * imp_right) /
+          static_cast<double>(n);
+      const double gain = parent_impurity - weighted;
+      if (gain > best_gain) {
+        best_gain = gain;
+        best_feature = f;
+        best_threshold = 0.5 * (sorted[i].first + sorted[i + 1].first);
+      }
+    }
+  }
+
+  if (best_gain <= 1e-12) return make_leaf(y, node_span);
+
+  // Partition [begin, end) around the threshold.
+  const auto mid_it = std::partition(
+      indices.begin() + static_cast<std::ptrdiff_t>(begin),
+      indices.begin() + static_cast<std::ptrdiff_t>(end),
+      [&](std::size_t i) { return x(i, best_feature) <= best_threshold; });
+  const std::size_t mid =
+      static_cast<std::size_t>(mid_it - indices.begin());
+  if (mid == begin || mid == end) return make_leaf(y, node_span);
+
+  Node node;
+  node.feature = static_cast<int>(best_feature);
+  node.threshold = best_threshold;
+  node.importance = best_gain * static_cast<double>(n);
+  const int self = static_cast<int>(nodes_.size());
+  nodes_.push_back(node);
+
+  const int left = build_node(x, y, indices, begin, mid, depth + 1, rng);
+  const int right = build_node(x, y, indices, mid, end, depth + 1, rng);
+  nodes_[static_cast<std::size_t>(self)].left = left;
+  nodes_[static_cast<std::size_t>(self)].right = right;
+  return self;
+}
+
+void DecisionTree::predict_proba_row(std::span<const double> row,
+                                     std::span<double> out) const {
+  ALBA_CHECK(fitted()) << "predict before fit";
+  ALBA_CHECK(out.size() == static_cast<std::size_t>(config_.num_classes));
+  int node = 0;
+  for (;;) {
+    const Node& cur = nodes_[static_cast<std::size_t>(node)];
+    if (cur.feature < 0) {
+      const double* probs = leaf_probs_.data() + cur.leaf_start;
+      std::copy_n(probs, out.size(), out.begin());
+      return;
+    }
+    node = (row[static_cast<std::size_t>(cur.feature)] <= cur.threshold)
+               ? cur.left
+               : cur.right;
+  }
+}
+
+Matrix DecisionTree::predict_proba(const Matrix& x) const {
+  Matrix out(x.rows(), static_cast<std::size_t>(config_.num_classes));
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    predict_proba_row(x.row(i), out.row(i));
+  }
+  return out;
+}
+
+std::unique_ptr<Classifier> DecisionTree::clone() const {
+  return std::make_unique<DecisionTree>(config_, seed_);
+}
+
+std::size_t DecisionTree::leaf_count() const noexcept {
+  std::size_t count = 0;
+  for (const Node& n : nodes_) count += (n.feature < 0) ? 1 : 0;
+  return count;
+}
+
+int DecisionTree::depth() const noexcept {
+  if (nodes_.empty()) return 0;
+  // Iterative depth computation over the flat layout.
+  std::vector<std::pair<int, int>> stack{{0, 0}};
+  int best = 0;
+  while (!stack.empty()) {
+    const auto [idx, d] = stack.back();
+    stack.pop_back();
+    best = std::max(best, d);
+    const Node& n = nodes_[static_cast<std::size_t>(idx)];
+    if (n.feature >= 0) {
+      stack.push_back({n.left, d + 1});
+      stack.push_back({n.right, d + 1});
+    }
+  }
+  return best;
+}
+
+std::vector<double> DecisionTree::feature_importances(
+    std::size_t num_features) const {
+  ALBA_CHECK(fitted()) << "importances before fit";
+  std::vector<double> importances(num_features, 0.0);
+  double total = 0.0;
+  for (const Node& node : nodes_) {
+    if (node.feature < 0) continue;
+    ALBA_CHECK(static_cast<std::size_t>(node.feature) < num_features)
+        << "tree splits on feature " << node.feature << ", only "
+        << num_features << " given";
+    importances[static_cast<std::size_t>(node.feature)] += node.importance;
+    total += node.importance;
+  }
+  if (total > 0.0) {
+    for (auto& v : importances) v /= total;
+  }
+  return importances;
+}
+
+void DecisionTree::restore(std::vector<Node> nodes,
+                           std::vector<double> leaf_probs) {
+  ALBA_CHECK(!nodes.empty());
+  nodes_ = std::move(nodes);
+  leaf_probs_ = std::move(leaf_probs);
+}
+
+}  // namespace alba

@@ -1,0 +1,308 @@
+#include "ml/gbm.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <queue>
+
+#include "common/error.hpp"
+#include "linalg/ops.hpp"
+
+namespace alba {
+
+namespace {
+
+// A growable leaf during leaf-wise construction.
+struct LeafCandidate {
+  int node = -1;               // index in nodes
+  std::size_t begin = 0;       // index range into the shared index buffer
+  std::size_t end = 0;
+  int depth = 0;
+  double gain = 0.0;           // best split gain found for this leaf
+  std::size_t feature = 0;
+  double threshold = 0.0;
+
+  bool operator<(const LeafCandidate& other) const noexcept {
+    return gain < other.gain;  // max-heap on gain
+  }
+};
+
+double leaf_value(double sum_grad, double sum_hess, double lambda) noexcept {
+  return -sum_grad / (sum_hess + lambda);
+}
+
+double split_score(double g, double h, double lambda) noexcept {
+  return g * g / (h + lambda);
+}
+
+}  // namespace
+
+double GbmClassifier::RegTree::predict(
+    std::span<const double> row) const noexcept {
+  int node = 0;
+  for (;;) {
+    const RegNode& cur = nodes[static_cast<std::size_t>(node)];
+    if (cur.feature < 0) return cur.value;
+    node = (row[static_cast<std::size_t>(cur.feature)] <= cur.threshold)
+               ? cur.left
+               : cur.right;
+  }
+}
+
+GbmClassifier::GbmClassifier(GbmConfig config, std::uint64_t seed)
+    : config_(config), seed_(seed) {
+  ALBA_CHECK(config_.num_classes >= 2);
+  ALBA_CHECK(config_.n_estimators >= 1);
+  ALBA_CHECK(config_.num_leaves >= 2);
+  ALBA_CHECK(config_.learning_rate > 0.0);
+  ALBA_CHECK(config_.colsample_bytree > 0.0 && config_.colsample_bytree <= 1.0);
+}
+
+GbmClassifier::RegTree GbmClassifier::fit_tree(
+    const Matrix& x, std::span<const double> grad,
+    std::span<const double> hess,
+    std::span<const std::size_t> feature_pool) const {
+  const std::size_t n = x.rows();
+  RegTree tree;
+
+  std::vector<std::size_t> indices(n);
+  std::iota(indices.begin(), indices.end(), std::size_t{0});
+
+  // Finds the best split of [begin, end) and fills the candidate.
+  auto evaluate_leaf = [&](LeafCandidate& cand) {
+    cand.gain = 0.0;
+    const std::size_t count = cand.end - cand.begin;
+    if (count < 2 * static_cast<std::size_t>(config_.min_samples_leaf)) return;
+    if (config_.max_depth >= 0 && cand.depth >= config_.max_depth) return;
+
+    double g_total = 0.0;
+    double h_total = 0.0;
+    for (std::size_t i = cand.begin; i < cand.end; ++i) {
+      g_total += grad[indices[i]];
+      h_total += hess[indices[i]];
+    }
+    const double parent = split_score(g_total, h_total, config_.reg_lambda);
+
+    std::vector<std::pair<double, std::size_t>> sorted(count);
+    const auto min_leaf = static_cast<std::size_t>(config_.min_samples_leaf);
+    for (const std::size_t f : feature_pool) {
+      for (std::size_t i = 0; i < count; ++i) {
+        const std::size_t row = indices[cand.begin + i];
+        sorted[i] = {x(row, f), row};
+      }
+      std::sort(sorted.begin(), sorted.end());
+      if (sorted.front().first == sorted.back().first) continue;
+
+      double g_left = 0.0;
+      double h_left = 0.0;
+      for (std::size_t i = 0; i + 1 < count; ++i) {
+        g_left += grad[sorted[i].second];
+        h_left += hess[sorted[i].second];
+        const std::size_t n_left = i + 1;
+        if (n_left < min_leaf || count - n_left < min_leaf) continue;
+        if (sorted[i].first == sorted[i + 1].first) continue;
+        const double gain =
+            split_score(g_left, h_left, config_.reg_lambda) +
+            split_score(g_total - g_left, h_total - h_left,
+                        config_.reg_lambda) -
+            parent;
+        if (gain > cand.gain) {
+          cand.gain = gain;
+          cand.feature = f;
+          cand.threshold = 0.5 * (sorted[i].first + sorted[i + 1].first);
+        }
+      }
+    }
+  };
+
+  auto set_leaf_value = [&](int node, std::size_t begin, std::size_t end) {
+    double g = 0.0;
+    double h = 0.0;
+    for (std::size_t i = begin; i < end; ++i) {
+      g += grad[indices[i]];
+      h += hess[indices[i]];
+    }
+    tree.nodes[static_cast<std::size_t>(node)].value =
+        leaf_value(g, h, config_.reg_lambda);
+  };
+
+  tree.nodes.push_back(RegNode{});
+  LeafCandidate root;
+  root.node = 0;
+  root.begin = 0;
+  root.end = n;
+  root.depth = 0;
+  evaluate_leaf(root);
+
+  std::priority_queue<LeafCandidate> heap;
+  heap.push(root);
+  int leaves = 1;
+
+  while (!heap.empty() && leaves < config_.num_leaves) {
+    LeafCandidate cand = heap.top();
+    heap.pop();
+    if (cand.gain <= config_.min_gain) {
+      // Nothing useful to split: finalize as a leaf.
+      set_leaf_value(cand.node, cand.begin, cand.end);
+      continue;
+    }
+
+    // Partition the index range.
+    const auto begin_it =
+        indices.begin() + static_cast<std::ptrdiff_t>(cand.begin);
+    const auto end_it = indices.begin() + static_cast<std::ptrdiff_t>(cand.end);
+    const auto mid_it = std::partition(begin_it, end_it, [&](std::size_t i) {
+      return x(i, cand.feature) <= cand.threshold;
+    });
+    const std::size_t mid = static_cast<std::size_t>(mid_it - indices.begin());
+    if (mid == cand.begin || mid == cand.end) {
+      set_leaf_value(cand.node, cand.begin, cand.end);
+      continue;
+    }
+
+    RegNode& parent = tree.nodes[static_cast<std::size_t>(cand.node)];
+    parent.feature = static_cast<int>(cand.feature);
+    parent.threshold = cand.threshold;
+    parent.left = static_cast<int>(tree.nodes.size());
+    parent.right = static_cast<int>(tree.nodes.size() + 1);
+    tree.nodes.push_back(RegNode{});
+    tree.nodes.push_back(RegNode{});
+    ++leaves;
+
+    LeafCandidate left;
+    left.node = tree.nodes[static_cast<std::size_t>(cand.node)].left;
+    left.begin = cand.begin;
+    left.end = mid;
+    left.depth = cand.depth + 1;
+    evaluate_leaf(left);
+    heap.push(left);
+
+    LeafCandidate right;
+    right.node = tree.nodes[static_cast<std::size_t>(cand.node)].right;
+    right.begin = mid;
+    right.end = cand.end;
+    right.depth = cand.depth + 1;
+    evaluate_leaf(right);
+    heap.push(right);
+  }
+
+  // Assign values to every remaining leaf (walk the heap's leftovers plus
+  // any node that stayed a leaf).
+  // Re-derive leaf ranges: every node without children needs a value; the
+  // heap holds exactly the unsplit candidates.
+  while (!heap.empty()) {
+    const LeafCandidate cand = heap.top();
+    heap.pop();
+    set_leaf_value(cand.node, cand.begin, cand.end);
+  }
+  return tree;
+}
+
+void GbmClassifier::fit(const Matrix& x, std::span<const int> y) {
+  ALBA_CHECK(x.rows() == y.size());
+  ALBA_CHECK(x.rows() > 0);
+  const std::size_t n = x.rows();
+  const auto k = static_cast<std::size_t>(config_.num_classes);
+  for (const int label : y) {
+    ALBA_CHECK(label >= 0 && label < config_.num_classes);
+  }
+
+  rounds_.clear();
+  // Base score: class-prior log-probabilities (clamped for empty classes).
+  std::vector<double> prior(k, 0.0);
+  for (const int label : y) prior[static_cast<std::size_t>(label)] += 1.0;
+  base_score_.assign(k, 0.0);
+  for (std::size_t c = 0; c < k; ++c) {
+    const double p =
+        std::max(prior[c] / static_cast<double>(n), 1e-6);
+    base_score_[c] = std::log(p);
+  }
+
+  // raw[i][c] = current margin; updated additively each round.
+  Matrix raw(n, k);
+  for (std::size_t i = 0; i < n; ++i) {
+    auto row = raw.row(i);
+    for (std::size_t c = 0; c < k; ++c) row[c] = base_score_[c];
+  }
+
+  Rng rng(seed_);
+  std::vector<double> grad(n);
+  std::vector<double> hess(n);
+  Matrix probs;
+
+  for (int round = 0; round < config_.n_estimators; ++round) {
+    probs = raw;
+    softmax_rows(probs);
+
+    // Per-round column subsample, shared across the K class trees (the
+    // colsample_bytree knob).
+    std::vector<std::size_t> feature_pool;
+    const std::size_t f_total = x.cols();
+    const std::size_t f_take = std::max<std::size_t>(
+        1, static_cast<std::size_t>(std::llround(
+               config_.colsample_bytree * static_cast<double>(f_total))));
+    if (f_take >= f_total) {
+      feature_pool.resize(f_total);
+      std::iota(feature_pool.begin(), feature_pool.end(), std::size_t{0});
+    } else {
+      feature_pool = rng.sample_without_replacement(f_total, f_take);
+    }
+
+    std::vector<RegTree> class_trees;
+    class_trees.reserve(k);
+    for (std::size_t c = 0; c < k; ++c) {
+      for (std::size_t i = 0; i < n; ++i) {
+        const double p = probs(i, c);
+        const double target =
+            (static_cast<std::size_t>(y[i]) == c) ? 1.0 : 0.0;
+        grad[i] = p - target;
+        hess[i] = std::max(p * (1.0 - p), 1e-9);
+      }
+      RegTree tree = fit_tree(x, grad, hess, feature_pool);
+      for (std::size_t i = 0; i < n; ++i) {
+        raw(i, c) += config_.learning_rate * tree.predict(x.row(i));
+      }
+      class_trees.push_back(std::move(tree));
+    }
+    rounds_.push_back(std::move(class_trees));
+  }
+}
+
+Matrix GbmClassifier::predict_proba(const Matrix& x) const {
+  ALBA_CHECK(fitted()) << "predict before fit";
+  const auto k = static_cast<std::size_t>(config_.num_classes);
+  Matrix raw(x.rows(), k);
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    auto row = raw.row(i);
+    const auto features = x.row(i);
+    for (std::size_t c = 0; c < k; ++c) {
+      double margin = base_score_[c];
+      for (const auto& round : rounds_) {
+        margin += config_.learning_rate * round[c].predict(features);
+      }
+      row[c] = margin;
+    }
+  }
+  softmax_rows(raw);
+  return raw;
+}
+
+std::unique_ptr<Classifier> GbmClassifier::clone() const {
+  return std::make_unique<GbmClassifier>(config_, seed_);
+}
+
+void GbmClassifier::restore(std::vector<std::vector<RegTree>> rounds,
+                            std::vector<double> base_score) {
+  ALBA_CHECK(!rounds.empty());
+  ALBA_CHECK(base_score.size() ==
+             static_cast<std::size_t>(config_.num_classes));
+  for (const auto& round : rounds) {
+    ALBA_CHECK(round.size() == base_score.size())
+        << "round has " << round.size() << " trees, expected "
+        << base_score.size();
+  }
+  rounds_ = std::move(rounds);
+  base_score_ = std::move(base_score);
+}
+
+}  // namespace alba

@@ -1,0 +1,79 @@
+// LightGBM-style multiclass gradient boosting (Ke et al., NeurIPS 2017):
+// one regression tree per class per round fitted to softmax
+// gradients/hessians, leaf-wise (best-gain-first) growth capped by
+// `num_leaves`, optional depth cap, per-tree column subsampling
+// (`colsample_bytree`) — the hyperparameters of the paper's Table IV grid.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+#include "ml/classifier.hpp"
+
+namespace alba {
+
+struct GbmConfig {
+  int num_classes = 2;
+  int n_estimators = 60;      // boosting rounds
+  int num_leaves = 31;
+  int max_depth = -1;         // -1 = unlimited
+  double learning_rate = 0.1;
+  double colsample_bytree = 1.0;
+  double reg_lambda = 1.0;    // L2 on leaf values
+  int min_samples_leaf = 1;
+  double min_gain = 1e-7;
+};
+
+class GbmClassifier final : public Classifier {
+ public:
+  explicit GbmClassifier(GbmConfig config, std::uint64_t seed = 0);
+
+  void fit(const Matrix& x, std::span<const int> y) override;
+  Matrix predict_proba(const Matrix& x) const override;
+
+  std::unique_ptr<Classifier> clone() const override;
+  std::unique_ptr<Classifier> clone_reseeded(std::uint64_t seed) const override {
+    return std::make_unique<GbmClassifier>(config_, seed);
+  }
+  std::string name() const override { return "lgbm"; }
+  int num_classes() const noexcept override { return config_.num_classes; }
+  bool fitted() const noexcept override { return !rounds_.empty(); }
+
+  const GbmConfig& config() const noexcept { return config_; }
+  std::size_t num_rounds() const noexcept { return rounds_.size(); }
+  std::uint64_t seed() const noexcept { return seed_; }
+
+  /// One regression tree in flat layout.
+  struct RegNode {
+    int feature = -1;        // -1 for leaves
+    double threshold = 0.0;
+    int left = -1;
+    int right = -1;
+    double value = 0.0;      // leaf output
+  };
+  struct RegTree {
+    std::vector<RegNode> nodes;
+    double predict(std::span<const double> row) const noexcept;
+  };
+
+  /// Serialization accessors.
+  const std::vector<std::vector<RegTree>>& rounds() const noexcept {
+    return rounds_;
+  }
+  const std::vector<double>& base_score() const noexcept { return base_score_; }
+  void restore(std::vector<std::vector<RegTree>> rounds,
+               std::vector<double> base_score);
+
+ private:
+  RegTree fit_tree(const Matrix& x, std::span<const double> grad,
+                   std::span<const double> hess,
+                   std::span<const std::size_t> feature_pool) const;
+
+  GbmConfig config_;
+  std::uint64_t seed_;
+  // rounds_[r][k] = tree for class k at boosting round r.
+  std::vector<std::vector<RegTree>> rounds_;
+  std::vector<double> base_score_;  // initial per-class log-odds
+};
+
+}  // namespace alba

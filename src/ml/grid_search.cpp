@@ -1,0 +1,217 @@
+#include "ml/grid_search.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/string_util.hpp"
+#include "ml/gbm.hpp"
+#include "ml/logreg.hpp"
+#include "ml/metrics.hpp"
+#include "ml/mlp.hpp"
+#include "ml/random_forest.hpp"
+#include "preprocess/split.hpp"
+
+namespace alba {
+
+std::vector<ParamSet> enumerate_grid(const ParamGrid& grid) {
+  std::vector<ParamSet> out{{}};
+  for (const auto& [name, values] : grid) {
+    ALBA_CHECK(!values.empty()) << "empty value list for param " << name;
+    std::vector<ParamSet> next;
+    next.reserve(out.size() * values.size());
+    for (const auto& base : out) {
+      for (const auto& v : values) {
+        ParamSet p = base;
+        p[name] = v;
+        next.push_back(std::move(p));
+      }
+    }
+    out = std::move(next);
+  }
+  return out;
+}
+
+GridSearchResult grid_search_cv(const ClassifierFactory& factory,
+                                const ParamGrid& grid, const Matrix& x,
+                                std::span<const int> y, std::size_t folds,
+                                std::uint64_t seed) {
+  ALBA_CHECK(x.rows() == y.size());
+  const auto combos = enumerate_grid(grid);
+  const auto splits = stratified_kfold(y, folds, seed);
+
+  GridSearchResult result;
+  result.best_score = -1.0;
+  int num_classes = 0;
+  for (const int label : y) num_classes = std::max(num_classes, label + 1);
+
+  for (const auto& params : combos) {
+    double sum = 0.0;
+    double sum_sq = 0.0;
+    for (const auto& split : splits) {
+      const Matrix x_train = x.select_rows(split.train);
+      const Matrix x_test = x.select_rows(split.test);
+      std::vector<int> y_train;
+      std::vector<int> y_test;
+      for (const std::size_t i : split.train) y_train.push_back(y[i]);
+      for (const std::size_t i : split.test) y_test.push_back(y[i]);
+
+      auto model = factory(params);
+      model->fit(x_train, y_train);
+      const double score = macro_f1(y_test, model->predict(x_test),
+                                    std::max(num_classes, model->num_classes()));
+      sum += score;
+      sum_sq += score * score;
+    }
+    const double n = static_cast<double>(splits.size());
+    GridSearchEntry entry;
+    entry.params = params;
+    entry.mean_score = sum / n;
+    entry.std_score =
+        std::sqrt(std::max(0.0, sum_sq / n - entry.mean_score * entry.mean_score));
+    if (entry.mean_score > result.best_score) {
+      result.best_score = entry.mean_score;
+      result.best_params = params;
+    }
+    result.entries.push_back(std::move(entry));
+  }
+  return result;
+}
+
+namespace {
+
+double get_d(const ParamSet& p, const std::string& key, double fallback) {
+  const auto it = p.find(key);
+  return it == p.end() ? fallback : parse_double(it->second);
+}
+int get_i(const ParamSet& p, const std::string& key, int fallback) {
+  const auto it = p.find(key);
+  return it == p.end() ? fallback : static_cast<int>(parse_long(it->second));
+}
+std::string get_s(const ParamSet& p, const std::string& key,
+                  const std::string& fallback) {
+  const auto it = p.find(key);
+  return it == p.end() ? fallback : it->second;
+}
+
+// "(50,100,50)" or "(100)" → {50, 100, 50}.
+std::vector<int> parse_layers(const std::string& spec) {
+  std::string inner = spec;
+  if (!inner.empty() && inner.front() == '(') inner = inner.substr(1);
+  if (!inner.empty() && inner.back() == ')') inner.pop_back();
+  std::vector<int> layers;
+  for (const auto& part : split(inner, ',')) {
+    const auto trimmed = trim(part);
+    if (!trimmed.empty()) layers.push_back(static_cast<int>(parse_long(trimmed)));
+  }
+  ALBA_CHECK(!layers.empty()) << "bad hidden_layer_sizes: " << spec;
+  return layers;
+}
+
+}  // namespace
+
+std::vector<std::string> model_names() { return {"lr", "rf", "lgbm", "mlp"}; }
+
+ClassifierFactory make_model_factory(const std::string& model, int num_classes,
+                                     std::uint64_t seed) {
+  if (model == "lr") {
+    return [num_classes, seed](const ParamSet& p) -> std::unique_ptr<Classifier> {
+      LogRegConfig cfg;
+      cfg.num_classes = num_classes;
+      const std::string penalty = get_s(p, "penalty", "l2");
+      ALBA_CHECK(penalty == "l1" || penalty == "l2")
+          << "unknown penalty " << penalty;
+      cfg.penalty = penalty == "l1" ? Penalty::L1 : Penalty::L2;
+      cfg.c = get_d(p, "C", 1.0);
+      cfg.max_iter = get_i(p, "max_iter", 200);
+      return std::make_unique<LogisticRegression>(cfg, seed);
+    };
+  }
+  if (model == "rf") {
+    return [num_classes, seed](const ParamSet& p) -> std::unique_ptr<Classifier> {
+      ForestConfig cfg;
+      cfg.num_classes = num_classes;
+      cfg.n_estimators = get_i(p, "n_estimators", 100);
+      const std::string depth = get_s(p, "max_depth", "None");
+      cfg.max_depth = depth == "None" ? -1 : static_cast<int>(parse_long(depth));
+      const std::string criterion = get_s(p, "criterion", "gini");
+      ALBA_CHECK(criterion == "gini" || criterion == "entropy")
+          << "unknown criterion " << criterion;
+      cfg.criterion = criterion == "gini" ? SplitCriterion::Gini
+                                          : SplitCriterion::Entropy;
+      return std::make_unique<RandomForest>(cfg, seed);
+    };
+  }
+  if (model == "lgbm") {
+    return [num_classes, seed](const ParamSet& p) -> std::unique_ptr<Classifier> {
+      GbmConfig cfg;
+      cfg.num_classes = num_classes;
+      cfg.num_leaves = get_i(p, "num_leaves", 31);
+      cfg.learning_rate = get_d(p, "learning_rate", 0.1);
+      cfg.max_depth = get_i(p, "max_depth", -1);
+      cfg.colsample_bytree = get_d(p, "colsample_bytree", 1.0);
+      cfg.n_estimators = get_i(p, "n_estimators", 40);
+      return std::make_unique<GbmClassifier>(cfg, seed);
+    };
+  }
+  if (model == "mlp") {
+    return [num_classes, seed](const ParamSet& p) -> std::unique_ptr<Classifier> {
+      MlpConfig cfg;
+      cfg.num_classes = num_classes;
+      cfg.max_iter = get_i(p, "max_iter", 100);
+      cfg.hidden_layers = parse_layers(get_s(p, "hidden_layer_sizes", "(100)"));
+      cfg.alpha = get_d(p, "alpha", 1e-4);
+      return std::make_unique<MlpClassifier>(cfg, seed);
+    };
+  }
+  throw Error("unknown model name: " + model);
+}
+
+ParamGrid table4_grid(const std::string& model) {
+  if (model == "lr") {
+    return {{"penalty", {"l1", "l2"}},
+            {"C", {"0.001", "0.01", "0.1", "1.0", "10.0"}}};
+  }
+  if (model == "rf") {
+    return {{"n_estimators", {"8", "10", "20", "100", "200"}},
+            {"max_depth", {"None", "4", "8", "10", "20"}},
+            {"criterion", {"gini", "entropy"}}};
+  }
+  if (model == "lgbm") {
+    return {{"num_leaves", {"2", "8", "31", "128"}},
+            {"learning_rate", {"0.01", "0.1", "0.3"}},
+            {"max_depth", {"-1", "2", "8"}},
+            {"colsample_bytree", {"0.5", "1.0"}}};
+  }
+  if (model == "mlp") {
+    return {{"max_iter", {"100", "200", "500", "1000"}},
+            {"hidden_layer_sizes", {"(10,10,10)", "(50,100,50)", "(100)"}},
+            {"alpha", {"0.0001", "0.001", "0.01"}}};
+  }
+  throw Error("unknown model name: " + model);
+}
+
+ParamSet table4_optimum(const std::string& model, bool eclipse) {
+  if (model == "lr") {
+    return {{"penalty", "l1"}, {"C", eclipse ? "1.0" : "10.0"}};
+  }
+  if (model == "rf") {
+    return {{"n_estimators", eclipse ? "200" : "20"},
+            {"max_depth", "8"},
+            {"criterion", "entropy"}};
+  }
+  if (model == "lgbm") {
+    return {{"num_leaves", eclipse ? "31" : "128"},
+            {"learning_rate", "0.1"},
+            {"max_depth", eclipse ? "-1" : "8"},
+            {"colsample_bytree", "1.0"}};
+  }
+  if (model == "mlp") {
+    return {{"max_iter", "100"},
+            {"hidden_layer_sizes", eclipse ? "(50,100,50)" : "(100)"},
+            {"alpha", eclipse ? "0.0001" : "0.01"}};
+  }
+  throw Error("unknown model name: " + model);
+}
+
+}  // namespace alba

@@ -1,0 +1,64 @@
+// Hyperparameter grid search with stratified k-fold cross-validation
+// (Sec. III-C / Table IV): every combination in the grid is scored by mean
+// macro-F1 across folds; the best combination wins. Also provides the
+// paper's model factories and Table IV search spaces by name, so the
+// hyperparameter bench and the pipeline share one definition.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "ml/classifier.hpp"
+
+namespace alba {
+
+using ParamSet = std::map<std::string, std::string>;
+/// Ordered list of (param name, candidate values).
+using ParamGrid = std::vector<std::pair<std::string, std::vector<std::string>>>;
+using ClassifierFactory =
+    std::function<std::unique_ptr<Classifier>(const ParamSet&)>;
+
+struct GridSearchEntry {
+  ParamSet params;
+  double mean_score = 0.0;
+  double std_score = 0.0;
+};
+
+struct GridSearchResult {
+  ParamSet best_params;
+  double best_score = 0.0;
+  std::vector<GridSearchEntry> entries;  // every combination, search order
+};
+
+/// Exhaustive search over the grid's cartesian product; each combination is
+/// scored with `folds`-fold stratified CV macro-F1. Deterministic for a
+/// fixed seed (folds are shared across combinations).
+GridSearchResult grid_search_cv(const ClassifierFactory& factory,
+                                const ParamGrid& grid, const Matrix& x,
+                                std::span<const int> y, std::size_t folds,
+                                std::uint64_t seed);
+
+/// Enumerates the cartesian product of a grid (exposed for tests).
+std::vector<ParamSet> enumerate_grid(const ParamGrid& grid);
+
+// --- the paper's four models (Table IV) -----------------------------------
+
+/// Model names accepted below: "lr", "rf", "lgbm", "mlp".
+std::vector<std::string> model_names();
+
+/// Factory that builds the named model from a ParamSet using Table IV's
+/// parameter names (penalty, C, n_estimators, max_depth, criterion,
+/// num_leaves, learning_rate, colsample_bytree, max_iter,
+/// hidden_layer_sizes, alpha). Unknown keys throw.
+ClassifierFactory make_model_factory(const std::string& model,
+                                     int num_classes, std::uint64_t seed);
+
+/// The Table IV search space for the named model.
+ParamGrid table4_grid(const std::string& model);
+
+/// The paper's chosen optimum for (model, system): Table IV's */+ markers.
+ParamSet table4_optimum(const std::string& model, bool eclipse);
+
+}  // namespace alba

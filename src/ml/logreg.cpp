@@ -1,0 +1,137 @@
+#include "ml/logreg.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "linalg/ops.hpp"
+
+namespace alba {
+
+LogisticRegression::LogisticRegression(LogRegConfig config, std::uint64_t seed)
+    : config_(config), seed_(seed) {
+  ALBA_CHECK(config_.num_classes >= 2);
+  ALBA_CHECK(config_.c > 0.0);
+  ALBA_CHECK(config_.max_iter >= 1);
+  ALBA_CHECK(config_.learning_rate > 0.0);
+}
+
+void LogisticRegression::fit(const Matrix& x, std::span<const int> y) {
+  ALBA_CHECK(x.rows() == y.size());
+  ALBA_CHECK(x.rows() > 0);
+  const std::size_t n = x.rows();
+  const std::size_t f = x.cols();
+  const auto k = static_cast<std::size_t>(config_.num_classes);
+  for (const int label : y) {
+    ALBA_CHECK(label >= 0 && label < config_.num_classes);
+  }
+
+  weights_ = Matrix(k, f, 0.0);
+  bias_.assign(k, 0.0);
+
+  // Adam state.
+  Matrix m_w(k, f, 0.0);
+  Matrix v_w(k, f, 0.0);
+  std::vector<double> m_b(k, 0.0);
+  std::vector<double> v_b(k, 0.0);
+  constexpr double kBeta1 = 0.9;
+  constexpr double kBeta2 = 0.999;
+  constexpr double kEps = 1e-8;
+
+  const double reg = 1.0 / (config_.c * static_cast<double>(n));
+  Matrix probs;        // n × k
+  Matrix grad_w;       // k × f
+
+  for (int step = 1; step <= config_.max_iter; ++step) {
+    // probs = softmax(X Wᵀ + b)
+    gemm_bt(x, weights_, probs);
+    for (std::size_t i = 0; i < n; ++i) {
+      auto row = probs.row(i);
+      for (std::size_t c = 0; c < k; ++c) row[c] += bias_[c];
+    }
+    softmax_rows(probs);
+
+    // residual = probs - onehot(y); grad_w = residualᵀ X / n.
+    for (std::size_t i = 0; i < n; ++i) {
+      probs(i, static_cast<std::size_t>(y[i])) -= 1.0;
+    }
+    gemm_at(probs, x, grad_w);  // residualᵀ (n×k)ᵀ · X (n×f) → k×f
+
+    const double inv_n = 1.0 / static_cast<double>(n);
+    double max_grad = 0.0;
+    for (std::size_t c = 0; c < k; ++c) {
+      double gb = 0.0;
+      for (std::size_t i = 0; i < n; ++i) gb += probs(i, c);
+      gb *= inv_n;
+      auto gw = grad_w.row(c);
+      auto w = weights_.row(c);
+      for (std::size_t j = 0; j < f; ++j) {
+        double g = gw[j] * inv_n;
+        if (config_.penalty == Penalty::L2) g += reg * w[j];
+        gw[j] = g;
+        max_grad = std::max(max_grad, std::abs(g));
+
+        // Adam update.
+        m_w(c, j) = kBeta1 * m_w(c, j) + (1.0 - kBeta1) * g;
+        v_w(c, j) = kBeta2 * v_w(c, j) + (1.0 - kBeta2) * g * g;
+        const double mhat = m_w(c, j) / (1.0 - std::pow(kBeta1, step));
+        const double vhat = v_w(c, j) / (1.0 - std::pow(kBeta2, step));
+        w[j] -= config_.learning_rate * mhat / (std::sqrt(vhat) + kEps);
+
+        if (config_.penalty == Penalty::L1) {
+          // Proximal step: soft-threshold toward zero.
+          const double thresh = config_.learning_rate * reg;
+          if (w[j] > thresh) {
+            w[j] -= thresh;
+          } else if (w[j] < -thresh) {
+            w[j] += thresh;
+          } else {
+            w[j] = 0.0;
+          }
+        }
+      }
+
+      m_b[c] = kBeta1 * m_b[c] + (1.0 - kBeta1) * gb;
+      v_b[c] = kBeta2 * v_b[c] + (1.0 - kBeta2) * gb * gb;
+      const double mhat = m_b[c] / (1.0 - std::pow(kBeta1, step));
+      const double vhat = v_b[c] / (1.0 - std::pow(kBeta2, step));
+      bias_[c] -= config_.learning_rate * mhat / (std::sqrt(vhat) + kEps);
+      max_grad = std::max(max_grad, std::abs(gb));
+    }
+    if (max_grad < config_.tol) break;
+  }
+}
+
+Matrix LogisticRegression::predict_proba(const Matrix& x) const {
+  ALBA_CHECK(fitted()) << "predict before fit";
+  ALBA_CHECK(x.cols() == weights_.cols())
+      << "model fitted on " << weights_.cols() << " features, got " << x.cols();
+  Matrix raw;
+  gemm_bt(x, weights_, raw);
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    auto row = raw.row(i);
+    for (std::size_t c = 0; c < row.size(); ++c) row[c] += bias_[c];
+  }
+  softmax_rows(raw);
+  return raw;
+}
+
+std::unique_ptr<Classifier> LogisticRegression::clone() const {
+  return std::make_unique<LogisticRegression>(config_, seed_);
+}
+
+std::size_t LogisticRegression::zero_weight_count() const noexcept {
+  std::size_t count = 0;
+  for (std::size_t c = 0; c < weights_.rows(); ++c) {
+    for (const double w : weights_.row(c)) count += (w == 0.0) ? 1 : 0;
+  }
+  return count;
+}
+
+void LogisticRegression::restore(Matrix weights, std::vector<double> bias) {
+  ALBA_CHECK(weights.rows() == bias.size());
+  weights_ = std::move(weights);
+  bias_ = std::move(bias);
+}
+
+}  // namespace alba

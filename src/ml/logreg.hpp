@@ -1,0 +1,56 @@
+// Multinomial logistic regression with L1 or L2 regularization (sklearn's
+// `C` parameterization: penalty strength = 1/C). Optimized with full-batch
+// Adam; L1 is handled by proximal soft-thresholding after each step, so
+// l1 solutions are genuinely sparse.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+#include "ml/classifier.hpp"
+
+namespace alba {
+
+enum class Penalty { L1, L2 };
+
+struct LogRegConfig {
+  int num_classes = 2;
+  Penalty penalty = Penalty::L2;
+  double c = 1.0;          // inverse regularization strength
+  int max_iter = 200;      // full-batch optimizer steps
+  double learning_rate = 0.1;
+  double tol = 1e-6;       // stop when max |grad| falls below
+};
+
+class LogisticRegression final : public Classifier {
+ public:
+  explicit LogisticRegression(LogRegConfig config, std::uint64_t seed = 0);
+
+  void fit(const Matrix& x, std::span<const int> y) override;
+  Matrix predict_proba(const Matrix& x) const override;
+
+  std::unique_ptr<Classifier> clone() const override;
+  std::unique_ptr<Classifier> clone_reseeded(std::uint64_t seed) const override {
+    return std::make_unique<LogisticRegression>(config_, seed);
+  }
+  std::string name() const override { return "logistic_regression"; }
+  int num_classes() const noexcept override { return config_.num_classes; }
+  bool fitted() const noexcept override { return weights_.rows() > 0; }
+
+  const LogRegConfig& config() const noexcept { return config_; }
+  const Matrix& weights() const noexcept { return weights_; }  // K × F
+  const std::vector<double>& bias() const noexcept { return bias_; }
+
+  /// Count of exactly-zero weights (sparsity induced by L1).
+  std::size_t zero_weight_count() const noexcept;
+
+  void restore(Matrix weights, std::vector<double> bias);
+
+ private:
+  LogRegConfig config_;
+  std::uint64_t seed_;
+  Matrix weights_;            // num_classes × num_features
+  std::vector<double> bias_;  // num_classes
+};
+
+}  // namespace alba

@@ -1,0 +1,126 @@
+#include "ml/metrics.hpp"
+
+#include "common/error.hpp"
+#include "ml/classifier.hpp"
+
+namespace alba {
+
+Matrix confusion_matrix(std::span<const int> y_true,
+                        std::span<const int> y_pred, int num_classes) {
+  ALBA_CHECK(y_true.size() == y_pred.size());
+  ALBA_CHECK(num_classes > 0);
+  const auto k = static_cast<std::size_t>(num_classes);
+  Matrix cm(k, k, 0.0);
+  for (std::size_t i = 0; i < y_true.size(); ++i) {
+    ALBA_CHECK(y_true[i] >= 0 && y_true[i] < num_classes)
+        << "true label " << y_true[i] << " out of range";
+    ALBA_CHECK(y_pred[i] >= 0 && y_pred[i] < num_classes)
+        << "predicted label " << y_pred[i] << " out of range";
+    cm(static_cast<std::size_t>(y_true[i]),
+       static_cast<std::size_t>(y_pred[i])) += 1.0;
+  }
+  return cm;
+}
+
+ClassScores per_class_scores(const Matrix& confusion) {
+  ALBA_CHECK(confusion.rows() == confusion.cols());
+  const std::size_t k = confusion.rows();
+  ClassScores s;
+  s.precision.assign(k, 0.0);
+  s.recall.assign(k, 0.0);
+  s.f1.assign(k, 0.0);
+  for (std::size_t c = 0; c < k; ++c) {
+    const double tp = confusion(c, c);
+    double pred_c = 0.0;
+    double true_c = 0.0;
+    for (std::size_t j = 0; j < k; ++j) {
+      pred_c += confusion(j, c);
+      true_c += confusion(c, j);
+    }
+    s.precision[c] = pred_c > 0.0 ? tp / pred_c : 0.0;
+    s.recall[c] = true_c > 0.0 ? tp / true_c : 0.0;
+    const double denom = s.precision[c] + s.recall[c];
+    s.f1[c] = denom > 0.0 ? 2.0 * s.precision[c] * s.recall[c] / denom : 0.0;
+  }
+  return s;
+}
+
+double macro_f1(std::span<const int> y_true, std::span<const int> y_pred,
+                int num_classes) {
+  return evaluate(y_true, y_pred, num_classes).macro_f1;
+}
+
+double accuracy(std::span<const int> y_true, std::span<const int> y_pred) {
+  ALBA_CHECK(y_true.size() == y_pred.size());
+  ALBA_CHECK(!y_true.empty());
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < y_true.size(); ++i) {
+    correct += (y_true[i] == y_pred[i]) ? 1 : 0;
+  }
+  return static_cast<double>(correct) / static_cast<double>(y_true.size());
+}
+
+double false_alarm_rate(std::span<const int> y_true,
+                        std::span<const int> y_pred, int healthy_label) {
+  ALBA_CHECK(y_true.size() == y_pred.size());
+  std::size_t healthy = 0;
+  std::size_t alarms = 0;
+  for (std::size_t i = 0; i < y_true.size(); ++i) {
+    if (y_true[i] == healthy_label) {
+      ++healthy;
+      if (y_pred[i] != healthy_label) ++alarms;
+    }
+  }
+  return healthy > 0
+             ? static_cast<double>(alarms) / static_cast<double>(healthy)
+             : 0.0;
+}
+
+double anomaly_miss_rate(std::span<const int> y_true,
+                         std::span<const int> y_pred, int healthy_label) {
+  ALBA_CHECK(y_true.size() == y_pred.size());
+  std::size_t anomalous = 0;
+  std::size_t missed = 0;
+  for (std::size_t i = 0; i < y_true.size(); ++i) {
+    if (y_true[i] != healthy_label) {
+      ++anomalous;
+      if (y_pred[i] == healthy_label) ++missed;
+    }
+  }
+  return anomalous > 0
+             ? static_cast<double>(missed) / static_cast<double>(anomalous)
+             : 0.0;
+}
+
+EvalResult evaluate(std::span<const int> y_true, std::span<const int> y_pred,
+                    int num_classes, int healthy_label) {
+  const Matrix cm = confusion_matrix(y_true, y_pred, num_classes);
+  const ClassScores scores = per_class_scores(cm);
+
+  EvalResult r;
+  r.per_class_f1 = scores.f1;
+
+  // Macro-average only over classes present in the ground truth.
+  double f1_sum = 0.0;
+  std::size_t present = 0;
+  double total = 0.0;
+  double correct = 0.0;
+  for (std::size_t c = 0; c < cm.rows(); ++c) {
+    double true_c = 0.0;
+    for (std::size_t j = 0; j < cm.cols(); ++j) true_c += cm(c, j);
+    if (true_c > 0.0) {
+      f1_sum += scores.f1[c];
+      ++present;
+    }
+    total += true_c;
+    correct += cm(c, c);
+  }
+  ALBA_CHECK(present > 0) << "no classes present in y_true";
+  r.macro_f1 = f1_sum / static_cast<double>(present);
+  r.accuracy = total > 0.0 ? correct / total : 0.0;
+  r.false_alarm_rate = false_alarm_rate(y_true, y_pred, healthy_label);
+  r.anomaly_miss_rate = anomaly_miss_rate(y_true, y_pred, healthy_label);
+  return r;
+}
+
+}  // namespace alba

@@ -1,0 +1,52 @@
+// Evaluation metrics exactly as the paper reports them (Sec. V):
+//  - macro F1: unweighted mean of per-class F1 over the classes present in
+//    the ground truth (sklearn's f1_score(average='macro') convention);
+//  - false alarm rate: fraction of healthy samples classified as any
+//    anomaly class (false-positive rate of the healthy/anomalous split);
+//  - anomaly miss rate: fraction of anomalous samples classified healthy.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace alba {
+
+/// confusion(i, j) = count of samples with true class i predicted as j.
+Matrix confusion_matrix(std::span<const int> y_true,
+                        std::span<const int> y_pred, int num_classes);
+
+struct ClassScores {
+  std::vector<double> precision;  // per class; 0 when undefined
+  std::vector<double> recall;
+  std::vector<double> f1;
+};
+
+ClassScores per_class_scores(const Matrix& confusion);
+
+/// Macro F1 over classes present in y_true.
+double macro_f1(std::span<const int> y_true, std::span<const int> y_pred,
+                int num_classes);
+
+double accuracy(std::span<const int> y_true, std::span<const int> y_pred);
+
+/// healthy-vs-anomalous rates; `healthy_label` is class 0 in this library.
+double false_alarm_rate(std::span<const int> y_true,
+                        std::span<const int> y_pred, int healthy_label = 0);
+double anomaly_miss_rate(std::span<const int> y_true,
+                         std::span<const int> y_pred, int healthy_label = 0);
+
+/// All headline metrics at once (one confusion-matrix pass).
+struct EvalResult {
+  double macro_f1 = 0.0;
+  double accuracy = 0.0;
+  double false_alarm_rate = 0.0;
+  double anomaly_miss_rate = 0.0;
+  std::vector<double> per_class_f1;
+};
+
+EvalResult evaluate(std::span<const int> y_true, std::span<const int> y_pred,
+                    int num_classes, int healthy_label = 0);
+
+}  // namespace alba

@@ -1,0 +1,202 @@
+#include "ml/mlp.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/error.hpp"
+#include "linalg/ops.hpp"
+
+namespace alba {
+
+MlpClassifier::MlpClassifier(MlpConfig config, std::uint64_t seed)
+    : config_(config), seed_(seed) {
+  ALBA_CHECK(config_.num_classes >= 2);
+  ALBA_CHECK(config_.max_iter >= 1);
+  ALBA_CHECK(config_.batch_size >= 1);
+  ALBA_CHECK(config_.alpha >= 0.0);
+  for (const int h : config_.hidden_layers) ALBA_CHECK(h >= 1);
+}
+
+Matrix MlpClassifier::forward(const Matrix& x,
+                              std::vector<Matrix>* activations) const {
+  Matrix cur = x;
+  if (activations) activations->push_back(cur);
+  for (std::size_t l = 0; l < weights_.size(); ++l) {
+    Matrix next;
+    gemm(cur, weights_[l], next);
+    const auto& b = bias_[l];
+    const bool is_output = (l + 1 == weights_.size());
+    for (std::size_t i = 0; i < next.rows(); ++i) {
+      auto row = next.row(i);
+      for (std::size_t j = 0; j < row.size(); ++j) {
+        row[j] += b[j];
+        if (!is_output && row[j] < 0.0) row[j] = 0.0;  // ReLU
+      }
+    }
+    cur = std::move(next);
+    if (activations && !is_output) activations->push_back(cur);
+  }
+  softmax_rows(cur);
+  return cur;
+}
+
+void MlpClassifier::fit(const Matrix& x, std::span<const int> y) {
+  ALBA_CHECK(x.rows() == y.size());
+  ALBA_CHECK(x.rows() > 0);
+  const std::size_t n = x.rows();
+  const std::size_t f = x.cols();
+  const auto k = static_cast<std::size_t>(config_.num_classes);
+  for (const int label : y) {
+    ALBA_CHECK(label >= 0 && label < config_.num_classes);
+  }
+
+  // Layer sizes: f → hidden... → k. He-uniform initialization.
+  std::vector<std::size_t> sizes{f};
+  for (const int h : config_.hidden_layers) {
+    sizes.push_back(static_cast<std::size_t>(h));
+  }
+  sizes.push_back(k);
+
+  Rng rng(seed_);
+  weights_.clear();
+  bias_.clear();
+  for (std::size_t l = 0; l + 1 < sizes.size(); ++l) {
+    Matrix w(sizes[l], sizes[l + 1]);
+    const double bound = std::sqrt(6.0 / static_cast<double>(sizes[l]));
+    for (std::size_t i = 0; i < w.rows(); ++i) {
+      for (std::size_t j = 0; j < w.cols(); ++j) {
+        w(i, j) = rng.uniform(-bound, bound);
+      }
+    }
+    weights_.push_back(std::move(w));
+    bias_.emplace_back(sizes[l + 1], 0.0);
+  }
+
+  // Adam state per layer.
+  std::vector<Matrix> m_w;
+  std::vector<Matrix> v_w;
+  std::vector<std::vector<double>> m_b;
+  std::vector<std::vector<double>> v_b;
+  for (std::size_t l = 0; l < weights_.size(); ++l) {
+    m_w.emplace_back(weights_[l].rows(), weights_[l].cols());
+    v_w.emplace_back(weights_[l].rows(), weights_[l].cols());
+    m_b.emplace_back(bias_[l].size(), 0.0);
+    v_b.emplace_back(bias_[l].size(), 0.0);
+  }
+  constexpr double kBeta1 = 0.9;
+  constexpr double kBeta2 = 0.999;
+  constexpr double kEps = 1e-8;
+  long adam_step = 0;
+
+  const std::size_t batch =
+      std::min<std::size_t>(static_cast<std::size_t>(config_.batch_size), n);
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+
+  for (int epoch = 0; epoch < config_.max_iter; ++epoch) {
+    rng.shuffle(order);
+    double loss_acc = 0.0;
+
+    for (std::size_t start = 0; start < n; start += batch) {
+      const std::size_t count = std::min(batch, n - start);
+      const std::span<const std::size_t> batch_idx(order.data() + start, count);
+      const Matrix bx = x.select_rows(batch_idx);
+
+      std::vector<Matrix> activations;  // inputs to each layer
+      Matrix probs = forward(bx, &activations);
+
+      // delta = probs - onehot
+      for (std::size_t i = 0; i < count; ++i) {
+        const auto label = static_cast<std::size_t>(y[batch_idx[i]]);
+        loss_acc -= std::log(std::max(probs(i, label), 1e-12));
+        probs(i, label) -= 1.0;
+      }
+
+      ++adam_step;
+      const double inv_b = 1.0 / static_cast<double>(count);
+      Matrix delta = std::move(probs);
+
+      for (std::size_t l = weights_.size(); l-- > 0;) {
+        // Gradients for layer l: gw = activations[l]ᵀ · delta.
+        Matrix gw;
+        gemm_at(activations[l], delta, gw);
+
+        std::vector<double> gb(bias_[l].size(), 0.0);
+        for (std::size_t i = 0; i < delta.rows(); ++i) {
+          const auto row = delta.row(i);
+          for (std::size_t j = 0; j < gb.size(); ++j) gb[j] += row[j];
+        }
+
+        // Propagate before updating weights.
+        Matrix next_delta;
+        if (l > 0) {
+          gemm_bt(delta, weights_[l], next_delta);  // delta · Wᵀ
+          // ReLU derivative gate against the pre-activation sign, which
+          // equals the activation sign (activation > 0 ⇔ pre > 0).
+          const Matrix& act = activations[l];
+          for (std::size_t i = 0; i < next_delta.rows(); ++i) {
+            auto row = next_delta.row(i);
+            const auto arow = act.row(i);
+            for (std::size_t j = 0; j < row.size(); ++j) {
+              if (arow[j] <= 0.0) row[j] = 0.0;
+            }
+          }
+        }
+
+        // Adam update with L2 penalty.
+        for (std::size_t i = 0; i < gw.rows(); ++i) {
+          for (std::size_t j = 0; j < gw.cols(); ++j) {
+            const double g =
+                gw(i, j) * inv_b + config_.alpha * weights_[l](i, j);
+            m_w[l](i, j) = kBeta1 * m_w[l](i, j) + (1.0 - kBeta1) * g;
+            v_w[l](i, j) = kBeta2 * v_w[l](i, j) + (1.0 - kBeta2) * g * g;
+            const double mhat =
+                m_w[l](i, j) / (1.0 - std::pow(kBeta1, adam_step));
+            const double vhat =
+                v_w[l](i, j) / (1.0 - std::pow(kBeta2, adam_step));
+            weights_[l](i, j) -=
+                config_.learning_rate * mhat / (std::sqrt(vhat) + kEps);
+          }
+        }
+        for (std::size_t j = 0; j < gb.size(); ++j) {
+          const double g = gb[j] * inv_b;
+          m_b[l][j] = kBeta1 * m_b[l][j] + (1.0 - kBeta1) * g;
+          v_b[l][j] = kBeta2 * v_b[l][j] + (1.0 - kBeta2) * g * g;
+          const double mhat = m_b[l][j] / (1.0 - std::pow(kBeta1, adam_step));
+          const double vhat = v_b[l][j] / (1.0 - std::pow(kBeta2, adam_step));
+          bias_[l][j] -=
+              config_.learning_rate * mhat / (std::sqrt(vhat) + kEps);
+        }
+
+        delta = std::move(next_delta);
+      }
+    }
+    final_loss_ = loss_acc / static_cast<double>(n);
+  }
+}
+
+Matrix MlpClassifier::predict_proba(const Matrix& x) const {
+  ALBA_CHECK(fitted()) << "predict before fit";
+  ALBA_CHECK(x.cols() == weights_.front().rows());
+  return forward(x, nullptr);
+}
+
+std::unique_ptr<Classifier> MlpClassifier::clone() const {
+  return std::make_unique<MlpClassifier>(config_, seed_);
+}
+
+void MlpClassifier::restore(std::vector<Matrix> weights,
+                            std::vector<std::vector<double>> bias) {
+  ALBA_CHECK(!weights.empty());
+  ALBA_CHECK(weights.size() == bias.size());
+  for (std::size_t l = 0; l < weights.size(); ++l) {
+    ALBA_CHECK(weights[l].cols() == bias[l].size());
+  }
+  ALBA_CHECK(weights.back().cols() ==
+             static_cast<std::size_t>(config_.num_classes));
+  weights_ = std::move(weights);
+  bias_ = std::move(bias);
+}
+
+}  // namespace alba

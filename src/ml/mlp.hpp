@@ -1,0 +1,61 @@
+// Multi-layer perceptron classifier: ReLU hidden layers, softmax output,
+// cross-entropy loss, L2 penalty `alpha`, mini-batch Adam — the sklearn
+// MLPClassifier configuration the paper grid-searches in Table IV
+// (hidden_layer_sizes, alpha, max_iter).
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+#include "ml/classifier.hpp"
+
+namespace alba {
+
+struct MlpConfig {
+  int num_classes = 2;
+  std::vector<int> hidden_layers = {100};
+  double alpha = 1e-4;        // L2 penalty
+  int max_iter = 100;         // epochs
+  int batch_size = 64;        // clamped to n
+  double learning_rate = 1e-3;
+};
+
+class MlpClassifier final : public Classifier {
+ public:
+  explicit MlpClassifier(MlpConfig config, std::uint64_t seed = 0);
+
+  void fit(const Matrix& x, std::span<const int> y) override;
+  Matrix predict_proba(const Matrix& x) const override;
+
+  std::unique_ptr<Classifier> clone() const override;
+  std::unique_ptr<Classifier> clone_reseeded(std::uint64_t seed) const override {
+    return std::make_unique<MlpClassifier>(config_, seed);
+  }
+  std::string name() const override { return "mlp"; }
+  int num_classes() const noexcept override { return config_.num_classes; }
+  bool fitted() const noexcept override { return !weights_.empty(); }
+
+  const MlpConfig& config() const noexcept { return config_; }
+  std::uint64_t seed() const noexcept { return seed_; }
+  /// Mean training cross-entropy after the final epoch.
+  double final_loss() const noexcept { return final_loss_; }
+
+  /// Serialization accessors.
+  const std::vector<Matrix>& layer_weights() const noexcept { return weights_; }
+  const std::vector<std::vector<double>>& layer_bias() const noexcept {
+    return bias_;
+  }
+  void restore(std::vector<Matrix> weights,
+               std::vector<std::vector<double>> bias);
+
+ private:
+  Matrix forward(const Matrix& x, std::vector<Matrix>* activations) const;
+
+  MlpConfig config_;
+  std::uint64_t seed_;
+  std::vector<Matrix> weights_;            // layer l: (in × out)
+  std::vector<std::vector<double>> bias_;  // layer l: (out)
+  double final_loss_ = 0.0;
+};
+
+}  // namespace alba

@@ -1,0 +1,348 @@
+#include "ml/serialize.hpp"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+#include "common/error.hpp"
+#include "ml/gbm.hpp"
+#include "ml/logreg.hpp"
+#include "ml/mlp.hpp"
+#include "ml/random_forest.hpp"
+
+namespace alba {
+
+namespace {
+constexpr std::uint64_t kMagic = 0x414C4241444F5353ULL;  // "ALBADOSS"
+constexpr std::uint64_t kVersion = 1;
+}  // namespace
+
+ArchiveWriter::ArchiveWriter(std::ostream& out) : out_(out) {
+  ALBA_CHECK(out_.good()) << "archive stream not writable";
+}
+
+void ArchiveWriter::write_u64(std::uint64_t v) {
+  out_.write(reinterpret_cast<const char*>(&v), sizeof(v));
+  ALBA_CHECK(out_.good()) << "archive write failed";
+}
+void ArchiveWriter::write_i64(std::int64_t v) {
+  write_u64(static_cast<std::uint64_t>(v));
+}
+void ArchiveWriter::write_double(double v) {
+  out_.write(reinterpret_cast<const char*>(&v), sizeof(v));
+  ALBA_CHECK(out_.good()) << "archive write failed";
+}
+void ArchiveWriter::write_string(const std::string& s) {
+  write_u64(s.size());
+  out_.write(s.data(), static_cast<std::streamsize>(s.size()));
+  ALBA_CHECK(out_.good()) << "archive write failed";
+}
+void ArchiveWriter::write_doubles(const std::vector<double>& v) {
+  write_u64(v.size());
+  out_.write(reinterpret_cast<const char*>(v.data()),
+             static_cast<std::streamsize>(v.size() * sizeof(double)));
+  ALBA_CHECK(out_.good()) << "archive write failed";
+}
+void ArchiveWriter::write_ints(const std::vector<int>& v) {
+  write_u64(v.size());
+  for (const int x : v) write_i64(x);
+}
+void ArchiveWriter::write_matrix(const Matrix& m) {
+  write_u64(m.rows());
+  write_u64(m.cols());
+  out_.write(reinterpret_cast<const char*>(m.data()),
+             static_cast<std::streamsize>(m.size() * sizeof(double)));
+  ALBA_CHECK(out_.good()) << "archive write failed";
+}
+
+ArchiveReader::ArchiveReader(std::istream& in) : in_(in) {
+  ALBA_CHECK(in_.good()) << "archive stream not readable";
+}
+
+std::uint64_t ArchiveReader::read_u64() {
+  std::uint64_t v = 0;
+  in_.read(reinterpret_cast<char*>(&v), sizeof(v));
+  ALBA_CHECK(in_.good()) << "archive read failed (truncated?)";
+  return v;
+}
+std::int64_t ArchiveReader::read_i64() {
+  return static_cast<std::int64_t>(read_u64());
+}
+double ArchiveReader::read_double() {
+  double v = 0;
+  in_.read(reinterpret_cast<char*>(&v), sizeof(v));
+  ALBA_CHECK(in_.good()) << "archive read failed (truncated?)";
+  return v;
+}
+std::string ArchiveReader::read_string() {
+  const std::uint64_t n = read_u64();
+  std::string s(n, '\0');
+  in_.read(s.data(), static_cast<std::streamsize>(n));
+  ALBA_CHECK(in_.good()) << "archive read failed (truncated?)";
+  return s;
+}
+std::vector<double> ArchiveReader::read_doubles() {
+  const std::uint64_t n = read_u64();
+  std::vector<double> v(n);
+  in_.read(reinterpret_cast<char*>(v.data()),
+           static_cast<std::streamsize>(n * sizeof(double)));
+  ALBA_CHECK(in_.good()) << "archive read failed (truncated?)";
+  return v;
+}
+std::vector<int> ArchiveReader::read_ints() {
+  const std::uint64_t n = read_u64();
+  std::vector<int> v(n);
+  for (auto& x : v) x = static_cast<int>(read_i64());
+  return v;
+}
+Matrix ArchiveReader::read_matrix() {
+  const std::uint64_t rows = read_u64();
+  const std::uint64_t cols = read_u64();
+  Matrix m(rows, cols);
+  in_.read(reinterpret_cast<char*>(m.data()),
+           static_cast<std::streamsize>(m.size() * sizeof(double)));
+  ALBA_CHECK(in_.good()) << "archive read failed (truncated?)";
+  return m;
+}
+
+namespace {
+
+void save_forest(ArchiveWriter& w, const RandomForest& rf) {
+  const ForestConfig& c = rf.config();
+  w.write_i64(c.num_classes);
+  w.write_i64(c.n_estimators);
+  w.write_i64(c.max_depth);
+  w.write_i64(c.min_samples_split);
+  w.write_i64(c.min_samples_leaf);
+  w.write_i64(c.max_features);
+  w.write_i64(static_cast<int>(c.criterion));
+  w.write_i64(c.bootstrap ? 1 : 0);
+  w.write_u64(rf.seed());
+
+  w.write_u64(rf.trees().size());
+  for (const DecisionTree& tree : rf.trees()) {
+    const auto& nodes = tree.nodes();
+    w.write_u64(nodes.size());
+    for (const auto& n : nodes) {
+      w.write_i64(n.feature);
+      w.write_double(n.threshold);
+      w.write_i64(n.left);
+      w.write_i64(n.right);
+      w.write_i64(n.leaf_start);
+      w.write_double(n.importance);
+    }
+    w.write_doubles(tree.leaf_probs());
+  }
+}
+
+std::unique_ptr<Classifier> load_forest(ArchiveReader& r) {
+  ForestConfig c;
+  c.num_classes = static_cast<int>(r.read_i64());
+  c.n_estimators = static_cast<int>(r.read_i64());
+  c.max_depth = static_cast<int>(r.read_i64());
+  c.min_samples_split = static_cast<int>(r.read_i64());
+  c.min_samples_leaf = static_cast<int>(r.read_i64());
+  c.max_features = static_cast<int>(r.read_i64());
+  c.criterion = static_cast<SplitCriterion>(r.read_i64());
+  c.bootstrap = r.read_i64() != 0;
+  const std::uint64_t seed = r.read_u64();
+
+  auto rf = std::make_unique<RandomForest>(c, seed);
+  TreeConfig tc;
+  tc.num_classes = c.num_classes;
+  tc.max_depth = c.max_depth;
+  tc.min_samples_split = c.min_samples_split;
+  tc.min_samples_leaf = c.min_samples_leaf;
+  tc.max_features = c.max_features;
+  tc.criterion = c.criterion;
+
+  const std::uint64_t n_trees = r.read_u64();
+  for (std::uint64_t t = 0; t < n_trees; ++t) {
+    const std::uint64_t n_nodes = r.read_u64();
+    std::vector<DecisionTree::Node> nodes(n_nodes);
+    for (auto& n : nodes) {
+      n.feature = static_cast<int>(r.read_i64());
+      n.threshold = r.read_double();
+      n.left = static_cast<int>(r.read_i64());
+      n.right = static_cast<int>(r.read_i64());
+      n.leaf_start = static_cast<int>(r.read_i64());
+      n.importance = r.read_double();
+    }
+    DecisionTree tree(tc, seed);
+    tree.restore(std::move(nodes), r.read_doubles());
+    rf->mutable_trees().push_back(std::move(tree));
+  }
+  return rf;
+}
+
+void save_logreg(ArchiveWriter& w, const LogisticRegression& lr) {
+  const LogRegConfig& c = lr.config();
+  w.write_i64(c.num_classes);
+  w.write_i64(static_cast<int>(c.penalty));
+  w.write_double(c.c);
+  w.write_i64(c.max_iter);
+  w.write_double(c.learning_rate);
+  w.write_matrix(lr.weights());
+  w.write_doubles(lr.bias());
+}
+
+std::unique_ptr<Classifier> load_logreg(ArchiveReader& r) {
+  LogRegConfig c;
+  c.num_classes = static_cast<int>(r.read_i64());
+  c.penalty = static_cast<Penalty>(r.read_i64());
+  c.c = r.read_double();
+  c.max_iter = static_cast<int>(r.read_i64());
+  c.learning_rate = r.read_double();
+  auto lr = std::make_unique<LogisticRegression>(c);
+  Matrix weights = r.read_matrix();
+  lr->restore(std::move(weights), r.read_doubles());
+  return lr;
+}
+
+void save_gbm(ArchiveWriter& w, const GbmClassifier& gbm) {
+  const GbmConfig& c = gbm.config();
+  w.write_i64(c.num_classes);
+  w.write_i64(c.n_estimators);
+  w.write_i64(c.num_leaves);
+  w.write_i64(c.max_depth);
+  w.write_double(c.learning_rate);
+  w.write_double(c.colsample_bytree);
+  w.write_double(c.reg_lambda);
+  w.write_u64(gbm.seed());
+  w.write_doubles(gbm.base_score());
+
+  w.write_u64(gbm.rounds().size());
+  for (const auto& round : gbm.rounds()) {
+    w.write_u64(round.size());
+    for (const auto& tree : round) {
+      w.write_u64(tree.nodes.size());
+      for (const auto& n : tree.nodes) {
+        w.write_i64(n.feature);
+        w.write_double(n.threshold);
+        w.write_i64(n.left);
+        w.write_i64(n.right);
+        w.write_double(n.value);
+      }
+    }
+  }
+}
+
+std::unique_ptr<Classifier> load_gbm(ArchiveReader& r) {
+  GbmConfig c;
+  c.num_classes = static_cast<int>(r.read_i64());
+  c.n_estimators = static_cast<int>(r.read_i64());
+  c.num_leaves = static_cast<int>(r.read_i64());
+  c.max_depth = static_cast<int>(r.read_i64());
+  c.learning_rate = r.read_double();
+  c.colsample_bytree = r.read_double();
+  c.reg_lambda = r.read_double();
+  const std::uint64_t seed = r.read_u64();
+  auto gbm = std::make_unique<GbmClassifier>(c, seed);
+  std::vector<double> base_score = r.read_doubles();
+
+  const std::uint64_t n_rounds = r.read_u64();
+  std::vector<std::vector<GbmClassifier::RegTree>> rounds(n_rounds);
+  for (auto& round : rounds) {
+    round.resize(r.read_u64());
+    for (auto& tree : round) {
+      tree.nodes.resize(r.read_u64());
+      for (auto& n : tree.nodes) {
+        n.feature = static_cast<int>(r.read_i64());
+        n.threshold = r.read_double();
+        n.left = static_cast<int>(r.read_i64());
+        n.right = static_cast<int>(r.read_i64());
+        n.value = r.read_double();
+      }
+    }
+  }
+  gbm->restore(std::move(rounds), std::move(base_score));
+  return gbm;
+}
+
+void save_mlp(ArchiveWriter& w, const MlpClassifier& mlp) {
+  const MlpConfig& c = mlp.config();
+  w.write_i64(c.num_classes);
+  w.write_ints(c.hidden_layers);
+  w.write_double(c.alpha);
+  w.write_i64(c.max_iter);
+  w.write_i64(c.batch_size);
+  w.write_double(c.learning_rate);
+  w.write_u64(mlp.seed());
+
+  w.write_u64(mlp.layer_weights().size());
+  for (std::size_t l = 0; l < mlp.layer_weights().size(); ++l) {
+    w.write_matrix(mlp.layer_weights()[l]);
+    w.write_doubles(mlp.layer_bias()[l]);
+  }
+}
+
+std::unique_ptr<Classifier> load_mlp(ArchiveReader& r) {
+  MlpConfig c;
+  c.num_classes = static_cast<int>(r.read_i64());
+  c.hidden_layers = r.read_ints();
+  c.alpha = r.read_double();
+  c.max_iter = static_cast<int>(r.read_i64());
+  c.batch_size = static_cast<int>(r.read_i64());
+  c.learning_rate = r.read_double();
+  const std::uint64_t seed = r.read_u64();
+  auto mlp = std::make_unique<MlpClassifier>(c, seed);
+
+  const std::uint64_t layers = r.read_u64();
+  std::vector<Matrix> weights(layers);
+  std::vector<std::vector<double>> bias(layers);
+  for (std::uint64_t l = 0; l < layers; ++l) {
+    weights[l] = r.read_matrix();
+    bias[l] = r.read_doubles();
+  }
+  mlp->restore(std::move(weights), std::move(bias));
+  return mlp;
+}
+
+}  // namespace
+
+void save_classifier(std::ostream& out, const Classifier& model) {
+  ALBA_CHECK(model.fitted()) << "refusing to serialize an unfitted model";
+  ArchiveWriter w(out);
+  w.write_u64(kMagic);
+  w.write_u64(kVersion);
+  w.write_string(model.name());
+
+  if (const auto* rf = dynamic_cast<const RandomForest*>(&model)) {
+    save_forest(w, *rf);
+  } else if (const auto* lr = dynamic_cast<const LogisticRegression*>(&model)) {
+    save_logreg(w, *lr);
+  } else if (const auto* gbm = dynamic_cast<const GbmClassifier*>(&model)) {
+    save_gbm(w, *gbm);
+  } else if (const auto* mlp = dynamic_cast<const MlpClassifier*>(&model)) {
+    save_mlp(w, *mlp);
+  } else {
+    throw Error("serialization not supported for model: " + model.name());
+  }
+}
+
+std::unique_ptr<Classifier> load_classifier(std::istream& in) {
+  ArchiveReader r(in);
+  ALBA_CHECK(r.read_u64() == kMagic) << "not an ALBADross model archive";
+  const std::uint64_t version = r.read_u64();
+  ALBA_CHECK(version == kVersion) << "unsupported archive version " << version;
+  const std::string type = r.read_string();
+  if (type == "random_forest") return load_forest(r);
+  if (type == "logistic_regression") return load_logreg(r);
+  if (type == "lgbm") return load_gbm(r);
+  if (type == "mlp") return load_mlp(r);
+  throw Error("unknown model type in archive: " + type);
+}
+
+void save_classifier_file(const std::string& path, const Classifier& model) {
+  std::ofstream out(path, std::ios::binary);
+  ALBA_CHECK(out.good()) << "cannot open '" << path << "' for writing";
+  save_classifier(out, model);
+}
+
+std::unique_ptr<Classifier> load_classifier_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  ALBA_CHECK(in.good()) << "cannot open '" << path << "' for reading";
+  return load_classifier(in);
+}
+
+}  // namespace alba

@@ -1,0 +1,62 @@
+// Binary model persistence — the C++ analogue of the paper's "final model
+// is stored as a pickle object" (Sec. III-E). A small framed binary archive
+// with magic + version, plus save/load for every classifier the library
+// ships. load_classifier dispatches on the stored type tag.
+#pragma once
+
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+#include "ml/classifier.hpp"
+
+namespace alba {
+
+class ArchiveWriter {
+ public:
+  explicit ArchiveWriter(std::ostream& out);
+
+  void write_u64(std::uint64_t v);
+  void write_i64(std::int64_t v);
+  void write_double(double v);
+  void write_string(const std::string& s);
+  void write_doubles(const std::vector<double>& v);
+  void write_ints(const std::vector<int>& v);
+  void write_matrix(const Matrix& m);
+
+ private:
+  std::ostream& out_;
+};
+
+class ArchiveReader {
+ public:
+  explicit ArchiveReader(std::istream& in);
+
+  std::uint64_t read_u64();
+  std::int64_t read_i64();
+  double read_double();
+  std::string read_string();
+  std::vector<double> read_doubles();
+  std::vector<int> read_ints();
+  Matrix read_matrix();
+
+ private:
+  std::istream& in_;
+};
+
+/// Serializes a fitted classifier (random_forest, logistic_regression,
+/// lgbm, or mlp) with a self-describing header. Throws on unfitted models
+/// and unsupported types.
+void save_classifier(std::ostream& out, const Classifier& model);
+
+/// Reconstructs the classifier saved by save_classifier; the returned model
+/// is fitted and ready to predict.
+std::unique_ptr<Classifier> load_classifier(std::istream& in);
+
+/// File-path convenience wrappers.
+void save_classifier_file(const std::string& path, const Classifier& model);
+std::unique_ptr<Classifier> load_classifier_file(const std::string& path);
+
+}  // namespace alba

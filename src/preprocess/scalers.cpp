@@ -1,0 +1,68 @@
+#include "preprocess/scalers.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace alba {
+
+void MinMaxScaler::fit(const Matrix& x) {
+  ALBA_CHECK(x.rows() > 0 && x.cols() > 0);
+  mins_.assign(x.cols(), std::numeric_limits<double>::infinity());
+  maxs_.assign(x.cols(), -std::numeric_limits<double>::infinity());
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    const auto row = x.row(i);
+    for (std::size_t j = 0; j < x.cols(); ++j) {
+      mins_[j] = std::min(mins_[j], row[j]);
+      maxs_[j] = std::max(maxs_[j], row[j]);
+    }
+  }
+}
+
+void MinMaxScaler::transform(Matrix& x) const {
+  ALBA_CHECK(fitted()) << "MinMaxScaler::transform before fit";
+  ALBA_CHECK(x.cols() == mins_.size())
+      << "scaler fitted on " << mins_.size() << " columns, got " << x.cols();
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    auto row = x.row(i);
+    for (std::size_t j = 0; j < x.cols(); ++j) {
+      const double span = maxs_[j] - mins_[j];
+      const double v = span > 0.0 ? (row[j] - mins_[j]) / span : 0.0;
+      row[j] = std::clamp(v, 0.0, 1.0);
+    }
+  }
+}
+
+void StandardScaler::fit(const Matrix& x) {
+  ALBA_CHECK(x.rows() > 0 && x.cols() > 0);
+  means_.assign(x.cols(), 0.0);
+  stds_.assign(x.cols(), 0.0);
+  const double inv_n = 1.0 / static_cast<double>(x.rows());
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    const auto row = x.row(i);
+    for (std::size_t j = 0; j < x.cols(); ++j) means_[j] += row[j];
+  }
+  for (auto& m : means_) m *= inv_n;
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    const auto row = x.row(i);
+    for (std::size_t j = 0; j < x.cols(); ++j) {
+      const double d = row[j] - means_[j];
+      stds_[j] += d * d;
+    }
+  }
+  for (auto& s : stds_) s = std::sqrt(s * inv_n);
+}
+
+void StandardScaler::transform(Matrix& x) const {
+  ALBA_CHECK(fitted()) << "StandardScaler::transform before fit";
+  ALBA_CHECK(x.cols() == means_.size());
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    auto row = x.row(i);
+    for (std::size_t j = 0; j < x.cols(); ++j) {
+      row[j] = stds_[j] > 0.0 ? (row[j] - means_[j]) / stds_[j] : 0.0;
+    }
+  }
+}
+
+}  // namespace alba

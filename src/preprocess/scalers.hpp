@@ -1,0 +1,56 @@
+// Column scalers with the fit/transform split sklearn uses: fit on the
+// training partition only, then apply the learned parameters everywhere
+// (fitting on test data would leak). MinMaxScaler is the paper's choice —
+// it also guarantees the non-negativity chi-square selection needs.
+#pragma once
+
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace alba {
+
+class MinMaxScaler {
+ public:
+  /// Learns per-column min/max from `x`.
+  void fit(const Matrix& x);
+
+  /// Maps each column to [0, 1] using the fitted range; constant columns
+  /// map to 0. Out-of-range values (test data beyond the training range)
+  /// are clipped to [0, 1], keeping chi-square inputs non-negative.
+  void transform(Matrix& x) const;
+
+  void fit_transform(Matrix& x) {
+    fit(x);
+    transform(x);
+  }
+
+  bool fitted() const noexcept { return !mins_.empty(); }
+  const std::vector<double>& mins() const noexcept { return mins_; }
+  const std::vector<double>& maxs() const noexcept { return maxs_; }
+
+ private:
+  std::vector<double> mins_;
+  std::vector<double> maxs_;
+};
+
+class StandardScaler {
+ public:
+  void fit(const Matrix& x);
+
+  /// Maps each column to zero mean / unit variance; constant columns to 0.
+  void transform(Matrix& x) const;
+
+  void fit_transform(Matrix& x) {
+    fit(x);
+    transform(x);
+  }
+
+  bool fitted() const noexcept { return !means_.empty(); }
+
+ private:
+  std::vector<double> means_;
+  std::vector<double> stds_;
+};
+
+}  // namespace alba

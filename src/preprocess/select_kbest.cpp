@@ -1,0 +1,42 @@
+#include "preprocess/select_kbest.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/error.hpp"
+#include "stats/chi2.hpp"
+
+namespace alba {
+
+void SelectKBestChi2::fit(const Matrix& x, std::span<const int> y) {
+  ALBA_CHECK(k_ > 0) << "SelectKBest with k = 0";
+  scores_ = stats::chi2_scores(x, y);
+
+  std::vector<std::size_t> order(scores_.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(),
+                   [this](std::size_t a, std::size_t b) {
+                     return scores_[a] > scores_[b];
+                   });
+  order.resize(std::min(k_, order.size()));
+  selected_ = std::move(order);
+}
+
+Matrix SelectKBestChi2::transform(const Matrix& x) const {
+  ALBA_CHECK(fitted()) << "SelectKBest::transform before fit";
+  ALBA_CHECK(x.cols() == scores_.size())
+      << "selector fitted on " << scores_.size() << " columns, got " << x.cols();
+  return x.select_cols(selected_);
+}
+
+std::vector<std::string> SelectKBestChi2::transform_names(
+    const std::vector<std::string>& names) const {
+  ALBA_CHECK(fitted());
+  ALBA_CHECK(names.size() == scores_.size());
+  std::vector<std::string> out;
+  out.reserve(selected_.size());
+  for (const std::size_t j : selected_) out.push_back(names[j]);
+  return out;
+}
+
+}  // namespace alba

@@ -1,0 +1,49 @@
+// Chi-square top-k feature selection (Sec. III-B): score every feature's
+// dependence on the label, sort descending, keep the k best. Like the
+// scalers, fit on training data only, then apply the same column choice to
+// any matrix.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace alba {
+
+class SelectKBestChi2 {
+ public:
+  explicit SelectKBestChi2(std::size_t k) : k_(k) {}
+
+  /// Scores all columns of (non-negative) `x` against `y` and records the
+  /// indices of the k highest-scoring ones (ties broken by column order).
+  /// k is clamped to the number of columns.
+  void fit(const Matrix& x, std::span<const int> y);
+
+  /// Returns a matrix holding only the selected columns, in score order.
+  Matrix transform(const Matrix& x) const;
+
+  Matrix fit_transform(const Matrix& x, std::span<const int> y) {
+    fit(x, y);
+    return transform(x);
+  }
+
+  /// Applies the selection to a name vector (for reporting).
+  std::vector<std::string> transform_names(
+      const std::vector<std::string>& names) const;
+
+  bool fitted() const noexcept { return !selected_.empty(); }
+  const std::vector<std::size_t>& selected_indices() const noexcept {
+    return selected_;
+  }
+  const std::vector<double>& scores() const noexcept { return scores_; }
+  std::size_t k() const noexcept { return k_; }
+
+ private:
+  std::size_t k_;
+  std::vector<std::size_t> selected_;
+  std::vector<double> scores_;
+};
+
+}  // namespace alba

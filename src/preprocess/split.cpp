@@ -1,0 +1,90 @@
+#include "preprocess/split.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace alba {
+
+std::vector<std::size_t> class_counts(std::span<const int> labels) {
+  int max_label = -1;
+  for (const int y : labels) {
+    ALBA_CHECK(y >= 0) << "negative class label " << y;
+    max_label = std::max(max_label, y);
+  }
+  std::vector<std::size_t> counts(static_cast<std::size_t>(max_label + 1), 0);
+  for (const int y : labels) ++counts[static_cast<std::size_t>(y)];
+  return counts;
+}
+
+namespace {
+// Indices grouped by class, each group shuffled.
+std::vector<std::vector<std::size_t>> shuffled_groups(
+    std::span<const int> labels, Rng& rng) {
+  const auto counts = class_counts(labels);
+  std::vector<std::vector<std::size_t>> groups(counts.size());
+  for (std::size_t c = 0; c < counts.size(); ++c) groups[c].reserve(counts[c]);
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    groups[static_cast<std::size_t>(labels[i])].push_back(i);
+  }
+  for (auto& g : groups) rng.shuffle(g);
+  return groups;
+}
+}  // namespace
+
+SplitIndices stratified_split(std::span<const int> labels, double test_fraction,
+                              std::uint64_t seed) {
+  ALBA_CHECK(test_fraction > 0.0 && test_fraction < 1.0)
+      << "test_fraction must be in (0, 1), got " << test_fraction;
+  ALBA_CHECK(!labels.empty());
+
+  Rng rng(seed);
+  SplitIndices split;
+  for (auto& group : shuffled_groups(labels, rng)) {
+    if (group.empty()) continue;
+    std::size_t n_test = static_cast<std::size_t>(
+        std::round(test_fraction * static_cast<double>(group.size())));
+    if (group.size() >= 2) n_test = std::max<std::size_t>(1, n_test);
+    n_test = std::min(n_test, group.size() - (group.size() >= 2 ? 1 : 0));
+    for (std::size_t i = 0; i < group.size(); ++i) {
+      (i < n_test ? split.test : split.train).push_back(group[i]);
+    }
+  }
+  std::sort(split.train.begin(), split.train.end());
+  std::sort(split.test.begin(), split.test.end());
+  return split;
+}
+
+std::vector<SplitIndices> stratified_kfold(std::span<const int> labels,
+                                           std::size_t folds,
+                                           std::uint64_t seed) {
+  ALBA_CHECK(folds >= 2) << "k-fold needs k >= 2";
+  ALBA_CHECK(labels.size() >= folds);
+
+  Rng rng(seed);
+  const auto groups = shuffled_groups(labels, rng);
+
+  // Assign each class's samples round-robin to folds.
+  std::vector<std::vector<std::size_t>> fold_test(folds);
+  for (const auto& group : groups) {
+    for (std::size_t i = 0; i < group.size(); ++i) {
+      fold_test[i % folds].push_back(group[i]);
+    }
+  }
+
+  std::vector<SplitIndices> out(folds);
+  std::vector<int> fold_of(labels.size(), -1);
+  for (std::size_t f = 0; f < folds; ++f) {
+    for (const std::size_t i : fold_test[f]) fold_of[i] = static_cast<int>(f);
+  }
+  for (std::size_t f = 0; f < folds; ++f) {
+    for (std::size_t i = 0; i < labels.size(); ++i) {
+      (fold_of[i] == static_cast<int>(f) ? out[f].test : out[f].train)
+          .push_back(i);
+    }
+  }
+  return out;
+}
+
+}  // namespace alba

@@ -1,0 +1,32 @@
+// Stratified splitting utilities: stratified train/test split (the paper
+// repeats it 5 times so every figure carries a confidence band) and
+// stratified k-fold for cross-validated grid search.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace alba {
+
+struct SplitIndices {
+  std::vector<std::size_t> train;
+  std::vector<std::size_t> test;
+};
+
+/// Stratified shuffle split: each class contributes ~test_fraction of its
+/// samples to the test set (at least 1 when the class has >= 2 samples).
+SplitIndices stratified_split(std::span<const int> labels, double test_fraction,
+                              std::uint64_t seed);
+
+/// Stratified k-fold: returns `folds` (train, test) index pairs whose test
+/// sets partition the dataset with per-class balance.
+std::vector<SplitIndices> stratified_kfold(std::span<const int> labels,
+                                           std::size_t folds,
+                                           std::uint64_t seed);
+
+/// Per-class sample counts (index = class label).
+std::vector<std::size_t> class_counts(std::span<const int> labels);
+
+}  // namespace alba

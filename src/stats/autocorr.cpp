@@ -1,0 +1,84 @@
+#include "stats/autocorr.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "stats/descriptive.hpp"
+
+namespace alba::stats {
+
+namespace {
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+}
+
+double autocorrelation(std::span<const double> x, std::size_t lag) noexcept {
+  const std::size_t n = x.size();
+  if (lag >= n) return kNaN;
+  if (lag == 0) return 1.0;
+  const double m = mean(x);
+  double var_acc = 0.0;
+  for (double v : x) var_acc += (v - m) * (v - m);
+  if (var_acc < 1e-300) return kNaN;
+  double acc = 0.0;
+  for (std::size_t i = 0; i + lag < n; ++i) {
+    acc += (x[i] - m) * (x[i + lag] - m);
+  }
+  return acc / var_acc;
+}
+
+std::vector<double> acf(std::span<const double> x, std::size_t max_lag) {
+  std::vector<double> out(max_lag + 1);
+  for (std::size_t lag = 0; lag <= max_lag; ++lag) {
+    out[lag] = autocorrelation(x, lag);
+  }
+  return out;
+}
+
+double agg_autocorrelation_mean_abs(std::span<const double> x,
+                                    std::size_t max_lag) {
+  if (x.size() < 2) return kNaN;
+  const std::size_t effective = std::min(max_lag, x.size() - 1);
+  double acc = 0.0;
+  std::size_t count = 0;
+  for (std::size_t lag = 1; lag <= effective; ++lag) {
+    const double r = autocorrelation(x, lag);
+    if (!std::isnan(r)) {
+      acc += std::abs(r);
+      ++count;
+    }
+  }
+  return count ? acc / static_cast<double>(count) : kNaN;
+}
+
+double partial_autocorrelation(std::span<const double> x, std::size_t lag) {
+  if (lag == 0) return 1.0;
+  if (x.size() < lag + 1) return kNaN;
+
+  // Durbin–Levinson: phi[k][k] is the PACF at lag k.
+  const auto rho = acf(x, lag);
+  for (double r : rho) {
+    if (std::isnan(r)) return kNaN;
+  }
+  std::vector<double> phi_prev(lag + 1, 0.0);
+  std::vector<double> phi_cur(lag + 1, 0.0);
+  phi_prev[1] = rho[1];
+  if (lag == 1) return rho[1];
+
+  for (std::size_t k = 2; k <= lag; ++k) {
+    double num = rho[k];
+    double den = 1.0;
+    for (std::size_t j = 1; j < k; ++j) {
+      num -= phi_prev[j] * rho[k - j];
+      den -= phi_prev[j] * rho[j];
+    }
+    if (std::abs(den) < 1e-300) return kNaN;
+    phi_cur[k] = num / den;
+    for (std::size_t j = 1; j < k; ++j) {
+      phi_cur[j] = phi_prev[j] - phi_cur[k] * phi_prev[k - j];
+    }
+    phi_prev = phi_cur;
+  }
+  return phi_prev[lag];
+}
+
+}  // namespace alba::stats

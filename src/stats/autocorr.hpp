@@ -1,0 +1,23 @@
+// Autocorrelation and partial autocorrelation, matching statsmodels/tsfresh
+// conventions (denominator n·var, biased estimator).
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace alba::stats {
+
+/// Autocorrelation at a single lag; NaN when variance ~ 0 or lag >= n.
+double autocorrelation(std::span<const double> x, std::size_t lag) noexcept;
+
+/// ACF for lags 0..max_lag inclusive.
+std::vector<double> acf(std::span<const double> x, std::size_t max_lag);
+
+/// Aggregated ACF statistic: mean of |acf| over lags 1..max_lag.
+double agg_autocorrelation_mean_abs(std::span<const double> x,
+                                    std::size_t max_lag);
+
+/// Partial autocorrelation at `lag` via Durbin–Levinson recursion.
+double partial_autocorrelation(std::span<const double> x, std::size_t lag);
+
+}  // namespace alba::stats

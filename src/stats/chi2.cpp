@@ -1,0 +1,75 @@
+#include "stats/chi2.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace alba::stats {
+
+double chi2_statistic(std::span<const double> observed,
+                      std::span<const double> expected) {
+  ALBA_CHECK(observed.size() == expected.size());
+  double stat = 0.0;
+  for (std::size_t i = 0; i < observed.size(); ++i) {
+    if (expected[i] <= 0.0) continue;  // sklearn: 0-expected bins contribute 0
+    const double d = observed[i] - expected[i];
+    stat += d * d / expected[i];
+  }
+  return stat;
+}
+
+std::vector<double> chi2_scores(const Matrix& x, std::span<const int> y) {
+  ALBA_CHECK(x.rows() == y.size())
+      << "chi2: " << x.rows() << " rows vs " << y.size() << " labels";
+  ALBA_CHECK(x.rows() > 0);
+
+  int num_classes = 0;
+  for (int label : y) {
+    ALBA_CHECK(label >= 0) << "chi2: negative class label " << label;
+    num_classes = std::max(num_classes, label + 1);
+  }
+  const auto k = static_cast<std::size_t>(num_classes);
+  const std::size_t n = x.rows();
+  const std::size_t f = x.cols();
+
+  // observed[c][j] = sum of feature j over samples of class c.
+  Matrix observed(k, f, 0.0);
+  std::vector<double> class_count(k, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto row = x.row(i);
+    const auto c = static_cast<std::size_t>(y[i]);
+    class_count[c] += 1.0;
+    double* obs = observed.data() + c * f;
+    for (std::size_t j = 0; j < f; ++j) {
+      ALBA_CHECK(row[j] >= 0.0)
+          << "chi2 requires non-negative features; feature " << j << " = "
+          << row[j];
+      obs[j] += row[j];
+    }
+  }
+
+  // feature_total[j] = sum over all samples; expected[c][j] =
+  // prior(c) * feature_total[j].
+  std::vector<double> feature_total(f, 0.0);
+  for (std::size_t c = 0; c < k; ++c) {
+    const double* obs = observed.data() + c * f;
+    for (std::size_t j = 0; j < f; ++j) feature_total[j] += obs[j];
+  }
+
+  std::vector<double> scores(f, 0.0);
+  const double inv_n = 1.0 / static_cast<double>(n);
+  for (std::size_t j = 0; j < f; ++j) {
+    double stat = 0.0;
+    for (std::size_t c = 0; c < k; ++c) {
+      const double expected = class_count[c] * inv_n * feature_total[j];
+      if (expected <= 0.0) continue;
+      const double d = observed(c, j) - expected;
+      stat += d * d / expected;
+    }
+    scores[j] = stat;
+  }
+  return scores;
+}
+
+}  // namespace alba::stats

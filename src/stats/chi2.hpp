@@ -1,0 +1,23 @@
+// Chi-Square feature scoring, mirroring sklearn.feature_selection.chi2:
+// for non-negative feature matrix X and integer labels y, treats each
+// feature's per-class sums as observed counts and the class-prior-weighted
+// feature totals as expected counts. Higher score ⇒ stronger dependence of
+// the feature on the label (Sec. III-B of the paper).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace alba::stats {
+
+/// Per-feature chi-square statistic. X must be non-negative (scale with
+/// MinMaxScaler first, as the paper does). Throws on negative entries.
+std::vector<double> chi2_scores(const Matrix& x, std::span<const int> y);
+
+/// Chi-square statistic for one observed/expected pair of count vectors.
+double chi2_statistic(std::span<const double> observed,
+                      std::span<const double> expected);
+
+}  // namespace alba::stats

@@ -1,0 +1,79 @@
+// Descriptive statistics over a time series (span of doubles). These are the
+// primitives both feature extractors are built from. All functions treat the
+// input as-is (no NaN filtering — the preprocessing layer removes NaNs
+// before extraction) and return NaN for undefined cases (e.g. variance of a
+// single point) so downstream NaN-column dropping mirrors the paper's
+// pipeline.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace alba::stats {
+
+double sum(std::span<const double> x) noexcept;
+double mean(std::span<const double> x) noexcept;
+/// Population variance (ddof = 0), matching numpy's default.
+double variance(std::span<const double> x) noexcept;
+/// Sample variance (ddof = 1); NaN for n < 2.
+double sample_variance(std::span<const double> x) noexcept;
+double stddev(std::span<const double> x) noexcept;
+double minimum(std::span<const double> x) noexcept;
+double maximum(std::span<const double> x) noexcept;
+double range(std::span<const double> x) noexcept;
+/// Median via partial sort of a copy.
+double median(std::span<const double> x);
+/// Linear-interpolated quantile, q in [0,1] (numpy 'linear' method).
+double quantile(std::span<const double> x, double q);
+/// Fisher skewness (g1); NaN when stddev is ~0.
+double skewness(std::span<const double> x) noexcept;
+/// Excess kurtosis (g2); NaN when stddev is ~0.
+double kurtosis(std::span<const double> x) noexcept;
+/// Coefficient of variation: stddev / |mean|; NaN when mean ~ 0.
+double variation_coefficient(std::span<const double> x) noexcept;
+double abs_energy(std::span<const double> x) noexcept;
+double root_mean_square(std::span<const double> x) noexcept;
+double mean_abs_change(std::span<const double> x) noexcept;
+double mean_change(std::span<const double> x) noexcept;
+double absolute_sum_of_changes(std::span<const double> x) noexcept;
+/// Second derivative central mean: mean of (x[i+1] - 2x[i] + x[i-1]) / 2.
+double mean_second_derivative_central(std::span<const double> x) noexcept;
+std::size_t count_above_mean(std::span<const double> x) noexcept;
+std::size_t count_below_mean(std::span<const double> x) noexcept;
+/// Index (0-based) of first/last occurrence of min/max, as a fraction of n.
+double first_location_of_maximum(std::span<const double> x) noexcept;
+double first_location_of_minimum(std::span<const double> x) noexcept;
+double last_location_of_maximum(std::span<const double> x) noexcept;
+double last_location_of_minimum(std::span<const double> x) noexcept;
+/// Longest run of strictly increasing / decreasing / above-mean values.
+std::size_t longest_strictly_increasing_run(std::span<const double> x) noexcept;
+std::size_t longest_strictly_decreasing_run(std::span<const double> x) noexcept;
+std::size_t longest_run_above_mean(std::span<const double> x) noexcept;
+std::size_t longest_run_below_mean(std::span<const double> x) noexcept;
+/// Number of local maxima with support window `support` on each side.
+std::size_t number_of_peaks(std::span<const double> x, std::size_t support) noexcept;
+/// Number of times the series crosses value `t` (sign changes of x - t).
+std::size_t number_of_crossings(std::span<const double> x, double t) noexcept;
+/// Fraction of values strictly greater than t / smaller than t.
+double ratio_beyond_r_sigma(std::span<const double> x, double r) noexcept;
+/// Whether there are duplicate values / duplicate of min / duplicate of max.
+bool has_duplicate(std::span<const double> x);
+bool has_duplicate_max(std::span<const double> x) noexcept;
+bool has_duplicate_min(std::span<const double> x) noexcept;
+/// Sum of values occurring more than once (tsfresh sum_of_reoccurring_values).
+double sum_of_reoccurring_values(std::span<const double> x);
+/// Percentage of distinct values appearing more than once.
+double percentage_of_reoccurring_datapoints(std::span<const double> x);
+/// Nonlinearity measure c3(lag): mean of x[i+2l]*x[i+l]*x[i].
+double c3(std::span<const double> x, std::size_t lag) noexcept;
+/// Complexity-invariant distance: sqrt(sum of squared diffs); normalized opt.
+double cid_ce(std::span<const double> x, bool normalize) noexcept;
+/// Time reversal asymmetry statistic with lag.
+double time_reversal_asymmetry(std::span<const double> x, std::size_t lag) noexcept;
+/// Large standard deviation test: stddev > r * range.
+bool large_standard_deviation(std::span<const double> x, double r) noexcept;
+/// Symmetry: |mean - median| < r * range.
+bool symmetry_looking(std::span<const double> x, double r);
+
+}  // namespace alba::stats

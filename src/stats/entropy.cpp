@@ -1,0 +1,104 @@
+#include "stats/entropy.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "stats/descriptive.hpp"
+
+namespace alba::stats {
+
+namespace {
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+// phi(m) for ApEn: mean over i of log of the fraction of j whose m-length
+// templates are within r (Chebyshev distance), self-matches included.
+double apen_phi(std::span<const double> x, std::size_t m, double r) {
+  const std::size_t n = x.size();
+  const std::size_t count = n - m + 1;
+  double acc = 0.0;
+  for (std::size_t i = 0; i < count; ++i) {
+    std::size_t matches = 0;
+    for (std::size_t j = 0; j < count; ++j) {
+      bool ok = true;
+      for (std::size_t k = 0; k < m; ++k) {
+        if (std::abs(x[i + k] - x[j + k]) > r) {
+          ok = false;
+          break;
+        }
+      }
+      matches += ok ? 1 : 0;
+    }
+    acc += std::log(static_cast<double>(matches) / static_cast<double>(count));
+  }
+  return acc / static_cast<double>(count);
+}
+}  // namespace
+
+double approximate_entropy(std::span<const double> x, std::size_t m,
+                           double r_frac) {
+  if (x.size() < m + 2) return 0.0;
+  const double s = stddev(x);
+  if (s < 1e-300) return 0.0;
+  const double r = r_frac * s;
+  return apen_phi(x, m, r) - apen_phi(x, m + 1, r);
+}
+
+double sample_entropy(std::span<const double> x, std::size_t m, double r_frac) {
+  const std::size_t n = x.size();
+  if (n < m + 2) return kNaN;
+  const double s = stddev(x);
+  if (s < 1e-300) return kNaN;
+  const double r = r_frac * s;
+
+  // Count template matches of length m (B) and m+1 (A), self-matches
+  // excluded, in one fused pass.
+  std::size_t a = 0;
+  std::size_t b = 0;
+  const std::size_t count = n - m;
+  for (std::size_t i = 0; i < count; ++i) {
+    for (std::size_t j = i + 1; j < count; ++j) {
+      bool match_m = true;
+      for (std::size_t k = 0; k < m; ++k) {
+        if (std::abs(x[i + k] - x[j + k]) > r) {
+          match_m = false;
+          break;
+        }
+      }
+      if (!match_m) continue;
+      ++b;
+      if (std::abs(x[i + m] - x[j + m]) <= r) ++a;
+    }
+  }
+  if (a == 0 || b == 0) return kNaN;
+  return -std::log(static_cast<double>(a) / static_cast<double>(b));
+}
+
+double binned_entropy(std::span<const double> x, std::size_t bins) {
+  if (x.empty() || bins == 0) return kNaN;
+  const double lo = minimum(x);
+  const double hi = maximum(x);
+  if (hi - lo < 1e-300) return 0.0;
+
+  std::vector<double> counts(bins, 0.0);
+  const double width = (hi - lo) / static_cast<double>(bins);
+  for (double v : x) {
+    auto bin = static_cast<std::size_t>((v - lo) / width);
+    if (bin >= bins) bin = bins - 1;  // v == hi
+    counts[bin] += 1.0;
+  }
+  const double inv_n = 1.0 / static_cast<double>(x.size());
+  for (auto& c : counts) c *= inv_n;
+  return shannon_entropy(counts);
+}
+
+double shannon_entropy(std::span<const double> probs) noexcept {
+  double h = 0.0;
+  for (double p : probs) {
+    if (p > 0.0) h -= p * std::log(p);
+  }
+  return h;
+}
+
+}  // namespace alba::stats

@@ -1,0 +1,27 @@
+// Entropy measures used by the TSFRESH-like extractor: approximate entropy
+// (Pincus 1991, cited by the paper via Yentes et al.), sample entropy, and
+// binned (histogram) entropy.
+#pragma once
+
+#include <span>
+
+namespace alba::stats {
+
+/// Approximate entropy ApEn(m, r·std). Returns 0 for constant or too-short
+/// series. O(n^2) — the dominant cost of the TSFRESH extractor; keep m small.
+double approximate_entropy(std::span<const double> x, std::size_t m = 2,
+                           double r_frac = 0.2);
+
+/// Sample entropy SampEn(m, r·std); self-matches excluded. Returns NaN when
+/// no template matches exist.
+double sample_entropy(std::span<const double> x, std::size_t m = 2,
+                      double r_frac = 0.2);
+
+/// Shannon entropy of the histogram of x with `bins` equal-width bins over
+/// [min, max]. Matches tsfresh binned_entropy.
+double binned_entropy(std::span<const double> x, std::size_t bins = 10);
+
+/// Shannon entropy of a discrete probability vector (base e); ignores zeros.
+double shannon_entropy(std::span<const double> probs) noexcept;
+
+}  // namespace alba::stats

@@ -1,0 +1,58 @@
+#include "stats/fft.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace alba::stats {
+
+std::size_t next_pow2(std::size_t n) noexcept {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+void fft_inplace(std::vector<std::complex<double>>& data, bool inverse) {
+  const std::size_t n = data.size();
+  ALBA_CHECK(n > 0 && (n & (n - 1)) == 0)
+      << "FFT length must be a power of two, got " << n;
+
+  // Bit-reversal permutation.
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(data[i], data[j]);
+  }
+
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double angle = (inverse ? 2.0 : -2.0) * M_PI / static_cast<double>(len);
+    const std::complex<double> wlen(std::cos(angle), std::sin(angle));
+    for (std::size_t i = 0; i < n; i += len) {
+      std::complex<double> w(1.0, 0.0);
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const std::complex<double> u = data[i + k];
+        const std::complex<double> v = data[i + k + len / 2] * w;
+        data[i + k] = u + v;
+        data[i + k + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+
+  if (inverse) {
+    const double inv_n = 1.0 / static_cast<double>(n);
+    for (auto& c : data) c *= inv_n;
+  }
+}
+
+std::vector<std::complex<double>> fft_real(std::span<const double> signal) {
+  ALBA_CHECK(!signal.empty()) << "FFT of empty signal";
+  const std::size_t n = next_pow2(signal.size());
+  std::vector<std::complex<double>> data(n);
+  for (std::size_t i = 0; i < signal.size(); ++i) data[i] = signal[i];
+  fft_inplace(data);
+  return data;
+}
+
+}  // namespace alba::stats

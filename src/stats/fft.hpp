@@ -1,0 +1,23 @@
+// Iterative radix-2 Cooley–Tukey FFT with zero-padding for arbitrary sizes.
+// Feeds the Welch PSD estimator and the TSFRESH-like FFT-coefficient
+// features.
+#pragma once
+
+#include <complex>
+#include <span>
+#include <vector>
+
+namespace alba::stats {
+
+/// In-place FFT of a power-of-two-length complex buffer.
+/// Throws alba::Error when the length is not a power of two.
+void fft_inplace(std::vector<std::complex<double>>& data, bool inverse = false);
+
+/// FFT of a real signal. The signal is zero-padded to the next power of two;
+/// returns the full complex spectrum of the padded length.
+std::vector<std::complex<double>> fft_real(std::span<const double> signal);
+
+/// Returns the smallest power of two >= n (n >= 1).
+std::size_t next_pow2(std::size_t n) noexcept;
+
+}  // namespace alba::stats

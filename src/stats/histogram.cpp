@@ -1,0 +1,48 @@
+#include "stats/histogram.hpp"
+
+#include "common/error.hpp"
+#include "stats/descriptive.hpp"
+
+namespace alba::stats {
+
+Histogram make_histogram(std::span<const double> x, std::size_t bins) {
+  ALBA_CHECK(bins > 0);
+  Histogram h;
+  h.counts.assign(bins, 0);
+  if (x.empty()) return h;
+  h.lo = minimum(x);
+  h.hi = maximum(x);
+  if (h.hi - h.lo < 1e-300) {
+    h.counts[0] = x.size();
+    return h;
+  }
+  const double width = (h.hi - h.lo) / static_cast<double>(bins);
+  for (double v : x) {
+    auto bin = static_cast<std::size_t>((v - h.lo) / width);
+    if (bin >= bins) bin = bins - 1;
+    ++h.counts[bin];
+  }
+  return h;
+}
+
+IqrFences iqr_fences(std::span<const double> x, double k) {
+  IqrFences f;
+  f.q1 = quantile(x, 0.25);
+  f.q3 = quantile(x, 0.75);
+  const double iqr = f.q3 - f.q1;
+  f.lower = f.q1 - k * iqr;
+  f.upper = f.q3 + k * iqr;
+  return f;
+}
+
+double outlier_ratio_iqr(std::span<const double> x, double k) {
+  if (x.empty()) return 0.0;
+  const auto f = iqr_fences(x, k);
+  std::size_t outliers = 0;
+  for (double v : x) {
+    if (v < f.lower || v > f.upper) ++outliers;
+  }
+  return static_cast<double>(outliers) / static_cast<double>(x.size());
+}
+
+}  // namespace alba::stats

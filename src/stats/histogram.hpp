@@ -1,0 +1,36 @@
+// Fixed-width histogram + IQR-based outlier test. The IQR rule (1.5·IQR
+// beyond Q1/Q3) is what the paper uses to justify its 10% anomaly ratio from
+// Eclipse job execution times (Sec. IV-E-2).
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace alba::stats {
+
+struct Histogram {
+  double lo = 0.0;
+  double hi = 0.0;
+  std::vector<std::size_t> counts;
+
+  double bin_width() const noexcept {
+    return counts.empty() ? 0.0 : (hi - lo) / static_cast<double>(counts.size());
+  }
+};
+
+/// Equal-width histogram over [min, max]; max lands in the last bin.
+Histogram make_histogram(std::span<const double> x, std::size_t bins);
+
+struct IqrFences {
+  double q1 = 0.0;
+  double q3 = 0.0;
+  double lower = 0.0;  // q1 - 1.5 IQR
+  double upper = 0.0;  // q3 + 1.5 IQR
+};
+
+IqrFences iqr_fences(std::span<const double> x, double k = 1.5);
+
+/// Fraction of values outside the Tukey fences.
+double outlier_ratio_iqr(std::span<const double> x, double k = 1.5);
+
+}  // namespace alba::stats

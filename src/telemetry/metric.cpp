@@ -1,0 +1,17 @@
+#include "telemetry/metric.hpp"
+
+namespace alba {
+
+std::string_view subsystem_name(Subsystem s) noexcept {
+  switch (s) {
+    case Subsystem::Meminfo: return "meminfo";
+    case Subsystem::Vmstat: return "vmstat";
+    case Subsystem::CpuCore: return "cpu";
+    case Subsystem::Network: return "net";
+    case Subsystem::Lustre: return "lustre";
+    case Subsystem::Cray: return "cray";
+  }
+  return "unknown";
+}
+
+}  // namespace alba

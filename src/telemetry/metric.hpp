@@ -1,0 +1,64 @@
+// Telemetry metric model.
+//
+// LDMS exposes hundreds of numeric metrics per node drawn from procfs,
+// netlink, Lustre and Cray counters. Each simulated metric is declared as a
+// MetricDef: which subsystem it belongs to, whether it is a gauge (sampled
+// value, e.g. MemFree) or a cumulative counter (monotone, e.g.
+// rx_packets — the pipeline later differences these, exactly as the paper
+// does), which NodeLoad channel drives it, and its scale/offset/noise.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace alba {
+
+enum class Subsystem {
+  Meminfo,   // /proc/meminfo-style gauges
+  Vmstat,    // /proc/vmstat-style counters
+  CpuCore,   // per-core user/system/idle jiffies (counters)
+  Network,   // per-NIC packet/byte counters
+  Lustre,    // shared-filesystem operation counters
+  Cray,      // Cray power / performance counters
+};
+
+std::string_view subsystem_name(Subsystem s) noexcept;
+
+enum class MetricKind {
+  Gauge,    // instantaneous value
+  Counter,  // cumulative, monotonically increasing
+};
+
+/// Which NodeLoad channel the metric is derived from.
+enum class LoadChannel {
+  CpuUser,
+  CpuSystem,
+  CpuIdle,
+  CpuFreq,
+  CacheMiss,
+  MemUsed,
+  MemFree,
+  MemBw,
+  NetTx,
+  NetRx,
+  IoRead,
+  IoWrite,
+  Power,
+  Constant,  // calibration-only metric (pure noise around offset)
+};
+
+struct MetricDef {
+  std::string name;
+  Subsystem subsystem = Subsystem::Meminfo;
+  MetricKind kind = MetricKind::Gauge;
+  LoadChannel channel = LoadChannel::Constant;
+  double scale = 1.0;        // value (or rate for counters) per unit channel
+  double offset = 0.0;       // baseline value / baseline rate
+  double noise_frac = 0.02;  // multiplicative noise sigma on the raw value
+  // For CpuCore metrics: which core this metric reports. Cores receive
+  // slightly different shares of the node load (weight drawn per core).
+  int core = -1;
+};
+
+}  // namespace alba

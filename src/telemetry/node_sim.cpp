@@ -1,0 +1,198 @@
+#include "telemetry/node_sim.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace alba {
+
+namespace {
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+double channel_value(const NodeLoad& load, LoadChannel channel,
+                     double mem_capacity_gb) noexcept {
+  switch (channel) {
+    case LoadChannel::CpuUser: return load.cpu_user;
+    case LoadChannel::CpuSystem: return load.cpu_system;
+    case LoadChannel::CpuIdle: return load.cpu_idle();
+    case LoadChannel::CpuFreq: return load.cpu_freq;
+    case LoadChannel::CacheMiss: return load.cache_miss_rate;
+    case LoadChannel::MemUsed: return load.mem_used_gb;
+    case LoadChannel::MemFree:
+      return std::max(0.0, mem_capacity_gb - load.mem_used_gb);
+    case LoadChannel::MemBw: return load.mem_bw_util;
+    case LoadChannel::NetTx: return load.net_tx_rate;
+    case LoadChannel::NetRx: return load.net_rx_rate;
+    case LoadChannel::IoRead: return load.io_read_rate;
+    case LoadChannel::IoWrite: return load.io_write_rate;
+    case LoadChannel::Power: return load.power_watts;
+    case LoadChannel::Constant: return 1.0;
+  }
+  return 0.0;
+}
+}  // namespace
+
+NodeSimulator::NodeSimulator(const MetricRegistry& registry,
+                             NodeSimConfig config)
+    : registry_(registry), config_(config) {
+  ALBA_CHECK(config_.duration_steps > config_.ramp_steps + config_.drain_steps)
+      << "run too short for its transients";
+  ALBA_CHECK(config_.dt_seconds > 0.0);
+  ALBA_CHECK(config_.missing_prob >= 0.0 && config_.missing_prob < 1.0);
+}
+
+NodeLoad NodeSimulator::load_at(const AppSignature& app, const InputDeck& deck,
+                                double t_seconds, double t_frac,
+                                double phase_shift, double level_jitter) const {
+  const PhaseLoad p = signature_load_at(app, deck, t_seconds, phase_shift);
+  const double cap = registry_.mem_capacity_gb();
+
+  NodeLoad load;
+  load.cpu_user = std::clamp(p.cpu_user * level_jitter, 0.0, 1.0);
+  load.cpu_system = std::clamp(p.cpu_system * level_jitter, 0.0, 1.0);
+  load.cpu_freq = 1.0;
+  load.cache_miss_rate = std::clamp(p.cache_miss * level_jitter, 0.0, 1.0);
+  load.mem_bw_util = std::clamp(p.mem_bw * level_jitter, 0.0, 1.0);
+  load.net_tx_rate = std::max(0.0, p.net * level_jitter);
+  load.net_rx_rate = std::max(0.0, p.net * 0.95 * level_jitter);
+  load.io_read_rate = std::max(0.0, p.io_read * level_jitter);
+  load.io_write_rate = std::max(0.0, p.io_write * level_jitter);
+
+  // Resident memory: base + slow application growth, scaled by the deck.
+  const double mem_frac =
+      std::min(0.95, (app.mem_base_frac + app.mem_growth_frac * t_frac) *
+                         deck.mem_scale);
+  load.mem_used_gb = mem_frac * cap;
+
+  // Node power: idle floor + compute + memory-traffic components.
+  load.power_watts = 110.0 + 190.0 * (load.cpu_user + 0.5 * load.cpu_system) +
+                     45.0 * load.mem_bw_util;
+  return load;
+}
+
+Matrix NodeSimulator::simulate(const AppSignature& app, const InputDeck& deck,
+                               int node_index, const AnomalyInjector* injector,
+                               Rng& rng) const {
+  const auto& metrics = registry_.metrics();
+  const std::size_t m = metrics.size();
+  const auto t_steps = static_cast<std::size_t>(config_.duration_steps);
+  const double cap = registry_.mem_capacity_gb();
+
+  // Per-run randomness: cycle phase offset, overall level jitter, per-node
+  // imbalance, per-core weights, and counter start offsets.
+  const double phase_shift = rng.uniform();
+  const double run_level =
+      std::max(0.3, 1.0 + config_.run_jitter * rng.normal());
+  const double node_level =
+      std::max(0.3, 1.0 + app.node_imbalance * rng.normal() +
+                        0.01 * static_cast<double>(node_index % 4));
+
+  std::vector<double> core_weight;
+  int max_core = -1;
+  for (const auto& def : metrics) max_core = std::max(max_core, def.core);
+  for (int c = 0; c <= max_core; ++c) {
+    core_weight.push_back(std::max(0.5, 1.0 + 0.08 * rng.normal()));
+  }
+
+  std::vector<double> counter_state(m, 0.0);
+  for (std::size_t j = 0; j < m; ++j) {
+    if (metrics[j].kind == MetricKind::Counter) {
+      counter_state[j] = rng.uniform(0.0, 1.0e6);
+    }
+  }
+
+  // Background interference (other jobs on shared resources). Production
+  // neighbours cause *bursts* of exactly the kinds of pressure the HPAS
+  // anomalies exercise — CPU steal, memory-subsystem contention, network/
+  // filesystem slowdown — so healthy samples overlap the low-intensity
+  // anomaly classes and diagnosis needs many more labels than on an
+  // isolated testbed. Each run draws a random set of bursts per kind.
+  enum BgKind { kBgCpu = 0, kBgMem = 1, kBgNet = 2 };
+  struct Burst {
+    double start = 0.0;
+    double end = 0.0;
+    double magnitude = 0.0;
+    int kind = 0;
+  };
+  std::vector<Burst> bursts;
+  if (config_.background_level > 0.0) {
+    const double run_seconds =
+        static_cast<double>(config_.duration_steps) * config_.dt_seconds;
+    const std::size_t n_bursts = 1 + rng.uniform_index(4);  // 1..4
+    for (std::size_t b = 0; b < n_bursts; ++b) {
+      Burst burst;
+      burst.start = rng.uniform(0.0, run_seconds);
+      burst.end = burst.start + rng.uniform(0.1, 0.6) * run_seconds;
+      burst.magnitude = config_.background_level * rng.uniform(0.3, 1.0);
+      burst.kind = static_cast<int>(rng.uniform_index(3));
+      bursts.push_back(burst);
+    }
+  }
+  auto background_at = [&bursts](double t, int kind) {
+    double acc = 0.0;
+    for (const Burst& b : bursts) {
+      if (b.kind == kind && t >= b.start && t < b.end) acc += b.magnitude;
+    }
+    return std::min(acc, 1.2);
+  };
+
+  Matrix series(t_steps, m);
+  InjectionContext ctx;
+  ctx.mem_capacity_gb = cap;
+
+  for (std::size_t t = 0; t < t_steps; ++t) {
+    const double t_seconds = static_cast<double>(t) * config_.dt_seconds;
+    ctx.t_seconds = t_seconds;
+    ctx.t_frac = static_cast<double>(t) / static_cast<double>(t_steps - 1);
+
+    // Init/termination transients: activity ramps in and drains out (the
+    // pipeline trims these, but they must exist to be trimmed).
+    double transient = 1.0;
+    if (t < static_cast<std::size_t>(config_.ramp_steps)) {
+      transient = (static_cast<double>(t) + 1.0) /
+                  (static_cast<double>(config_.ramp_steps) + 1.0);
+    } else if (t + config_.drain_steps >= t_steps) {
+      transient = (static_cast<double>(t_steps - t)) /
+                  (static_cast<double>(config_.drain_steps) + 1.0);
+    }
+
+    NodeLoad load = load_at(app, deck, t_seconds, ctx.t_frac, phase_shift,
+                            run_level * node_level * transient);
+    if (config_.background_level > 0.0) {
+      // Interference overlaps the anomaly footprints on purpose: it is why
+      // production diagnosis needs many more labels than the testbed.
+      const double cpu_bg = background_at(t_seconds, kBgCpu);
+      const double mem_bg = background_at(t_seconds, kBgMem);
+      const double net_bg = background_at(t_seconds, kBgNet);
+      load.cpu_user = std::clamp(load.cpu_user + 0.50 * cpu_bg, 0.0, 1.0);
+      load.cpu_system = std::clamp(load.cpu_system + 0.10 * cpu_bg, 0.0, 1.0);
+      load.cache_miss_rate =
+          std::clamp(load.cache_miss_rate + 0.40 * mem_bg, 0.0, 1.0);
+      load.mem_bw_util = std::clamp(load.mem_bw_util + 0.50 * mem_bg, 0.0, 1.0);
+      load.net_tx_rate *= 1.0 / (1.0 + 0.8 * net_bg);
+      load.net_rx_rate *= 1.0 / (1.0 + 0.8 * net_bg);
+      load.io_read_rate *= 1.0 / (1.0 + 0.6 * net_bg);
+      load.io_write_rate *= 1.0 / (1.0 + 0.6 * net_bg);
+      load.power_watts += 120.0 * cpu_bg + 40.0 * mem_bg;
+    }
+    if (injector != nullptr) injector->apply(ctx, load, rng);
+
+    for (std::size_t j = 0; j < m; ++j) {
+      const MetricDef& def = metrics[j];
+      double ch = channel_value(load, def.channel, cap);
+      if (def.core >= 0) ch *= core_weight[static_cast<std::size_t>(def.core)];
+      double value = def.offset + def.scale * ch;
+      value *= std::max(0.0, 1.0 + def.noise_frac * rng.normal());
+
+      if (def.kind == MetricKind::Counter) {
+        counter_state[j] += std::max(0.0, value) * config_.dt_seconds;
+        value = counter_state[j];
+      }
+      series(t, j) =
+          rng.bernoulli(config_.missing_prob) ? kNaN : value;
+    }
+  }
+  return series;
+}
+
+}  // namespace alba

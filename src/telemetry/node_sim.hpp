@@ -1,0 +1,61 @@
+// Compute-node telemetry simulator.
+//
+// Produces the raw `T x M` multivariate series LDMS would sample at 1 Hz
+// from one node over one application run: gauges with multiplicative noise,
+// cumulative counters with random initial offsets, per-core load imbalance,
+// init/termination transients (the paper trims these before feature
+// extraction), and sporadic missing samples (NaN; the paper linearly
+// interpolates them). An optional AnomalyInjector perturbs the node's load
+// each step — the run generator attaches it to the run's first node only,
+// matching the paper's injection policy.
+#pragma once
+
+#include "anomaly/injector.hpp"
+#include "common/rng.hpp"
+#include "linalg/matrix.hpp"
+#include "telemetry/app_model.hpp"
+#include "telemetry/registry.hpp"
+
+namespace alba {
+
+struct NodeSimConfig {
+  int duration_steps = 96;    // samples per run (paper: 600-2700 @ 1 Hz)
+  double dt_seconds = 1.0;    // LDMS sampling period
+  int ramp_steps = 6;         // init transient length
+  int drain_steps = 5;        // termination transient length
+  double missing_prob = 0.008;  // per-cell missing-sample probability
+  double run_jitter = 0.035;    // run-to-run level jitter (sigma)
+  // Production-system interference: shared-resource contention from other
+  // jobs (network, filesystem, memory) shows up as slowly varying
+  // background activity uncorrelated with the application. 0 disables
+  // (testbed-like isolation); Eclipse-style production configs use ~0.5.
+  // This is what makes the production dataset genuinely harder than the
+  // testbed one, as the paper observes (Sec. V-A).
+  double background_level = 0.0;
+};
+
+class NodeSimulator {
+ public:
+  NodeSimulator(const MetricRegistry& registry, NodeSimConfig config);
+
+  const NodeSimConfig& config() const noexcept { return config_; }
+
+  /// Simulates one node of one run. `injector` may be null (healthy node).
+  /// `rng` is the node's private stream; identical streams reproduce the
+  /// series exactly.
+  Matrix simulate(const AppSignature& app, const InputDeck& deck,
+                  int node_index, const AnomalyInjector* injector,
+                  Rng& rng) const;
+
+  /// The NodeLoad the simulator would derive at time t for the given app —
+  /// exposed for tests and for the anomaly-footprint example.
+  NodeLoad load_at(const AppSignature& app, const InputDeck& deck,
+                   double t_seconds, double t_frac, double phase_shift,
+                   double level_jitter) const;
+
+ private:
+  const MetricRegistry& registry_;
+  NodeSimConfig config_;
+};
+
+}  // namespace alba

@@ -1,0 +1,176 @@
+#include "telemetry/registry.hpp"
+
+#include "common/error.hpp"
+#include "common/string_util.hpp"
+
+namespace alba {
+
+std::string_view system_name(SystemKind kind) noexcept {
+  switch (kind) {
+    case SystemKind::Volta: return "volta";
+    case SystemKind::Eclipse: return "eclipse";
+  }
+  return "unknown";
+}
+
+MetricRegistry::MetricRegistry(SystemKind kind, const RegistryConfig& config)
+    : kind_(kind) {
+  ALBA_CHECK(config.cores >= 1 && config.nics >= 1);
+
+  // --- meminfo gauges (values in kB, as procfs reports them) ---
+  constexpr double kGb = 1024.0 * 1024.0;  // kB per GB
+  add({.name = "meminfo.MemFree", .subsystem = Subsystem::Meminfo,
+       .kind = MetricKind::Gauge, .channel = LoadChannel::MemFree,
+       .scale = kGb, .offset = 0.0, .noise_frac = 0.01});
+  add({.name = "meminfo.Active", .subsystem = Subsystem::Meminfo,
+       .kind = MetricKind::Gauge, .channel = LoadChannel::MemUsed,
+       .scale = 0.8 * kGb, .offset = 0.3 * kGb, .noise_frac = 0.01});
+  add({.name = "meminfo.AnonPages", .subsystem = Subsystem::Meminfo,
+       .kind = MetricKind::Gauge, .channel = LoadChannel::MemUsed,
+       .scale = 0.7 * kGb, .offset = 0.1 * kGb, .noise_frac = 0.01});
+  add({.name = "meminfo.Cached", .subsystem = Subsystem::Meminfo,
+       .kind = MetricKind::Gauge, .channel = LoadChannel::IoRead,
+       .scale = 2.0e3, .offset = 0.8 * kGb, .noise_frac = 0.02});
+  add({.name = "meminfo.Dirty", .subsystem = Subsystem::Meminfo,
+       .kind = MetricKind::Gauge, .channel = LoadChannel::IoWrite,
+       .scale = 4.0e2, .offset = 2.0e3, .noise_frac = 0.10});
+  add({.name = "meminfo.Mapped", .subsystem = Subsystem::Meminfo,
+       .kind = MetricKind::Gauge, .channel = LoadChannel::MemUsed,
+       .scale = 0.05 * kGb, .offset = 0.05 * kGb, .noise_frac = 0.02});
+  add({.name = "meminfo.Slab", .subsystem = Subsystem::Meminfo,
+       .kind = MetricKind::Gauge, .channel = LoadChannel::IoWrite,
+       .scale = 1.0e3, .offset = 0.2 * kGb, .noise_frac = 0.03});
+  add({.name = "meminfo.Buffers", .subsystem = Subsystem::Meminfo,
+       .kind = MetricKind::Gauge, .channel = LoadChannel::Constant,
+       .scale = 0.0, .offset = 0.05 * kGb, .noise_frac = 0.02});
+
+  // --- vmstat counters (rates driven by memory/IO activity) ---
+  add({.name = "vmstat.pgfault", .subsystem = Subsystem::Vmstat,
+       .kind = MetricKind::Counter, .channel = LoadChannel::MemUsed,
+       .scale = 250.0, .offset = 120.0, .noise_frac = 0.08});
+  add({.name = "vmstat.pgmajfault", .subsystem = Subsystem::Vmstat,
+       .kind = MetricKind::Counter, .channel = LoadChannel::IoRead,
+       .scale = 0.08, .offset = 0.05, .noise_frac = 0.30});
+  add({.name = "vmstat.pgalloc_normal", .subsystem = Subsystem::Vmstat,
+       .kind = MetricKind::Counter, .channel = LoadChannel::MemUsed,
+       .scale = 300.0, .offset = 200.0, .noise_frac = 0.08});
+  add({.name = "vmstat.pgfree", .subsystem = Subsystem::Vmstat,
+       .kind = MetricKind::Counter, .channel = LoadChannel::MemUsed,
+       .scale = 280.0, .offset = 210.0, .noise_frac = 0.08});
+  add({.name = "vmstat.nr_dirty", .subsystem = Subsystem::Vmstat,
+       .kind = MetricKind::Gauge, .channel = LoadChannel::IoWrite,
+       .scale = 12.0, .offset = 40.0, .noise_frac = 0.15});
+  add({.name = "vmstat.nr_writeback", .subsystem = Subsystem::Vmstat,
+       .kind = MetricKind::Gauge, .channel = LoadChannel::IoWrite,
+       .scale = 3.0, .offset = 5.0, .noise_frac = 0.25});
+
+  // --- per-core CPU time counters (jiffies; USER_HZ = 100) ---
+  for (int c = 0; c < config.cores; ++c) {
+    add({.name = strformat("cpu.user#%d", c), .subsystem = Subsystem::CpuCore,
+         .kind = MetricKind::Counter, .channel = LoadChannel::CpuUser,
+         .scale = 100.0, .offset = 0.2, .noise_frac = 0.03, .core = c});
+    add({.name = strformat("cpu.sys#%d", c), .subsystem = Subsystem::CpuCore,
+         .kind = MetricKind::Counter, .channel = LoadChannel::CpuSystem,
+         .scale = 100.0, .offset = 0.4, .noise_frac = 0.05, .core = c});
+    add({.name = strformat("cpu.idle#%d", c), .subsystem = Subsystem::CpuCore,
+         .kind = MetricKind::Counter, .channel = LoadChannel::CpuIdle,
+         .scale = 100.0, .offset = 0.0, .noise_frac = 0.03, .core = c});
+  }
+
+  // --- network counters (Aries/IB NICs) ---
+  for (int n = 0; n < config.nics; ++n) {
+    add({.name = strformat("net.tx_packets#%d", n),
+         .subsystem = Subsystem::Network, .kind = MetricKind::Counter,
+         .channel = LoadChannel::NetTx, .scale = 1.0, .offset = 3.0,
+         .noise_frac = 0.06});
+    add({.name = strformat("net.rx_packets#%d", n),
+         .subsystem = Subsystem::Network, .kind = MetricKind::Counter,
+         .channel = LoadChannel::NetRx, .scale = 1.0, .offset = 3.0,
+         .noise_frac = 0.06});
+    add({.name = strformat("net.tx_bytes#%d", n),
+         .subsystem = Subsystem::Network, .kind = MetricKind::Counter,
+         .channel = LoadChannel::NetTx, .scale = 2048.0, .offset = 400.0,
+         .noise_frac = 0.06});
+    add({.name = strformat("net.rx_bytes#%d", n),
+         .subsystem = Subsystem::Network, .kind = MetricKind::Counter,
+         .channel = LoadChannel::NetRx, .scale = 2048.0, .offset = 400.0,
+         .noise_frac = 0.06});
+  }
+
+  // --- Lustre shared-filesystem counters ---
+  add({.name = "lustre.open", .subsystem = Subsystem::Lustre,
+       .kind = MetricKind::Counter, .channel = LoadChannel::IoRead,
+       .scale = 0.02, .offset = 0.02, .noise_frac = 0.30});
+  add({.name = "lustre.close", .subsystem = Subsystem::Lustre,
+       .kind = MetricKind::Counter, .channel = LoadChannel::IoRead,
+       .scale = 0.02, .offset = 0.02, .noise_frac = 0.30});
+  add({.name = "lustre.read_bytes", .subsystem = Subsystem::Lustre,
+       .kind = MetricKind::Counter, .channel = LoadChannel::IoRead,
+       .scale = 1.0e5, .offset = 1.0e3, .noise_frac = 0.12});
+  add({.name = "lustre.write_bytes", .subsystem = Subsystem::Lustre,
+       .kind = MetricKind::Counter, .channel = LoadChannel::IoWrite,
+       .scale = 1.0e5, .offset = 1.0e3, .noise_frac = 0.12});
+  add({.name = "lustre.getattr", .subsystem = Subsystem::Lustre,
+       .kind = MetricKind::Counter, .channel = LoadChannel::IoRead,
+       .scale = 0.05, .offset = 0.10, .noise_frac = 0.25});
+  add({.name = "lustre.setattr", .subsystem = Subsystem::Lustre,
+       .kind = MetricKind::Counter, .channel = LoadChannel::IoWrite,
+       .scale = 0.02, .offset = 0.03, .noise_frac = 0.25});
+
+  // --- Cray performance / power counters ---
+  add({.name = "cray.power", .subsystem = Subsystem::Cray,
+       .kind = MetricKind::Gauge, .channel = LoadChannel::Power,
+       .scale = 1.0, .offset = 0.0, .noise_frac = 0.02});
+  add({.name = "cray.energy", .subsystem = Subsystem::Cray,
+       .kind = MetricKind::Counter, .channel = LoadChannel::Power,
+       .scale = 1.0, .offset = 0.0, .noise_frac = 0.02});
+  add({.name = "cray.llc_misses", .subsystem = Subsystem::Cray,
+       .kind = MetricKind::Counter, .channel = LoadChannel::CacheMiss,
+       .scale = 5.0e7, .offset = 1.0e5, .noise_frac = 0.05});
+  add({.name = "cray.llc_refs", .subsystem = Subsystem::Cray,
+       .kind = MetricKind::Counter, .channel = LoadChannel::CpuUser,
+       .scale = 2.0e8, .offset = 1.0e6, .noise_frac = 0.05});
+  add({.name = "cray.wb_count", .subsystem = Subsystem::Cray,
+       .kind = MetricKind::Counter, .channel = LoadChannel::MemBw,
+       .scale = 8.0e7, .offset = 5.0e4, .noise_frac = 0.05});
+  // Reported frequency is the *requested* P-state, not the delivered one —
+  // the `dial` anomaly's throttling is therefore only visible indirectly
+  // (throughput/power breathing), matching the paper's finding that dial is
+  // the hardest anomaly to diagnose.
+  add({.name = "cray.cpu_freq_mhz", .subsystem = Subsystem::Cray,
+       .kind = MetricKind::Gauge, .channel = LoadChannel::Constant,
+       .scale = kind == SystemKind::Volta ? 2400.0 : 2100.0, .offset = 0.0,
+       .noise_frac = 0.002});
+  add({.name = "cray.board_temp", .subsystem = Subsystem::Cray,
+       .kind = MetricKind::Gauge, .channel = LoadChannel::Power,
+       .scale = 0.08, .offset = 28.0, .noise_frac = 0.02});
+
+  // --- filler gauges: metrics uncorrelated with load (LDMS carries many) ---
+  for (int i = 0; i < config.filler_gauges; ++i) {
+    add({.name = strformat("misc.filler#%d", i), .subsystem = Subsystem::Cray,
+         .kind = MetricKind::Gauge, .channel = LoadChannel::Constant,
+         .scale = 0.0, .offset = 100.0 + 10.0 * i, .noise_frac = 0.05});
+  }
+}
+
+void MetricRegistry::add(MetricDef def) { metrics_.push_back(std::move(def)); }
+
+std::size_t MetricRegistry::index_of(const std::string& name) const {
+  for (std::size_t i = 0; i < metrics_.size(); ++i) {
+    if (metrics_[i].name == name) return i;
+  }
+  throw Error("metric not found: " + name);
+}
+
+std::vector<std::string> MetricRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(metrics_.size());
+  for (const auto& m : metrics_) out.push_back(m.name);
+  return out;
+}
+
+double MetricRegistry::mem_capacity_gb() const noexcept {
+  return kind_ == SystemKind::Volta ? 64.0 : 128.0;
+}
+
+}  // namespace alba

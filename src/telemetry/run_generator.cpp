@@ -1,0 +1,152 @@
+#include "telemetry/run_generator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/thread_pool.hpp"
+
+namespace alba {
+
+RunGenerator::RunGenerator(SystemKind kind, RegistryConfig registry_config,
+                           NodeSimConfig sim_config)
+    : kind_(kind),
+      registry_(kind, registry_config),
+      apps_(applications_for(kind)),
+      simulator_(registry_, sim_config) {}
+
+std::vector<Sample> RunGenerator::generate_run(const RunSpec& spec) const {
+  ALBA_CHECK(spec.app_id >= 0 &&
+             static_cast<std::size_t>(spec.app_id) < apps_.size())
+      << "app_id " << spec.app_id << " out of range";
+  ALBA_CHECK(spec.nodes >= 1);
+  ALBA_CHECK(spec.anomaly == AnomalyType::Healthy || spec.intensity > 0.0)
+      << "anomalous run needs a positive intensity";
+
+  const AppSignature& app = apps_[static_cast<std::size_t>(spec.app_id)];
+  const InputDeck deck = scale_deck_for_nodes(
+      make_input_deck(spec.app_id, spec.input_id), spec.nodes);
+
+  std::unique_ptr<AnomalyInjector> injector;
+  if (spec.anomaly != AnomalyType::Healthy) {
+    injector = make_injector(spec.anomaly, spec.intensity);
+  }
+
+  Rng run_rng(spec.seed);
+  std::vector<Sample> samples;
+  samples.reserve(static_cast<std::size_t>(spec.nodes));
+  for (int node = 0; node < spec.nodes; ++node) {
+    Rng node_rng = run_rng.split(static_cast<std::uint64_t>(node) + 1);
+    const AnomalyInjector* inj = (node == 0) ? injector.get() : nullptr;
+    Sample s;
+    s.series = simulator_.simulate(app, deck, node, inj, node_rng);
+    s.app_id = spec.app_id;
+    s.input_id = spec.input_id;
+    s.node_index = node;
+    s.run_id = spec.run_id;
+    s.label = (node == 0) ? spec.anomaly : AnomalyType::Healthy;
+    samples.push_back(std::move(s));
+  }
+  return samples;
+}
+
+std::vector<Sample> RunGenerator::generate(
+    const std::vector<RunSpec>& specs) const {
+  std::vector<std::vector<Sample>> per_run(specs.size());
+  parallel_for(specs.size(),
+               [&](std::size_t i) { per_run[i] = generate_run(specs[i]); });
+  std::vector<Sample> out;
+  for (auto& run : per_run) {
+    for (auto& s : run) out.push_back(std::move(s));
+  }
+  return out;
+}
+
+std::vector<RunSpec> make_collection_specs(SystemKind kind,
+                                           std::size_t num_apps,
+                                           std::size_t inputs_per_app,
+                                           const CollectionPlan& plan) {
+  ALBA_CHECK(num_apps > 0 && inputs_per_app > 0);
+  ALBA_CHECK(plan.nodes_per_run >= 1 && plan.anomaly_runs >= 1);
+  ALBA_CHECK(plan.anomaly_ratio > 0.0 && plan.anomaly_ratio <= 1.0);
+
+  Rng rng(plan.seed);
+  const std::vector<int> node_counts =
+      plan.node_counts.empty() ? std::vector<int>{plan.nodes_per_run}
+                               : plan.node_counts;
+  for (const int n : node_counts) ALBA_CHECK(n >= 1);
+  double mean_nodes = 0.0;
+  for (const int n : node_counts) {
+    mean_nodes += static_cast<double>(n) / static_cast<double>(node_counts.size());
+  }
+
+  std::vector<RunSpec> specs;
+  int run_id = 0;
+  std::size_t anomalous_samples = 0;
+  std::size_t healthy_samples = 0;
+
+  for (std::size_t app = 0; app < num_apps; ++app) {
+    for (std::size_t input = 0; input < inputs_per_app; ++input) {
+      for (const AnomalyType type : kAnomalyTypes) {
+        // Pick the intensity settings for this (system, type).
+        std::vector<double> grid = (kind == SystemKind::Volta)
+                                       ? volta_intensities()
+                                       : eclipse_intensities(type);
+        if (plan.intensities_per_type > 0 &&
+            static_cast<std::size_t>(plan.intensities_per_type) < grid.size()) {
+          // Deterministic subsample, biased to span the grid (first pick is
+          // near the low end, last near the high end).
+          std::vector<double> chosen;
+          const std::size_t k =
+              static_cast<std::size_t>(plan.intensities_per_type);
+          for (std::size_t i = 0; i < k; ++i) {
+            const std::size_t idx = (i * (grid.size() - 1)) / (k > 1 ? k - 1 : 1);
+            chosen.push_back(grid[idx]);
+          }
+          grid = std::move(chosen);
+        }
+        for (const double intensity : grid) {
+          for (const int nodes : node_counts) {
+            for (int r = 0; r < plan.anomaly_runs; ++r) {
+              RunSpec spec;
+              spec.app_id = static_cast<int>(app);
+              spec.input_id = static_cast<int>(input);
+              spec.nodes = nodes;
+              spec.anomaly = type;
+              spec.intensity = intensity;
+              spec.run_id = run_id++;
+              spec.seed = rng.next();
+              specs.push_back(spec);
+              anomalous_samples += 1;
+              healthy_samples += static_cast<std::size_t>(nodes - 1);
+            }
+          }
+        }
+      }
+    }
+  }
+
+  // Healthy-only runs to dilute the anomaly share down to the target ratio.
+  const double target =
+      static_cast<double>(anomalous_samples) / plan.anomaly_ratio;
+  const double needed_healthy =
+      std::max(0.0, target - static_cast<double>(anomalous_samples) -
+                        static_cast<double>(healthy_samples));
+  const std::size_t healthy_runs =
+      static_cast<std::size_t>(std::ceil(needed_healthy / mean_nodes));
+
+  for (std::size_t i = 0; i < healthy_runs; ++i) {
+    RunSpec spec;
+    spec.app_id = static_cast<int>(i % num_apps);
+    spec.input_id = static_cast<int>((i / num_apps) % inputs_per_app);
+    spec.nodes = node_counts[i % node_counts.size()];
+    spec.anomaly = AnomalyType::Healthy;
+    spec.intensity = 0.0;
+    spec.run_id = run_id++;
+    spec.seed = rng.next();
+    specs.push_back(spec);
+  }
+  return specs;
+}
+
+}  // namespace alba

@@ -1,0 +1,362 @@
+// Tests for the active-learning extensions: query-by-committee, density-
+// weighted querying, batch-mode annotation, stream-based selective
+// sampling, and the annotator-assist explanation module.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "active/committee.hpp"
+#include "active/explain.hpp"
+#include "active/learner.hpp"
+#include "active/stream.hpp"
+#include "common/rng.hpp"
+#include "ml/metrics.hpp"
+#include "ml/random_forest.hpp"
+
+namespace alba {
+namespace {
+
+struct Blobs {
+  Matrix x;
+  std::vector<int> y;
+};
+
+Blobs make_blobs(std::size_t per_class, double spread, std::uint64_t seed) {
+  Rng rng(seed);
+  const double centers[3][2] = {{0.0, 0.0}, {5.0, 5.0}, {0.0, 5.0}};
+  Blobs blobs;
+  blobs.x = Matrix(3 * per_class, 2);
+  for (int c = 0; c < 3; ++c) {
+    for (std::size_t i = 0; i < per_class; ++i) {
+      const std::size_t row = static_cast<std::size_t>(c) * per_class + i;
+      blobs.x(row, 0) = centers[c][0] + spread * rng.normal();
+      blobs.x(row, 1) = centers[c][1] + spread * rng.normal();
+      blobs.y.push_back(c);
+    }
+  }
+  return blobs;
+}
+
+RandomForest make_prototype(std::uint64_t seed = 1) {
+  ForestConfig cfg;
+  cfg.num_classes = 3;
+  cfg.n_estimators = 10;
+  cfg.max_depth = 6;
+  return RandomForest(cfg, seed);
+}
+
+// ------------------------------------------------------------ committee ---
+
+TEST(Committee, MembersDifferAndConsensusIsValid) {
+  const Blobs blobs = make_blobs(30, 1.5, 1);
+  const RandomForest proto = make_prototype();
+  Committee committee(proto, 4, 7);
+  EXPECT_EQ(committee.size(), 4u);
+  EXPECT_FALSE(committee.fitted());
+  committee.fit(blobs.x, blobs.y);
+  EXPECT_TRUE(committee.fitted());
+
+  const Matrix consensus = committee.predict_proba(blobs.x);
+  for (std::size_t i = 0; i < consensus.rows(); ++i) {
+    double sum = 0.0;
+    for (const double p : consensus.row(i)) sum += p;
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+  }
+  // Members trained with different seeds: at least one probability differs.
+  const Matrix p0 = committee.member(0).predict_proba(blobs.x);
+  const Matrix p1 = committee.member(1).predict_proba(blobs.x);
+  bool differ = false;
+  for (std::size_t i = 0; i < p0.rows() && !differ; ++i) {
+    for (std::size_t j = 0; j < p0.cols(); ++j) {
+      if (p0(i, j) != p1(i, j)) differ = true;
+    }
+  }
+  EXPECT_TRUE(differ);
+}
+
+TEST(Committee, DisagreementHigherOnAmbiguousPoints) {
+  const Blobs blobs = make_blobs(50, 0.8, 2);
+  const RandomForest proto = make_prototype();
+  Committee committee(proto, 5, 3);
+  committee.fit(blobs.x, blobs.y);
+
+  // A point at a class centroid vs one equidistant between centroids.
+  Matrix probe(2, 2);
+  probe(0, 0) = 0.0;
+  probe(0, 1) = 0.0;   // deep inside class 0
+  probe(1, 0) = 2.5;
+  probe(1, 1) = 2.5;   // between all three centroids
+  const auto ve = committee.vote_entropy(probe);
+  const auto kl = committee.consensus_kl(probe);
+  EXPECT_LE(ve[0], ve[1]);
+  EXPECT_LE(kl[0], kl[1] + 1e-9);
+  EXPECT_GE(ve[1], 0.0);
+  EXPECT_GE(kl[1], 0.0);
+}
+
+TEST(Committee, UnanimousVotesHaveZeroEntropy) {
+  const Blobs blobs = make_blobs(40, 0.3, 4);  // trivially separable
+  const RandomForest proto = make_prototype();
+  Committee committee(proto, 3, 5);
+  committee.fit(blobs.x, blobs.y);
+  Matrix probe(1, 2);
+  probe(0, 0) = 0.0;
+  probe(0, 1) = 0.0;
+  EXPECT_NEAR(committee.vote_entropy(probe)[0], 0.0, 1e-9);
+}
+
+TEST(Committee, RejectsTooSmall) {
+  const RandomForest proto = make_prototype();
+  EXPECT_THROW(Committee(proto, 1, 1), Error);
+}
+
+// --------------------------------------------------- scored / batch picks ---
+
+TEST(ScoredSelection, ArgmaxAndBatch) {
+  const std::vector<double> scores{0.3, 0.9, 0.1, 0.9, 0.5};
+  EXPECT_EQ(select_query_scored(scores), 1u);  // first of the tied maxima
+  const auto batch = select_query_batch(scores, 3);
+  ASSERT_EQ(batch.size(), 3u);
+  EXPECT_EQ(batch[0], 1u);
+  EXPECT_EQ(batch[1], 3u);
+  EXPECT_EQ(batch[2], 4u);
+  // k clamped.
+  EXPECT_EQ(select_query_batch(scores, 99).size(), 5u);
+  EXPECT_THROW(select_query_scored({}), Error);
+}
+
+TEST(InformationDensity, DenseRegionScoresHigher) {
+  Rng rng(6);
+  Matrix pool(101, 2);
+  for (std::size_t i = 0; i < 100; ++i) {
+    pool(i, 0) = rng.normal(0.0, 0.5);
+    pool(i, 1) = rng.normal(0.0, 0.5);
+  }
+  pool(100, 0) = 50.0;  // extreme outlier
+  pool(100, 1) = 50.0;
+  const auto density = information_density(pool, 64, 7);
+  ASSERT_EQ(density.size(), 101u);
+  double mean_dense = 0.0;
+  for (std::size_t i = 0; i < 100; ++i) mean_dense += density[i];
+  mean_dense /= 100.0;
+  EXPECT_LT(density[100], 0.2 * mean_dense);
+  for (const double d : density) {
+    EXPECT_GE(d, 0.0);
+    EXPECT_LE(d, 1.0 + 1e-9);
+  }
+}
+
+// ------------------------------------------------- learner with extensions ---
+
+struct AlTask {
+  LabeledData seed;
+  Matrix pool_x;
+  std::vector<int> pool_y;
+  Matrix test_x;
+  std::vector<int> test_y;
+};
+
+AlTask make_task(std::uint64_t seed_val) {
+  Rng rng(seed_val);
+  const double centers[3][2] = {{0.0, 0.0}, {5.0, 5.0}, {0.0, 5.0}};
+  AlTask task;
+  auto fill = [&](Matrix& m, std::size_t row, int c) {
+    m(row, 0) = centers[c][0] + 0.9 * rng.normal();
+    m(row, 1) = centers[c][1] + 0.9 * rng.normal();
+  };
+  for (int c = 1; c < 3; ++c) {
+    for (int i = 0; i < 2; ++i) {
+      Matrix tmp(1, 2);
+      fill(tmp, 0, c);
+      task.seed.append(tmp.row(0), c);
+    }
+  }
+  task.pool_x = Matrix(150, 2);
+  for (std::size_t i = 0; i < 150; ++i) {
+    const int c = static_cast<int>(i % 3);
+    fill(task.pool_x, i, c);
+    task.pool_y.push_back(c);
+  }
+  task.test_x = Matrix(90, 2);
+  for (std::size_t i = 0; i < 90; ++i) {
+    const int c = static_cast<int>(i % 3);
+    fill(task.test_x, i, c);
+    task.test_y.push_back(c);
+  }
+  return task;
+}
+
+std::unique_ptr<Classifier> task_model(std::uint64_t seed_val) {
+  ForestConfig cfg;
+  cfg.num_classes = 3;
+  cfg.n_estimators = 10;
+  cfg.max_depth = 6;
+  return std::make_unique<RandomForest>(cfg, seed_val);
+}
+
+class ExtensionStrategyTest
+    : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(ExtensionStrategyTest, LearnsOnSyntheticTask) {
+  AlTask task = make_task(11);
+  ActiveLearnerConfig cfg;
+  cfg.strategy = strategy_from_name(GetParam());
+  cfg.max_queries = 25;
+  cfg.committee_size = 3;
+  cfg.seed = 5;
+  ActiveLearner learner(task_model(1), cfg);
+  LabelOracle oracle(task.pool_y, 3);
+  const auto result = learner.run(task.seed, task.pool_x, oracle, {},
+                                  task.test_x, task.test_y);
+  EXPECT_EQ(result.queried.size(), 25u);
+  EXPECT_GT(result.final_f1, 0.85) << GetParam();
+  EXPECT_GT(result.final_f1, result.curve.front().f1) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Strategies, ExtensionStrategyTest,
+                         ::testing::Values("vote_entropy", "consensus_kl",
+                                           "density_weighted"));
+
+TEST(BatchMode, SameBudgetFewerRounds) {
+  AlTask task = make_task(12);
+  ActiveLearnerConfig cfg;
+  cfg.strategy = QueryStrategy::Uncertainty;
+  cfg.max_queries = 24;
+  cfg.batch_size = 6;
+  ActiveLearner learner(task_model(2), cfg);
+  LabelOracle oracle(task.pool_y, 3);
+  const auto result = learner.run(task.seed, task.pool_x, oracle, {},
+                                  task.test_x, task.test_y);
+  // 24 labels in 4 rounds: curve has the seed point + 4 batch points.
+  ASSERT_EQ(result.curve.size(), 5u);
+  EXPECT_EQ(result.curve.back().queries, 24);
+  EXPECT_EQ(result.queried.size(), 24u);
+  std::set<std::size_t> distinct;
+  for (const auto& q : result.queried) distinct.insert(q.pool_index);
+  EXPECT_EQ(distinct.size(), 24u);
+}
+
+TEST(BatchMode, RandomBaselineBatchesToo) {
+  AlTask task = make_task(13);
+  ActiveLearnerConfig cfg;
+  cfg.strategy = QueryStrategy::Random;
+  cfg.max_queries = 20;
+  cfg.batch_size = 5;
+  ActiveLearner learner(task_model(3), cfg);
+  LabelOracle oracle(task.pool_y, 3);
+  const auto result = learner.run(task.seed, task.pool_x, oracle, {},
+                                  task.test_x, task.test_y);
+  EXPECT_EQ(result.queried.size(), 20u);
+  std::set<std::size_t> distinct;
+  for (const auto& q : result.queried) distinct.insert(q.pool_index);
+  EXPECT_EQ(distinct.size(), 20u);
+}
+
+// --------------------------------------------------------------- stream ---
+
+TEST(StreamSampler, QueriesOnlyUncertainItems) {
+  AlTask task = make_task(14);
+  StreamSamplerConfig cfg;
+  cfg.uncertainty_threshold = 0.4;
+  cfg.max_queries = 100;
+  StreamSampler sampler(task_model(4), cfg);
+  LabelOracle oracle(task.pool_y, 3);
+  const auto result =
+      sampler.run(task.seed, task.pool_x, oracle, task.test_x, task.test_y);
+  EXPECT_EQ(result.seen, task.pool_x.rows());
+  EXPECT_GT(result.queried, 0u);
+  EXPECT_LT(result.queried, result.seen);  // selective, not exhaustive
+  EXPECT_EQ(result.queried, oracle.queries_answered());
+  EXPECT_GT(result.final_f1, result.curve.front().f1);
+}
+
+TEST(StreamSampler, BudgetStopsQuerying) {
+  AlTask task = make_task(15);
+  StreamSamplerConfig cfg;
+  cfg.uncertainty_threshold = 0.05;  // nearly everything looks uncertain
+  cfg.max_queries = 7;
+  StreamSampler sampler(task_model(5), cfg);
+  LabelOracle oracle(task.pool_y, 3);
+  const auto result =
+      sampler.run(task.seed, task.pool_x, oracle, task.test_x, task.test_y);
+  EXPECT_EQ(result.queried, 7u);
+}
+
+TEST(StreamSampler, AdaptiveThresholdMoves) {
+  AlTask task = make_task(16);
+  StreamSamplerConfig cfg;
+  cfg.uncertainty_threshold = 0.3;
+  cfg.adapt_rate = 0.05;
+  cfg.max_queries = 50;
+  StreamSampler sampler(task_model(6), cfg);
+  LabelOracle oracle(task.pool_y, 3);
+  const auto result =
+      sampler.run(task.seed, task.pool_x, oracle, task.test_x, task.test_y);
+  EXPECT_NE(result.final_threshold, cfg.uncertainty_threshold);
+}
+
+TEST(StreamSampler, RejectsBadConfig) {
+  StreamSamplerConfig bad;
+  bad.uncertainty_threshold = 0.0;
+  EXPECT_THROW(StreamSampler(task_model(7), bad), Error);
+}
+
+// -------------------------------------------------------------- explain ---
+
+TEST(QueryExplainer, FlagsTheDeviantFeature) {
+  Rng rng(17);
+  LabeledData labeled;
+  for (int i = 0; i < 40; ++i) {
+    std::vector<double> row{rng.normal(1.0, 0.1), rng.normal(5.0, 0.1),
+                            rng.normal(-2.0, 0.1)};
+    labeled.append(row, 0);  // healthy
+  }
+  QueryExplainer explainer(labeled, {"cpu|mean", "net|mean", "mem|slope"});
+  EXPECT_EQ(explainer.healthy_samples(), 40u);
+
+  const std::vector<double> sample{1.0, 5.0, 30.0};  // mem|slope exploded
+  const auto top = explainer.top_features(sample, 2);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].feature, "mem|slope");
+  EXPECT_GT(std::abs(top[0].z), 10.0);
+  EXPECT_GT(std::abs(top[0].z), std::abs(top[1].z));
+}
+
+TEST(QueryExplainer, MetricAggregation) {
+  Rng rng(18);
+  LabeledData labeled;
+  for (int i = 0; i < 30; ++i) {
+    std::vector<double> row{rng.normal(0.0, 0.1), rng.normal(0.0, 0.1),
+                            rng.normal(0.0, 0.1), rng.normal(0.0, 0.1)};
+    labeled.append(row, 0);
+  }
+  QueryExplainer explainer(
+      labeled, {"cpu|mean", "cpu|std", "net|mean", "net|std"});
+  const std::vector<double> sample{9.0, 9.0, 0.0, 0.0};  // cpu features off
+  const auto metrics = explainer.top_metrics(sample, 2);
+  ASSERT_GE(metrics.size(), 1u);
+  EXPECT_EQ(metrics[0].metric, "cpu");
+  EXPECT_EQ(metrics[0].features, 2u);
+}
+
+TEST(QueryExplainer, NeedsHealthySamples) {
+  LabeledData labeled;
+  labeled.append(std::vector<double>{1.0}, 2);
+  EXPECT_THROW(QueryExplainer(labeled, {"f"}), Error);
+}
+
+TEST(QueryExplainer, ConstantFeatureDoesNotExplode) {
+  LabeledData labeled;
+  for (int i = 0; i < 10; ++i) {
+    labeled.append(std::vector<double>{3.0, static_cast<double>(i)}, 0);
+  }
+  QueryExplainer explainer(labeled, {"const|v", "ramp|v"});
+  const std::vector<double> sample{3.0, 100.0};
+  const auto top = explainer.top_features(sample, 2);
+  EXPECT_EQ(top[0].feature, "ramp|v");
+  EXPECT_TRUE(std::isfinite(top[1].z));
+}
+
+}  // namespace
+}  // namespace alba

@@ -1,0 +1,229 @@
+// Tests for the anomaly taxonomy and the HPAS-like injectors: each type
+// must leave its documented footprint on the NodeLoad, scale with
+// intensity, and be deterministic for a fixed RNG stream.
+#include <gtest/gtest.h>
+
+#include "anomaly/anomaly.hpp"
+#include "anomaly/injector.hpp"
+#include "common/error.hpp"
+
+namespace alba {
+namespace {
+
+NodeLoad baseline_load() {
+  NodeLoad load;
+  load.cpu_user = 0.6;
+  load.cpu_system = 0.05;
+  load.cpu_freq = 1.0;
+  load.cache_miss_rate = 0.1;
+  load.mem_used_gb = 12.0;
+  load.mem_bw_util = 0.3;
+  load.net_tx_rate = 200.0;
+  load.net_rx_rate = 190.0;
+  load.io_read_rate = 2.0;
+  load.io_write_rate = 1.0;
+  load.power_watts = 250.0;
+  return load;
+}
+
+InjectionContext mid_run_context() {
+  InjectionContext ctx;
+  ctx.t_seconds = 33.0;
+  ctx.t_frac = 0.5;
+  ctx.mem_capacity_gb = 64.0;
+  return ctx;
+}
+
+// Average footprint over one dial period so duty-cycled anomalies are
+// measured fairly.
+NodeLoad average_injected(AnomalyType type, double intensity,
+                          std::uint64_t seed = 1) {
+  const auto injector = make_injector(type, intensity);
+  Rng rng(seed);
+  NodeLoad acc;
+  const int steps = 40;
+  for (int t = 0; t < steps; ++t) {
+    InjectionContext ctx;
+    ctx.t_seconds = static_cast<double>(t);
+    ctx.t_frac = static_cast<double>(t) / (steps - 1);
+    ctx.mem_capacity_gb = 64.0;
+    NodeLoad load = baseline_load();
+    injector->apply(ctx, load, rng);
+    acc.cpu_user += load.cpu_user / steps;
+    acc.cpu_system += load.cpu_system / steps;
+    acc.cpu_freq += load.cpu_freq / steps;
+    acc.cache_miss_rate += load.cache_miss_rate / steps;
+    acc.mem_used_gb += load.mem_used_gb / steps;
+    acc.mem_bw_util += load.mem_bw_util / steps;
+    acc.net_tx_rate += load.net_tx_rate / steps;
+    acc.power_watts += load.power_watts / steps;
+  }
+  return acc;
+}
+
+TEST(AnomalyTaxonomy, NamesRoundTrip) {
+  for (int label = 0; label < kNumClasses; ++label) {
+    const AnomalyType type = anomaly_from_label(label);
+    EXPECT_EQ(anomaly_from_name(anomaly_name(type)), type);
+    EXPECT_EQ(anomaly_label(type), label);
+  }
+}
+
+TEST(AnomalyTaxonomy, UnknownNameThrows) {
+  EXPECT_THROW(anomaly_from_name("bitflip"), Error);
+  EXPECT_THROW(anomaly_from_label(-1), Error);
+  EXPECT_THROW(anomaly_from_label(kNumClasses), Error);
+}
+
+TEST(AnomalyTaxonomy, AnomalyTypesExcludeHealthy) {
+  EXPECT_EQ(kAnomalyTypes.size(), static_cast<std::size_t>(kNumAnomalyTypes));
+  for (const auto type : kAnomalyTypes) {
+    EXPECT_NE(type, AnomalyType::Healthy);
+  }
+}
+
+TEST(Injector, FactoryRejectsHealthyAndBadIntensity) {
+  EXPECT_THROW(make_injector(AnomalyType::Healthy, 0.5), Error);
+  EXPECT_THROW(make_injector(AnomalyType::CpuOccupy, 0.0), Error);
+  EXPECT_THROW(make_injector(AnomalyType::CpuOccupy, 1.5), Error);
+}
+
+TEST(Injector, CpuOccupyFootprint) {
+  const NodeLoad base = baseline_load();
+  const NodeLoad out = average_injected(AnomalyType::CpuOccupy, 1.0);
+  EXPECT_GT(out.cpu_user, base.cpu_user);
+  EXPECT_GT(out.power_watts, base.power_watts);
+  EXPECT_LT(out.net_tx_rate, base.net_tx_rate);
+  // No cache or memory-bandwidth signature.
+  EXPECT_NEAR(out.cache_miss_rate, base.cache_miss_rate, 1e-9);
+  EXPECT_NEAR(out.mem_bw_util, base.mem_bw_util, 1e-9);
+}
+
+TEST(Injector, CacheCopyFootprint) {
+  const NodeLoad base = baseline_load();
+  const NodeLoad out = average_injected(AnomalyType::CacheCopy, 1.0);
+  EXPECT_GT(out.cache_miss_rate, base.cache_miss_rate + 0.3);
+  EXPECT_GT(out.mem_bw_util, base.mem_bw_util);
+  EXPECT_LT(out.net_tx_rate, base.net_tx_rate);
+}
+
+TEST(Injector, MemBwFootprint) {
+  const NodeLoad base = baseline_load();
+  const NodeLoad out = average_injected(AnomalyType::MemBw, 1.0);
+  EXPECT_GT(out.mem_bw_util, base.mem_bw_util + 0.4);
+  EXPECT_LT(out.net_tx_rate, base.net_tx_rate * 0.8);
+}
+
+TEST(Injector, MemLeakGrowsWithTime) {
+  const auto injector = make_injector(AnomalyType::MemLeak, 1.0);
+  Rng rng(2);
+  InjectionContext early = mid_run_context();
+  early.t_frac = 0.1;
+  NodeLoad l1 = baseline_load();
+  injector->apply(early, l1, rng);
+
+  InjectionContext late = mid_run_context();
+  late.t_frac = 0.9;
+  NodeLoad l2 = baseline_load();
+  injector->apply(late, l2, rng);
+
+  EXPECT_GT(l2.mem_used_gb, l1.mem_used_gb + 5.0);
+}
+
+TEST(Injector, MemLeakBoundedByCapacity) {
+  const auto injector = make_injector(AnomalyType::MemLeak, 1.0);
+  Rng rng(3);
+  InjectionContext ctx = mid_run_context();
+  ctx.t_frac = 1.0;
+  NodeLoad load = baseline_load();
+  load.mem_used_gb = 60.0;
+  injector->apply(ctx, load, rng);
+  EXPECT_LE(load.mem_used_gb, 0.97 * ctx.mem_capacity_gb + 1e-9);
+}
+
+TEST(Injector, DialThrottlesPeriodically) {
+  const auto injector = make_injector(AnomalyType::Dial, 1.0);
+  Rng rng(4);
+  bool saw_throttle = false;
+  bool saw_nominal = false;
+  for (int t = 0; t < 20; ++t) {
+    InjectionContext ctx;
+    ctx.t_seconds = static_cast<double>(t);
+    ctx.t_frac = t / 19.0;
+    NodeLoad load = baseline_load();
+    injector->apply(ctx, load, rng);
+    if (load.cpu_freq < 0.6) saw_throttle = true;
+    if (load.cpu_freq > 0.95) saw_nominal = true;
+  }
+  EXPECT_TRUE(saw_throttle);
+  EXPECT_TRUE(saw_nominal);
+}
+
+TEST(Injector, DialDutyCycleGrowsWithIntensity) {
+  auto duty_of = [](double intensity) {
+    const auto injector = make_injector(AnomalyType::Dial, intensity);
+    Rng rng(5);
+    int throttled = 0;
+    for (int t = 0; t < 200; ++t) {
+      InjectionContext ctx;
+      ctx.t_seconds = static_cast<double>(t) * 0.1;
+      NodeLoad load = baseline_load();
+      injector->apply(ctx, load, rng);
+      throttled += (load.cpu_freq < 0.8) ? 1 : 0;
+    }
+    return throttled;
+  };
+  EXPECT_GT(duty_of(1.0), duty_of(0.02));
+}
+
+TEST(Injector, FootprintScalesWithIntensity) {
+  for (const AnomalyType type :
+       {AnomalyType::CpuOccupy, AnomalyType::CacheCopy, AnomalyType::MemBw}) {
+    const NodeLoad weak = average_injected(type, 0.02);
+    const NodeLoad strong = average_injected(type, 1.0);
+    const NodeLoad base = baseline_load();
+    const double weak_dev = std::abs(weak.net_tx_rate - base.net_tx_rate);
+    const double strong_dev = std::abs(strong.net_tx_rate - base.net_tx_rate);
+    EXPECT_GT(strong_dev, weak_dev) << anomaly_name(type);
+  }
+}
+
+TEST(Injector, DeterministicForSameStream) {
+  const auto injector = make_injector(AnomalyType::CacheCopy, 0.5);
+  Rng r1(42);
+  Rng r2(42);
+  NodeLoad a = baseline_load();
+  NodeLoad b = baseline_load();
+  const InjectionContext ctx = mid_run_context();
+  injector->apply(ctx, a, r1);
+  injector->apply(ctx, b, r2);
+  EXPECT_DOUBLE_EQ(a.cache_miss_rate, b.cache_miss_rate);
+  EXPECT_DOUBLE_EQ(a.net_tx_rate, b.net_tx_rate);
+}
+
+TEST(Injector, IntensityGrids) {
+  EXPECT_EQ(volta_intensities().size(), 6u);  // 2, 5, 10, 20, 50, 100 %
+  for (const AnomalyType type : kAnomalyTypes) {
+    const auto grid = eclipse_intensities(type);
+    EXPECT_GE(grid.size(), 2u);
+    EXPECT_LE(grid.size(), 3u);
+    for (const double i : grid) {
+      EXPECT_GT(i, 0.0);
+      EXPECT_LE(i, 1.0);
+    }
+  }
+  EXPECT_THROW(eclipse_intensities(AnomalyType::Healthy), Error);
+}
+
+TEST(NodeLoadStruct, CpuIdleClamped) {
+  NodeLoad load;
+  load.cpu_user = 0.9;
+  load.cpu_system = 0.3;
+  EXPECT_DOUBLE_EQ(load.cpu_idle(), 0.0);
+  load.cpu_user = 0.5;
+  load.cpu_system = 0.1;
+  EXPECT_NEAR(load.cpu_idle(), 0.4, 1e-12);
+}
+
+}  // namespace
+}  // namespace alba

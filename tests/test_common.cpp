@@ -1,0 +1,386 @@
+// Unit tests for the common substrate: error macros, RNG, strings, CSV,
+// CLI, table rendering, thread pool.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <filesystem>
+#include <set>
+
+#include "common/cli.hpp"
+#include "common/csv.hpp"
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "common/string_util.hpp"
+#include "common/table.hpp"
+#include "common/thread_pool.hpp"
+#include "common/timer.hpp"
+
+namespace alba {
+namespace {
+
+// ---------------------------------------------------------------- error ---
+
+TEST(Error, CheckPassesOnTrue) { ALBA_CHECK(1 + 1 == 2); }
+
+TEST(Error, CheckThrowsOnFalse) {
+  EXPECT_THROW(ALBA_CHECK(false), Error);
+}
+
+TEST(Error, CheckMessageIncludesExpressionAndStreamedText) {
+  try {
+    const int n = -3;
+    ALBA_CHECK(n > 0) << "n was " << n;
+    FAIL() << "expected throw";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("n > 0"), std::string::npos);
+    EXPECT_NE(what.find("n was -3"), std::string::npos);
+  }
+}
+
+TEST(Error, CheckOnlyEvaluatesMessageOnFailure) {
+  int calls = 0;
+  auto expensive = [&calls] {
+    ++calls;
+    return std::string("x");
+  };
+  ALBA_CHECK(true) << expensive();
+  EXPECT_EQ(calls, 0);
+}
+
+// ------------------------------------------------------------------ rng ---
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a.next() == b.next()) ? 1 : 0;
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformMeanIsHalf) {
+  Rng rng(7);
+  double acc = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) acc += rng.uniform();
+  EXPECT_NEAR(acc / n, 0.5, 0.01);
+}
+
+TEST(Rng, NormalMomentsMatch) {
+  Rng rng(11);
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sum_sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sum_sq / n, 1.0, 0.03);
+}
+
+TEST(Rng, UniformIndexCoversRange) {
+  Rng rng(3);
+  std::set<std::size_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.uniform_index(7));
+  EXPECT_EQ(seen.size(), 7u);
+  EXPECT_EQ(*seen.rbegin(), 6u);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(5);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto sorted = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+TEST(Rng, SampleWithoutReplacementDistinct) {
+  Rng rng(9);
+  const auto idx = rng.sample_without_replacement(100, 30);
+  EXPECT_EQ(idx.size(), 30u);
+  std::set<std::size_t> unique(idx.begin(), idx.end());
+  EXPECT_EQ(unique.size(), 30u);
+  for (const auto i : idx) EXPECT_LT(i, 100u);
+}
+
+TEST(Rng, SampleWithoutReplacementFullRange) {
+  Rng rng(9);
+  const auto idx = rng.sample_without_replacement(10, 10);
+  std::set<std::size_t> unique(idx.begin(), idx.end());
+  EXPECT_EQ(unique.size(), 10u);
+}
+
+TEST(Rng, SampleWithoutReplacementRejectsOversample) {
+  Rng rng(9);
+  EXPECT_THROW(rng.sample_without_replacement(5, 6), Error);
+}
+
+TEST(Rng, BootstrapIndicesInRange) {
+  Rng rng(13);
+  const auto idx = rng.bootstrap_indices(50);
+  EXPECT_EQ(idx.size(), 50u);
+  for (const auto i : idx) EXPECT_LT(i, 50u);
+}
+
+TEST(Rng, SplitStreamsAreIndependent) {
+  Rng parent(21);
+  Rng a = parent.split(1);
+  Rng b = parent.split(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a.next() == b.next()) ? 1 : 0;
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, WeightedIndexRespectsWeights) {
+  Rng rng(17);
+  std::vector<double> w{0.0, 10.0, 0.0};
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.weighted_index(w), 1u);
+}
+
+TEST(Rng, BernoulliRate) {
+  Rng rng(19);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+// -------------------------------------------------------------- strings ---
+
+TEST(StringUtil, SplitKeepsEmptyFields) {
+  const auto parts = split("a,,b,", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(StringUtil, Trim) {
+  EXPECT_EQ(trim("  x y \t\n"), "x y");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+}
+
+TEST(StringUtil, StartsEndsWith) {
+  EXPECT_TRUE(starts_with("cpu.user#0", "cpu."));
+  EXPECT_FALSE(starts_with("cpu", "cpu."));
+  EXPECT_TRUE(ends_with("file.csv", ".csv"));
+  EXPECT_FALSE(ends_with("csv", ".csv"));
+}
+
+TEST(StringUtil, JoinAndLower) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ","), "");
+  EXPECT_EQ(to_lower("MiXeD"), "mixed");
+}
+
+TEST(StringUtil, StrFormat) {
+  EXPECT_EQ(strformat("%d-%s", 42, "x"), "42-x");
+  EXPECT_EQ(strformat("%.2f", 3.14159), "3.14");
+}
+
+TEST(StringUtil, ParseDouble) {
+  EXPECT_DOUBLE_EQ(parse_double("3.5"), 3.5);
+  EXPECT_DOUBLE_EQ(parse_double("  -2e3 "), -2000.0);
+  EXPECT_THROW(parse_double("abc"), Error);
+  EXPECT_THROW(parse_double("1.5x"), Error);
+}
+
+TEST(StringUtil, ParseLong) {
+  EXPECT_EQ(parse_long("123"), 123);
+  EXPECT_EQ(parse_long(" -4 "), -4);
+  EXPECT_THROW(parse_long("12.5"), Error);
+}
+
+// ------------------------------------------------------------------ csv ---
+
+TEST(Csv, EscapePlainPassthrough) { EXPECT_EQ(csv_escape("abc"), "abc"); }
+
+TEST(Csv, EscapeQuotesAndCommas) {
+  EXPECT_EQ(csv_escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(csv_escape("he said \"hi\""), "\"he said \"\"hi\"\"\"");
+}
+
+TEST(Csv, WriteReadRoundtrip) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "alba_csv_test.csv").string();
+  {
+    CsvWriter w(path);
+    w.write_header({"name", "value"});
+    w.write_row({"plain", "1"});
+    w.write_row({"with,comma", "2"});
+    w.write_row({"with \"quote\"", "3"});
+  }
+  const CsvTable t = read_csv(path);
+  ASSERT_EQ(t.header.size(), 2u);
+  ASSERT_EQ(t.rows.size(), 3u);
+  EXPECT_EQ(t.rows[1][0], "with,comma");
+  EXPECT_EQ(t.rows[2][0], "with \"quote\"");
+  EXPECT_EQ(t.column_index("value"), 1u);
+  EXPECT_THROW(t.column_index("missing"), Error);
+  std::filesystem::remove(path);
+}
+
+TEST(Csv, ReadMissingFileThrows) {
+  EXPECT_THROW(read_csv("/nonexistent/path/file.csv"), Error);
+}
+
+
+// ------------------------------------------------------------------ cli ---
+
+TEST(Cli, ParsesAllFlagSyntaxes) {
+  Cli cli("prog", "test");
+  int n = 1;
+  double x = 0.5;
+  bool flag = false;
+  std::string name = "default";
+  std::uint64_t seed = 0;
+  cli.flag("n", &n, "an int");
+  cli.flag("x", &x, "a double");
+  cli.flag("flag", &flag, "a bool");
+  cli.flag("name", &name, "a string");
+  cli.flag("seed", &seed, "a u64");
+
+  const char* argv[] = {"prog",   "--n",    "42",          "--x=2.5",
+                        "--flag", "--name", "hello world", "--seed=99"};
+  cli.parse(8, const_cast<char**>(argv));
+  EXPECT_EQ(n, 42);
+  EXPECT_DOUBLE_EQ(x, 2.5);
+  EXPECT_TRUE(flag);
+  EXPECT_EQ(name, "hello world");
+  EXPECT_EQ(seed, 99u);
+}
+
+TEST(Cli, BoolAcceptsExplicitValues) {
+  Cli cli("prog", "test");
+  bool a = true;
+  bool b = false;
+  cli.flag("a", &a, "");
+  cli.flag("b", &b, "");
+  const char* argv[] = {"prog", "--a=false", "--b=true"};
+  cli.parse(3, const_cast<char**>(argv));
+  EXPECT_FALSE(a);
+  EXPECT_TRUE(b);
+}
+
+TEST(Cli, UnparsedFlagsKeepDefaults) {
+  Cli cli("prog", "test");
+  int n = 7;
+  cli.flag("n", &n, "an int");
+  const char* argv[] = {"prog"};
+  cli.parse(1, const_cast<char**>(argv));
+  EXPECT_EQ(n, 7);
+}
+
+TEST(Cli, UsageListsFlagsAndDefaults) {
+  Cli cli("prog", "does things");
+  int n = 3;
+  cli.flag("count", &n, "how many");
+  const std::string usage = cli.usage();
+  EXPECT_NE(usage.find("prog"), std::string::npos);
+  EXPECT_NE(usage.find("count"), std::string::npos);
+  EXPECT_NE(usage.find("how many"), std::string::npos);
+  EXPECT_NE(usage.find("3"), std::string::npos);
+}
+
+// ---------------------------------------------------------------- table ---
+
+TEST(TextTable, RendersAlignedColumns) {
+  TextTable t({"a", "long_header"});
+  t.add_row({"xx", "1"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("| a "), std::string::npos);
+  EXPECT_NE(out.find("long_header"), std::string::npos);
+  EXPECT_EQ(t.num_rows(), 1u);
+}
+
+TEST(TextTable, RejectsMismatchedRow) {
+  TextTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only one"}), Error);
+}
+
+TEST(AsciiChart, ContainsAxisAndGlyph) {
+  const std::string chart = ascii_chart({0.0, 0.5, 1.0}, 24, 6);
+  EXPECT_NE(chart.find('*'), std::string::npos);
+  EXPECT_NE(chart.find('|'), std::string::npos);
+}
+
+TEST(AsciiChart, MultiSeriesLegend) {
+  const std::string chart =
+      ascii_chart_multi({{0.1, 0.2}, {0.9, 0.8}}, {"up", "down"}, 24, 6);
+  EXPECT_NE(chart.find("legend"), std::string::npos);
+  EXPECT_NE(chart.find("up"), std::string::npos);
+}
+
+// ----------------------------------------------------------- threadpool ---
+
+TEST(ThreadPool, ParallelForVisitsEveryIndexOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> counts(1000);
+  pool.parallel_for(1000, [&](std::size_t i) { counts[i]++; });
+  for (const auto& c : counts) EXPECT_EQ(c.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForZeroIsNoop) {
+  ThreadPool pool(2);
+  pool.parallel_for(0, [](std::size_t) { FAIL(); });
+}
+
+TEST(ThreadPool, PropagatesExceptions) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.parallel_for(10,
+                                 [](std::size_t i) {
+                                   if (i == 5) throw Error("boom");
+                                 }),
+               Error);
+}
+
+TEST(ThreadPool, NestedParallelForDoesNotDeadlock) {
+  ThreadPool pool(2);
+  std::atomic<int> total{0};
+  pool.parallel_for(4, [&](std::size_t) {
+    global_pool().parallel_for(4, [&](std::size_t) { total++; });
+  });
+  EXPECT_EQ(total.load(), 16);
+}
+
+TEST(ThreadPool, ChunkedCoversRange) {
+  ThreadPool pool(3);
+  std::atomic<std::size_t> sum{0};
+  pool.parallel_for_chunked(100, [&](std::size_t b, std::size_t e) {
+    std::size_t local = 0;
+    for (std::size_t i = b; i < e; ++i) local += i;
+    sum += local;
+  });
+  EXPECT_EQ(sum.load(), 99u * 100u / 2u);
+}
+
+TEST(Timer, MeasuresElapsed) {
+  Timer t;
+  const double s = t.seconds();
+  EXPECT_GE(s, 0.0);
+  EXPECT_LT(s, 5.0);
+}
+
+}  // namespace
+}  // namespace alba

@@ -1,0 +1,353 @@
+// Tests for preprocessing (trim / difference / interpolate), both feature
+// extractors, and feature-matrix assembly.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/rng.hpp"
+#include "features/extractor.hpp"
+
+namespace alba {
+namespace {
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+// -------------------------------------------------------- interpolation ---
+
+TEST(Interpolate, InteriorGapIsLinear) {
+  std::vector<double> x{0.0, kNaN, kNaN, 3.0};
+  interpolate_nans(x);
+  EXPECT_DOUBLE_EQ(x[1], 1.0);
+  EXPECT_DOUBLE_EQ(x[2], 2.0);
+}
+
+TEST(Interpolate, LeadingTrailingTakeNearest) {
+  std::vector<double> x{kNaN, 5.0, 7.0, kNaN, kNaN};
+  interpolate_nans(x);
+  EXPECT_DOUBLE_EQ(x[0], 5.0);
+  EXPECT_DOUBLE_EQ(x[3], 7.0);
+  EXPECT_DOUBLE_EQ(x[4], 7.0);
+}
+
+TEST(Interpolate, AllNaNBecomesZero) {
+  std::vector<double> x{kNaN, kNaN, kNaN};
+  interpolate_nans(x);
+  for (const double v : x) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(Interpolate, NoNaNIsNoop) {
+  std::vector<double> x{1.0, 2.0, 3.0};
+  interpolate_nans(x);
+  EXPECT_EQ(x, (std::vector<double>{1.0, 2.0, 3.0}));
+}
+
+// ---------------------------------------------------------- differencing ---
+
+TEST(DifferenceCounter, BasicRates) {
+  const std::vector<double> x{10.0, 15.0, 18.0, 30.0};
+  const auto d = difference_counter(x);
+  EXPECT_EQ(d, (std::vector<double>{5.0, 3.0, 12.0}));
+}
+
+TEST(DifferenceCounter, ClampsCounterResets) {
+  const std::vector<double> x{100.0, 5.0, 10.0};
+  const auto d = difference_counter(x);
+  EXPECT_DOUBLE_EQ(d[0], 0.0);  // wrap clamped
+  EXPECT_DOUBLE_EQ(d[1], 5.0);
+}
+
+TEST(DifferenceCounter, TooShortThrows) {
+  EXPECT_THROW(difference_counter(std::vector<double>{1.0}), Error);
+}
+
+// ---------------------------------------------------------- preprocess ---
+
+class PreprocessTest : public ::testing::Test {
+ protected:
+  PreprocessTest() : registry_(SystemKind::Volta, [] {
+                       RegistryConfig cfg;
+                       cfg.cores = 1;
+                       cfg.nics = 1;
+                       cfg.filler_gauges = 1;
+                       return cfg;
+                     }()) {}
+  MetricRegistry registry_;
+};
+
+TEST_F(PreprocessTest, OutputShape) {
+  Matrix raw(30, registry_.size(), 1.0);
+  PreprocessConfig cfg;
+  cfg.trim_head = 4;
+  cfg.trim_tail = 3;
+  const Matrix clean = preprocess_series(raw, registry_, cfg);
+  EXPECT_EQ(clean.rows(), 30u - 4u - 3u - 1u);
+  EXPECT_EQ(clean.cols(), registry_.size());
+}
+
+TEST_F(PreprocessTest, CountersBecomeRates) {
+  const std::size_t counter_idx = registry_.index_of("cray.energy");
+  Matrix raw(20, registry_.size(), 0.0);
+  for (std::size_t t = 0; t < 20; ++t) {
+    raw(t, counter_idx) = 100.0 + 7.0 * static_cast<double>(t);
+  }
+  PreprocessConfig cfg;
+  cfg.trim_head = 2;
+  cfg.trim_tail = 2;
+  const Matrix clean = preprocess_series(raw, registry_, cfg);
+  for (std::size_t t = 0; t < clean.rows(); ++t) {
+    EXPECT_NEAR(clean(t, counter_idx), 7.0, 1e-9);
+  }
+}
+
+TEST_F(PreprocessTest, GaugesKeepValuesAligned) {
+  const std::size_t gauge_idx = registry_.index_of("cray.power");
+  Matrix raw(20, registry_.size(), 0.0);
+  for (std::size_t t = 0; t < 20; ++t) {
+    raw(t, gauge_idx) = static_cast<double>(t);
+  }
+  PreprocessConfig cfg;
+  cfg.trim_head = 2;
+  cfg.trim_tail = 2;
+  const Matrix clean = preprocess_series(raw, registry_, cfg);
+  // Gauge row t corresponds to raw sample trim_head + t + 1.
+  EXPECT_DOUBLE_EQ(clean(0, gauge_idx), 3.0);
+}
+
+TEST_F(PreprocessTest, NaNsRemoved) {
+  Matrix raw(25, registry_.size(), 5.0);
+  raw(10, 0) = kNaN;
+  raw(11, 0) = kNaN;
+  const Matrix clean = preprocess_series(raw, registry_, PreprocessConfig{});
+  for (std::size_t t = 0; t < clean.rows(); ++t) {
+    for (std::size_t j = 0; j < clean.cols(); ++j) {
+      EXPECT_FALSE(std::isnan(clean(t, j)));
+    }
+  }
+}
+
+TEST_F(PreprocessTest, TooShortSeriesThrows) {
+  Matrix raw(10, registry_.size(), 1.0);
+  PreprocessConfig cfg;
+  cfg.trim_head = 6;
+  cfg.trim_tail = 5;
+  EXPECT_THROW(preprocess_series(raw, registry_, cfg), Error);
+}
+
+// --------------------------------------------------------------- mvts ---
+
+TEST(Mvts, Emits48Features) {
+  const MvtsExtractor mvts;
+  EXPECT_EQ(mvts.num_features(), 48u);
+  EXPECT_EQ(mvts.feature_names().size(), 48u);
+}
+
+TEST(Mvts, KnownValuesOnSimpleSeries) {
+  const MvtsExtractor mvts;
+  std::vector<double> x;
+  for (int i = 1; i <= 20; ++i) x.push_back(static_cast<double>(i));
+  std::vector<double> out(mvts.num_features());
+  mvts.extract(x, out);
+
+  const auto& names = mvts.feature_names();
+  auto feature = [&](const std::string& name) {
+    for (std::size_t i = 0; i < names.size(); ++i) {
+      if (names[i] == name) return out[i];
+    }
+    throw Error("feature not found: " + name);
+  };
+  EXPECT_DOUBLE_EQ(feature("mean"), 10.5);
+  EXPECT_DOUBLE_EQ(feature("min"), 1.0);
+  EXPECT_DOUBLE_EQ(feature("max"), 20.0);
+  EXPECT_DOUBLE_EQ(feature("range"), 19.0);
+  EXPECT_DOUBLE_EQ(feature("d_mean"), 10.0);  // halves differ by 10
+  EXPECT_DOUBLE_EQ(feature("longest_inc_run"), 19.0);
+  EXPECT_DOUBLE_EQ(feature("longest_dec_run"), 0.0);
+  EXPECT_NEAR(feature("trend_slope"), 1.0, 1e-9);
+  EXPECT_DOUBLE_EQ(feature("mean_change"), 1.0);
+}
+
+TEST(Mvts, RejectsWrongOutputSize) {
+  const MvtsExtractor mvts;
+  std::vector<double> x(20, 1.0);
+  std::vector<double> out(10);
+  EXPECT_THROW(mvts.extract(x, out), Error);
+}
+
+TEST(Mvts, AllFiniteOnNoisySeries) {
+  const MvtsExtractor mvts;
+  Rng rng(1);
+  std::vector<double> x(64);
+  for (auto& v : x) v = rng.uniform(0.0, 100.0);
+  std::vector<double> out(mvts.num_features());
+  mvts.extract(x, out);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_TRUE(std::isfinite(out[i])) << mvts.feature_names()[i];
+  }
+}
+
+// -------------------------------------------------------------- tsfresh ---
+
+TEST(Tsfresh, EmitsAdvertisedFeatureCount) {
+  const TsfreshExtractor ts;
+  EXPECT_EQ(ts.num_features(), ts.feature_names().size());
+  EXPECT_GT(ts.num_features(), 90u);  // substantially richer than MVTS
+}
+
+TEST(Tsfresh, NamesAreUnique) {
+  const TsfreshExtractor ts;
+  std::set<std::string> names(ts.feature_names().begin(),
+                              ts.feature_names().end());
+  EXPECT_EQ(names.size(), ts.num_features());
+}
+
+TEST(Tsfresh, MostlyFiniteOnNoisySeries) {
+  const TsfreshExtractor ts;
+  Rng rng(2);
+  std::vector<double> x(96);
+  for (auto& v : x) v = rng.uniform(1.0, 100.0);
+  std::vector<double> out(ts.num_features());
+  ts.extract(x, out);
+  std::size_t finite = 0;
+  for (const double v : out) finite += std::isfinite(v) ? 1 : 0;
+  EXPECT_GE(finite, out.size() - 2);  // the odd NaN (e.g. SampEn) is allowed
+}
+
+TEST(Tsfresh, PeriodicSeriesShowsSpectralPeak) {
+  const TsfreshExtractor ts;
+  std::vector<double> x(96);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x[i] = 10.0 + std::sin(2.0 * M_PI * static_cast<double>(i) / 8.0);
+  }
+  std::vector<double> out(ts.num_features());
+  ts.extract(x, out);
+  const auto& names = ts.feature_names();
+  auto feature = [&](const std::string& name) {
+    for (std::size_t i = 0; i < names.size(); ++i) {
+      if (names[i] == name) return out[i];
+    }
+    throw Error("feature not found: " + name);
+  };
+  EXPECT_NEAR(feature("dominant_freq"), 1.0 / 8.0, 0.02);
+  EXPECT_GT(feature("acf_lag8"), 0.8);
+  EXPECT_LT(feature("acf_lag4"), -0.8);
+}
+
+TEST(Tsfresh, ConfigControlsGrid) {
+  TsfreshConfig cfg;
+  cfg.acf_lags = 3;
+  cfg.pacf_lags = 2;
+  cfg.fft_coeffs = 2;
+  cfg.psd_bins = 2;
+  const TsfreshExtractor small(cfg);
+  const TsfreshExtractor big;
+  EXPECT_LT(small.num_features(), big.num_features());
+}
+
+TEST(Tsfresh, TooShortSeriesThrows) {
+  const TsfreshExtractor ts;
+  std::vector<double> x(4, 1.0);
+  std::vector<double> out(ts.num_features());
+  EXPECT_THROW(ts.extract(x, out), Error);
+}
+
+// ------------------------------------------------------ feature matrix ---
+
+class ExtractorTest : public ::testing::Test {
+ protected:
+  ExtractorTest()
+      : gen_(SystemKind::Volta,
+             [] {
+               RegistryConfig cfg;
+               cfg.cores = 1;
+               cfg.nics = 1;
+               cfg.filler_gauges = 1;
+               return cfg;
+             }(),
+             [] {
+               NodeSimConfig cfg;
+               cfg.duration_steps = 40;
+               cfg.ramp_steps = 3;
+               cfg.drain_steps = 3;
+               return cfg;
+             }()) {
+    RunSpec healthy;
+    healthy.app_id = 0;
+    healthy.nodes = 2;
+    healthy.seed = 5;
+    RunSpec anomalous;
+    anomalous.app_id = 1;
+    anomalous.nodes = 2;
+    anomalous.anomaly = AnomalyType::MemLeak;
+    anomalous.intensity = 1.0;
+    anomalous.run_id = 1;
+    anomalous.seed = 6;
+    for (auto& s : gen_.generate_run(healthy)) samples_.push_back(std::move(s));
+    for (auto& s : gen_.generate_run(anomalous)) samples_.push_back(std::move(s));
+  }
+
+  RunGenerator gen_;
+  std::vector<Sample> samples_;
+  PreprocessConfig preprocess_{.trim_head = 3, .trim_tail = 3};
+};
+
+TEST_F(ExtractorTest, MatrixShapeAndProvenance) {
+  const MvtsExtractor mvts;
+  const FeatureMatrix fm =
+      extract_features(samples_, gen_.registry(), mvts, preprocess_);
+  EXPECT_EQ(fm.num_samples(), 4u);
+  EXPECT_EQ(fm.num_features(), gen_.registry().size() * 48u);
+  EXPECT_EQ(fm.names.size(), fm.num_features());
+  EXPECT_EQ(fm.labels, (std::vector<int>{0, 0, 4, 0}));  // memleak = 4
+  EXPECT_EQ(fm.app_ids, (std::vector<int>{0, 0, 1, 1}));
+  EXPECT_EQ(fm.node_ids, (std::vector<int>{0, 1, 0, 1}));
+}
+
+TEST_F(ExtractorTest, NamesCombineMetricAndFeature) {
+  const MvtsExtractor mvts;
+  const FeatureMatrix fm =
+      extract_features(samples_, gen_.registry(), mvts, preprocess_);
+  EXPECT_EQ(fm.names[0], gen_.registry().metric(0).name + "|mean");
+}
+
+TEST_F(ExtractorTest, DropUnusableColumnsRemovesBadOnes) {
+  const MvtsExtractor mvts;
+  FeatureMatrix fm =
+      extract_features(samples_, gen_.registry(), mvts, preprocess_);
+  // Poison one column with NaN and make another constant.
+  for (std::size_t i = 0; i < fm.num_samples(); ++i) {
+    fm.x(i, 3) = kNaN;
+    fm.x(i, 7) = 42.0;
+  }
+  const std::size_t before = fm.num_features();
+  const std::size_t dropped = drop_unusable_columns(fm);
+  EXPECT_GE(dropped, 2u);
+  EXPECT_EQ(fm.num_features(), before - dropped);
+  EXPECT_EQ(fm.names.size(), fm.num_features());
+  for (std::size_t i = 0; i < fm.num_samples(); ++i) {
+    for (std::size_t j = 0; j < fm.num_features(); ++j) {
+      EXPECT_TRUE(std::isfinite(fm.x(i, j)));
+    }
+  }
+}
+
+TEST_F(ExtractorTest, SelectRowsPreservesProvenance) {
+  const MvtsExtractor mvts;
+  const FeatureMatrix fm =
+      extract_features(samples_, gen_.registry(), mvts, preprocess_);
+  const std::vector<std::size_t> rows{2, 0};
+  const FeatureMatrix sub = fm.select_rows(rows);
+  EXPECT_EQ(sub.num_samples(), 2u);
+  EXPECT_EQ(sub.labels, (std::vector<int>{4, 0}));
+  EXPECT_EQ(sub.app_ids, (std::vector<int>{1, 0}));
+}
+
+TEST(ExtractorFactory, MakesBothKinds) {
+  EXPECT_EQ(make_extractor(ExtractorKind::Mvts)->name(), "mvts");
+  EXPECT_EQ(make_extractor(ExtractorKind::Tsfresh)->name(), "tsfresh");
+  EXPECT_EQ(extractor_name(ExtractorKind::Mvts), "mvts");
+  EXPECT_EQ(extractor_name(ExtractorKind::Tsfresh), "tsfresh");
+}
+
+}  // namespace
+}  // namespace alba

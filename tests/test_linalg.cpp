@@ -1,0 +1,219 @@
+// Unit + property tests for the dense matrix type and kernels.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "linalg/matrix.hpp"
+#include "linalg/ops.hpp"
+
+namespace alba {
+namespace {
+
+Matrix random_matrix(std::size_t r, std::size_t c, Rng& rng) {
+  Matrix m(r, c);
+  for (std::size_t i = 0; i < r; ++i) {
+    for (std::size_t j = 0; j < c; ++j) m(i, j) = rng.uniform(-2.0, 2.0);
+  }
+  return m;
+}
+
+Matrix naive_gemm(const Matrix& a, const Matrix& b) {
+  Matrix out(a.rows(), b.cols());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t j = 0; j < b.cols(); ++j) {
+      double acc = 0.0;
+      for (std::size_t p = 0; p < a.cols(); ++p) acc += a(i, p) * b(p, j);
+      out(i, j) = acc;
+    }
+  }
+  return out;
+}
+
+TEST(Matrix, ConstructionAndFill) {
+  Matrix m(3, 4, 1.5);
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 4u);
+  EXPECT_DOUBLE_EQ(m(2, 3), 1.5);
+  m.fill(0.0);
+  EXPECT_DOUBLE_EQ(m(0, 0), 0.0);
+}
+
+TEST(Matrix, RowSpanIsContiguousAndMutable) {
+  Matrix m(2, 3);
+  auto row = m.row(1);
+  row[2] = 7.0;
+  EXPECT_DOUBLE_EQ(m(1, 2), 7.0);
+  EXPECT_EQ(row.size(), 3u);
+}
+
+TEST(Matrix, AppendRowFixesWidth) {
+  Matrix m;
+  m.append_row(std::vector<double>{1, 2, 3});
+  EXPECT_EQ(m.cols(), 3u);
+  m.append_row(std::vector<double>{4, 5, 6});
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_THROW(m.append_row(std::vector<double>{1, 2}), Error);
+}
+
+TEST(Matrix, SelectRows) {
+  Matrix m = Matrix::from_rows({{1, 2}, {3, 4}, {5, 6}});
+  const std::vector<std::size_t> idx{2, 0, 2};
+  const Matrix s = m.select_rows(idx);
+  EXPECT_EQ(s.rows(), 3u);
+  EXPECT_DOUBLE_EQ(s(0, 0), 5.0);
+  EXPECT_DOUBLE_EQ(s(1, 1), 2.0);
+  EXPECT_DOUBLE_EQ(s(2, 0), 5.0);
+  const std::vector<std::size_t> bad{3};
+  EXPECT_THROW(m.select_rows(bad), Error);
+}
+
+TEST(Matrix, SelectCols) {
+  Matrix m = Matrix::from_rows({{1, 2, 3}, {4, 5, 6}});
+  const std::vector<std::size_t> idx{2, 0};
+  const Matrix s = m.select_cols(idx);
+  EXPECT_EQ(s.cols(), 2u);
+  EXPECT_DOUBLE_EQ(s(0, 0), 3.0);
+  EXPECT_DOUBLE_EQ(s(1, 1), 4.0);
+}
+
+TEST(Matrix, ColExtraction) {
+  Matrix m = Matrix::from_rows({{1, 2}, {3, 4}});
+  const auto c = m.col(1);
+  EXPECT_EQ(c, (std::vector<double>{2, 4}));
+  EXPECT_THROW(m.col(2), Error);
+}
+
+TEST(Matrix, Transposed) {
+  Matrix m = Matrix::from_rows({{1, 2, 3}, {4, 5, 6}});
+  const Matrix t = m.transposed();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  EXPECT_DOUBLE_EQ(t(2, 1), 6.0);
+}
+
+TEST(Ops, GemmMatchesNaive) {
+  Rng rng(1);
+  const Matrix a = random_matrix(17, 9, rng);
+  const Matrix b = random_matrix(9, 13, rng);
+  Matrix out;
+  gemm(a, b, out);
+  const Matrix ref = naive_gemm(a, b);
+  for (std::size_t i = 0; i < out.rows(); ++i) {
+    for (std::size_t j = 0; j < out.cols(); ++j) {
+      EXPECT_NEAR(out(i, j), ref(i, j), 1e-12);
+    }
+  }
+}
+
+TEST(Ops, GemmLargeParallelMatchesNaive) {
+  Rng rng(2);
+  const Matrix a = random_matrix(130, 20, rng);
+  const Matrix b = random_matrix(20, 15, rng);
+  Matrix out;
+  gemm(a, b, out);
+  const Matrix ref = naive_gemm(a, b);
+  for (std::size_t i = 0; i < out.rows(); ++i) {
+    for (std::size_t j = 0; j < out.cols(); ++j) {
+      EXPECT_NEAR(out(i, j), ref(i, j), 1e-12);
+    }
+  }
+}
+
+TEST(Ops, GemmShapeMismatchThrows) {
+  Matrix a(2, 3);
+  Matrix b(4, 2);
+  Matrix out;
+  EXPECT_THROW(gemm(a, b, out), Error);
+}
+
+TEST(Ops, GemmBtEqualsGemmWithTranspose) {
+  Rng rng(3);
+  const Matrix a = random_matrix(8, 5, rng);
+  const Matrix b = random_matrix(7, 5, rng);  // represents Bᵀ
+  Matrix out1;
+  gemm_bt(a, b, out1);
+  Matrix out2;
+  gemm(a, b.transposed(), out2);
+  for (std::size_t i = 0; i < out1.rows(); ++i) {
+    for (std::size_t j = 0; j < out1.cols(); ++j) {
+      EXPECT_NEAR(out1(i, j), out2(i, j), 1e-12);
+    }
+  }
+}
+
+TEST(Ops, GemmAtEqualsTransposedGemm) {
+  Rng rng(4);
+  const Matrix a = random_matrix(10, 4, rng);
+  const Matrix b = random_matrix(10, 6, rng);
+  Matrix out1;
+  gemm_at(a, b, out1);
+  Matrix out2;
+  gemm(a.transposed(), b, out2);
+  for (std::size_t i = 0; i < out1.rows(); ++i) {
+    for (std::size_t j = 0; j < out1.cols(); ++j) {
+      EXPECT_NEAR(out1(i, j), out2(i, j), 1e-12);
+    }
+  }
+}
+
+TEST(Ops, GemvMatchesGemm) {
+  Rng rng(5);
+  const Matrix m = random_matrix(6, 4, rng);
+  std::vector<double> x{1.0, -1.0, 0.5, 2.0};
+  std::vector<double> y(6);
+  gemv(m, x, y);
+  for (std::size_t r = 0; r < 6; ++r) {
+    double acc = 0.0;
+    for (std::size_t c = 0; c < 4; ++c) acc += m(r, c) * x[c];
+    EXPECT_NEAR(y[r], acc, 1e-12);
+  }
+}
+
+TEST(Ops, DotAxpyNorms) {
+  std::vector<double> a{1, 2, 3};
+  std::vector<double> b{4, 5, 6};
+  EXPECT_DOUBLE_EQ(dot(a, b), 32.0);
+  axpy(2.0, a, b);
+  EXPECT_DOUBLE_EQ(b[0], 6.0);
+  EXPECT_DOUBLE_EQ(b[2], 12.0);
+  EXPECT_DOUBLE_EQ(l1_norm(a), 6.0);
+  EXPECT_NEAR(l2_norm(a), std::sqrt(14.0), 1e-12);
+}
+
+TEST(Ops, SoftmaxSumsToOne) {
+  std::vector<double> v{1.0, 2.0, 3.0};
+  softmax(v);
+  EXPECT_NEAR(v[0] + v[1] + v[2], 1.0, 1e-12);
+  EXPECT_GT(v[2], v[1]);
+  EXPECT_GT(v[1], v[0]);
+}
+
+TEST(Ops, SoftmaxNumericallyStableForLargeInputs) {
+  std::vector<double> v{1000.0, 1001.0};
+  softmax(v);
+  EXPECT_NEAR(v[0] + v[1], 1.0, 1e-12);
+  EXPECT_GT(v[1], v[0]);
+  EXPECT_FALSE(std::isnan(v[0]));
+}
+
+// Property sweep: softmax rows always sum to 1 across random matrices.
+class SoftmaxProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SoftmaxProperty, RowsSumToOne) {
+  Rng rng(GetParam());
+  Matrix m = random_matrix(11, 7, rng);
+  softmax_rows(m);
+  for (std::size_t i = 0; i < m.rows(); ++i) {
+    double sum = 0.0;
+    for (const double p : m.row(i)) {
+      EXPECT_GE(p, 0.0);
+      sum += p;
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SoftmaxProperty,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u));
+
+}  // namespace
+}  // namespace alba

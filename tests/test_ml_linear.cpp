@@ -1,0 +1,309 @@
+// Tests for logistic regression, the MLP, and the autoencoder.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "ml/autoencoder.hpp"
+#include "ml/logreg.hpp"
+#include "ml/metrics.hpp"
+#include "ml/mlp.hpp"
+
+namespace alba {
+namespace {
+
+struct Blobs {
+  Matrix x;
+  std::vector<int> y;
+};
+
+Blobs make_blobs(std::size_t per_class, double spread, std::uint64_t seed) {
+  Rng rng(seed);
+  const double centers[3][2] = {{0.0, 0.0}, {4.0, 4.0}, {0.0, 4.0}};
+  Blobs blobs;
+  blobs.x = Matrix(3 * per_class, 2);
+  for (int c = 0; c < 3; ++c) {
+    for (std::size_t i = 0; i < per_class; ++i) {
+      const std::size_t row = static_cast<std::size_t>(c) * per_class + i;
+      blobs.x(row, 0) = centers[c][0] + spread * rng.normal();
+      blobs.x(row, 1) = centers[c][1] + spread * rng.normal();
+      blobs.y.push_back(c);
+    }
+  }
+  return blobs;
+}
+
+// --------------------------------------------------------------- logreg ---
+
+TEST(LogReg, LearnsLinearlySeparableBlobs) {
+  const Blobs train = make_blobs(60, 0.5, 1);
+  const Blobs test = make_blobs(30, 0.5, 2);
+  LogRegConfig cfg;
+  cfg.num_classes = 3;
+  cfg.max_iter = 300;
+  LogisticRegression lr(cfg, 1);
+  lr.fit(train.x, train.y);
+  EXPECT_GT(accuracy(test.y, lr.predict(test.x)), 0.95);
+}
+
+TEST(LogReg, ProbabilitiesSumToOne) {
+  const Blobs blobs = make_blobs(20, 1.0, 3);
+  LogRegConfig cfg;
+  cfg.num_classes = 3;
+  LogisticRegression lr(cfg, 1);
+  lr.fit(blobs.x, blobs.y);
+  const Matrix probs = lr.predict_proba(blobs.x);
+  for (std::size_t i = 0; i < probs.rows(); ++i) {
+    double sum = 0.0;
+    for (const double p : probs.row(i)) sum += p;
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+  }
+}
+
+TEST(LogReg, L1InducesSparsityOnNoiseFeatures) {
+  // 2 informative + 18 pure-noise features; strong L1 zeroes most noise.
+  Rng rng(4);
+  const Blobs base = make_blobs(80, 0.4, 5);
+  Matrix x(base.x.rows(), 20);
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    x(i, 0) = base.x(i, 0);
+    x(i, 1) = base.x(i, 1);
+    for (std::size_t j = 2; j < 20; ++j) x(i, j) = rng.normal();
+  }
+  LogRegConfig l1;
+  l1.num_classes = 3;
+  l1.penalty = Penalty::L1;
+  l1.c = 0.05;
+  l1.max_iter = 400;
+  LogisticRegression lr1(l1, 1);
+  lr1.fit(x, base.y);
+
+  LogRegConfig l2 = l1;
+  l2.penalty = Penalty::L2;
+  LogisticRegression lr2(l2, 1);
+  lr2.fit(x, base.y);
+
+  EXPECT_GT(lr1.zero_weight_count(), lr2.zero_weight_count());
+  EXPECT_GT(lr1.zero_weight_count(), 10u);
+}
+
+TEST(LogReg, StrongerRegularizationShrinksWeights) {
+  const Blobs blobs = make_blobs(50, 0.8, 6);
+  auto weight_norm = [&](double c) {
+    LogRegConfig cfg;
+    cfg.num_classes = 3;
+    cfg.c = c;
+    cfg.max_iter = 300;
+    LogisticRegression lr(cfg, 1);
+    lr.fit(blobs.x, blobs.y);
+    double norm = 0.0;
+    for (std::size_t i = 0; i < lr.weights().rows(); ++i) {
+      for (const double w : lr.weights().row(i)) norm += w * w;
+    }
+    return norm;
+  };
+  EXPECT_LT(weight_norm(0.001), weight_norm(10.0));
+}
+
+TEST(LogReg, PredictShapeMismatchThrows) {
+  const Blobs blobs = make_blobs(10, 0.5, 7);
+  LogRegConfig cfg;
+  cfg.num_classes = 3;
+  LogisticRegression lr(cfg, 1);
+  lr.fit(blobs.x, blobs.y);
+  Matrix wrong(2, 5, 0.0);
+  EXPECT_THROW(lr.predict_proba(wrong), Error);
+}
+
+TEST(LogReg, PredictBeforeFitThrows) {
+  LogRegConfig cfg;
+  cfg.num_classes = 2;
+  LogisticRegression lr(cfg, 1);
+  Matrix x(1, 2, 0.0);
+  EXPECT_THROW(lr.predict_proba(x), Error);
+}
+
+// ------------------------------------------------------------------ mlp ---
+
+TEST(Mlp, LearnsBlobs) {
+  const Blobs train = make_blobs(60, 0.5, 8);
+  const Blobs test = make_blobs(30, 0.5, 9);
+  MlpConfig cfg;
+  cfg.num_classes = 3;
+  cfg.hidden_layers = {16};
+  cfg.max_iter = 400;
+  cfg.learning_rate = 3e-3;
+  MlpClassifier mlp(cfg, 1);
+  mlp.fit(train.x, train.y);
+  EXPECT_GT(accuracy(test.y, mlp.predict(test.x)), 0.95);
+}
+
+TEST(Mlp, LearnsXorUnlikeLinearModel) {
+  // XOR: not linearly separable; hidden layer required.
+  Rng rng(10);
+  Matrix x(200, 2);
+  std::vector<int> y(200);
+  for (std::size_t i = 0; i < 200; ++i) {
+    const int a = static_cast<int>(rng.bernoulli(0.5));
+    const int b = static_cast<int>(rng.bernoulli(0.5));
+    x(i, 0) = a + 0.1 * rng.normal();
+    x(i, 1) = b + 0.1 * rng.normal();
+    y[i] = a ^ b;
+  }
+  MlpConfig cfg;
+  cfg.num_classes = 2;
+  cfg.hidden_layers = {16, 16};
+  cfg.max_iter = 250;
+  MlpClassifier mlp(cfg, 2);
+  mlp.fit(x, y);
+  EXPECT_GT(accuracy(y, mlp.predict(x)), 0.95);
+
+  LogRegConfig lin;
+  lin.num_classes = 2;
+  lin.max_iter = 300;
+  LogisticRegression lr(lin, 1);
+  lr.fit(x, y);
+  EXPECT_LT(accuracy(y, lr.predict(x)), 0.8);
+}
+
+TEST(Mlp, ProbabilitiesSumToOne) {
+  const Blobs blobs = make_blobs(15, 1.0, 11);
+  MlpConfig cfg;
+  cfg.num_classes = 3;
+  cfg.hidden_layers = {8};
+  cfg.max_iter = 30;
+  MlpClassifier mlp(cfg, 1);
+  mlp.fit(blobs.x, blobs.y);
+  const Matrix probs = mlp.predict_proba(blobs.x);
+  for (std::size_t i = 0; i < probs.rows(); ++i) {
+    double sum = 0.0;
+    for (const double p : probs.row(i)) sum += p;
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+  }
+}
+
+TEST(Mlp, TrainingLossDecreasesWithEpochs) {
+  const Blobs blobs = make_blobs(40, 0.8, 12);
+  MlpConfig short_cfg;
+  short_cfg.num_classes = 3;
+  short_cfg.hidden_layers = {8};
+  short_cfg.max_iter = 3;
+  MlpConfig long_cfg = short_cfg;
+  long_cfg.max_iter = 80;
+  MlpClassifier a(short_cfg, 1);
+  MlpClassifier b(long_cfg, 1);
+  a.fit(blobs.x, blobs.y);
+  b.fit(blobs.x, blobs.y);
+  EXPECT_LT(b.final_loss(), a.final_loss());
+}
+
+TEST(Mlp, DeterministicForSeed) {
+  const Blobs blobs = make_blobs(20, 1.0, 13);
+  MlpConfig cfg;
+  cfg.num_classes = 3;
+  cfg.hidden_layers = {8};
+  cfg.max_iter = 20;
+  MlpClassifier a(cfg, 5);
+  MlpClassifier b(cfg, 5);
+  a.fit(blobs.x, blobs.y);
+  b.fit(blobs.x, blobs.y);
+  const Matrix pa = a.predict_proba(blobs.x);
+  const Matrix pb = b.predict_proba(blobs.x);
+  for (std::size_t i = 0; i < pa.rows(); ++i) {
+    for (std::size_t j = 0; j < pa.cols(); ++j) {
+      EXPECT_DOUBLE_EQ(pa(i, j), pb(i, j));
+    }
+  }
+}
+
+TEST(Mlp, CloneUnfitted) {
+  MlpConfig cfg;
+  cfg.num_classes = 4;
+  MlpClassifier mlp(cfg, 1);
+  auto clone = mlp.clone();
+  EXPECT_FALSE(clone->fitted());
+  EXPECT_EQ(clone->num_classes(), 4);
+  EXPECT_EQ(clone->name(), "mlp");
+}
+
+// ---------------------------------------------------------- autoencoder ---
+
+TEST(Autoencoder, ReconstructionImprovesOverTraining) {
+  Rng rng(14);
+  // Data on a 2D manifold inside 10D space.
+  Matrix x(300, 10);
+  for (std::size_t i = 0; i < 300; ++i) {
+    const double a = rng.uniform(-1.0, 1.0);
+    const double b = rng.uniform(-1.0, 1.0);
+    for (std::size_t j = 0; j < 10; ++j) {
+      x(i, j) = std::sin(0.5 * a * (j + 1)) + 0.3 * b * (j % 3);
+    }
+  }
+  AutoencoderConfig short_cfg;
+  short_cfg.encoder_layers = {16};
+  short_cfg.code_size = 2;
+  short_cfg.epochs = 2;
+  AutoencoderConfig long_cfg = short_cfg;
+  long_cfg.epochs = 60;
+  Autoencoder a(short_cfg, 1);
+  Autoencoder b(long_cfg, 1);
+  const double early = a.fit(x);
+  const double late = b.fit(x);
+  EXPECT_LT(late, early);
+}
+
+TEST(Autoencoder, EncodeShapeIsCodeSize) {
+  Rng rng(15);
+  Matrix x(50, 8);
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    for (std::size_t j = 0; j < x.cols(); ++j) x(i, j) = rng.uniform();
+  }
+  AutoencoderConfig cfg;
+  cfg.encoder_layers = {12};
+  cfg.code_size = 3;
+  cfg.epochs = 3;
+  Autoencoder ae(cfg, 1);
+  ae.fit(x);
+  const Matrix code = ae.encode(x);
+  EXPECT_EQ(code.rows(), 50u);
+  EXPECT_EQ(code.cols(), 3u);
+  const Matrix recon = ae.reconstruct(x);
+  EXPECT_EQ(recon.cols(), 8u);
+}
+
+TEST(Autoencoder, ReconstructionErrorHigherOffManifold) {
+  Rng rng(16);
+  Matrix x(400, 6);
+  for (std::size_t i = 0; i < 400; ++i) {
+    const double a = rng.uniform(-1.0, 1.0);
+    for (std::size_t j = 0; j < 6; ++j) {
+      x(i, j) = a * static_cast<double>(j + 1) / 6.0 + 0.02 * rng.normal();
+    }
+  }
+  AutoencoderConfig cfg;
+  cfg.encoder_layers = {8};
+  cfg.code_size = 1;
+  cfg.epochs = 80;
+  Autoencoder ae(cfg, 1);
+  ae.fit(x);
+
+  Matrix off(1, 6);
+  for (std::size_t j = 0; j < 6; ++j) {
+    off(0, j) = (j % 2 == 0) ? 1.0 : -1.0;  // not on the linear manifold
+  }
+  const auto err_on = ae.reconstruction_error(x);
+  const auto err_off = ae.reconstruction_error(off);
+  double mean_on = 0.0;
+  for (const double e : err_on) mean_on += e;
+  mean_on /= static_cast<double>(err_on.size());
+  EXPECT_GT(err_off[0], 3.0 * mean_on);
+}
+
+TEST(Autoencoder, EncodeBeforeFitThrows) {
+  Autoencoder ae(AutoencoderConfig{}, 1);
+  Matrix x(1, 4, 0.0);
+  EXPECT_THROW(ae.encode(x), Error);
+}
+
+}  // namespace
+}  // namespace alba

@@ -1,0 +1,140 @@
+// Tests for the evaluation metrics the paper reports: macro F1, false
+// alarm rate, anomaly miss rate, confusion matrices.
+#include <gtest/gtest.h>
+
+#include "ml/classifier.hpp"
+#include "ml/dataset.hpp"
+#include "ml/metrics.hpp"
+
+namespace alba {
+namespace {
+
+TEST(Confusion, CountsPlacement) {
+  const std::vector<int> y_true{0, 0, 1, 1, 2};
+  const std::vector<int> y_pred{0, 1, 1, 1, 0};
+  const Matrix cm = confusion_matrix(y_true, y_pred, 3);
+  EXPECT_DOUBLE_EQ(cm(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(cm(0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(cm(1, 1), 2.0);
+  EXPECT_DOUBLE_EQ(cm(2, 0), 1.0);
+  EXPECT_DOUBLE_EQ(cm(2, 2), 0.0);
+}
+
+TEST(Confusion, RejectsOutOfRangeLabels) {
+  const std::vector<int> y_true{0, 3};
+  const std::vector<int> y_pred{0, 0};
+  EXPECT_THROW(confusion_matrix(y_true, y_pred, 3), Error);
+}
+
+TEST(Metrics, PerfectPrediction) {
+  const std::vector<int> y{0, 1, 2, 0, 1, 2};
+  const EvalResult ev = evaluate(y, y, 3);
+  EXPECT_DOUBLE_EQ(ev.macro_f1, 1.0);
+  EXPECT_DOUBLE_EQ(ev.accuracy, 1.0);
+  EXPECT_DOUBLE_EQ(ev.false_alarm_rate, 0.0);
+  EXPECT_DOUBLE_EQ(ev.anomaly_miss_rate, 0.0);
+}
+
+TEST(Metrics, KnownF1Value) {
+  // Class 1: precision 1/2, recall 1/2 → F1 = 0.5. Class 0: p=2/3, r=2/3.
+  const std::vector<int> y_true{0, 0, 0, 1, 1};
+  const std::vector<int> y_pred{0, 0, 1, 1, 0};
+  const EvalResult ev = evaluate(y_true, y_pred, 2);
+  EXPECT_NEAR(ev.per_class_f1[0], 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(ev.per_class_f1[1], 0.5, 1e-12);
+  EXPECT_NEAR(ev.macro_f1, (2.0 / 3.0 + 0.5) / 2.0, 1e-12);
+}
+
+TEST(Metrics, MacroF1IgnoresAbsentClasses) {
+  // Class 2 never appears in y_true: excluded from the macro average.
+  const std::vector<int> y_true{0, 0, 1, 1};
+  const std::vector<int> y_pred{0, 0, 1, 1};
+  EXPECT_DOUBLE_EQ(macro_f1(y_true, y_pred, 3), 1.0);
+}
+
+TEST(Metrics, FalseAlarmRate) {
+  // 4 healthy samples, 1 flagged anomalous → FAR 0.25.
+  const std::vector<int> y_true{0, 0, 0, 0, 2};
+  const std::vector<int> y_pred{0, 0, 0, 3, 2};
+  EXPECT_DOUBLE_EQ(false_alarm_rate(y_true, y_pred), 0.25);
+}
+
+TEST(Metrics, AnomalyMissRateCountsAnyAnomalyAsDetected) {
+  // Anomalous sample predicted as the *wrong* anomaly is not a miss.
+  const std::vector<int> y_true{1, 2, 3, 0};
+  const std::vector<int> y_pred{2, 0, 3, 0};
+  EXPECT_NEAR(anomaly_miss_rate(y_true, y_pred), 1.0 / 3.0, 1e-12);
+}
+
+TEST(Metrics, RatesWithNoRelevantSamples) {
+  const std::vector<int> all_anomalous{1, 2};
+  const std::vector<int> pred{1, 2};
+  EXPECT_DOUBLE_EQ(false_alarm_rate(all_anomalous, pred), 0.0);
+  const std::vector<int> all_healthy{0, 0};
+  const std::vector<int> pred2{0, 0};
+  EXPECT_DOUBLE_EQ(anomaly_miss_rate(all_healthy, pred2), 0.0);
+}
+
+TEST(Metrics, Accuracy) {
+  const std::vector<int> y_true{0, 1, 2, 2};
+  const std::vector<int> y_pred{0, 1, 0, 2};
+  EXPECT_DOUBLE_EQ(accuracy(y_true, y_pred), 0.75);
+}
+
+TEST(Metrics, PerClassScoresFromConfusion) {
+  Matrix cm(2, 2, 0.0);
+  cm(0, 0) = 8;
+  cm(0, 1) = 2;
+  cm(1, 0) = 1;
+  cm(1, 1) = 9;
+  const ClassScores s = per_class_scores(cm);
+  EXPECT_NEAR(s.precision[0], 8.0 / 9.0, 1e-12);
+  EXPECT_NEAR(s.recall[0], 0.8, 1e-12);
+  EXPECT_NEAR(s.precision[1], 9.0 / 11.0, 1e-12);
+  EXPECT_NEAR(s.recall[1], 0.9, 1e-12);
+}
+
+TEST(Metrics, UndefinedPrecisionIsZero) {
+  // Class 1 never predicted: precision defined as 0 (sklearn convention).
+  Matrix cm(2, 2, 0.0);
+  cm(0, 0) = 5;
+  cm(1, 0) = 5;
+  const ClassScores s = per_class_scores(cm);
+  EXPECT_DOUBLE_EQ(s.precision[1], 0.0);
+  EXPECT_DOUBLE_EQ(s.f1[1], 0.0);
+}
+
+TEST(ArgmaxLabel, PicksLargest) {
+  const std::vector<double> p{0.1, 0.6, 0.3};
+  EXPECT_EQ(argmax_label(p), 1);
+  const std::vector<double> tie{0.5, 0.5};
+  EXPECT_EQ(argmax_label(tie), 0);  // first wins ties
+}
+
+TEST(LabeledData, AppendAndSelect) {
+  LabeledData data;
+  data.append(std::vector<double>{1.0, 2.0}, 0);
+  data.append(std::vector<double>{3.0, 4.0}, 1);
+  data.append(std::vector<double>{5.0, 6.0}, 2);
+  EXPECT_EQ(data.size(), 3u);
+
+  const std::vector<std::size_t> idx{2, 0};
+  const LabeledData sub = data.select(idx);
+  EXPECT_EQ(sub.y, (std::vector<int>{2, 0}));
+  EXPECT_DOUBLE_EQ(sub.x(0, 0), 5.0);
+
+  LabeledData more;
+  more.append(std::vector<double>{7.0, 8.0}, 1);
+  data.append_all(more);
+  EXPECT_EQ(data.size(), 4u);
+}
+
+TEST(LabeledData, ValidateLabels) {
+  LabeledData data;
+  data.append(std::vector<double>{1.0}, 2);
+  EXPECT_NO_THROW(data.validate_labels(3));
+  EXPECT_THROW(data.validate_labels(2), Error);
+}
+
+}  // namespace
+}  // namespace alba

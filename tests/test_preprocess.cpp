@@ -1,0 +1,235 @@
+// Tests for scalers, chi-square top-k selection, and stratified splitting.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.hpp"
+#include "preprocess/scalers.hpp"
+#include "preprocess/select_kbest.hpp"
+#include "preprocess/split.hpp"
+
+namespace alba {
+namespace {
+
+// -------------------------------------------------------------- scalers ---
+
+TEST(MinMaxScaler, MapsTrainingToUnitInterval) {
+  Matrix x = Matrix::from_rows({{0.0, 10.0}, {5.0, 20.0}, {10.0, 30.0}});
+  MinMaxScaler scaler;
+  scaler.fit_transform(x);
+  EXPECT_DOUBLE_EQ(x(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(x(1, 0), 0.5);
+  EXPECT_DOUBLE_EQ(x(2, 0), 1.0);
+  EXPECT_DOUBLE_EQ(x(0, 1), 0.0);
+  EXPECT_DOUBLE_EQ(x(2, 1), 1.0);
+}
+
+TEST(MinMaxScaler, ClipsOutOfRangeTestData) {
+  Matrix train = Matrix::from_rows({{0.0}, {10.0}});
+  MinMaxScaler scaler;
+  scaler.fit(train);
+  Matrix test = Matrix::from_rows({{-5.0}, {15.0}});
+  scaler.transform(test);
+  EXPECT_DOUBLE_EQ(test(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(test(1, 0), 1.0);
+}
+
+TEST(MinMaxScaler, ConstantColumnBecomesZero) {
+  Matrix x = Matrix::from_rows({{3.0}, {3.0}});
+  MinMaxScaler scaler;
+  scaler.fit_transform(x);
+  EXPECT_DOUBLE_EQ(x(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(x(1, 0), 0.0);
+}
+
+TEST(MinMaxScaler, TransformBeforeFitThrows) {
+  Matrix x(2, 2, 1.0);
+  MinMaxScaler scaler;
+  EXPECT_THROW(scaler.transform(x), Error);
+}
+
+TEST(MinMaxScaler, WidthMismatchThrows) {
+  Matrix train(2, 3, 1.0);
+  train(0, 0) = 0.0;
+  MinMaxScaler scaler;
+  scaler.fit(train);
+  Matrix other(2, 2, 1.0);
+  EXPECT_THROW(scaler.transform(other), Error);
+}
+
+TEST(StandardScaler, ZeroMeanUnitVariance) {
+  Rng rng(1);
+  Matrix x(200, 3);
+  for (std::size_t i = 0; i < 200; ++i) {
+    x(i, 0) = rng.normal(5.0, 2.0);
+    x(i, 1) = rng.normal(-3.0, 0.5);
+    x(i, 2) = 7.0;  // constant
+  }
+  StandardScaler scaler;
+  scaler.fit_transform(x);
+  for (std::size_t j = 0; j < 2; ++j) {
+    double mean = 0.0;
+    for (std::size_t i = 0; i < 200; ++i) mean += x(i, j);
+    mean /= 200.0;
+    EXPECT_NEAR(mean, 0.0, 1e-9);
+    double var = 0.0;
+    for (std::size_t i = 0; i < 200; ++i) var += x(i, j) * x(i, j);
+    EXPECT_NEAR(var / 200.0, 1.0, 1e-9);
+  }
+  EXPECT_DOUBLE_EQ(x(0, 2), 0.0);
+}
+
+// ------------------------------------------------------------- selection ---
+
+TEST(SelectKBest, PicksInformativeFeatures) {
+  Rng rng(2);
+  const std::size_t n = 300;
+  Matrix x(n, 5);
+  std::vector<int> y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    y[i] = static_cast<int>(i % 3);
+    x(i, 0) = rng.uniform();                     // noise
+    x(i, 1) = y[i] == 0 ? 1.0 : 0.0;             // informative
+    x(i, 2) = rng.uniform();                     // noise
+    x(i, 3) = static_cast<double>(y[i]) / 2.0;   // informative
+    x(i, 4) = 0.5;                               // constant
+  }
+  SelectKBestChi2 selector(2);
+  selector.fit(x, y);
+  const auto& selected = selector.selected_indices();
+  ASSERT_EQ(selected.size(), 2u);
+  const std::set<std::size_t> chosen(selected.begin(), selected.end());
+  EXPECT_TRUE(chosen.count(1));
+  EXPECT_TRUE(chosen.count(3));
+}
+
+TEST(SelectKBest, TransformSelectsInScoreOrder) {
+  Matrix x = Matrix::from_rows({{0.0, 1.0, 0.0}, {0.0, 0.0, 1.0},
+                                {0.0, 1.0, 0.0}, {0.0, 0.0, 1.0}});
+  const std::vector<int> y{1, 0, 1, 0};
+  SelectKBestChi2 selector(2);
+  const Matrix out = selector.fit_transform(x, y);
+  EXPECT_EQ(out.cols(), 2u);
+  // Both informative columns kept; noise column 0 dropped.
+  for (const std::size_t idx : selector.selected_indices()) {
+    EXPECT_NE(idx, 0u);
+  }
+}
+
+TEST(SelectKBest, KClampedToColumns) {
+  Matrix x(4, 2, 0.5);
+  x(0, 0) = 1.0;
+  x(1, 1) = 1.0;
+  const std::vector<int> y{0, 1, 0, 1};
+  SelectKBestChi2 selector(10);
+  selector.fit(x, y);
+  EXPECT_EQ(selector.selected_indices().size(), 2u);
+}
+
+TEST(SelectKBest, TransformNames) {
+  Matrix x = Matrix::from_rows({{1.0, 0.0}, {0.0, 1.0}});
+  const std::vector<int> y{0, 1};
+  SelectKBestChi2 selector(1);
+  selector.fit(x, y);
+  const auto names = selector.transform_names({"a", "b"});
+  ASSERT_EQ(names.size(), 1u);
+  EXPECT_TRUE(names[0] == "a" || names[0] == "b");
+}
+
+TEST(SelectKBest, UseBeforeFitThrows) {
+  SelectKBestChi2 selector(1);
+  Matrix x(2, 2, 1.0);
+  EXPECT_THROW(selector.transform(x), Error);
+}
+
+// --------------------------------------------------------------- splits ---
+
+TEST(StratifiedSplit, PartitionsWithoutOverlap) {
+  std::vector<int> y;
+  for (int i = 0; i < 100; ++i) y.push_back(i % 4);
+  const SplitIndices split = stratified_split(y, 0.3, 7);
+  EXPECT_EQ(split.train.size() + split.test.size(), 100u);
+  std::set<std::size_t> train(split.train.begin(), split.train.end());
+  for (const auto i : split.test) EXPECT_FALSE(train.count(i));
+}
+
+TEST(StratifiedSplit, PreservesClassProportions) {
+  std::vector<int> y;
+  for (int i = 0; i < 200; ++i) y.push_back(i < 180 ? 0 : 1);  // 90/10 split
+  const SplitIndices split = stratified_split(y, 0.25, 3);
+  std::size_t minority_test = 0;
+  for (const auto i : split.test) minority_test += (y[i] == 1) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(minority_test) /
+                  static_cast<double>(split.test.size()),
+              0.1, 0.03);
+}
+
+TEST(StratifiedSplit, EveryClassInBothSides) {
+  std::vector<int> y{0, 0, 0, 1, 1, 1, 2, 2, 2};
+  const SplitIndices split = stratified_split(y, 0.34, 11);
+  std::set<int> train_classes;
+  std::set<int> test_classes;
+  for (const auto i : split.train) train_classes.insert(y[i]);
+  for (const auto i : split.test) test_classes.insert(y[i]);
+  EXPECT_EQ(train_classes.size(), 3u);
+  EXPECT_EQ(test_classes.size(), 3u);
+}
+
+TEST(StratifiedSplit, DeterministicForSeed) {
+  std::vector<int> y;
+  for (int i = 0; i < 50; ++i) y.push_back(i % 2);
+  const auto a = stratified_split(y, 0.3, 5);
+  const auto b = stratified_split(y, 0.3, 5);
+  EXPECT_EQ(a.train, b.train);
+  EXPECT_EQ(a.test, b.test);
+  const auto c = stratified_split(y, 0.3, 6);
+  EXPECT_NE(a.test, c.test);
+}
+
+TEST(StratifiedSplit, RejectsBadFraction) {
+  const std::vector<int> y{0, 1};
+  EXPECT_THROW(stratified_split(y, 0.0, 1), Error);
+  EXPECT_THROW(stratified_split(y, 1.0, 1), Error);
+}
+
+TEST(StratifiedKFold, TestSetsPartitionData) {
+  std::vector<int> y;
+  for (int i = 0; i < 60; ++i) y.push_back(i % 3);
+  const auto folds = stratified_kfold(y, 5, 9);
+  ASSERT_EQ(folds.size(), 5u);
+  std::vector<int> covered(60, 0);
+  for (const auto& fold : folds) {
+    EXPECT_EQ(fold.train.size() + fold.test.size(), 60u);
+    for (const auto i : fold.test) covered[i]++;
+  }
+  for (const int c : covered) EXPECT_EQ(c, 1);
+}
+
+TEST(StratifiedKFold, FoldsBalanced) {
+  std::vector<int> y;
+  for (int i = 0; i < 100; ++i) y.push_back(i % 2);
+  const auto folds = stratified_kfold(y, 5, 13);
+  for (const auto& fold : folds) {
+    std::size_t ones = 0;
+    for (const auto i : fold.test) ones += (y[i] == 1) ? 1 : 0;
+    EXPECT_EQ(fold.test.size(), 20u);
+    EXPECT_EQ(ones, 10u);
+  }
+}
+
+TEST(StratifiedKFold, RejectsDegenerate) {
+  const std::vector<int> y{0, 1};
+  EXPECT_THROW(stratified_kfold(y, 1, 1), Error);
+  EXPECT_THROW(stratified_kfold(y, 3, 1), Error);
+}
+
+TEST(ClassCounts, CountsPerLabel) {
+  const std::vector<int> y{0, 2, 2, 1, 2};
+  const auto counts = class_counts(y);
+  EXPECT_EQ(counts, (std::vector<std::size_t>{1, 1, 3}));
+  const std::vector<int> bad{0, -1};
+  EXPECT_THROW(class_counts(bad), Error);
+}
+
+}  // namespace
+}  // namespace alba

@@ -1,0 +1,325 @@
+// Tests for FFT, Welch PSD, entropies, autocorrelation, regression,
+// chi-square scoring, and histograms.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "linalg/matrix.hpp"
+#include "stats/autocorr.hpp"
+#include "stats/chi2.hpp"
+#include "stats/entropy.hpp"
+#include "stats/fft.hpp"
+#include "stats/histogram.hpp"
+#include "stats/regression.hpp"
+#include "stats/welch.hpp"
+
+namespace alba::stats {
+namespace {
+
+// ------------------------------------------------------------------ fft ---
+
+TEST(Fft, NextPow2) {
+  EXPECT_EQ(next_pow2(1), 1u);
+  EXPECT_EQ(next_pow2(2), 2u);
+  EXPECT_EQ(next_pow2(3), 4u);
+  EXPECT_EQ(next_pow2(129), 256u);
+}
+
+TEST(Fft, RejectsNonPowerOfTwo) {
+  std::vector<std::complex<double>> data(6);
+  EXPECT_THROW(fft_inplace(data), Error);
+}
+
+TEST(Fft, ImpulseHasFlatSpectrum) {
+  std::vector<std::complex<double>> data(8, 0.0);
+  data[0] = 1.0;
+  fft_inplace(data);
+  for (const auto& c : data) EXPECT_NEAR(std::abs(c), 1.0, 1e-12);
+}
+
+TEST(Fft, PureToneConcentratesAtOneBin) {
+  const std::size_t n = 64;
+  std::vector<std::complex<double>> data(n);
+  const std::size_t k = 5;
+  for (std::size_t i = 0; i < n; ++i) {
+    data[i] = std::cos(2.0 * M_PI * static_cast<double>(k * i) /
+                       static_cast<double>(n));
+  }
+  fft_inplace(data);
+  EXPECT_NEAR(std::abs(data[k]), static_cast<double>(n) / 2.0, 1e-9);
+  EXPECT_NEAR(std::abs(data[n - k]), static_cast<double>(n) / 2.0, 1e-9);
+  EXPECT_NEAR(std::abs(data[k + 1]), 0.0, 1e-9);
+}
+
+TEST(Fft, RoundTripInverse) {
+  Rng rng(3);
+  std::vector<std::complex<double>> data(32);
+  std::vector<std::complex<double>> orig(32);
+  for (std::size_t i = 0; i < 32; ++i) {
+    data[i] = {rng.uniform(), rng.uniform()};
+    orig[i] = data[i];
+  }
+  fft_inplace(data, false);
+  fft_inplace(data, true);
+  for (std::size_t i = 0; i < 32; ++i) {
+    EXPECT_NEAR(data[i].real(), orig[i].real(), 1e-10);
+    EXPECT_NEAR(data[i].imag(), orig[i].imag(), 1e-10);
+  }
+}
+
+TEST(Fft, ParsevalHolds) {
+  Rng rng(4);
+  std::vector<double> x(64);
+  for (auto& v : x) v = rng.normal();
+  const auto spec = fft_real(x);
+  double time_energy = 0.0;
+  for (const double v : x) time_energy += v * v;
+  double freq_energy = 0.0;
+  for (const auto& c : spec) freq_energy += std::norm(c);
+  EXPECT_NEAR(freq_energy / static_cast<double>(spec.size()), time_energy,
+              1e-8);
+}
+
+// ---------------------------------------------------------------- welch ---
+
+TEST(Welch, DetectsDominantFrequency) {
+  const double f0 = 0.1;  // cycles per sample
+  std::vector<double> x(512);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x[i] = std::sin(2.0 * M_PI * f0 * static_cast<double>(i));
+  }
+  const WelchResult psd = welch_psd(x, 128);
+  EXPECT_NEAR(dominant_frequency(psd), f0, 0.01);
+}
+
+TEST(Welch, WhiteNoiseIsFlatish) {
+  Rng rng(5);
+  std::vector<double> x(2048);
+  for (auto& v : x) v = rng.normal();
+  const WelchResult psd = welch_psd(x, 128);
+  // Total power ≈ variance (one-sided density integrates to sigma²).
+  double total = 0.0;
+  for (std::size_t k = 0; k < psd.power.size(); ++k) {
+    total += psd.power[k] * (psd.frequencies[1] - psd.frequencies[0]);
+  }
+  EXPECT_NEAR(total, 1.0, 0.3);
+}
+
+TEST(Welch, ShortSignalStillWorks) {
+  std::vector<double> x{1, 2, 3, 2, 1, 2, 3, 2, 1, 2};
+  const WelchResult psd = welch_psd(x, 256);
+  EXPECT_FALSE(psd.power.empty());
+  for (const double p : psd.power) EXPECT_GE(p, 0.0);
+}
+
+TEST(Welch, SpectralCentroidWithinNyquist) {
+  Rng rng(6);
+  std::vector<double> x(256);
+  for (auto& v : x) v = rng.normal();
+  const WelchResult psd = welch_psd(x, 64);
+  const double c = spectral_centroid(psd);
+  EXPECT_GE(c, 0.0);
+  EXPECT_LE(c, 0.5);
+}
+
+// -------------------------------------------------------------- entropy ---
+
+TEST(Entropy, RegularSeriesHasLowerApEnThanNoise) {
+  std::vector<double> regular(128);
+  for (std::size_t i = 0; i < regular.size(); ++i) {
+    regular[i] = std::sin(0.5 * static_cast<double>(i));
+  }
+  Rng rng(7);
+  std::vector<double> noise(128);
+  for (auto& v : noise) v = rng.normal();
+  EXPECT_LT(approximate_entropy(regular), approximate_entropy(noise));
+}
+
+TEST(Entropy, ConstantSeriesZeroApEn) {
+  const std::vector<double> c(64, 1.0);
+  EXPECT_DOUBLE_EQ(approximate_entropy(c), 0.0);
+}
+
+TEST(Entropy, SampleEntropyOrdersRegularity) {
+  std::vector<double> regular(128);
+  for (std::size_t i = 0; i < regular.size(); ++i) {
+    regular[i] = std::sin(0.5 * static_cast<double>(i));
+  }
+  Rng rng(8);
+  std::vector<double> noise(128);
+  for (auto& v : noise) v = rng.normal();
+  const double se_reg = sample_entropy(regular);
+  const double se_noise = sample_entropy(noise);
+  ASSERT_FALSE(std::isnan(se_reg));
+  ASSERT_FALSE(std::isnan(se_noise));
+  EXPECT_LT(se_reg, se_noise);
+}
+
+TEST(Entropy, BinnedEntropyBounds) {
+  const std::vector<double> uniformish{1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  const double h = binned_entropy(uniformish, 10);
+  EXPECT_NEAR(h, std::log(10.0), 1e-9);  // each bin equally occupied
+  const std::vector<double> constant(10, 5.0);
+  EXPECT_DOUBLE_EQ(binned_entropy(constant, 10), 0.0);
+}
+
+TEST(Entropy, ShannonOfUniform) {
+  const std::vector<double> p{0.25, 0.25, 0.25, 0.25};
+  EXPECT_NEAR(shannon_entropy(p), std::log(4.0), 1e-12);
+  const std::vector<double> certain{1.0, 0.0, 0.0};
+  EXPECT_DOUBLE_EQ(shannon_entropy(certain), 0.0);
+}
+
+// ------------------------------------------------------------- autocorr ---
+
+TEST(Autocorr, LagZeroIsOne) {
+  const std::vector<double> x{1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(autocorrelation(x, 0), 1.0);
+}
+
+TEST(Autocorr, PeriodicSignalPeaksAtPeriod) {
+  std::vector<double> x(200);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x[i] = std::sin(2.0 * M_PI * static_cast<double>(i) / 20.0);
+  }
+  EXPECT_GT(autocorrelation(x, 20), 0.8);
+  EXPECT_LT(autocorrelation(x, 10), -0.8);  // half period anti-correlated
+}
+
+TEST(Autocorr, ConstantSeriesIsNaN) {
+  const std::vector<double> c(20, 2.0);
+  EXPECT_TRUE(std::isnan(autocorrelation(c, 1)));
+}
+
+TEST(Autocorr, AcfVectorLength) {
+  const std::vector<double> x{1, 2, 1, 2, 1, 2, 1, 2};
+  const auto r = acf(x, 3);
+  ASSERT_EQ(r.size(), 4u);
+  EXPECT_LT(r[1], 0.0);  // alternating series
+  EXPECT_GT(r[2], 0.0);
+}
+
+TEST(Autocorr, Pacf) {
+  // AR(1) process: PACF at lag 1 ≈ phi, near zero afterwards.
+  Rng rng(9);
+  std::vector<double> x(4000);
+  x[0] = 0.0;
+  const double phi = 0.7;
+  for (std::size_t i = 1; i < x.size(); ++i) {
+    x[i] = phi * x[i - 1] + rng.normal();
+  }
+  EXPECT_NEAR(partial_autocorrelation(x, 1), phi, 0.05);
+  EXPECT_NEAR(partial_autocorrelation(x, 3), 0.0, 0.08);
+}
+
+TEST(Autocorr, AggAutocorrelation) {
+  std::vector<double> x(100);
+  for (std::size_t i = 0; i < x.size(); ++i) x[i] = static_cast<double>(i % 2);
+  const double agg = agg_autocorrelation_mean_abs(x, 5);
+  EXPECT_GT(agg, 0.8);  // alternating → |acf| near 1 at all small lags
+}
+
+// ----------------------------------------------------------- regression ---
+
+TEST(Regression, ExactLine) {
+  std::vector<double> y;
+  for (int i = 0; i < 10; ++i) y.push_back(2.0 * i + 3.0);
+  const LinearTrend t = linear_trend(y);
+  EXPECT_NEAR(t.slope, 2.0, 1e-12);
+  EXPECT_NEAR(t.intercept, 3.0, 1e-12);
+  EXPECT_NEAR(t.rvalue, 1.0, 1e-12);
+  EXPECT_NEAR(t.stderr_, 0.0, 1e-9);
+}
+
+TEST(Regression, FlatLine) {
+  const std::vector<double> y(10, 4.0);
+  const LinearTrend t = linear_trend(y);
+  EXPECT_NEAR(t.slope, 0.0, 1e-12);
+  EXPECT_NEAR(t.intercept, 4.0, 1e-12);
+  EXPECT_DOUBLE_EQ(t.rvalue, 0.0);
+}
+
+TEST(Regression, PearsonKnownValues) {
+  const std::vector<double> a{1, 2, 3, 4};
+  const std::vector<double> b{2, 4, 6, 8};
+  EXPECT_NEAR(pearson(a, b), 1.0, 1e-12);
+  const std::vector<double> c{8, 6, 4, 2};
+  EXPECT_NEAR(pearson(a, c), -1.0, 1e-12);
+}
+
+// ----------------------------------------------------------------- chi2 ---
+
+TEST(Chi2, StatisticKnownValue) {
+  const std::vector<double> observed{10, 20, 30};
+  const std::vector<double> expected{20, 20, 20};
+  EXPECT_NEAR(chi2_statistic(observed, expected), 100.0 / 20.0 + 100.0 / 20.0,
+              1e-12);
+}
+
+TEST(Chi2, InformativeFeatureScoresHigher) {
+  // Feature 0 ≈ label, feature 1 is constant-ish noise.
+  Rng rng(10);
+  Matrix x(200, 2);
+  std::vector<int> y(200);
+  for (std::size_t i = 0; i < 200; ++i) {
+    y[i] = static_cast<int>(i % 2);
+    x(i, 0) = y[i] == 1 ? 1.0 : 0.05;
+    x(i, 1) = 0.5 + 0.01 * rng.uniform();
+  }
+  const auto scores = chi2_scores(x, y);
+  EXPECT_GT(scores[0], scores[1] * 10.0);
+}
+
+TEST(Chi2, RejectsNegativeFeatures) {
+  Matrix x(2, 1);
+  x(0, 0) = -1.0;
+  const std::vector<int> y{0, 1};
+  EXPECT_THROW(chi2_scores(x, y), Error);
+}
+
+TEST(Chi2, RejectsShapeMismatch) {
+  Matrix x(3, 1, 1.0);
+  const std::vector<int> y{0, 1};
+  EXPECT_THROW(chi2_scores(x, y), Error);
+}
+
+// ------------------------------------------------------------ histogram ---
+
+TEST(Histogram, CountsSumToN) {
+  Rng rng(11);
+  std::vector<double> x(500);
+  for (auto& v : x) v = rng.uniform(0.0, 10.0);
+  const Histogram h = make_histogram(x, 20);
+  std::size_t total = 0;
+  for (const auto c : h.counts) total += c;
+  EXPECT_EQ(total, 500u);
+  EXPECT_DOUBLE_EQ(h.lo, *std::min_element(x.begin(), x.end()));
+}
+
+TEST(Histogram, ConstantDataFillsFirstBin) {
+  const std::vector<double> x(10, 3.0);
+  const Histogram h = make_histogram(x, 4);
+  EXPECT_EQ(h.counts[0], 10u);
+}
+
+TEST(Histogram, IqrFencesAndOutliers) {
+  // 1..100 plus one extreme outlier.
+  std::vector<double> x;
+  for (int i = 1; i <= 100; ++i) x.push_back(static_cast<double>(i));
+  x.push_back(1000.0);
+  const auto f = iqr_fences(x);
+  EXPECT_GT(f.upper, 100.0);
+  EXPECT_LT(f.upper, 1000.0);
+  const double ratio = outlier_ratio_iqr(x);
+  EXPECT_NEAR(ratio, 1.0 / 101.0, 1e-9);
+}
+
+TEST(Histogram, NoOutliersInUniform) {
+  std::vector<double> x;
+  for (int i = 0; i < 100; ++i) x.push_back(static_cast<double>(i));
+  EXPECT_DOUBLE_EQ(outlier_ratio_iqr(x), 0.0);
+}
+
+}  // namespace
+}  // namespace alba::stats

@@ -1,0 +1,413 @@
+// Tests for the telemetry substrate: metric registry, application models,
+// node simulator, and the run generator / collection plan.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <tuple>
+
+#include "stats/descriptive.hpp"
+#include "telemetry/run_generator.hpp"
+
+namespace alba {
+namespace {
+
+RegistryConfig small_registry() {
+  RegistryConfig cfg;
+  cfg.cores = 2;
+  cfg.nics = 1;
+  cfg.filler_gauges = 1;
+  return cfg;
+}
+
+NodeSimConfig short_sim() {
+  NodeSimConfig cfg;
+  cfg.duration_steps = 48;
+  cfg.ramp_steps = 4;
+  cfg.drain_steps = 4;
+  return cfg;
+}
+
+// ------------------------------------------------------------- registry ---
+
+TEST(Registry, HasAllSubsystems) {
+  const MetricRegistry reg(SystemKind::Volta, small_registry());
+  std::set<Subsystem> subsystems;
+  for (const auto& m : reg.metrics()) subsystems.insert(m.subsystem);
+  EXPECT_EQ(subsystems.size(), 6u);
+}
+
+TEST(Registry, MetricNamesUnique) {
+  const MetricRegistry reg(SystemKind::Eclipse, RegistryConfig{});
+  std::set<std::string> names;
+  for (const auto& m : reg.metrics()) names.insert(m.name);
+  EXPECT_EQ(names.size(), reg.size());
+}
+
+TEST(Registry, CoreCountControlsSize) {
+  RegistryConfig a = small_registry();
+  RegistryConfig b = small_registry();
+  b.cores = 10;
+  const MetricRegistry ra(SystemKind::Volta, a);
+  const MetricRegistry rb(SystemKind::Volta, b);
+  EXPECT_EQ(rb.size() - ra.size(), 8u * 3u);  // 3 metrics per extra core
+}
+
+TEST(Registry, IndexOfFindsAndThrows) {
+  const MetricRegistry reg(SystemKind::Volta, small_registry());
+  const std::size_t idx = reg.index_of("cray.power");
+  EXPECT_EQ(reg.metric(idx).name, "cray.power");
+  EXPECT_THROW(reg.index_of("does.not.exist"), Error);
+}
+
+TEST(Registry, MemCapacityMatchesSystems) {
+  EXPECT_DOUBLE_EQ(
+      MetricRegistry(SystemKind::Volta, small_registry()).mem_capacity_gb(),
+      64.0);
+  EXPECT_DOUBLE_EQ(
+      MetricRegistry(SystemKind::Eclipse, small_registry()).mem_capacity_gb(),
+      128.0);
+}
+
+// ------------------------------------------------------------ app model ---
+
+TEST(AppModel, CatalogsMatchPaper) {
+  EXPECT_EQ(volta_applications().size(), 11u);   // Table I
+  EXPECT_EQ(eclipse_applications().size(), 6u);  // Table II
+  std::set<std::string> volta_names;
+  for (const auto& app : volta_applications()) volta_names.insert(app.name);
+  for (const char* name : {"BT", "CG", "FT", "LU", "MG", "SP", "MiniMD",
+                           "CoMD", "MiniGhost", "MiniAMR", "Kripke"}) {
+    EXPECT_TRUE(volta_names.count(name)) << name;
+  }
+  std::set<std::string> eclipse_names;
+  for (const auto& app : eclipse_applications()) eclipse_names.insert(app.name);
+  for (const char* name :
+       {"LAMMPS", "HACC", "sw4", "ExaMiniMD", "SWFFT", "sw4lite"}) {
+    EXPECT_TRUE(eclipse_names.count(name)) << name;
+  }
+}
+
+TEST(AppModel, PhaseDurationsRoughlyNormalized) {
+  for (const auto& app : volta_applications()) {
+    double total = 0.0;
+    for (const auto& p : app.phases) total += p.duration_frac;
+    EXPECT_NEAR(total, 1.0, 0.05) << app.name;
+  }
+}
+
+TEST(AppModel, InputDeckZeroIsBaseline) {
+  const InputDeck deck = make_input_deck(3, 0);
+  EXPECT_DOUBLE_EQ(deck.period_scale, 1.0);
+  EXPECT_DOUBLE_EQ(deck.level_scale, 1.0);
+  EXPECT_DOUBLE_EQ(deck.mem_scale, 1.0);
+}
+
+TEST(AppModel, InputDecksDeterministicAndDistinct) {
+  const InputDeck a1 = make_input_deck(2, 1);
+  const InputDeck a2 = make_input_deck(2, 1);
+  EXPECT_DOUBLE_EQ(a1.period_scale, a2.period_scale);
+  const InputDeck b = make_input_deck(2, 2);
+  EXPECT_NE(a1.period_scale, b.period_scale);
+  const InputDeck other_app = make_input_deck(3, 1);
+  EXPECT_NE(a1.period_scale, other_app.period_scale);
+}
+
+TEST(AppModel, SignatureLoadCyclesThroughPhases) {
+  const auto apps = volta_applications();
+  const AppSignature& ft = apps[2];  // FT: 3 phases with distinct net levels
+  const InputDeck deck = make_input_deck(2, 0);
+  std::set<long> distinct_net;
+  for (double t = 0.0; t < ft.period_seconds; t += 0.5) {
+    const PhaseLoad load = signature_load_at(ft, deck, t, 0.0);
+    distinct_net.insert(std::lround(load.net / 10.0));
+  }
+  EXPECT_GE(distinct_net.size(), 2u);
+}
+
+TEST(AppModel, LoadsStayInBounds) {
+  const auto apps = volta_applications();
+  for (const auto& app : apps) {
+    for (int input = 0; input < 3; ++input) {
+      const InputDeck deck = make_input_deck(0, input);
+      for (double t = 0.0; t < 60.0; t += 1.7) {
+        const PhaseLoad load = signature_load_at(app, deck, t, 0.3);
+        EXPECT_GE(load.cpu_user, 0.0);
+        EXPECT_LE(load.cpu_user, 1.0);
+        EXPECT_GE(load.cache_miss, 0.0);
+        EXPECT_LE(load.cache_miss, 1.0);
+        EXPECT_GE(load.net, 0.0);
+      }
+    }
+  }
+}
+
+// ------------------------------------------------------------- node sim ---
+
+class NodeSimTest : public ::testing::Test {
+ protected:
+  NodeSimTest()
+      : registry_(SystemKind::Volta, small_registry()),
+        sim_(registry_, short_sim()),
+        apps_(volta_applications()) {}
+
+  MetricRegistry registry_;
+  NodeSimulator sim_;
+  std::vector<AppSignature> apps_;
+};
+
+TEST_F(NodeSimTest, OutputShape) {
+  Rng rng(1);
+  const Matrix series =
+      sim_.simulate(apps_[0], make_input_deck(0, 0), 0, nullptr, rng);
+  EXPECT_EQ(series.rows(), 48u);
+  EXPECT_EQ(series.cols(), registry_.size());
+}
+
+TEST_F(NodeSimTest, DeterministicForSameSeed) {
+  Rng r1(9);
+  Rng r2(9);
+  const Matrix a = sim_.simulate(apps_[1], make_input_deck(1, 0), 0, nullptr, r1);
+  const Matrix b = sim_.simulate(apps_[1], make_input_deck(1, 0), 0, nullptr, r2);
+  for (std::size_t t = 0; t < a.rows(); ++t) {
+    for (std::size_t j = 0; j < a.cols(); ++j) {
+      if (std::isnan(a(t, j))) {
+        EXPECT_TRUE(std::isnan(b(t, j)));
+      } else {
+        EXPECT_DOUBLE_EQ(a(t, j), b(t, j));
+      }
+    }
+  }
+}
+
+TEST_F(NodeSimTest, CountersAreMonotone) {
+  NodeSimConfig cfg = short_sim();
+  cfg.missing_prob = 0.0;  // NaNs would break direct monotonicity checks
+  const NodeSimulator sim(registry_, cfg);
+  Rng rng(5);
+  const Matrix series =
+      sim.simulate(apps_[0], make_input_deck(0, 0), 0, nullptr, rng);
+  for (std::size_t j = 0; j < registry_.size(); ++j) {
+    if (registry_.metric(j).kind != MetricKind::Counter) continue;
+    for (std::size_t t = 1; t < series.rows(); ++t) {
+      EXPECT_GE(series(t, j), series(t - 1, j))
+          << registry_.metric(j).name << " at t=" << t;
+    }
+  }
+}
+
+TEST_F(NodeSimTest, MissingRateNearConfigured) {
+  NodeSimConfig cfg = short_sim();
+  cfg.missing_prob = 0.05;
+  cfg.duration_steps = 200;
+  const NodeSimulator sim(registry_, cfg);
+  Rng rng(6);
+  const Matrix series =
+      sim.simulate(apps_[0], make_input_deck(0, 0), 0, nullptr, rng);
+  std::size_t missing = 0;
+  for (std::size_t t = 0; t < series.rows(); ++t) {
+    for (std::size_t j = 0; j < series.cols(); ++j) {
+      missing += std::isnan(series(t, j)) ? 1 : 0;
+    }
+  }
+  const double rate =
+      static_cast<double>(missing) / static_cast<double>(series.size());
+  EXPECT_NEAR(rate, 0.05, 0.01);
+}
+
+TEST_F(NodeSimTest, MemLeakRaisesMemoryTrend) {
+  Rng r1(7);
+  Rng r2(7);
+  const auto injector = make_injector(AnomalyType::MemLeak, 1.0);
+  const Matrix healthy =
+      sim_.simulate(apps_[0], make_input_deck(0, 0), 0, nullptr, r1);
+  const Matrix leaky =
+      sim_.simulate(apps_[0], make_input_deck(0, 0), 0, injector.get(), r2);
+  const std::size_t mem_idx = registry_.index_of("meminfo.Active");
+  // Compare second-half means (leak accumulates late).
+  auto late_mean = [&](const Matrix& m) {
+    double acc = 0.0;
+    int n = 0;
+    for (std::size_t t = m.rows() / 2; t + 4 < m.rows(); ++t) {
+      if (!std::isnan(m(t, mem_idx))) {
+        acc += m(t, mem_idx);
+        ++n;
+      }
+    }
+    return acc / n;
+  };
+  EXPECT_GT(late_mean(leaky), late_mean(healthy) * 1.2);
+}
+
+TEST_F(NodeSimTest, TransientsRampActivity) {
+  NodeSimConfig cfg = short_sim();
+  cfg.missing_prob = 0.0;
+  const NodeSimulator sim(registry_, cfg);
+  Rng rng(8);
+  const Matrix series =
+      sim.simulate(apps_[0], make_input_deck(0, 0), 0, nullptr, rng);
+  const std::size_t power_idx = registry_.index_of("cray.power");
+  // First sample (deep in ramp) draws less power than the run interior.
+  double interior = 0.0;
+  for (std::size_t t = 10; t < 40; ++t) interior += series(t, power_idx);
+  interior /= 30.0;
+  EXPECT_LT(series(0, power_idx), interior);
+}
+
+// -------------------------------------------------------- run generator ---
+
+TEST(RunGenerator, AnomalyOnFirstNodeOnly) {
+  RunGenerator gen(SystemKind::Volta, small_registry(), short_sim());
+  RunSpec spec;
+  spec.app_id = 0;
+  spec.nodes = 4;
+  spec.anomaly = AnomalyType::CacheCopy;
+  spec.intensity = 0.5;
+  spec.seed = 77;
+  const auto samples = gen.generate_run(spec);
+  ASSERT_EQ(samples.size(), 4u);
+  EXPECT_EQ(samples[0].label, AnomalyType::CacheCopy);
+  for (std::size_t n = 1; n < 4; ++n) {
+    EXPECT_EQ(samples[n].label, AnomalyType::Healthy);
+    EXPECT_EQ(samples[n].node_index, static_cast<int>(n));
+  }
+}
+
+TEST(RunGenerator, RejectsBadSpecs) {
+  RunGenerator gen(SystemKind::Volta, small_registry(), short_sim());
+  RunSpec bad_app;
+  bad_app.app_id = 99;
+  EXPECT_THROW(gen.generate_run(bad_app), Error);
+  RunSpec no_intensity;
+  no_intensity.anomaly = AnomalyType::MemBw;
+  no_intensity.intensity = 0.0;
+  EXPECT_THROW(gen.generate_run(no_intensity), Error);
+}
+
+TEST(RunGenerator, BatchGenerationDeterministic) {
+  RunGenerator gen(SystemKind::Volta, small_registry(), short_sim());
+  CollectionPlan plan;
+  plan.nodes_per_run = 2;
+  plan.intensities_per_type = 1;
+  plan.anomaly_ratio = 0.3;
+  const auto specs = make_collection_specs(SystemKind::Volta, 2, 1, plan);
+  const auto s1 = gen.generate(specs);
+  const auto s2 = gen.generate(specs);
+  ASSERT_EQ(s1.size(), s2.size());
+  for (std::size_t i = 0; i < s1.size(); ++i) {
+    EXPECT_EQ(s1[i].label, s2[i].label);
+    EXPECT_DOUBLE_EQ(s1[i].series(10, 3), s2[i].series(10, 3));
+  }
+}
+
+TEST(CollectionPlan, AnomalyRatioRespected) {
+  CollectionPlan plan;
+  plan.nodes_per_run = 4;
+  plan.intensities_per_type = 2;
+  plan.anomaly_ratio = 0.10;
+  const auto specs = make_collection_specs(SystemKind::Volta, 11, 3, plan);
+  std::size_t anomalous = 0;
+  std::size_t total = 0;
+  for (const auto& spec : specs) {
+    total += static_cast<std::size_t>(spec.nodes);
+    anomalous += (spec.anomaly != AnomalyType::Healthy) ? 1 : 0;
+  }
+  const double ratio = static_cast<double>(anomalous) / static_cast<double>(total);
+  EXPECT_NEAR(ratio, 0.10, 0.015);
+}
+
+TEST(CollectionPlan, CoversAllTypesAndApps) {
+  CollectionPlan plan;
+  plan.intensities_per_type = 1;
+  const auto specs = make_collection_specs(SystemKind::Eclipse, 6, 3, plan);
+  std::set<std::pair<int, int>> app_type;
+  for (const auto& spec : specs) {
+    if (spec.anomaly != AnomalyType::Healthy) {
+      app_type.insert({spec.app_id, static_cast<int>(spec.anomaly)});
+    }
+  }
+  EXPECT_EQ(app_type.size(), 6u * 5u);  // every (app, type) pair present
+}
+
+
+TEST(NodeScaling, DeckShiftsWithNodeCount) {
+  const InputDeck base = make_input_deck(0, 0);
+  const InputDeck four = scale_deck_for_nodes(base, 4);
+  const InputDeck sixteen = scale_deck_for_nodes(base, 16);
+  // 4 nodes is the reference scale.
+  EXPECT_DOUBLE_EQ(four.net_scale, base.net_scale);
+  EXPECT_DOUBLE_EQ(four.mem_scale, base.mem_scale);
+  // More nodes: more per-node communication, smaller per-node working set.
+  EXPECT_GT(sixteen.net_scale, base.net_scale);
+  EXPECT_LT(sixteen.mem_scale, base.mem_scale);
+  EXPECT_THROW(scale_deck_for_nodes(base, 0), Error);
+}
+
+TEST(CollectionPlan, NodeCountsOverrideFixedSize) {
+  CollectionPlan plan;
+  plan.intensities_per_type = 1;
+  plan.node_counts = {4, 8, 16};
+  const auto specs = make_collection_specs(SystemKind::Eclipse, 2, 1, plan);
+  std::set<int> seen;
+  for (const auto& spec : specs) seen.insert(spec.nodes);
+  EXPECT_EQ(seen, (std::set<int>{4, 8, 16}));
+  // Every (app, type, node count) combination collected.
+  std::set<std::tuple<int, int, int>> cells;
+  for (const auto& spec : specs) {
+    if (spec.anomaly != AnomalyType::Healthy) {
+      cells.insert({spec.app_id, static_cast<int>(spec.anomaly), spec.nodes});
+    }
+  }
+  EXPECT_EQ(cells.size(), 2u * 5u * 3u);
+}
+
+TEST(BackgroundInterference, WidensHealthyDistribution) {
+  RegistryConfig reg_cfg;
+  reg_cfg.cores = 2;
+  reg_cfg.nics = 1;
+  reg_cfg.filler_gauges = 1;
+  NodeSimConfig quiet_cfg;
+  quiet_cfg.duration_steps = 120;
+  quiet_cfg.missing_prob = 0.0;
+  NodeSimConfig noisy_cfg = quiet_cfg;
+  noisy_cfg.background_level = 0.8;
+
+  const MetricRegistry registry(SystemKind::Eclipse, reg_cfg);
+  const NodeSimulator quiet(registry, quiet_cfg);
+  const NodeSimulator noisy(registry, noisy_cfg);
+  const auto apps = eclipse_applications();
+  const InputDeck deck = make_input_deck(0, 0);
+  const std::size_t power_idx = registry.index_of("cray.power");
+
+  // Spread of run-level power means across many healthy runs.
+  auto mean_power_spread = [&](const NodeSimulator& sim) {
+    std::vector<double> means;
+    for (int r = 0; r < 12; ++r) {
+      Rng rng(100 + static_cast<std::uint64_t>(r));
+      const Matrix series = sim.simulate(apps[0], deck, 0, nullptr, rng);
+      double acc = 0.0;
+      for (std::size_t t = 0; t < series.rows(); ++t) {
+        acc += series(t, power_idx);
+      }
+      means.push_back(acc / static_cast<double>(series.rows()));
+    }
+    return stats::stddev(means);
+  };
+  EXPECT_GT(mean_power_spread(noisy), 2.0 * mean_power_spread(quiet));
+}
+
+TEST(CollectionPlan, FullGridWhenZero) {
+  CollectionPlan plan;
+  plan.intensities_per_type = 0;
+  const auto specs = make_collection_specs(SystemKind::Volta, 1, 1, plan);
+  std::set<double> intensities;
+  for (const auto& spec : specs) {
+    if (spec.anomaly == AnomalyType::CpuOccupy) {
+      intensities.insert(spec.intensity);
+    }
+  }
+  EXPECT_EQ(intensities.size(), 6u);  // the full Volta grid
+}
+
+}  // namespace
+}  // namespace alba
