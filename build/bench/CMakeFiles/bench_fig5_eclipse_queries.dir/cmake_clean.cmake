@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_eclipse_queries.dir/bench_fig5_eclipse_queries.cpp.o"
+  "CMakeFiles/bench_fig5_eclipse_queries.dir/bench_fig5_eclipse_queries.cpp.o.d"
+  "bench_fig5_eclipse_queries"
+  "bench_fig5_eclipse_queries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_eclipse_queries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_robustness.dir/bench_fig7_robustness.cpp.o"
+  "CMakeFiles/bench_fig7_robustness.dir/bench_fig7_robustness.cpp.o.d"
+  "bench_fig7_robustness"
+  "bench_fig7_robustness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_robustness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_features.dir/bench_micro_features.cpp.o"
+  "CMakeFiles/bench_micro_features.dir/bench_micro_features.cpp.o.d"
+  "bench_micro_features"
+  "bench_micro_features.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_features.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

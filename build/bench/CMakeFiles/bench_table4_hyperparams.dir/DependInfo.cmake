@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_table4_hyperparams.cpp" "bench/CMakeFiles/bench_table4_hyperparams.dir/bench_table4_hyperparams.cpp.o" "gcc" "bench/CMakeFiles/bench_table4_hyperparams.dir/bench_table4_hyperparams.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/alba_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/alba_active.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/alba_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/alba_features.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/alba_preprocess.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/alba_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/alba_anomaly.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/alba_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/alba_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/alba_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_hyperparams.dir/bench_table4_hyperparams.cpp.o"
+  "CMakeFiles/bench_table4_hyperparams.dir/bench_table4_hyperparams.cpp.o.d"
+  "bench_table4_hyperparams"
+  "bench_table4_hyperparams.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_hyperparams.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/annotation_budget.dir/annotation_budget.cpp.o"
+  "CMakeFiles/annotation_budget.dir/annotation_budget.cpp.o.d"
+  "annotation_budget"
+  "annotation_budget.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/annotation_budget.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/annotator_assist.dir/annotator_assist.cpp.o"
+  "CMakeFiles/annotator_assist.dir/annotator_assist.cpp.o.d"
+  "annotator_assist"
+  "annotator_assist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/annotator_assist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

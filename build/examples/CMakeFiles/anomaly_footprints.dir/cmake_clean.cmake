@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anomaly_footprints.dir/anomaly_footprints.cpp.o"
+  "CMakeFiles/anomaly_footprints.dir/anomaly_footprints.cpp.o.d"
+  "anomaly_footprints"
+  "anomaly_footprints.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anomaly_footprints.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/production_triage.dir/production_triage.cpp.o"
+  "CMakeFiles/production_triage.dir/production_triage.cpp.o.d"
+  "production_triage"
+  "production_triage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/production_triage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/active/committee.cpp" "src/CMakeFiles/alba_active.dir/active/committee.cpp.o" "gcc" "src/CMakeFiles/alba_active.dir/active/committee.cpp.o.d"
+  "/root/repo/src/active/curves.cpp" "src/CMakeFiles/alba_active.dir/active/curves.cpp.o" "gcc" "src/CMakeFiles/alba_active.dir/active/curves.cpp.o.d"
+  "/root/repo/src/active/explain.cpp" "src/CMakeFiles/alba_active.dir/active/explain.cpp.o" "gcc" "src/CMakeFiles/alba_active.dir/active/explain.cpp.o.d"
+  "/root/repo/src/active/learner.cpp" "src/CMakeFiles/alba_active.dir/active/learner.cpp.o" "gcc" "src/CMakeFiles/alba_active.dir/active/learner.cpp.o.d"
+  "/root/repo/src/active/oracle.cpp" "src/CMakeFiles/alba_active.dir/active/oracle.cpp.o" "gcc" "src/CMakeFiles/alba_active.dir/active/oracle.cpp.o.d"
+  "/root/repo/src/active/strategy.cpp" "src/CMakeFiles/alba_active.dir/active/strategy.cpp.o" "gcc" "src/CMakeFiles/alba_active.dir/active/strategy.cpp.o.d"
+  "/root/repo/src/active/stream.cpp" "src/CMakeFiles/alba_active.dir/active/stream.cpp.o" "gcc" "src/CMakeFiles/alba_active.dir/active/stream.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/alba_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/alba_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/alba_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/alba_preprocess.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/alba_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

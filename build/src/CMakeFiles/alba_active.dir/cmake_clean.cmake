@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alba_active.dir/active/committee.cpp.o"
+  "CMakeFiles/alba_active.dir/active/committee.cpp.o.d"
+  "CMakeFiles/alba_active.dir/active/curves.cpp.o"
+  "CMakeFiles/alba_active.dir/active/curves.cpp.o.d"
+  "CMakeFiles/alba_active.dir/active/explain.cpp.o"
+  "CMakeFiles/alba_active.dir/active/explain.cpp.o.d"
+  "CMakeFiles/alba_active.dir/active/learner.cpp.o"
+  "CMakeFiles/alba_active.dir/active/learner.cpp.o.d"
+  "CMakeFiles/alba_active.dir/active/oracle.cpp.o"
+  "CMakeFiles/alba_active.dir/active/oracle.cpp.o.d"
+  "CMakeFiles/alba_active.dir/active/strategy.cpp.o"
+  "CMakeFiles/alba_active.dir/active/strategy.cpp.o.d"
+  "CMakeFiles/alba_active.dir/active/stream.cpp.o"
+  "CMakeFiles/alba_active.dir/active/stream.cpp.o.d"
+  "libalba_active.a"
+  "libalba_active.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alba_active.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alba_anomaly.dir/anomaly/anomaly.cpp.o"
+  "CMakeFiles/alba_anomaly.dir/anomaly/anomaly.cpp.o.d"
+  "CMakeFiles/alba_anomaly.dir/anomaly/injector.cpp.o"
+  "CMakeFiles/alba_anomaly.dir/anomaly/injector.cpp.o.d"
+  "libalba_anomaly.a"
+  "libalba_anomaly.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alba_anomaly.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

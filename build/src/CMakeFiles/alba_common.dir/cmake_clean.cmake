@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alba_common.dir/common/cli.cpp.o"
+  "CMakeFiles/alba_common.dir/common/cli.cpp.o.d"
+  "CMakeFiles/alba_common.dir/common/csv.cpp.o"
+  "CMakeFiles/alba_common.dir/common/csv.cpp.o.d"
+  "CMakeFiles/alba_common.dir/common/log.cpp.o"
+  "CMakeFiles/alba_common.dir/common/log.cpp.o.d"
+  "CMakeFiles/alba_common.dir/common/string_util.cpp.o"
+  "CMakeFiles/alba_common.dir/common/string_util.cpp.o.d"
+  "CMakeFiles/alba_common.dir/common/table.cpp.o"
+  "CMakeFiles/alba_common.dir/common/table.cpp.o.d"
+  "CMakeFiles/alba_common.dir/common/thread_pool.cpp.o"
+  "CMakeFiles/alba_common.dir/common/thread_pool.cpp.o.d"
+  "libalba_common.a"
+  "libalba_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alba_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/config.cpp" "src/CMakeFiles/alba_core.dir/core/config.cpp.o" "gcc" "src/CMakeFiles/alba_core.dir/core/config.cpp.o.d"
+  "/root/repo/src/core/dataset_io.cpp" "src/CMakeFiles/alba_core.dir/core/dataset_io.cpp.o" "gcc" "src/CMakeFiles/alba_core.dir/core/dataset_io.cpp.o.d"
+  "/root/repo/src/core/experiments.cpp" "src/CMakeFiles/alba_core.dir/core/experiments.cpp.o" "gcc" "src/CMakeFiles/alba_core.dir/core/experiments.cpp.o.d"
+  "/root/repo/src/core/pipeline.cpp" "src/CMakeFiles/alba_core.dir/core/pipeline.cpp.o" "gcc" "src/CMakeFiles/alba_core.dir/core/pipeline.cpp.o.d"
+  "/root/repo/src/core/proctor.cpp" "src/CMakeFiles/alba_core.dir/core/proctor.cpp.o" "gcc" "src/CMakeFiles/alba_core.dir/core/proctor.cpp.o.d"
+  "/root/repo/src/core/report.cpp" "src/CMakeFiles/alba_core.dir/core/report.cpp.o" "gcc" "src/CMakeFiles/alba_core.dir/core/report.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/alba_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/alba_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/alba_features.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/alba_preprocess.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/alba_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/alba_active.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/alba_anomaly.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/alba_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/alba_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alba_core.dir/core/config.cpp.o"
+  "CMakeFiles/alba_core.dir/core/config.cpp.o.d"
+  "CMakeFiles/alba_core.dir/core/dataset_io.cpp.o"
+  "CMakeFiles/alba_core.dir/core/dataset_io.cpp.o.d"
+  "CMakeFiles/alba_core.dir/core/experiments.cpp.o"
+  "CMakeFiles/alba_core.dir/core/experiments.cpp.o.d"
+  "CMakeFiles/alba_core.dir/core/pipeline.cpp.o"
+  "CMakeFiles/alba_core.dir/core/pipeline.cpp.o.d"
+  "CMakeFiles/alba_core.dir/core/proctor.cpp.o"
+  "CMakeFiles/alba_core.dir/core/proctor.cpp.o.d"
+  "CMakeFiles/alba_core.dir/core/report.cpp.o"
+  "CMakeFiles/alba_core.dir/core/report.cpp.o.d"
+  "libalba_core.a"
+  "libalba_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alba_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

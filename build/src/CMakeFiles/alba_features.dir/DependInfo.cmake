@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/features/extractor.cpp" "src/CMakeFiles/alba_features.dir/features/extractor.cpp.o" "gcc" "src/CMakeFiles/alba_features.dir/features/extractor.cpp.o.d"
+  "/root/repo/src/features/mvts.cpp" "src/CMakeFiles/alba_features.dir/features/mvts.cpp.o" "gcc" "src/CMakeFiles/alba_features.dir/features/mvts.cpp.o.d"
+  "/root/repo/src/features/preprocessing.cpp" "src/CMakeFiles/alba_features.dir/features/preprocessing.cpp.o" "gcc" "src/CMakeFiles/alba_features.dir/features/preprocessing.cpp.o.d"
+  "/root/repo/src/features/tsfresh.cpp" "src/CMakeFiles/alba_features.dir/features/tsfresh.cpp.o" "gcc" "src/CMakeFiles/alba_features.dir/features/tsfresh.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/alba_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/alba_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/alba_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/alba_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/alba_anomaly.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

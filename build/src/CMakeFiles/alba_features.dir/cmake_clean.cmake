@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alba_features.dir/features/extractor.cpp.o"
+  "CMakeFiles/alba_features.dir/features/extractor.cpp.o.d"
+  "CMakeFiles/alba_features.dir/features/mvts.cpp.o"
+  "CMakeFiles/alba_features.dir/features/mvts.cpp.o.d"
+  "CMakeFiles/alba_features.dir/features/preprocessing.cpp.o"
+  "CMakeFiles/alba_features.dir/features/preprocessing.cpp.o.d"
+  "CMakeFiles/alba_features.dir/features/tsfresh.cpp.o"
+  "CMakeFiles/alba_features.dir/features/tsfresh.cpp.o.d"
+  "libalba_features.a"
+  "libalba_features.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alba_features.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alba_linalg.dir/linalg/matrix.cpp.o"
+  "CMakeFiles/alba_linalg.dir/linalg/matrix.cpp.o.d"
+  "CMakeFiles/alba_linalg.dir/linalg/ops.cpp.o"
+  "CMakeFiles/alba_linalg.dir/linalg/ops.cpp.o.d"
+  "libalba_linalg.a"
+  "libalba_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alba_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libalba_linalg.a"
+)

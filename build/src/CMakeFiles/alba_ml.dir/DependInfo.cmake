@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ml/autoencoder.cpp" "src/CMakeFiles/alba_ml.dir/ml/autoencoder.cpp.o" "gcc" "src/CMakeFiles/alba_ml.dir/ml/autoencoder.cpp.o.d"
+  "/root/repo/src/ml/classifier.cpp" "src/CMakeFiles/alba_ml.dir/ml/classifier.cpp.o" "gcc" "src/CMakeFiles/alba_ml.dir/ml/classifier.cpp.o.d"
+  "/root/repo/src/ml/dataset.cpp" "src/CMakeFiles/alba_ml.dir/ml/dataset.cpp.o" "gcc" "src/CMakeFiles/alba_ml.dir/ml/dataset.cpp.o.d"
+  "/root/repo/src/ml/decision_tree.cpp" "src/CMakeFiles/alba_ml.dir/ml/decision_tree.cpp.o" "gcc" "src/CMakeFiles/alba_ml.dir/ml/decision_tree.cpp.o.d"
+  "/root/repo/src/ml/gbm.cpp" "src/CMakeFiles/alba_ml.dir/ml/gbm.cpp.o" "gcc" "src/CMakeFiles/alba_ml.dir/ml/gbm.cpp.o.d"
+  "/root/repo/src/ml/grid_search.cpp" "src/CMakeFiles/alba_ml.dir/ml/grid_search.cpp.o" "gcc" "src/CMakeFiles/alba_ml.dir/ml/grid_search.cpp.o.d"
+  "/root/repo/src/ml/logreg.cpp" "src/CMakeFiles/alba_ml.dir/ml/logreg.cpp.o" "gcc" "src/CMakeFiles/alba_ml.dir/ml/logreg.cpp.o.d"
+  "/root/repo/src/ml/metrics.cpp" "src/CMakeFiles/alba_ml.dir/ml/metrics.cpp.o" "gcc" "src/CMakeFiles/alba_ml.dir/ml/metrics.cpp.o.d"
+  "/root/repo/src/ml/mlp.cpp" "src/CMakeFiles/alba_ml.dir/ml/mlp.cpp.o" "gcc" "src/CMakeFiles/alba_ml.dir/ml/mlp.cpp.o.d"
+  "/root/repo/src/ml/random_forest.cpp" "src/CMakeFiles/alba_ml.dir/ml/random_forest.cpp.o" "gcc" "src/CMakeFiles/alba_ml.dir/ml/random_forest.cpp.o.d"
+  "/root/repo/src/ml/serialize.cpp" "src/CMakeFiles/alba_ml.dir/ml/serialize.cpp.o" "gcc" "src/CMakeFiles/alba_ml.dir/ml/serialize.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/alba_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/alba_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/alba_preprocess.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/alba_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

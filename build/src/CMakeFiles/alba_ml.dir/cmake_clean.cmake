@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alba_ml.dir/ml/autoencoder.cpp.o"
+  "CMakeFiles/alba_ml.dir/ml/autoencoder.cpp.o.d"
+  "CMakeFiles/alba_ml.dir/ml/classifier.cpp.o"
+  "CMakeFiles/alba_ml.dir/ml/classifier.cpp.o.d"
+  "CMakeFiles/alba_ml.dir/ml/dataset.cpp.o"
+  "CMakeFiles/alba_ml.dir/ml/dataset.cpp.o.d"
+  "CMakeFiles/alba_ml.dir/ml/decision_tree.cpp.o"
+  "CMakeFiles/alba_ml.dir/ml/decision_tree.cpp.o.d"
+  "CMakeFiles/alba_ml.dir/ml/gbm.cpp.o"
+  "CMakeFiles/alba_ml.dir/ml/gbm.cpp.o.d"
+  "CMakeFiles/alba_ml.dir/ml/grid_search.cpp.o"
+  "CMakeFiles/alba_ml.dir/ml/grid_search.cpp.o.d"
+  "CMakeFiles/alba_ml.dir/ml/logreg.cpp.o"
+  "CMakeFiles/alba_ml.dir/ml/logreg.cpp.o.d"
+  "CMakeFiles/alba_ml.dir/ml/metrics.cpp.o"
+  "CMakeFiles/alba_ml.dir/ml/metrics.cpp.o.d"
+  "CMakeFiles/alba_ml.dir/ml/mlp.cpp.o"
+  "CMakeFiles/alba_ml.dir/ml/mlp.cpp.o.d"
+  "CMakeFiles/alba_ml.dir/ml/random_forest.cpp.o"
+  "CMakeFiles/alba_ml.dir/ml/random_forest.cpp.o.d"
+  "CMakeFiles/alba_ml.dir/ml/serialize.cpp.o"
+  "CMakeFiles/alba_ml.dir/ml/serialize.cpp.o.d"
+  "libalba_ml.a"
+  "libalba_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alba_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/preprocess/scalers.cpp" "src/CMakeFiles/alba_preprocess.dir/preprocess/scalers.cpp.o" "gcc" "src/CMakeFiles/alba_preprocess.dir/preprocess/scalers.cpp.o.d"
+  "/root/repo/src/preprocess/select_kbest.cpp" "src/CMakeFiles/alba_preprocess.dir/preprocess/select_kbest.cpp.o" "gcc" "src/CMakeFiles/alba_preprocess.dir/preprocess/select_kbest.cpp.o.d"
+  "/root/repo/src/preprocess/split.cpp" "src/CMakeFiles/alba_preprocess.dir/preprocess/split.cpp.o" "gcc" "src/CMakeFiles/alba_preprocess.dir/preprocess/split.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/alba_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/alba_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/alba_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alba_preprocess.dir/preprocess/scalers.cpp.o"
+  "CMakeFiles/alba_preprocess.dir/preprocess/scalers.cpp.o.d"
+  "CMakeFiles/alba_preprocess.dir/preprocess/select_kbest.cpp.o"
+  "CMakeFiles/alba_preprocess.dir/preprocess/select_kbest.cpp.o.d"
+  "CMakeFiles/alba_preprocess.dir/preprocess/split.cpp.o"
+  "CMakeFiles/alba_preprocess.dir/preprocess/split.cpp.o.d"
+  "libalba_preprocess.a"
+  "libalba_preprocess.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alba_preprocess.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

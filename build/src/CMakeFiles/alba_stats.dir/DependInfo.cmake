@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/autocorr.cpp" "src/CMakeFiles/alba_stats.dir/stats/autocorr.cpp.o" "gcc" "src/CMakeFiles/alba_stats.dir/stats/autocorr.cpp.o.d"
+  "/root/repo/src/stats/chi2.cpp" "src/CMakeFiles/alba_stats.dir/stats/chi2.cpp.o" "gcc" "src/CMakeFiles/alba_stats.dir/stats/chi2.cpp.o.d"
+  "/root/repo/src/stats/descriptive.cpp" "src/CMakeFiles/alba_stats.dir/stats/descriptive.cpp.o" "gcc" "src/CMakeFiles/alba_stats.dir/stats/descriptive.cpp.o.d"
+  "/root/repo/src/stats/entropy.cpp" "src/CMakeFiles/alba_stats.dir/stats/entropy.cpp.o" "gcc" "src/CMakeFiles/alba_stats.dir/stats/entropy.cpp.o.d"
+  "/root/repo/src/stats/fft.cpp" "src/CMakeFiles/alba_stats.dir/stats/fft.cpp.o" "gcc" "src/CMakeFiles/alba_stats.dir/stats/fft.cpp.o.d"
+  "/root/repo/src/stats/histogram.cpp" "src/CMakeFiles/alba_stats.dir/stats/histogram.cpp.o" "gcc" "src/CMakeFiles/alba_stats.dir/stats/histogram.cpp.o.d"
+  "/root/repo/src/stats/regression.cpp" "src/CMakeFiles/alba_stats.dir/stats/regression.cpp.o" "gcc" "src/CMakeFiles/alba_stats.dir/stats/regression.cpp.o.d"
+  "/root/repo/src/stats/welch.cpp" "src/CMakeFiles/alba_stats.dir/stats/welch.cpp.o" "gcc" "src/CMakeFiles/alba_stats.dir/stats/welch.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/alba_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/alba_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alba_stats.dir/stats/autocorr.cpp.o"
+  "CMakeFiles/alba_stats.dir/stats/autocorr.cpp.o.d"
+  "CMakeFiles/alba_stats.dir/stats/chi2.cpp.o"
+  "CMakeFiles/alba_stats.dir/stats/chi2.cpp.o.d"
+  "CMakeFiles/alba_stats.dir/stats/descriptive.cpp.o"
+  "CMakeFiles/alba_stats.dir/stats/descriptive.cpp.o.d"
+  "CMakeFiles/alba_stats.dir/stats/entropy.cpp.o"
+  "CMakeFiles/alba_stats.dir/stats/entropy.cpp.o.d"
+  "CMakeFiles/alba_stats.dir/stats/fft.cpp.o"
+  "CMakeFiles/alba_stats.dir/stats/fft.cpp.o.d"
+  "CMakeFiles/alba_stats.dir/stats/histogram.cpp.o"
+  "CMakeFiles/alba_stats.dir/stats/histogram.cpp.o.d"
+  "CMakeFiles/alba_stats.dir/stats/regression.cpp.o"
+  "CMakeFiles/alba_stats.dir/stats/regression.cpp.o.d"
+  "CMakeFiles/alba_stats.dir/stats/welch.cpp.o"
+  "CMakeFiles/alba_stats.dir/stats/welch.cpp.o.d"
+  "libalba_stats.a"
+  "libalba_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alba_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/telemetry/app_model.cpp" "src/CMakeFiles/alba_telemetry.dir/telemetry/app_model.cpp.o" "gcc" "src/CMakeFiles/alba_telemetry.dir/telemetry/app_model.cpp.o.d"
+  "/root/repo/src/telemetry/metric.cpp" "src/CMakeFiles/alba_telemetry.dir/telemetry/metric.cpp.o" "gcc" "src/CMakeFiles/alba_telemetry.dir/telemetry/metric.cpp.o.d"
+  "/root/repo/src/telemetry/node_sim.cpp" "src/CMakeFiles/alba_telemetry.dir/telemetry/node_sim.cpp.o" "gcc" "src/CMakeFiles/alba_telemetry.dir/telemetry/node_sim.cpp.o.d"
+  "/root/repo/src/telemetry/registry.cpp" "src/CMakeFiles/alba_telemetry.dir/telemetry/registry.cpp.o" "gcc" "src/CMakeFiles/alba_telemetry.dir/telemetry/registry.cpp.o.d"
+  "/root/repo/src/telemetry/run_generator.cpp" "src/CMakeFiles/alba_telemetry.dir/telemetry/run_generator.cpp.o" "gcc" "src/CMakeFiles/alba_telemetry.dir/telemetry/run_generator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/alba_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/alba_anomaly.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alba_telemetry.dir/telemetry/app_model.cpp.o"
+  "CMakeFiles/alba_telemetry.dir/telemetry/app_model.cpp.o.d"
+  "CMakeFiles/alba_telemetry.dir/telemetry/metric.cpp.o"
+  "CMakeFiles/alba_telemetry.dir/telemetry/metric.cpp.o.d"
+  "CMakeFiles/alba_telemetry.dir/telemetry/node_sim.cpp.o"
+  "CMakeFiles/alba_telemetry.dir/telemetry/node_sim.cpp.o.d"
+  "CMakeFiles/alba_telemetry.dir/telemetry/registry.cpp.o"
+  "CMakeFiles/alba_telemetry.dir/telemetry/registry.cpp.o.d"
+  "CMakeFiles/alba_telemetry.dir/telemetry/run_generator.cpp.o"
+  "CMakeFiles/alba_telemetry.dir/telemetry/run_generator.cpp.o.d"
+  "libalba_telemetry.a"
+  "libalba_telemetry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alba_telemetry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_active_ext.dir/test_active_ext.cpp.o"
+  "CMakeFiles/test_active_ext.dir/test_active_ext.cpp.o.d"
+  "test_active_ext"
+  "test_active_ext.pdb"
+  "test_active_ext[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_active_ext.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ml_linear.dir/test_ml_linear.cpp.o"
+  "CMakeFiles/test_ml_linear.dir/test_ml_linear.cpp.o.d"
+  "test_ml_linear"
+  "test_ml_linear.pdb"
+  "test_ml_linear[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ml_linear.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ml_trees.dir/test_ml_trees.cpp.o"
+  "CMakeFiles/test_ml_trees.dir/test_ml_trees.cpp.o.d"
+  "test_ml_trees"
+  "test_ml_trees.pdb"
+  "test_ml_trees[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ml_trees.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

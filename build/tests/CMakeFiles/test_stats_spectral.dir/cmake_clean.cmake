@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stats_spectral.dir/test_stats_spectral.cpp.o"
+  "CMakeFiles/test_stats_spectral.dir/test_stats_spectral.cpp.o.d"
+  "test_stats_spectral"
+  "test_stats_spectral.pdb"
+  "test_stats_spectral[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stats_spectral.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

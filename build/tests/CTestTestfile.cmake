@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_common[1]_include.cmake")
+include("/root/repo/build/tests/test_linalg[1]_include.cmake")
+include("/root/repo/build/tests/test_stats_descriptive[1]_include.cmake")
+include("/root/repo/build/tests/test_stats_spectral[1]_include.cmake")
+include("/root/repo/build/tests/test_anomaly[1]_include.cmake")
+include("/root/repo/build/tests/test_telemetry[1]_include.cmake")
+include("/root/repo/build/tests/test_features[1]_include.cmake")
+include("/root/repo/build/tests/test_preprocess[1]_include.cmake")
+include("/root/repo/build/tests/test_ml_metrics[1]_include.cmake")
+include("/root/repo/build/tests/test_ml_trees[1]_include.cmake")
+include("/root/repo/build/tests/test_ml_linear[1]_include.cmake")
+include("/root/repo/build/tests/test_ml_tools[1]_include.cmake")
+include("/root/repo/build/tests/test_active[1]_include.cmake")
+include("/root/repo/build/tests/test_active_ext[1]_include.cmake")
+include("/root/repo/build/tests/test_core[1]_include.cmake")
+include("/root/repo/build/tests/test_properties[1]_include.cmake")
