@@ -35,6 +35,7 @@ int main(int argc, char** argv) {
   TextTable table({"strategy", "labels to F1>=0.90", "labels to F1>=0.95",
                    "final F1", "time/run (s)"});
   std::vector<MethodCurve> curves;
+  RoundStatsCsv round_csv(flags.out_dir + "/ablation_strategies_rounds.csv");
 
   for (const auto& name : strategies) {
     MethodCurve mc;
@@ -57,6 +58,8 @@ int main(int argc, char** argv) {
                                       setup.pool_app, setup.test_x,
                                       setup.test_y);
       mc.repeats.push_back(result.curve);
+      round_csv.add(name + strformat("/r%d", r), result.rounds);
+      if (r == 0) print_round_summary(name, result.rounds);
     }
     mc.aggregated = aggregate_curves(mc.repeats);
     const double per_run = timer.seconds() / flags.repeats;
@@ -75,5 +78,7 @@ int main(int argc, char** argv) {
   std::printf("series written to %s\n(-1 = target not reached within the "
               "%d-label budget)\n",
               csv.c_str(), flags.queries);
+  std::printf("per-round phase timings written to %s\n",
+              round_csv.path().c_str());
   return 0;
 }

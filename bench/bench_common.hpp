@@ -4,8 +4,10 @@
 #pragma once
 
 #include <cstdio>
+#include <fstream>
 #include <string>
 
+#include "active/round_stats.hpp"
 #include "common/cli.hpp"
 #include "common/log.hpp"
 #include "common/timer.hpp"
@@ -68,5 +70,33 @@ inline ALSetup standard_setup(const ExperimentData& data, std::uint64_t seed) {
       prepare_split(data, split, data.config.select_k);
   return make_al_setup(prepared, seed * 31 + 7);
 }
+
+/// One-line phase breakdown of a learner run's query loop.
+inline void print_round_summary(std::string_view label,
+                                std::span<const RoundStats> rounds) {
+  std::printf("  %-16s %s\n", std::string(label).c_str(),
+              format_round_summary(rounds).c_str());
+}
+
+/// Accumulates per-round stats from several runs into one CSV (one header,
+/// a `label` column telling the runs apart).
+class RoundStatsCsv {
+ public:
+  explicit RoundStatsCsv(const std::string& path) : os_(path), path_(path) {
+    os_ << round_stats_csv_header() << '\n';
+  }
+
+  void add(std::string_view label, std::span<const RoundStats> rounds) {
+    for (const RoundStats& r : rounds) {
+      os_ << round_stats_csv_row(label, r) << '\n';
+    }
+  }
+
+  const std::string& path() const noexcept { return path_; }
+
+ private:
+  std::ofstream os_;
+  std::string path_;
+};
 
 }  // namespace alba::bench

@@ -1,9 +1,18 @@
 // Microbenchmarks for the ML layer: classifier fit/predict cost at the
 // shapes the active learning loop actually uses (a few hundred labeled
 // samples × a few hundred selected features), chi-square selection, and
-// query-strategy scoring over a pool.
+// query-strategy scoring over a pool — the old copy-then-score path against
+// the learner's index-view path. A custom main also runs one small
+// synthetic AL loop and dumps its per-round phase timings as CSV.
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <fstream>
+#include <numeric>
+
+#include "active/learner.hpp"
+#include "active/oracle.hpp"
+#include "active/round_stats.hpp"
 #include "active/strategy.hpp"
 #include "common/rng.hpp"
 #include "ml/gbm.hpp"
@@ -108,6 +117,57 @@ void BM_Chi2SelectKBest(benchmark::State& state) {
 }
 BENCHMARK(BM_Chi2SelectKBest)->Arg(2000)->Arg(8000);
 
+// The learner's pre-change scoring path: materialize the remaining pool
+// rows, run a full predict_proba, then score each row.
+void BM_PoolScoringCopy(benchmark::State& state) {
+  const Synth train = make_synth(300, 500, 6, 2);
+  const Synth pool = make_synth(static_cast<std::size_t>(state.range(0)), 500, 6, 3);
+  ForestConfig cfg;
+  cfg.num_classes = 6;
+  cfg.n_estimators = 20;
+  cfg.max_depth = 8;
+  RandomForest rf(cfg, 1);
+  rf.fit(train.x, train.y);
+  // Half the pool still unlabeled, as mid-run.
+  std::vector<std::size_t> remaining(pool.x.rows() / 2);
+  std::iota(remaining.begin(), remaining.end(), std::size_t{0});
+  for (auto _ : state) {
+    const Matrix remaining_x = pool.x.select_rows(remaining);
+    const Matrix probs = rf.predict_proba(remaining_x);
+    std::vector<double> scores(remaining.size());
+    for (std::size_t i = 0; i < remaining.size(); ++i) {
+      scores[i] = uncertainty_score(probs.row(i));
+    }
+    benchmark::DoNotOptimize(scores.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(remaining.size()));
+}
+BENCHMARK(BM_PoolScoringCopy)->Arg(500)->Arg(2500);
+
+// The index-view replacement: chunk-parallel predict_proba_rows straight
+// off the original pool matrix, no per-round copy.
+void BM_PoolScoringRows(benchmark::State& state) {
+  const Synth train = make_synth(300, 500, 6, 2);
+  const Synth pool = make_synth(static_cast<std::size_t>(state.range(0)), 500, 6, 3);
+  ForestConfig cfg;
+  cfg.num_classes = 6;
+  cfg.n_estimators = 20;
+  cfg.max_depth = 8;
+  RandomForest rf(cfg, 1);
+  rf.fit(train.x, train.y);
+  std::vector<std::size_t> remaining(pool.x.rows() / 2);
+  std::iota(remaining.begin(), remaining.end(), std::size_t{0});
+  for (auto _ : state) {
+    const std::vector<double> scores =
+        score_pool_rows(rf, QueryStrategy::Uncertainty, pool.x, remaining);
+    benchmark::DoNotOptimize(scores.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(remaining.size()));
+}
+BENCHMARK(BM_PoolScoringRows)->Arg(500)->Arg(2500);
+
 void BM_QueryStrategyScan(benchmark::State& state) {
   Rng rng(7);
   Matrix probs(static_cast<std::size_t>(state.range(0)), 6);
@@ -128,4 +188,56 @@ void BM_QueryStrategyScan(benchmark::State& state) {
 }
 BENCHMARK(BM_QueryStrategyScan)->Arg(1000)->Arg(10000);
 
+// One small synthetic AL run whose per-round phase timings (score / refit /
+// eval) go to CSV — the learner's built-in instrumentation, surfaced.
+void write_al_round_stats(const char* path) {
+  const Synth data = make_synth(700, 200, 6, 11);
+  LabeledData seed;
+  std::vector<int> pool_y;
+  Matrix pool_x(0, 0);
+  Matrix test_x(0, 0);
+  std::vector<int> test_y;
+  for (std::size_t i = 0; i < data.x.rows(); ++i) {
+    if (i < 30) {
+      seed.append(data.x.row(i), data.y[i]);
+    } else if (i < 530) {
+      if (pool_x.cols() == 0) pool_x = Matrix(0, data.x.cols());
+      pool_x.append_row(data.x.row(i));
+      pool_y.push_back(data.y[i]);
+    } else {
+      if (test_x.cols() == 0) test_x = Matrix(0, data.x.cols());
+      test_x.append_row(data.x.row(i));
+      test_y.push_back(data.y[i]);
+    }
+  }
+
+  ForestConfig fcfg;
+  fcfg.num_classes = 6;
+  fcfg.n_estimators = 15;
+  fcfg.max_depth = 7;
+  ActiveLearnerConfig cfg;
+  cfg.strategy = QueryStrategy::Uncertainty;
+  cfg.max_queries = 40;
+  cfg.batch_size = 4;
+  cfg.seed = 13;
+  ActiveLearner learner(std::make_unique<RandomForest>(fcfg, 13), cfg);
+  LabelOracle oracle(pool_y, 6);
+  const ActiveLearnerResult result =
+      learner.run(seed, pool_x, oracle, {}, test_x, test_y);
+
+  std::ofstream os(path);
+  write_round_stats_csv(os, "uncertainty_rf", result.rounds);
+  std::printf("AL round stats (%s) written to %s\n",
+              format_round_summary(result.rounds).c_str(), path);
+}
+
 }  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  write_al_round_stats("micro_ml_round_stats.csv");
+  return 0;
+}

@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Repo check: the tier-1 build + test suite, then a ThreadSanitizer build
+# of the concurrency-sensitive tests (thread pool, active-learning loop)
+# to catch races in the parallel scoring path.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+echo "== tier 1: build + ctest =="
+cmake -B build -S . > /dev/null
+cmake --build build -j"$(nproc)" > /dev/null
+(cd build && ctest --output-on-failure -j"$(nproc)")
+
+echo
+echo "== tsan: thread pool + active learning =="
+cmake -B build-tsan -S . \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DCMAKE_CXX_FLAGS="-fsanitize=thread -fno-omit-frame-pointer" \
+  -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread" > /dev/null
+cmake --build build-tsan -j"$(nproc)" \
+  --target test_thread_pool test_active test_active_ext > /dev/null
+for t in test_thread_pool test_active test_active_ext; do
+  echo "-- $t (tsan)"
+  ./build-tsan/tests/"$t"
+done
+
+echo
+echo "all checks passed"

@@ -1,11 +1,21 @@
 #include "active/committee.hpp"
 
 #include <cmath>
+#include <numeric>
 
 #include "common/error.hpp"
 #include "common/rng.hpp"
+#include "common/thread_pool.hpp"
 
 namespace alba {
+
+namespace {
+std::vector<std::size_t> iota_rows(std::size_t n) {
+  std::vector<std::size_t> rows(n);
+  std::iota(rows.begin(), rows.end(), std::size_t{0});
+  return rows;
+}
+}  // namespace
 
 Committee::Committee(const Classifier& prototype, int size,
                      std::uint64_t seed)
@@ -30,20 +40,30 @@ bool Committee::fitted() const noexcept {
 }
 
 Matrix Committee::predict_proba(const Matrix& x) const {
+  return predict_proba_rows(x, iota_rows(x.rows()));
+}
+
+Matrix Committee::predict_proba_rows(const Matrix& x,
+                                     std::span<const std::size_t> rows) const {
   ALBA_CHECK(fitted()) << "committee predict before fit";
-  Matrix consensus(x.rows(), static_cast<std::size_t>(num_classes_), 0.0);
-  for (const auto& member : members_) {
-    const Matrix probs = member->predict_proba(x);
-    for (std::size_t i = 0; i < x.rows(); ++i) {
-      auto crow = consensus.row(i);
-      const auto prow = probs.row(i);
-      for (std::size_t c = 0; c < crow.size(); ++c) crow[c] += prow[c];
-    }
-  }
+  Matrix consensus(rows.size(), static_cast<std::size_t>(num_classes_), 0.0);
   const double inv = 1.0 / static_cast<double>(members_.size());
-  for (std::size_t i = 0; i < consensus.rows(); ++i) {
-    for (auto& p : consensus.row(i)) p *= inv;
-  }
+  global_pool().parallel_for_chunked(
+      rows.size(), [&](std::size_t begin, std::size_t end) {
+        Matrix probs;  // per-chunk member scratch
+        for (const auto& member : members_) {
+          member->predict_proba_rows(x, rows.subspan(begin, end - begin),
+                                     probs);
+          for (std::size_t i = begin; i < end; ++i) {
+            auto crow = consensus.row(i);
+            const auto prow = probs.row(i - begin);
+            for (std::size_t c = 0; c < crow.size(); ++c) crow[c] += prow[c];
+          }
+        }
+        for (std::size_t i = begin; i < end; ++i) {
+          for (auto& p : consensus.row(i)) p *= inv;
+        }
+      });
   return consensus;
 }
 
@@ -57,48 +77,84 @@ std::vector<int> Committee::predict(const Matrix& x) const {
 }
 
 std::vector<double> Committee::vote_entropy(const Matrix& x) const {
+  return vote_entropy(x, iota_rows(x.rows()));
+}
+
+std::vector<double> Committee::vote_entropy(
+    const Matrix& x, std::span<const std::size_t> rows) const {
   ALBA_CHECK(fitted()) << "committee scoring before fit";
   const auto k = static_cast<std::size_t>(num_classes_);
-  Matrix votes(x.rows(), k, 0.0);
-  for (const auto& member : members_) {
-    const std::vector<int> pred = member->predict(x);
-    for (std::size_t i = 0; i < x.rows(); ++i) {
-      votes(i, static_cast<std::size_t>(pred[i])) += 1.0;
-    }
-  }
   const double inv = 1.0 / static_cast<double>(members_.size());
-  std::vector<double> out(x.rows(), 0.0);
-  for (std::size_t i = 0; i < x.rows(); ++i) {
-    double h = 0.0;
-    for (const double v : votes.row(i)) {
-      const double p = v * inv;
-      if (p > 0.0) h -= p * std::log(p);
-    }
-    out[i] = h;
-  }
+  std::vector<double> out(rows.size(), 0.0);
+  global_pool().parallel_for_chunked(
+      rows.size(), [&](std::size_t begin, std::size_t end) {
+        const std::size_t count = end - begin;
+        Matrix probs;
+        Matrix votes(count, k, 0.0);
+        for (const auto& member : members_) {
+          member->predict_proba_rows(x, rows.subspan(begin, count), probs);
+          for (std::size_t i = 0; i < count; ++i) {
+            const auto label =
+                static_cast<std::size_t>(argmax_label(probs.row(i)));
+            votes(i, label) += 1.0;
+          }
+        }
+        for (std::size_t i = 0; i < count; ++i) {
+          double h = 0.0;
+          for (const double v : votes.row(i)) {
+            const double p = v * inv;
+            if (p > 0.0) h -= p * std::log(p);
+          }
+          out[begin + i] = h;
+        }
+      });
   return out;
 }
 
 std::vector<double> Committee::consensus_kl(const Matrix& x) const {
+  return consensus_kl(x, iota_rows(x.rows()));
+}
+
+std::vector<double> Committee::consensus_kl(
+    const Matrix& x, std::span<const std::size_t> rows) const {
   ALBA_CHECK(fitted()) << "committee scoring before fit";
-  const Matrix consensus = predict_proba(x);
-  std::vector<double> out(x.rows(), 0.0);
-  for (const auto& member : members_) {
-    const Matrix probs = member->predict_proba(x);
-    for (std::size_t i = 0; i < x.rows(); ++i) {
-      const auto prow = probs.row(i);
-      const auto crow = consensus.row(i);
-      double kl = 0.0;
-      for (std::size_t c = 0; c < prow.size(); ++c) {
-        if (prow[c] > 1e-12 && crow[c] > 1e-12) {
-          kl += prow[c] * std::log(prow[c] / crow[c]);
-        }
-      }
-      out[i] += kl;
-    }
-  }
+  const auto k = static_cast<std::size_t>(num_classes_);
   const double inv = 1.0 / static_cast<double>(members_.size());
-  for (auto& v : out) v *= inv;
+  std::vector<double> out(rows.size(), 0.0);
+  global_pool().parallel_for_chunked(
+      rows.size(), [&](std::size_t begin, std::size_t end) {
+        const std::size_t count = end - begin;
+        // Every member's distribution is needed twice (consensus, then the
+        // per-member KL), so keep them all for the chunk.
+        std::vector<Matrix> member_probs(members_.size());
+        Matrix consensus(count, k, 0.0);
+        for (std::size_t m = 0; m < members_.size(); ++m) {
+          members_[m]->predict_proba_rows(x, rows.subspan(begin, count),
+                                          member_probs[m]);
+          for (std::size_t i = 0; i < count; ++i) {
+            auto crow = consensus.row(i);
+            const auto prow = member_probs[m].row(i);
+            for (std::size_t c = 0; c < k; ++c) crow[c] += prow[c];
+          }
+        }
+        for (std::size_t i = 0; i < count; ++i) {
+          for (auto& p : consensus.row(i)) p *= inv;
+        }
+        for (std::size_t m = 0; m < members_.size(); ++m) {
+          for (std::size_t i = 0; i < count; ++i) {
+            const auto prow = member_probs[m].row(i);
+            const auto crow = consensus.row(i);
+            double kl = 0.0;
+            for (std::size_t c = 0; c < k; ++c) {
+              if (prow[c] > 1e-12 && crow[c] > 1e-12) {
+                kl += prow[c] * std::log(prow[c] / crow[c]);
+              }
+            }
+            out[begin + i] += kl;
+          }
+        }
+        for (std::size_t i = begin; i < end; ++i) out[i] *= inv;
+      });
   return out;
 }
 

@@ -39,6 +39,18 @@ class Committee {
   /// Mean KL divergence of each member's distribution from the consensus.
   std::vector<double> consensus_kl(const Matrix& x) const;
 
+  /// Row-subset variants — the active learner's scoring path. Each scores
+  /// x.row(rows[i]) without materializing the subset, parallelized over
+  /// contiguous row chunks on the global pool with member-order
+  /// accumulation, so results are bit-identical to the full-matrix versions
+  /// on the gathered rows regardless of thread count.
+  Matrix predict_proba_rows(const Matrix& x,
+                            std::span<const std::size_t> rows) const;
+  std::vector<double> vote_entropy(const Matrix& x,
+                                   std::span<const std::size_t> rows) const;
+  std::vector<double> consensus_kl(const Matrix& x,
+                                   std::span<const std::size_t> rows) const;
+
  private:
   std::vector<std::unique_ptr<Classifier>> members_;
   int num_classes_ = 0;

@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <cmath>
 #include <numeric>
+#include <utility>
 
 #include "active/committee.hpp"
 #include "common/error.hpp"
+#include "common/timer.hpp"
 #include "ml/metrics.hpp"
 
 namespace alba {
@@ -47,6 +49,13 @@ ActiveLearnerResult ActiveLearner::run(const LabeledData& seed,
                                             config_.seed ^ 0xC0117EE);
   }
 
+  // The draw-based baselines pick by pool *position*, so their RNG streams
+  // depend on the candidate order: they keep `remaining` sorted (ordered
+  // erase). Score-based strategies rank candidates and break ties by pool
+  // index, independent of order, so they get O(1) swap-remove bookkeeping.
+  const bool order_sensitive = config_.strategy == QueryStrategy::Random ||
+                               config_.strategy == QueryStrategy::EqualApp;
+
   // Information density over the *original* pool (representativeness does
   // not change as samples get labeled).
   std::vector<double> density;
@@ -82,12 +91,19 @@ ActiveLearnerResult ActiveLearner::run(const LabeledData& seed,
     return ev.macro_f1;
   };
 
+  Timer phase;
+  RoundStats seed_stats;
+  seed_stats.pool_size = remaining.size();
   refit();
+  seed_stats.refit_seconds = phase.seconds();
+  phase.reset();
   double f1 = evaluate_now(0);
+  seed_stats.eval_seconds = phase.seconds();
+  result.rounds.push_back(seed_stats);
 
   std::vector<int> remaining_apps;
-  Matrix remaining_x;
   int labels_used = 0;
+  int round = 0;
   while (labels_used < config_.max_queries && !remaining.empty()) {
     if (config_.target_f1 > 0.0 && f1 >= config_.target_f1 &&
         result.queries_to_target < 0) {
@@ -95,108 +111,111 @@ ActiveLearnerResult ActiveLearner::run(const LabeledData& seed,
       break;
     }
 
-    // Candidate views of the remaining pool.
-    remaining_x = pool_x.select_rows(remaining);
-    remaining_apps.clear();
-    if (!pool_app_ids.empty()) {
-      for (const std::size_t i : remaining) {
-        remaining_apps.push_back(pool_app_ids[i]);
-      }
-    }
+    RoundStats stats;
+    stats.round = ++round;
+    stats.pool_size = remaining.size();
 
     const std::size_t batch = std::min<std::size_t>(
         {static_cast<std::size_t>(config_.batch_size), remaining.size(),
          static_cast<std::size_t>(config_.max_queries - labels_used)});
 
     // Positions (into `remaining`) to query this round.
+    phase.reset();
     std::vector<std::size_t> picks;
     switch (config_.strategy) {
       case QueryStrategy::VoteEntropy:
       case QueryStrategy::ConsensusKl: {
         const std::vector<double> scores =
             config_.strategy == QueryStrategy::VoteEntropy
-                ? committee->vote_entropy(remaining_x)
-                : committee->consensus_kl(remaining_x);
-        picks = select_query_batch(scores, batch);
+                ? committee->vote_entropy(pool_x, remaining)
+                : committee->consensus_kl(pool_x, remaining);
+        picks = select_query_batch(scores, batch, remaining);
         break;
       }
       case QueryStrategy::DensityWeighted: {
-        const Matrix probs = model_->predict_proba(remaining_x);
-        std::vector<double> scores(remaining.size());
+        std::vector<double> scores =
+            score_pool_rows(*model_, config_.strategy, pool_x, remaining);
         for (std::size_t i = 0; i < remaining.size(); ++i) {
-          scores[i] = uncertainty_score(probs.row(i)) *
-                      std::pow(density[remaining[i]], config_.density_beta);
+          scores[i] *= std::pow(density[remaining[i]], config_.density_beta);
         }
-        picks = select_query_batch(scores, batch);
+        picks = select_query_batch(scores, batch, remaining);
         break;
       }
-      default: {
-        if (batch == 1 || !strategy_uses_model(config_.strategy)) {
-          // Sequential picks; random/equal-app draw without re-scoring.
-          Matrix probs;
-          if (strategy_uses_model(config_.strategy)) {
-            probs = model_->predict_proba(remaining_x);
+      case QueryStrategy::Uncertainty:
+      case QueryStrategy::Margin:
+      case QueryStrategy::Entropy: {
+        const std::vector<double> scores =
+            score_pool_rows(*model_, config_.strategy, pool_x, remaining);
+        picks = select_query_batch(scores, batch, remaining);
+        break;
+      }
+      case QueryStrategy::Random:
+      case QueryStrategy::EqualApp: {
+        // Sequential draws without re-scoring; the candidate order feeds
+        // the RNG stream, so no model probabilities are involved at all.
+        remaining_apps.clear();
+        if (config_.strategy == QueryStrategy::EqualApp &&
+            !pool_app_ids.empty()) {
+          for (const std::size_t i : remaining) {
+            remaining_apps.push_back(pool_app_ids[i]);
           }
-          std::vector<bool> taken(remaining.size(), false);
-          for (std::size_t b = 0; b < batch; ++b) {
-            std::size_t pos;
-            do {
-              pos = select_query(config_.strategy, probs, remaining_apps,
-                                 remaining.size(), labels_used + static_cast<int>(b),
-                                 config_.num_apps, rng);
-            } while (taken[pos] && !strategy_uses_model(config_.strategy));
-            if (taken[pos]) {
-              // Model strategies re-pick deterministically; fall back to
-              // the next best untaken candidate.
-              for (pos = 0; pos < taken.size() && taken[pos]; ++pos) {
-              }
-            }
-            taken[pos] = true;
-            picks.push_back(pos);
-          }
-        } else {
-          // Batch > 1 with a probability strategy: take the top-k scores.
-          const Matrix probs = model_->predict_proba(remaining_x);
-          std::vector<double> scores(remaining.size());
-          for (std::size_t i = 0; i < remaining.size(); ++i) {
-            const auto row = probs.row(i);
-            switch (config_.strategy) {
-              case QueryStrategy::Uncertainty:
-                scores[i] = uncertainty_score(row);
-                break;
-              case QueryStrategy::Margin:
-                scores[i] = -margin_score(row);
-                break;
-              case QueryStrategy::Entropy:
-                scores[i] = entropy_score(row);
-                break;
-              default:
-                break;
-            }
-          }
-          picks = select_query_batch(scores, batch);
+        }
+        const Matrix no_probs;
+        std::vector<bool> taken(remaining.size(), false);
+        for (std::size_t b = 0; b < batch; ++b) {
+          std::size_t pos;
+          do {
+            pos = select_query(config_.strategy, no_probs, remaining_apps,
+                               remaining.size(),
+                               labels_used + static_cast<int>(b),
+                               config_.num_apps, rng);
+          } while (taken[pos]);
+          taken[pos] = true;
+          picks.push_back(pos);
         }
         break;
       }
     }
+    stats.score_seconds = phase.seconds();
 
-    // Label the batch, then retrain once.
-    std::sort(picks.begin(), picks.end(), std::greater<>());  // erase safely
-    for (const std::size_t pos : picks) {
-      const std::size_t pool_index = remaining[pos];
+    // Label the batch in descending pool-index order (fixes the oracle's
+    // RNG call order and the labeled-set row order), then retrain once.
+    std::vector<std::pair<std::size_t, std::size_t>> chosen;  // (index, pos)
+    chosen.reserve(picks.size());
+    for (const std::size_t pos : picks) chosen.emplace_back(remaining[pos], pos);
+    std::sort(chosen.begin(), chosen.end(), std::greater<>());
+    for (const auto& [pool_index, pos] : chosen) {
       QueryRecord record;
       record.pool_index = pool_index;
       record.label = oracle.annotate(pool_index);
       record.app_id = pool_app_ids.empty() ? -1 : pool_app_ids[pool_index];
       result.queried.push_back(record);
       labeled.append(pool_x.row(pool_index), record.label);
-      remaining.erase(remaining.begin() + static_cast<std::ptrdiff_t>(pos));
+    }
+    // Drop the queried positions, highest first so pending positions stay
+    // valid. Ordered erase preserves the sorted candidate list the draw
+    // baselines rely on; everything else takes the O(1) swap-remove.
+    std::sort(picks.begin(), picks.end(), std::greater<>());
+    for (const std::size_t pos : picks) {
+      if (order_sensitive) {
+        remaining.erase(remaining.begin() + static_cast<std::ptrdiff_t>(pos));
+      } else {
+        remaining[pos] = remaining.back();
+        remaining.pop_back();
+      }
     }
     labels_used += static_cast<int>(picks.size());
+    stats.batch = picks.size();
+    stats.labels_total = labels_used;
 
     // Re-train with the newly labeled samples included (Sec. III-D).
+    phase.reset();
     refit();
+    stats.refit_seconds = phase.seconds();
+    phase.reset();
     f1 = evaluate_now(labels_used);
+    stats.eval_seconds = phase.seconds();
+    result.rounds.push_back(stats);
   }
 
   result.final_f1 = result.curve.back().f1;

@@ -17,6 +17,7 @@
 
 #include "active/curves.hpp"
 #include "active/oracle.hpp"
+#include "active/round_stats.hpp"
 #include "active/strategy.hpp"
 #include "ml/classifier.hpp"
 #include "ml/dataset.hpp"
@@ -53,6 +54,7 @@ struct QueryRecord {
 struct ActiveLearnerResult {
   QueryCurve curve;                  // point 0 = seed-only model
   std::vector<QueryRecord> queried;  // in query order
+  std::vector<RoundStats> rounds;    // entry 0 = seed fit; aligns with curve
   double final_f1 = 0.0;
   int queries_to_target = -1;        // -1 when target disabled/missed
 };

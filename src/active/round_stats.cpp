@@ -1,0 +1,51 @@
+#include "active/round_stats.hpp"
+
+#include <ostream>
+#include <sstream>
+
+namespace alba {
+
+RoundStatsSummary summarize_rounds(std::span<const RoundStats> rounds) {
+  RoundStatsSummary s;
+  s.rounds = rounds.size();
+  for (const RoundStats& r : rounds) {
+    s.score_seconds += r.score_seconds;
+    s.refit_seconds += r.refit_seconds;
+    s.eval_seconds += r.eval_seconds;
+  }
+  return s;
+}
+
+std::string format_round_summary(std::span<const RoundStats> rounds) {
+  const RoundStatsSummary s = summarize_rounds(rounds);
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(3);
+  os << s.rounds << " rounds: score " << s.score_seconds << "s, refit "
+     << s.refit_seconds << "s, eval " << s.eval_seconds << "s (total "
+     << s.total_seconds() << "s)";
+  return os.str();
+}
+
+std::string round_stats_csv_header() {
+  return "label,round,labels_total,pool_size,batch,"
+         "score_seconds,refit_seconds,eval_seconds";
+}
+
+std::string round_stats_csv_row(std::string_view label, const RoundStats& s) {
+  std::ostringstream os;
+  os << label << ',' << s.round << ',' << s.labels_total << ','
+     << s.pool_size << ',' << s.batch << ',' << s.score_seconds << ','
+     << s.refit_seconds << ',' << s.eval_seconds;
+  return os.str();
+}
+
+void write_round_stats_csv(std::ostream& os, std::string_view label,
+                           std::span<const RoundStats> rounds) {
+  os << round_stats_csv_header() << '\n';
+  for (const RoundStats& r : rounds) {
+    os << round_stats_csv_row(label, r) << '\n';
+  }
+}
+
+}  // namespace alba

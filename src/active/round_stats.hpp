@@ -1,0 +1,56 @@
+// Per-round instrumentation of the active-learning loop. Each round the
+// learner records how long the three phases took — scoring the pool,
+// re-fitting the model, evaluating on the test set — together with the pool
+// and label bookkeeping. Round 0 is the seed fit (no scoring). The stats
+// ride along in ActiveLearnerResult so benches and experiments can report
+// where query-loop time goes without re-instrumenting the learner.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace alba {
+
+struct RoundStats {
+  int round = 0;             // 0 = seed fit, 1.. = query rounds
+  int labels_total = 0;      // oracle labels consumed after this round
+  std::size_t pool_size = 0; // unlabeled candidates before this round's query
+  std::size_t batch = 0;     // labels queried this round (0 for the seed fit)
+  double score_seconds = 0.0;
+  double refit_seconds = 0.0;
+  double eval_seconds = 0.0;
+};
+
+/// Phase totals over a run; `rounds` counts entries including the seed fit.
+struct RoundStatsSummary {
+  std::size_t rounds = 0;
+  double score_seconds = 0.0;
+  double refit_seconds = 0.0;
+  double eval_seconds = 0.0;
+
+  double total_seconds() const noexcept {
+    return score_seconds + refit_seconds + eval_seconds;
+  }
+};
+
+RoundStatsSummary summarize_rounds(std::span<const RoundStats> rounds);
+
+/// One human-readable line, e.g.
+///   "12 rounds: score 0.031s, refit 0.420s, eval 0.088s (total 0.539s)".
+std::string format_round_summary(std::span<const RoundStats> rounds);
+
+/// CSV column names, matching round_stats_csv_row field order. The leading
+/// `label` column tags the run (strategy or bench name) so several runs can
+/// share one file.
+std::string round_stats_csv_header();
+std::string round_stats_csv_row(std::string_view label, const RoundStats& s);
+
+/// Writes header + one row per round under the given label.
+void write_round_stats_csv(std::ostream& os, std::string_view label,
+                           std::span<const RoundStats> rounds);
+
+}  // namespace alba

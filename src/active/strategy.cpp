@@ -6,8 +6,19 @@
 #include <string>
 
 #include "common/error.hpp"
+#include "common/thread_pool.hpp"
 
 namespace alba {
+
+namespace {
+// NaN scores (from degenerate probability rows) compare false against
+// everything, violating the strict weak ordering std::partial_sort
+// requires; rank them as -inf so they sort last deterministically.
+// Infinities order consistently and pass through.
+double nan_to_lowest(double score) noexcept {
+  return std::isnan(score) ? -std::numeric_limits<double>::infinity() : score;
+}
+}  // namespace
 
 std::string_view strategy_name(QueryStrategy s) noexcept {
   switch (s) {
@@ -137,24 +148,63 @@ std::size_t select_query_scored(std::span<const double> scores) {
   ALBA_CHECK(!scores.empty()) << "query on an empty pool";
   std::size_t best = 0;
   for (std::size_t i = 1; i < scores.size(); ++i) {
-    if (scores[i] > scores[best]) best = i;
+    if (nan_to_lowest(scores[i]) > nan_to_lowest(scores[best])) best = i;
   }
   return best;
 }
 
-std::vector<std::size_t> select_query_batch(std::span<const double> scores,
-                                            std::size_t k) {
+std::vector<std::size_t> select_query_batch(
+    std::span<const double> scores, std::size_t k,
+    std::span<const std::size_t> tie_ids) {
   ALBA_CHECK(!scores.empty()) << "query on an empty pool";
+  ALBA_CHECK(tie_ids.empty() || tie_ids.size() == scores.size());
   k = std::min(k, scores.size());
   std::vector<std::size_t> order(scores.size());
   for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  const auto tie_key = [&tie_ids](std::size_t i) {
+    return tie_ids.empty() ? i : tie_ids[i];
+  };
   std::partial_sort(order.begin(), order.begin() + static_cast<std::ptrdiff_t>(k),
-                    order.end(), [&scores](std::size_t a, std::size_t b) {
-                      if (scores[a] != scores[b]) return scores[a] > scores[b];
-                      return a < b;
+                    order.end(), [&](std::size_t a, std::size_t b) {
+                      const double sa = nan_to_lowest(scores[a]);
+                      const double sb = nan_to_lowest(scores[b]);
+                      if (sa != sb) return sa > sb;
+                      return tie_key(a) < tie_key(b);
                     });
   order.resize(k);
   return order;
+}
+
+std::vector<double> score_pool_rows(const Classifier& model,
+                                    QueryStrategy strategy, const Matrix& pool,
+                                    std::span<const std::size_t> rows) {
+  ALBA_CHECK(strategy_uses_model(strategy))
+      << "strategy " << strategy_name(strategy) << " does not score the pool";
+  std::vector<double> scores(rows.size());
+  global_pool().parallel_for_chunked(
+      rows.size(), [&](std::size_t begin, std::size_t end) {
+        Matrix probs;  // per-chunk scratch, reused across its rows
+        model.predict_proba_rows(pool, rows.subspan(begin, end - begin),
+                                 probs);
+        for (std::size_t i = begin; i < end; ++i) {
+          const auto row = probs.row(i - begin);
+          switch (strategy) {
+            case QueryStrategy::Uncertainty:
+            case QueryStrategy::DensityWeighted:
+              scores[i] = uncertainty_score(row);
+              break;
+            case QueryStrategy::Margin:
+              scores[i] = -margin_score(row);  // strategy queries the min
+              break;
+            case QueryStrategy::Entropy:
+              scores[i] = entropy_score(row);
+              break;
+            default:
+              break;
+          }
+        }
+      });
+  return scores;
 }
 
 std::vector<double> information_density(const Matrix& pool,
@@ -163,6 +213,13 @@ std::vector<double> information_density(const Matrix& pool,
   ALBA_CHECK(pool.rows() > 0 && ref_cap > 0);
   Rng rng(seed);
   const std::size_t n_ref = std::min(ref_cap, pool.rows());
+  if (n_ref < 2) {
+    // A single reference pairs with itself: distance 0, the clamped 1e-9
+    // bandwidth, and every density collapsing to ~0 — which would silently
+    // turn DensityWeighted into pure uncertainty with a zeroed score scale.
+    // Uniform densities keep the multiplicative weighting a no-op instead.
+    return std::vector<double>(pool.rows(), 1.0);
+  }
   const std::vector<std::size_t> ref =
       rng.sample_without_replacement(pool.rows(), n_ref);
 

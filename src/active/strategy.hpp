@@ -14,6 +14,7 @@
 
 #include "common/rng.hpp"
 #include "linalg/matrix.hpp"
+#include "ml/classifier.hpp"
 
 namespace alba {
 
@@ -59,12 +60,29 @@ std::size_t select_query(QueryStrategy strategy, const Matrix& pool_probs,
 
 /// Argmax over precomputed informativeness scores (committee disagreement,
 /// density-weighted uncertainty, ...). Ties go to the lowest index.
+/// NaN scores (from degenerate probabilities) rank as -inf.
 std::size_t select_query_scored(std::span<const double> scores);
 
 /// Indices of the k highest-scoring candidates (batch-mode querying);
-/// k is clamped to the pool size.
-std::vector<std::size_t> select_query_batch(std::span<const double> scores,
-                                            std::size_t k);
+/// k is clamped to the pool size. NaN scores rank as -inf.
+/// When `tie_ids` is non-empty it supplies the tie-break key for candidate
+/// i (ties go to the lowest id instead of the lowest position) — the learner
+/// passes the pool indices so picks stay independent of the bookkeeping
+/// order of its remaining-candidate list.
+std::vector<std::size_t> select_query_batch(
+    std::span<const double> scores, std::size_t k,
+    std::span<const std::size_t> tie_ids = {});
+
+/// Informativeness of the selected pool rows, without materializing the
+/// subset: probabilities come from model.predict_proba_rows, computed in
+/// parallel over contiguous chunks of `rows` on the global pool. Each chunk
+/// writes a disjoint range of the result, so scores are bit-identical to the
+/// serial path regardless of thread count. Margin scores are negated (the
+/// strategy queries the minimum); DensityWeighted yields the uncertainty
+/// factor only — the caller multiplies in density^beta.
+std::vector<double> score_pool_rows(const Classifier& model,
+                                    QueryStrategy strategy, const Matrix& pool,
+                                    std::span<const std::size_t> rows);
 
 /// Information density (Settles 2009): each row's mean RBF similarity to a
 /// reference subsample of the pool (≤ ref_cap rows; the kernel bandwidth is

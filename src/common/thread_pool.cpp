@@ -6,6 +6,7 @@
 #include <exception>
 
 #include "common/error.hpp"
+#include "common/log.hpp"
 
 namespace alba {
 
@@ -14,6 +15,14 @@ namespace {
 // inline on the caller to avoid self-deadlock (a waiting worker would
 // otherwise hold the only execution slot for its own sub-tasks).
 thread_local bool t_in_worker = false;
+
+// Keeps t_in_worker correct even when the task throws.
+struct InWorkerScope {
+  InWorkerScope() noexcept { t_in_worker = true; }
+  ~InWorkerScope() { t_in_worker = false; }
+  InWorkerScope(const InWorkerScope&) = delete;
+  InWorkerScope& operator=(const InWorkerScope&) = delete;
+};
 }  // namespace
 
 ThreadPool::ThreadPool(std::size_t num_threads) {
@@ -45,9 +54,16 @@ void ThreadPool::worker_loop() {
       task = std::move(tasks_.front());
       tasks_.pop();
     }
-    t_in_worker = true;
-    task();
-    t_in_worker = false;
+    const InWorkerScope scope;
+    try {
+      task();
+    } catch (const std::exception& e) {
+      // Fire-and-forget tasks have nowhere to rethrow to; dropping the
+      // exception here keeps the worker (and the process) alive.
+      ALBA_LOG(Warn) << "thread-pool task threw: " << e.what();
+    } catch (...) {
+      ALBA_LOG(Warn) << "thread-pool task threw a non-std exception";
+    }
   }
 }
 

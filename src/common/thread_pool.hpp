@@ -42,9 +42,14 @@ class ThreadPool {
       std::size_t n,
       const std::function<void(std::size_t begin, std::size_t end)>& body);
 
+  /// Fire-and-forget task submission. Exceptions escaping the task are
+  /// caught in the worker and logged at Warn — they never terminate the
+  /// process. Tasks that need error propagation should capture their own
+  /// state (as parallel_for does).
+  void enqueue(std::function<void()> task);
+
  private:
   void worker_loop();
-  void enqueue(std::function<void()> task);
 
   std::vector<std::thread> workers_;
   std::queue<std::function<void()>> tasks_;

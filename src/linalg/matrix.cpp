@@ -27,6 +27,16 @@ Matrix Matrix::select_rows(std::span<const std::size_t> indices) const {
   return out;
 }
 
+void Matrix::select_rows_into(std::span<const std::size_t> indices,
+                              Matrix& out) const {
+  out.reshape(indices.size(), cols_);
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    ALBA_CHECK(indices[i] < rows_) << "row index " << indices[i] << " out of range";
+    std::copy_n(data_.data() + indices[i] * cols_, cols_,
+                out.data_.data() + i * cols_);
+  }
+}
+
 Matrix Matrix::select_cols(std::span<const std::size_t> indices) const {
   Matrix out(rows_, indices.size());
   for (std::size_t i = 0; i < indices.size(); ++i) {

@@ -57,6 +57,11 @@ class Matrix {
   /// New matrix containing the selected rows, in the given order.
   Matrix select_rows(std::span<const std::size_t> indices) const;
 
+  /// Like select_rows but writes into `out`, reusing its buffer when large
+  /// enough — the allocation-free gather the active-learning scoring path
+  /// uses for per-chunk scratch matrices.
+  void select_rows_into(std::span<const std::size_t> indices, Matrix& out) const;
+
   /// New matrix containing the selected columns, in the given order.
   Matrix select_cols(std::span<const std::size_t> indices) const;
 
@@ -66,6 +71,14 @@ class Matrix {
   Matrix transposed() const;
 
   void fill(double v) noexcept { data_.assign(data_.size(), v); }
+
+  /// Reshapes to rows × cols without shrinking capacity; contents are
+  /// unspecified afterwards (scratch-buffer reuse, not a resize-preserve).
+  void reshape(std::size_t rows, std::size_t cols) {
+    rows_ = rows;
+    cols_ = cols;
+    data_.resize(rows * cols);
+  }
 
   bool same_shape(const Matrix& other) const noexcept {
     return rows_ == other.rows_ && cols_ == other.cols_;

@@ -1,6 +1,9 @@
 #include "ml/classifier.hpp"
 
+#include <numeric>
+
 #include "common/error.hpp"
+#include "common/thread_pool.hpp"
 
 namespace alba {
 
@@ -14,12 +17,28 @@ int argmax_label(std::span<const double> probs) noexcept {
   return best;
 }
 
+void Classifier::predict_proba_rows(const Matrix& x,
+                                    std::span<const std::size_t> rows,
+                                    Matrix& out) const {
+  Matrix gathered;
+  x.select_rows_into(rows, gathered);
+  out = predict_proba(gathered);
+}
+
 std::vector<int> Classifier::predict(const Matrix& x) const {
-  const Matrix probs = predict_proba(x);
   std::vector<int> out(x.rows());
-  for (std::size_t i = 0; i < x.rows(); ++i) {
-    out[i] = argmax_label(probs.row(i));
-  }
+  std::vector<std::size_t> rows(x.rows());
+  std::iota(rows.begin(), rows.end(), std::size_t{0});
+  global_pool().parallel_for_chunked(
+      x.rows(), [&](std::size_t begin, std::size_t end) {
+        Matrix probs;
+        predict_proba_rows(
+            x, std::span<const std::size_t>(rows).subspan(begin, end - begin),
+            probs);
+        for (std::size_t i = begin; i < end; ++i) {
+          out[i] = argmax_label(probs.row(i - begin));
+        }
+      });
   return out;
 }
 

@@ -30,6 +30,18 @@ class Classifier {
   /// Per-class probabilities, one row per sample, rows sum to 1.
   virtual Matrix predict_proba(const Matrix& x) const = 0;
 
+  /// Probabilities for a row subset of `x` without materializing the subset:
+  /// `out` is reshaped to rows.size() × num_classes and its row i holds the
+  /// prediction for x.row(rows[i]). Results are bit-identical to
+  /// predict_proba(x.select_rows(rows)) — the base implementation does
+  /// exactly that copy; concrete models override to walk the rows in place.
+  /// This is the active-learning pool-scoring entry point: the learner calls
+  /// it per thread-pool chunk, so overrides must be const-thread-safe and
+  /// should not parallelize internally.
+  virtual void predict_proba_rows(const Matrix& x,
+                                  std::span<const std::size_t> rows,
+                                  Matrix& out) const;
+
   /// Fresh unfitted copy with identical hyperparameters.
   virtual std::unique_ptr<Classifier> clone() const = 0;
 

@@ -227,6 +227,15 @@ Matrix DecisionTree::predict_proba(const Matrix& x) const {
   return out;
 }
 
+void DecisionTree::predict_proba_rows(const Matrix& x,
+                                      std::span<const std::size_t> rows,
+                                      Matrix& out) const {
+  out.reshape(rows.size(), static_cast<std::size_t>(config_.num_classes));
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    predict_proba_row(x.row(rows[i]), out.row(i));
+  }
+}
+
 std::unique_ptr<Classifier> DecisionTree::clone() const {
   return std::make_unique<DecisionTree>(config_, seed_);
 }

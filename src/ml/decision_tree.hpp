@@ -33,6 +33,8 @@ class DecisionTree final : public Classifier {
               std::vector<std::size_t> indices);
 
   Matrix predict_proba(const Matrix& x) const override;
+  void predict_proba_rows(const Matrix& x, std::span<const std::size_t> rows,
+                          Matrix& out) const override;
   void predict_proba_row(std::span<const double> row,
                          std::span<double> out) const;
 

@@ -287,6 +287,26 @@ Matrix GbmClassifier::predict_proba(const Matrix& x) const {
   return raw;
 }
 
+void GbmClassifier::predict_proba_rows(const Matrix& x,
+                                       std::span<const std::size_t> rows,
+                                       Matrix& out) const {
+  ALBA_CHECK(fitted()) << "predict before fit";
+  const auto k = static_cast<std::size_t>(config_.num_classes);
+  out.reshape(rows.size(), k);
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    auto row = out.row(i);
+    const auto features = x.row(rows[i]);
+    for (std::size_t c = 0; c < k; ++c) {
+      double margin = base_score_[c];
+      for (const auto& round : rounds_) {
+        margin += config_.learning_rate * round[c].predict(features);
+      }
+      row[c] = margin;
+    }
+    softmax(row);
+  }
+}
+
 std::unique_ptr<Classifier> GbmClassifier::clone() const {
   return std::make_unique<GbmClassifier>(config_, seed_);
 }

@@ -30,6 +30,8 @@ class GbmClassifier final : public Classifier {
 
   void fit(const Matrix& x, std::span<const int> y) override;
   Matrix predict_proba(const Matrix& x) const override;
+  void predict_proba_rows(const Matrix& x, std::span<const std::size_t> rows,
+                          Matrix& out) const override;
 
   std::unique_ptr<Classifier> clone() const override;
   std::unique_ptr<Classifier> clone_reseeded(std::uint64_t seed) const override {

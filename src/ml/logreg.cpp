@@ -116,6 +116,26 @@ Matrix LogisticRegression::predict_proba(const Matrix& x) const {
   return raw;
 }
 
+void LogisticRegression::predict_proba_rows(const Matrix& x,
+                                            std::span<const std::size_t> rows,
+                                            Matrix& out) const {
+  ALBA_CHECK(fitted()) << "predict before fit";
+  ALBA_CHECK(x.cols() == weights_.cols())
+      << "model fitted on " << weights_.cols() << " features, got " << x.cols();
+  const auto k = weights_.rows();
+  out.reshape(rows.size(), k);
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const auto features = x.row(rows[i]);
+    auto row = out.row(i);
+    // Same accumulation order as the gemm_bt row kernel, so probabilities
+    // are bit-identical to the full-matrix predict_proba path.
+    for (std::size_t c = 0; c < k; ++c) {
+      row[c] = dot(features, weights_.row(c)) + bias_[c];
+    }
+    softmax(row);
+  }
+}
+
 std::unique_ptr<Classifier> LogisticRegression::clone() const {
   return std::make_unique<LogisticRegression>(config_, seed_);
 }

@@ -182,6 +182,19 @@ Matrix MlpClassifier::predict_proba(const Matrix& x) const {
   return forward(x, nullptr);
 }
 
+void MlpClassifier::predict_proba_rows(const Matrix& x,
+                                       std::span<const std::size_t> rows,
+                                       Matrix& out) const {
+  ALBA_CHECK(fitted()) << "predict before fit";
+  ALBA_CHECK(x.cols() == weights_.front().rows());
+  // The forward pass is row-independent (per-row gemm accumulation, ReLU,
+  // per-row softmax), so running it on a gathered chunk yields rows that are
+  // bit-identical to the full-matrix path.
+  Matrix gathered;
+  x.select_rows_into(rows, gathered);
+  out = forward(gathered, nullptr);
+}
+
 std::unique_ptr<Classifier> MlpClassifier::clone() const {
   return std::make_unique<MlpClassifier>(config_, seed_);
 }

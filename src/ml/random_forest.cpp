@@ -68,6 +68,25 @@ Matrix RandomForest::predict_proba(const Matrix& x) const {
   return out;
 }
 
+void RandomForest::predict_proba_rows(const Matrix& x,
+                                      std::span<const std::size_t> rows,
+                                      Matrix& out) const {
+  ALBA_CHECK(fitted()) << "predict before fit";
+  const auto k = static_cast<std::size_t>(config_.num_classes);
+  out.reshape(rows.size(), k);
+  out.fill(0.0);
+  const double inv = 1.0 / static_cast<double>(trees_.size());
+  std::vector<double> buf(k);
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    auto row_out = out.row(i);
+    for (const DecisionTree& tree : trees_) {
+      tree.predict_proba_row(x.row(rows[i]), buf);
+      for (std::size_t c = 0; c < k; ++c) row_out[c] += buf[c];
+    }
+    for (std::size_t c = 0; c < k; ++c) row_out[c] *= inv;
+  }
+}
+
 std::unique_ptr<Classifier> RandomForest::clone() const {
   return std::make_unique<RandomForest>(config_, seed_);
 }

@@ -4,6 +4,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
+#include <numeric>
 #include <set>
 
 #include "active/committee.hpp"
@@ -124,6 +126,56 @@ TEST(ScoredSelection, ArgmaxAndBatch) {
   // k clamped.
   EXPECT_EQ(select_query_batch(scores, 99).size(), 5u);
   EXPECT_THROW(select_query_scored({}), Error);
+}
+
+TEST(ScoredSelection, NanScoresRankLast) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  // NaN compares false against everything, which used to hand the batch
+  // comparator an invalid ordering (UB in std::partial_sort); non-finite
+  // scores must deterministically lose instead.
+  const std::vector<double> scores{nan, 0.5, nan, 0.1};
+  const auto picks = select_query_batch(scores, 2);
+  ASSERT_EQ(picks.size(), 2u);
+  EXPECT_EQ(picks[0], 1u);
+  EXPECT_EQ(picks[1], 3u);
+  EXPECT_EQ(select_query_scored(scores), 1u);
+
+  // All-NaN pools still pick something valid (lowest tie-break key).
+  const std::vector<double> all_nan{nan, nan, nan};
+  EXPECT_EQ(select_query_scored(all_nan), 0u);
+  const auto nan_picks = select_query_batch(all_nan, 2);
+  ASSERT_EQ(nan_picks.size(), 2u);
+  EXPECT_EQ(nan_picks[0], 0u);
+  EXPECT_EQ(nan_picks[1], 1u);
+
+  // Infinities: +inf wins, -inf loses.
+  const double inf = std::numeric_limits<double>::infinity();
+  const std::vector<double> with_inf{-inf, 0.0, inf};
+  EXPECT_EQ(select_query_scored(with_inf), 2u);
+}
+
+TEST(ScoredSelection, TieIdsOverridePositionTieBreak) {
+  const std::vector<double> scores{0.7, 0.7, 0.7};
+  const std::vector<std::size_t> ids{42, 9, 17};
+  const auto picks = select_query_batch(scores, 2, ids);
+  ASSERT_EQ(picks.size(), 2u);
+  EXPECT_EQ(picks[0], 1u);  // id 9
+  EXPECT_EQ(picks[1], 2u);  // id 17
+}
+
+TEST(InformationDensity, SingleReferenceYieldsUniformDensities) {
+  Rng rng(9);
+  Matrix pool(20, 2);
+  for (std::size_t i = 0; i < pool.rows(); ++i) {
+    pool(i, 0) = rng.normal();
+    pool(i, 1) = rng.normal();
+  }
+  // ref_cap = 1: the lone reference pairs with itself, so the bandwidth
+  // estimate degenerates; the guard must return uniform densities rather
+  // than collapsing every weight to ~0.
+  const auto density = information_density(pool, 1, 3);
+  ASSERT_EQ(density.size(), pool.rows());
+  for (const double d : density) EXPECT_DOUBLE_EQ(d, 1.0);
 }
 
 TEST(InformationDensity, DenseRegionScoresHigher) {
@@ -251,6 +303,220 @@ TEST(BatchMode, RandomBaselineBatchesToo) {
   std::set<std::size_t> distinct;
   for (const auto& q : result.queried) distinct.insert(q.pool_index);
   EXPECT_EQ(distinct.size(), 20u);
+}
+
+// ------------------------------------------- parallel/serial equivalence ---
+
+struct RefResult {
+  std::vector<std::size_t> queried;  // pool indices, in annotation order
+  std::vector<double> f1s;           // per-round macro F1 (seed first)
+};
+
+// The learner's original serial algorithm, kept verbatim as a reference:
+// copy the remaining rows every round, score the copy, pick with a
+// position tie-break over the ascending candidate list, erase in
+// descending position order. The production loop now scores index views
+// in parallel with swap-remove bookkeeping; its picks and curves must stay
+// bit-identical to this.
+RefResult reference_run(std::unique_ptr<Classifier> model,
+                        const ActiveLearnerConfig& cfg, const AlTask& task) {
+  Rng rng(cfg.seed);
+  LabeledData labeled = task.seed;
+  const bool use_committee = strategy_uses_committee(cfg.strategy);
+  std::unique_ptr<Committee> committee;
+  if (use_committee) {
+    committee = std::make_unique<Committee>(*model, cfg.committee_size,
+                                            cfg.seed ^ 0xC0117EE);
+  }
+  std::vector<double> density;
+  if (cfg.strategy == QueryStrategy::DensityWeighted) {
+    density = information_density(task.pool_x, cfg.density_ref_cap,
+                                  cfg.seed ^ 0xDE4517);
+  }
+  std::vector<std::size_t> remaining(task.pool_x.rows());
+  std::iota(remaining.begin(), remaining.end(), std::size_t{0});
+
+  auto refit = [&] {
+    if (use_committee) {
+      committee->fit(labeled.x, labeled.y);
+    } else {
+      model->fit(labeled.x, labeled.y);
+    }
+  };
+  LabelOracle oracle(task.pool_y, 3);
+  RefResult result;
+  auto eval_now = [&] {
+    const auto pred = use_committee ? committee->predict(task.test_x)
+                                    : model->predict(task.test_x);
+    result.f1s.push_back(evaluate(task.test_y, pred, 3).macro_f1);
+  };
+  refit();
+  eval_now();
+
+  int labels_used = 0;
+  while (labels_used < cfg.max_queries && !remaining.empty()) {
+    const Matrix remaining_x = task.pool_x.select_rows(remaining);
+    const std::size_t batch = std::min<std::size_t>(
+        {static_cast<std::size_t>(cfg.batch_size), remaining.size(),
+         static_cast<std::size_t>(cfg.max_queries - labels_used)});
+
+    std::vector<std::size_t> picks;
+    if (use_committee) {
+      const auto scores = cfg.strategy == QueryStrategy::VoteEntropy
+                              ? committee->vote_entropy(remaining_x)
+                              : committee->consensus_kl(remaining_x);
+      picks = select_query_batch(scores, batch);
+    } else if (cfg.strategy == QueryStrategy::DensityWeighted) {
+      const Matrix probs = model->predict_proba(remaining_x);
+      std::vector<double> scores(remaining.size());
+      for (std::size_t i = 0; i < remaining.size(); ++i) {
+        scores[i] = uncertainty_score(probs.row(i)) *
+                    std::pow(density[remaining[i]], cfg.density_beta);
+      }
+      picks = select_query_batch(scores, batch);
+    } else if (strategy_uses_model(cfg.strategy)) {
+      const Matrix probs = model->predict_proba(remaining_x);
+      if (batch == 1) {
+        picks.push_back(select_query(cfg.strategy, probs, {},
+                                     remaining.size(), labels_used, 0, rng));
+      } else {
+        std::vector<double> scores(remaining.size());
+        for (std::size_t i = 0; i < remaining.size(); ++i) {
+          const auto row = probs.row(i);
+          if (cfg.strategy == QueryStrategy::Uncertainty) {
+            scores[i] = uncertainty_score(row);
+          } else if (cfg.strategy == QueryStrategy::Margin) {
+            scores[i] = -margin_score(row);
+          } else {
+            scores[i] = entropy_score(row);
+          }
+        }
+        picks = select_query_batch(scores, batch);
+      }
+    } else {  // Random
+      std::vector<bool> taken(remaining.size(), false);
+      for (std::size_t b = 0; b < batch; ++b) {
+        std::size_t pos;
+        do {
+          pos = select_query(cfg.strategy, Matrix(), {}, remaining.size(),
+                             labels_used + static_cast<int>(b), 0, rng);
+        } while (taken[pos]);
+        taken[pos] = true;
+        picks.push_back(pos);
+      }
+    }
+
+    std::sort(picks.begin(), picks.end(), std::greater<>());
+    for (const std::size_t pos : picks) {
+      const std::size_t pool_index = remaining[pos];
+      const int label = oracle.annotate(pool_index);
+      result.queried.push_back(pool_index);
+      labeled.append(task.pool_x.row(pool_index), label);
+      remaining.erase(remaining.begin() + static_cast<std::ptrdiff_t>(pos));
+    }
+    labels_used += static_cast<int>(picks.size());
+    refit();
+    eval_now();
+  }
+  return result;
+}
+
+struct EquivCase {
+  const char* strategy;
+  int batch;
+};
+
+class LoopEquivalenceTest : public ::testing::TestWithParam<EquivCase> {};
+
+TEST_P(LoopEquivalenceTest, MatchesSerialReference) {
+  const EquivCase& c = GetParam();
+  const AlTask task = make_task(21);
+  ActiveLearnerConfig cfg;
+  cfg.strategy = strategy_from_name(c.strategy);
+  cfg.max_queries = 15;
+  cfg.batch_size = c.batch;
+  cfg.committee_size = 3;
+  cfg.seed = 29;
+
+  const RefResult expected = reference_run(task_model(8), cfg, task);
+
+  ActiveLearner learner(task_model(8), cfg);
+  LabelOracle oracle(task.pool_y, 3);
+  const auto result = learner.run(task.seed, task.pool_x, oracle, {},
+                                  task.test_x, task.test_y);
+
+  ASSERT_EQ(result.queried.size(), expected.queried.size()) << c.strategy;
+  for (std::size_t i = 0; i < expected.queried.size(); ++i) {
+    EXPECT_EQ(result.queried[i].pool_index, expected.queried[i])
+        << c.strategy << " query " << i;
+  }
+  ASSERT_EQ(result.curve.size(), expected.f1s.size()) << c.strategy;
+  for (std::size_t i = 0; i < expected.f1s.size(); ++i) {
+    EXPECT_DOUBLE_EQ(result.curve[i].f1, expected.f1s[i])
+        << c.strategy << " round " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Strategies, LoopEquivalenceTest,
+    ::testing::Values(EquivCase{"uncertainty", 1}, EquivCase{"uncertainty", 4},
+                      EquivCase{"margin", 1}, EquivCase{"entropy", 1},
+                      EquivCase{"density_weighted", 2},
+                      EquivCase{"vote_entropy", 2},
+                      EquivCase{"consensus_kl", 1}, EquivCase{"random", 3}),
+    [](const ::testing::TestParamInfo<EquivCase>& info) {
+      return std::string(info.param.strategy) + "_b" +
+             std::to_string(info.param.batch);
+    });
+
+// ---------------------------------------------------------- round stats ---
+
+TEST(RoundStats, InstrumentationMatchesTheLoop) {
+  const AlTask task = make_task(22);
+  ActiveLearnerConfig cfg;
+  cfg.strategy = QueryStrategy::Uncertainty;
+  cfg.max_queries = 12;
+  cfg.batch_size = 4;
+  cfg.seed = 3;
+  ActiveLearner learner(task_model(9), cfg);
+  LabelOracle oracle(task.pool_y, 3);
+  const auto result = learner.run(task.seed, task.pool_x, oracle, {},
+                                  task.test_x, task.test_y);
+
+  // Seed fit + one entry per query round, aligned with the curve.
+  ASSERT_EQ(result.rounds.size(), result.curve.size());
+  ASSERT_EQ(result.rounds.size(), 4u);  // seed + 3 rounds of 4
+  EXPECT_EQ(result.rounds.front().round, 0);
+  EXPECT_EQ(result.rounds.front().batch, 0u);
+  EXPECT_EQ(result.rounds.front().labels_total, 0);
+  EXPECT_EQ(result.rounds.front().pool_size, task.pool_x.rows());
+  EXPECT_DOUBLE_EQ(result.rounds.front().score_seconds, 0.0);
+
+  std::size_t labeled_so_far = 0;
+  for (std::size_t i = 1; i < result.rounds.size(); ++i) {
+    const RoundStats& r = result.rounds[i];
+    EXPECT_EQ(r.round, static_cast<int>(i));
+    EXPECT_EQ(r.batch, 4u);
+    EXPECT_EQ(r.pool_size, task.pool_x.rows() - labeled_so_far);
+    labeled_so_far += r.batch;
+    EXPECT_EQ(r.labels_total, static_cast<int>(labeled_so_far));
+    EXPECT_EQ(r.labels_total, result.curve[i].queries);
+    EXPECT_GE(r.score_seconds, 0.0);
+    EXPECT_GE(r.refit_seconds, 0.0);
+    EXPECT_GE(r.eval_seconds, 0.0);
+  }
+
+  const RoundStatsSummary summary = summarize_rounds(result.rounds);
+  EXPECT_EQ(summary.rounds, result.rounds.size());
+  EXPECT_GT(summary.refit_seconds, 0.0);
+  EXPECT_GE(summary.total_seconds(),
+            summary.score_seconds + summary.refit_seconds);
+
+  // CSV round-trips the same number of rows.
+  const std::string header = round_stats_csv_header();
+  EXPECT_NE(header.find("score_seconds"), std::string::npos);
+  const std::string row = round_stats_csv_row("test", result.rounds.back());
+  EXPECT_EQ(row.rfind("test,", 0), 0u);
 }
 
 // --------------------------------------------------------------- stream ---
