@@ -1,0 +1,101 @@
+// Ablation (extension beyond the paper): degraded telemetry. The paper's
+// pipeline sees cleanly collected LDMS data; production collectors deliver
+// metric dropouts, stuck samplers, NaN bursts, counter resets, stalled rows
+// and truncated runs. This bench sweeps the fault-injection intensity
+// (multiples of the `production_faults()` base rates) against the
+// uncertainty strategy and the random baseline, quantifying how much label
+// budget dirty telemetry costs. Optionally compounds a noisy oracle on top
+// (--oracle-error). Writes the F1-vs-labels degradation curves and each
+// dataset's DataQualityReport as CSV.
+#include "bench_common.hpp"
+#include "common/csv.hpp"
+#include "common/string_util.hpp"
+#include "common/table.hpp"
+#include "ml/grid_search.hpp"
+
+using namespace alba;
+using namespace alba::bench;
+
+int main(int argc, char** argv) {
+  BenchFlags flags;
+  flags.queries = 80;
+  flags.repeats = 2;
+  double oracle_error = 0.0;
+  Cli cli("bench_robustness",
+          "Ablation — telemetry fault intensity vs diagnosis quality");
+  add_standard_flags(cli, flags);
+  cli.flag("oracle-error", &oracle_error,
+           "oracle wrong-label probability on top of the telemetry faults");
+  cli.parse(argc, argv);
+  apply_logging(flags);
+
+  std::printf(
+      "=== Ablation: degraded telemetry (Volta, oracle error %.0f%%) ===\n",
+      100.0 * oracle_error);
+
+  const std::vector<double> intensities{0.0, 0.5, 1.0, 2.0};
+  const std::vector<QueryStrategy> strategies{QueryStrategy::Uncertainty,
+                                              QueryStrategy::Random};
+
+  CsvWriter curves(flags.out_dir + "/robustness_degraded_curves.csv");
+  curves.write_header(
+      {"intensity", "strategy", "queries", "f1_mean", "f1_lo", "f1_hi"});
+  std::ofstream quality_os(flags.out_dir + "/robustness_degraded_quality.csv");
+  quality_os << data_quality_csv_header() << '\n';
+
+  TextTable table({"fault intensity", "strategy", "labels to F1>=0.90",
+                   "final F1", "quarantined metrics", "rows dropped"});
+
+  for (const double intensity : intensities) {
+    DatasetConfig cfg = volta_config(flags.full);
+    cfg.seed = flags.seed;
+    cfg.faults = production_faults().scaled(intensity);
+    const ExperimentData data = build_experiment_data(cfg);
+    quality_os << data_quality_csv_row(strformat("%.2g", intensity),
+                                       data.quality)
+               << '\n';
+
+    for (const QueryStrategy strategy : strategies) {
+      std::vector<QueryCurve> repeats;
+      for (int r = 0; r < flags.repeats; ++r) {
+        const ALSetup setup = standard_setup(data, flags.seed + 100u * r);
+        ActiveLearnerConfig lcfg;
+        lcfg.strategy = strategy;
+        lcfg.max_queries = flags.queries;
+        lcfg.seed = flags.seed + r;
+        ActiveLearner learner(
+            make_model_factory("rf", kNumClasses, flags.seed + r)(
+                table4_optimum("rf", false)),
+            lcfg);
+        LabelOracle oracle(setup.pool_y, kNumClasses, oracle_error,
+                           flags.seed ^ (0xFA17ED + r));
+        repeats.push_back(learner
+                              .run(setup.seed, setup.pool_x, oracle,
+                                   setup.pool_app, setup.test_x, setup.test_y)
+                              .curve);
+      }
+      const AggregatedCurve agg = aggregate_curves(repeats);
+      for (std::size_t i = 0; i < agg.queries.size(); ++i) {
+        curves.write_row({strformat("%.2g", intensity),
+                          std::string(strategy_name(strategy)),
+                          strformat("%d", agg.queries[i]),
+                          strformat("%.6f", agg.f1_mean[i]),
+                          strformat("%.6f", agg.f1_lo[i]),
+                          strformat("%.6f", agg.f1_hi[i])});
+      }
+      table.add_row({strformat("%.2gx", intensity),
+                     std::string(strategy_name(strategy)),
+                     strformat("%d", queries_to_reach(agg, 0.90)),
+                     strformat("%.3f", agg.f1_mean.back()),
+                     strformat("%zu", data.quality.metrics_quarantined),
+                     strformat("%zu", data.quality.rows_dropped)});
+      std::printf("  intensity %.2gx / %s done\n", intensity,
+                  std::string(strategy_name(strategy)).c_str());
+    }
+  }
+
+  std::printf("\n%s", table.render().c_str());
+  std::printf("\ncurves CSV:  %s\nquality CSV: %s\n", curves.path().c_str(),
+              (flags.out_dir + "/robustness_degraded_quality.csv").c_str());
+  return 0;
+}

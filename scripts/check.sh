@@ -1,7 +1,10 @@
 #!/usr/bin/env bash
-# Repo check: the tier-1 build + test suite, then a ThreadSanitizer build
-# of the concurrency-sensitive tests (thread pool, active-learning loop)
-# to catch races in the parallel scoring path.
+# Repo check: the tier-1 build + test suite, an AddressSanitizer +
+# UndefinedBehaviorSanitizer build of the full suite (the fault-injection
+# paths shuffle NaNs and truncated buffers around — exactly where silent
+# out-of-bounds reads would hide), then a ThreadSanitizer build of the
+# concurrency-sensitive tests (thread pool, active-learning loop) to catch
+# races in the parallel scoring path.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -10,6 +13,20 @@ echo "== tier 1: build + ctest =="
 cmake -B build -S . > /dev/null
 cmake --build build -j"$(nproc)" > /dev/null
 (cd build && ctest --output-on-failure -j"$(nproc)")
+
+echo
+echo "== asan+ubsan: full test suite =="
+cmake -B build-asan -S . \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all -fno-omit-frame-pointer" \
+  -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined" > /dev/null
+cmake --build build-asan -j"$(nproc)" --target \
+  test_common test_thread_pool test_linalg test_stats_descriptive \
+  test_stats_spectral test_anomaly test_telemetry test_features \
+  test_preprocess test_ml_metrics test_ml_trees test_ml_linear \
+  test_ml_tools test_active test_active_ext test_core test_properties \
+  test_faults > /dev/null
+(cd build-asan && ctest --output-on-failure -j"$(nproc)")
 
 echo
 echo "== tsan: thread pool + active learning =="

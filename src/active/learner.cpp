@@ -36,6 +36,19 @@ ActiveLearnerResult ActiveLearner::run(const LabeledData& seed,
       << "pool/oracle size mismatch";
   ALBA_CHECK(pool_app_ids.empty() || pool_app_ids.size() == pool_x.rows());
   ALBA_CHECK(test_x.rows() == test_y.size());
+  // Reject degraded pool rows up front: a NaN feature deep in a scoring
+  // round would otherwise surface as an inscrutable model error (or worse,
+  // a silent mis-ranking). The robust extraction path should have
+  // quarantined these — name the sample so the caller can find out why not.
+  for (std::size_t i = 0; i < pool_x.rows(); ++i) {
+    const auto row = pool_x.row(i);
+    for (std::size_t j = 0; j < row.size(); ++j) {
+      ALBA_CHECK(std::isfinite(row[j]))
+          << "non-finite feature in unlabeled pool sample " << i
+          << " (feature column " << j
+          << "); quarantine or drop it before ActiveLearner::run";
+    }
+  }
   const int k = model_->num_classes();
   seed.validate_labels(k);
 

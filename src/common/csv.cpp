@@ -45,12 +45,25 @@ std::string csv_escape(const std::string& field) {
 
 namespace {
 
+// Strips a CRLF line ending (files written on Windows or transferred in
+// text mode) so the '\r' never leaks into the last field.
+void strip_cr(std::string& line) {
+  if (!line.empty() && line.back() == '\r') line.pop_back();
+}
+
 // Parses one logical CSV record (handles quoted fields with embedded
-// newlines by pulling more lines from the stream).
-bool read_record(std::istream& in, std::vector<std::string>& fields) {
+// newlines by pulling more lines from the stream). `line_no` is the 1-based
+// physical line the next record starts at; it is advanced past every line
+// consumed. Throws alba::Error (naming `path` and the record's first line)
+// when a quoted field is still open at end of file.
+bool read_record(std::istream& in, const std::string& path,
+                 std::vector<std::string>& fields, std::size_t& line_no) {
   fields.clear();
   std::string line;
   if (!std::getline(in, line)) return false;
+  const std::size_t record_line = line_no;
+  ++line_no;
+  strip_cr(line);
 
   std::string field;
   bool in_quotes = false;
@@ -60,7 +73,12 @@ bool read_record(std::istream& in, std::vector<std::string>& fields) {
       if (in_quotes) {
         // Quoted field continues on the next physical line.
         field += '\n';
-        if (!std::getline(in, line)) break;
+        if (!std::getline(in, line)) {
+          throw Error(strformat("%s:%zu: unterminated quoted field",
+                                path.c_str(), record_line));
+        }
+        ++line_no;
+        strip_cr(line);
         i = 0;
         continue;
       }
@@ -106,8 +124,23 @@ CsvTable read_csv(const std::string& path) {
   ALBA_CHECK(in.good()) << "cannot open '" << path << "' for reading";
   CsvTable table;
   std::vector<std::string> fields;
-  if (read_record(in, fields)) table.header = fields;
-  while (read_record(in, fields)) table.rows.push_back(fields);
+  std::size_t line_no = 1;
+  if (read_record(in, path, fields, line_no)) table.header = fields;
+  for (;;) {
+    const std::size_t record_line = line_no;
+    if (!read_record(in, path, fields, line_no)) break;
+    // Tolerate blank lines (e.g. a trailing newline at end of file).
+    if (fields.size() == 1 && fields[0].empty()) continue;
+    if (fields.size() != table.header.size()) {
+      const bool trailing_delim =
+          fields.size() == table.header.size() + 1 && fields.back().empty();
+      throw Error(strformat(
+          "%s:%zu: ragged row: %zu fields where the header has %zu%s",
+          path.c_str(), record_line, fields.size(), table.header.size(),
+          trailing_delim ? " (trailing delimiter?)" : ""));
+    }
+    table.rows.push_back(fields);
+  }
   return table;
 }
 

@@ -40,7 +40,11 @@ struct CsvTable {
   std::size_t column_index(const std::string& name) const;
 };
 
-/// Reads an entire CSV file (first row treated as header).
+/// Reads an entire CSV file (first row treated as header). CRLF line
+/// endings are stripped and blank lines skipped. Throws alba::Error naming
+/// the file and 1-based line number on a ragged row (field count differing
+/// from the header — e.g. a trailing delimiter) or a quoted field left open
+/// at end of file.
 CsvTable read_csv(const std::string& path);
 
 /// Escapes a single field per RFC-4180 when needed.

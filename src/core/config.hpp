@@ -17,6 +17,10 @@ struct DatasetConfig {
   SystemKind system = SystemKind::Volta;
   RegistryConfig registry;
   NodeSimConfig sim;
+  // Post-simulation telemetry degradation (default: disabled). When any
+  // rate is positive, build_experiment_data switches to the robust
+  // preprocessing/extraction path and fills ExperimentData::quality.
+  FaultConfig faults;
   PreprocessConfig preprocess;
   CollectionPlan plan;
   ExtractorKind extractor = ExtractorKind::Tsfresh;

@@ -11,7 +11,8 @@ namespace alba {
 
 ExperimentData build_experiment_data(const DatasetConfig& config) {
   Timer timer;
-  RunGenerator generator(config.system, config.registry, config.sim);
+  RunGenerator generator(config.system, config.registry, config.sim,
+                         config.faults);
   const std::size_t num_apps =
       config.num_apps == 0
           ? generator.apps().size()
@@ -28,13 +29,31 @@ ExperimentData build_experiment_data(const DatasetConfig& config) {
   timer.reset();
   const auto extractor = make_extractor(config.extractor);
   ExperimentData data;
-  data.features = extract_features(samples, generator.registry(), *extractor,
-                                   config.preprocess);
+  if (config.faults.enabled()) {
+    // Degraded telemetry: robust extraction with per-metric quarantine
+    // (including the constant-column criterion, which would misfire on
+    // clean data's genuinely idle counters).
+    for (const Sample& s : samples) data.quality.add(s.faults);
+    PreprocessConfig preprocess = config.preprocess;
+    preprocess.quarantine_constant = true;
+    ExtractionQuality extraction_quality;
+    data.features =
+        extract_features_robust(samples, generator.registry(), *extractor,
+                                preprocess, extraction_quality);
+    data.quality.add(extraction_quality);
+  } else {
+    data.features = extract_features(samples, generator.registry(), *extractor,
+                                     config.preprocess);
+  }
   const std::size_t dropped = drop_unusable_columns(data.features);
+  data.quality.columns_dropped = dropped;
   ALBA_LOG(Info) << extractor->name() << " extraction: "
                  << data.features.num_features() << " usable features ("
                  << dropped << " dropped) in "
                  << static_cast<int>(timer.seconds()) << "s";
+  if (config.faults.enabled()) {
+    ALBA_LOG(Info) << "data quality: " << format_data_quality(data.quality);
+  }
 
   for (std::size_t a = 0; a < num_apps; ++a) {
     data.app_names.push_back(generator.apps()[a].name);
@@ -81,6 +100,7 @@ PreparedSplit prepare_split(const ExperimentData& data,
   out.train_x = selector.transform(train_x);
   out.test_x = selector.transform(test_x);
   out.selected_names = selector.transform_names(fm.names);
+  out.degenerate_columns = selector.degenerate_skipped();
   return out;
 }
 

@@ -5,6 +5,7 @@
 #pragma once
 
 #include "core/config.hpp"
+#include "core/data_quality.hpp"
 #include "features/extractor.hpp"
 #include "ml/dataset.hpp"
 #include "preprocess/select_kbest.hpp"
@@ -19,6 +20,9 @@ struct ExperimentData {
   std::size_t num_apps = 0;
   std::size_t inputs_per_app = 0;
   DatasetConfig config;
+  // How degraded the telemetry was and what the pipeline did about it
+  // (faults all zero and nothing quarantined when injection is disabled).
+  DataQualityReport quality;
 };
 
 /// Generates telemetry per the config's collection plan and extracts
@@ -33,6 +37,9 @@ struct PreparedSplit {
   std::vector<int> train_app, test_app;
   std::vector<int> train_input, test_input;
   std::vector<std::string> selected_names;
+  // Columns the chi-square selector refused for being constant or
+  // non-finite within this split's training partition.
+  std::size_t degenerate_columns = 0;
 };
 
 PreparedSplit prepare_split(const ExperimentData& data,

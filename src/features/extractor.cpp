@@ -76,6 +76,89 @@ FeatureMatrix extract_features(const std::vector<Sample>& samples,
   return fm;
 }
 
+FeatureMatrix extract_features_robust(const std::vector<Sample>& samples,
+                                      const MetricRegistry& registry,
+                                      const FeatureExtractor& extractor,
+                                      const PreprocessConfig& preprocess,
+                                      ExtractionQuality& quality) {
+  ALBA_CHECK(!samples.empty());
+  quality = ExtractionQuality{};
+  const std::size_t m = registry.size();
+  const std::size_t f = extractor.num_features();
+  const std::size_t cols = m * f;
+
+  FeatureMatrix fm;
+  fm.x = Matrix(samples.size(), cols);
+  fm.names.reserve(cols);
+  const auto& feature_names = extractor.feature_names();
+  for (std::size_t j = 0; j < m; ++j) {
+    for (std::size_t k = 0; k < f; ++k) {
+      fm.names.push_back(registry.metric(j).name + "|" + feature_names[k]);
+    }
+  }
+
+  fm.labels.resize(samples.size());
+  fm.app_ids.resize(samples.size());
+  fm.input_ids.resize(samples.size());
+  fm.run_ids.resize(samples.size());
+  fm.node_ids.resize(samples.size());
+
+  // Per-sample accounting, aggregated after the parallel loop.
+  std::vector<SeriesQuality> series_quality(samples.size());
+  std::vector<std::size_t> failures(samples.size(), 0);
+
+  parallel_for(samples.size(), [&](std::size_t s) {
+    const Sample& sample = samples[s];
+    fm.labels[s] = anomaly_label(sample.label);
+    fm.app_ids[s] = sample.app_id;
+    fm.input_ids[s] = sample.input_id;
+    fm.run_ids[s] = sample.run_id;
+    fm.node_ids[s] = sample.node_index;
+
+    SeriesQuality& sq = series_quality[s];
+    const Matrix clean =
+        preprocess_series_robust(sample.series, registry, preprocess, sq);
+    auto row = fm.x.row(s);
+    if (!sq.usable) {
+      for (auto& v : row) v = 0.0;  // row is dropped below
+      return;
+    }
+    for (std::size_t j = 0; j < m; ++j) {
+      auto block = row.subspan(j * f, f);
+      if (!sq.metric_ok[j]) {
+        for (auto& v : block) v = 0.0;
+        continue;
+      }
+      const std::vector<double> col = clean.col(j);
+      try {
+        extractor.extract(col, block);
+      } catch (const Error&) {
+        for (auto& v : block) v = 0.0;
+        ++failures[s];
+      }
+    }
+  });
+
+  std::vector<std::size_t> keep;
+  keep.reserve(samples.size());
+  for (std::size_t s = 0; s < samples.size(); ++s) {
+    const SeriesQuality& sq = series_quality[s];
+    if (!sq.usable) {
+      quality.dropped_samples.push_back(s);
+      continue;
+    }
+    keep.push_back(s);
+    quality.cells_interpolated += sq.cells_interpolated;
+    quality.metrics_quarantined += sq.metrics_quarantined;
+    quality.feature_failures += failures[s];
+  }
+  quality.rows_dropped = quality.dropped_samples.size();
+  ALBA_CHECK(!keep.empty())
+      << "all " << samples.size() << " samples were unusable after repair";
+  if (quality.rows_dropped > 0) fm = fm.select_rows(keep);
+  return fm;
+}
+
 std::size_t drop_unusable_columns(FeatureMatrix& fm) {
   const std::size_t n = fm.x.rows();
   const std::size_t c = fm.x.cols();

@@ -46,6 +46,27 @@ FeatureMatrix extract_features(const std::vector<Sample>& samples,
                                const FeatureExtractor& extractor,
                                const PreprocessConfig& preprocess);
 
+/// Aggregated repair/degradation accounting from `extract_features_robust`.
+struct ExtractionQuality {
+  std::size_t cells_interpolated = 0;    // NaN cells repaired, all samples
+  std::size_t metrics_quarantined = 0;   // per-sample metric quarantines
+  std::size_t feature_failures = 0;      // per-metric extractor throws caught
+  std::size_t rows_dropped = 0;          // samples removed entirely
+  std::vector<std::size_t> dropped_samples;  // indices into `samples`
+};
+
+/// Degraded-telemetry variant of `extract_features`: preprocesses with
+/// `preprocess_series_robust`, zero-fills the feature block of quarantined
+/// metrics (behind the per-metric validity mask), catches a per-metric
+/// extractor failure — zero-fill and count — instead of letting it abort
+/// the whole matrix, and drops samples whose series is unusable (e.g.
+/// truncated below the trim window). Throws only when no sample survives.
+FeatureMatrix extract_features_robust(const std::vector<Sample>& samples,
+                                      const MetricRegistry& registry,
+                                      const FeatureExtractor& extractor,
+                                      const PreprocessConfig& preprocess,
+                                      ExtractionQuality& quality);
+
 /// Removes columns that contain any non-finite value or are constant across
 /// all samples. Returns the number of columns dropped.
 std::size_t drop_unusable_columns(FeatureMatrix& fm);

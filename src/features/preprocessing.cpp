@@ -1,6 +1,7 @@
 #include "features/preprocessing.hpp"
 
 #include <cmath>
+#include <limits>
 
 #include "common/error.hpp"
 
@@ -78,6 +79,72 @@ Matrix preprocess_series(const Matrix& raw, const MetricRegistry& registry,
     } else {
       // Drop the first kept sample so gauge rows align with counter rates.
       for (std::size_t t = 0; t < t_out; ++t) out(t, j) = col[t + 1];
+    }
+  }
+  return out;
+}
+
+Matrix preprocess_series_robust(const Matrix& raw,
+                                const MetricRegistry& registry,
+                                const PreprocessConfig& config,
+                                SeriesQuality& quality) {
+  ALBA_CHECK(raw.cols() == registry.size())
+      << "series has " << raw.cols() << " metrics, registry has "
+      << registry.size();
+  ALBA_CHECK(config.trim_head >= 0 && config.trim_tail >= 0);
+  quality = SeriesQuality{};
+
+  const std::size_t t_raw = raw.rows();
+  const auto head = static_cast<std::size_t>(config.trim_head);
+  const auto tail = static_cast<std::size_t>(config.trim_tail);
+  if (t_raw <= head + tail + 1) return Matrix();  // truncated past repair
+  quality.usable = true;
+
+  const std::size_t t_kept = t_raw - head - tail;
+  const std::size_t t_out = t_kept - 1;
+  const std::size_t m = raw.cols();
+  quality.metric_ok.assign(m, 1);
+
+  Matrix out(t_out, m);
+  std::vector<double> col(t_kept);
+  for (std::size_t j = 0; j < m; ++j) {
+    std::size_t finite = 0;
+    for (std::size_t t = 0; t < t_kept; ++t) {
+      col[t] = raw(head + t, j);
+      if (std::isfinite(col[t])) {
+        ++finite;
+      } else {
+        // Treat infinities like missing samples so interpolation repairs
+        // them instead of leaking into the features.
+        col[t] = std::numeric_limits<double>::quiet_NaN();
+      }
+    }
+    auto quarantine = [&] {
+      quality.metric_ok[j] = 0;
+      ++quality.metrics_quarantined;
+      for (std::size_t t = 0; t < t_out; ++t) out(t, j) = 0.0;
+    };
+    if (finite < kMinFiniteSamples) {
+      quarantine();
+      continue;
+    }
+    quality.cells_interpolated += t_kept - finite;
+    interpolate_nans(col);
+    if (registry.metric(j).kind == MetricKind::Counter) {
+      const auto rates = difference_counter(col);
+      for (std::size_t t = 0; t < t_out; ++t) out(t, j) = rates[t];
+    } else {
+      for (std::size_t t = 0; t < t_out; ++t) out(t, j) = col[t + 1];
+    }
+    if (config.quarantine_constant) {
+      bool constant = true;
+      for (std::size_t t = 1; t < t_out; ++t) {
+        if (out(t, j) != out(0, j)) {
+          constant = false;
+          break;
+        }
+      }
+      if (constant) quarantine();
     }
   }
   return out;

@@ -6,6 +6,7 @@
 // gauge-values / counter-rates with no NaNs, ready for feature extraction.
 #pragma once
 
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -17,6 +18,12 @@ namespace alba {
 struct PreprocessConfig {
   int trim_head = 6;  // samples dropped at the start (init phase)
   int trim_tail = 5;  // samples dropped at the end (termination phase)
+  // Robust path only (`preprocess_series_robust`): additionally quarantine
+  // metrics whose processed column is constant — a stuck gauge or dead
+  // counter. Off by default because clean simulated data legitimately
+  // contains idle counters (zero rate throughout a run); the pipeline turns
+  // it on when fault injection is enabled.
+  bool quarantine_constant = false;
 };
 
 /// Linear interpolation of NaNs in place. Interior gaps are interpolated
@@ -33,5 +40,31 @@ std::vector<double> difference_counter(std::span<const double> x);
 /// columns drop their first trimmed sample to stay aligned).
 Matrix preprocess_series(const Matrix& raw, const MetricRegistry& registry,
                          const PreprocessConfig& config);
+
+/// A metric needs at least this many finite samples in the kept window to
+/// be repairable by interpolation; below it the column is quarantined.
+inline constexpr std::size_t kMinFiniteSamples = 3;
+
+/// Repair/quarantine accounting for one sample's robust preprocessing.
+struct SeriesQuality {
+  bool usable = false;                  // false: series too short to trim
+  std::size_t cells_interpolated = 0;   // NaN cells repaired
+  std::size_t metrics_quarantined = 0;  // columns zero-filled
+  std::vector<std::uint8_t> metric_ok;  // per column, 1 = trustworthy
+};
+
+/// Degraded-telemetry variant of `preprocess_series`. Shape mismatches
+/// against the registry still throw, but bad *data* no longer does: a
+/// metric that cannot be repaired — all-NaN, fewer than kMinFiniteSamples
+/// finite samples, or (with `config.quarantine_constant`) constant after
+/// processing — is quarantined, i.e. its output column is zero-filled and
+/// flagged in `quality.metric_ok`. A series too short for the configured
+/// trim returns an empty matrix with `quality.usable == false`. On clean
+/// input (and quarantine_constant off) the output is bit-identical to
+/// `preprocess_series`.
+Matrix preprocess_series_robust(const Matrix& raw,
+                                const MetricRegistry& registry,
+                                const PreprocessConfig& config,
+                                SeriesQuality& quality);
 
 }  // namespace alba

@@ -1,7 +1,7 @@
 #include "preprocess/select_kbest.hpp"
 
 #include <algorithm>
-#include <numeric>
+#include <cmath>
 
 #include "common/error.hpp"
 #include "stats/chi2.hpp"
@@ -10,10 +10,53 @@ namespace alba {
 
 void SelectKBestChi2::fit(const Matrix& x, std::span<const int> y) {
   ALBA_CHECK(k_ > 0) << "SelectKBest with k = 0";
-  scores_ = stats::chi2_scores(x, y);
+  const std::size_t n = x.rows();
+  const std::size_t cols = x.cols();
 
-  std::vector<std::size_t> order(scores_.size());
-  std::iota(order.begin(), order.end(), std::size_t{0});
+  // A column with any non-finite value or zero variance carries no
+  // chi-square signal (and NaNs would poison the scores); exclude it.
+  std::vector<char> degenerate(cols, 0);
+  bool any_nonfinite = false;
+  for (std::size_t j = 0; j < cols; ++j) {
+    const double first = n > 0 ? x(0, j) : 0.0;
+    bool constant = true;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double v = x(i, j);
+      if (!std::isfinite(v)) {
+        degenerate[j] = 1;
+        any_nonfinite = true;
+        constant = false;
+        break;
+      }
+      if (v != first) constant = false;
+    }
+    if (constant) degenerate[j] = 1;
+  }
+  degenerate_ = static_cast<std::size_t>(
+      std::count(degenerate.begin(), degenerate.end(), char{1}));
+
+  if (any_nonfinite) {
+    // chi2_scores rejects non-finite input; score a copy with the poisoned
+    // columns zeroed (they are excluded from selection regardless).
+    Matrix clean = x;
+    for (std::size_t j = 0; j < cols; ++j) {
+      if (!degenerate[j]) continue;
+      for (std::size_t i = 0; i < n; ++i) {
+        if (!std::isfinite(clean(i, j))) clean(i, j) = 0.0;
+      }
+    }
+    scores_ = stats::chi2_scores(clean, y);
+  } else {
+    scores_ = stats::chi2_scores(x, y);
+  }
+
+  std::vector<std::size_t> order;
+  order.reserve(cols - degenerate_);
+  for (std::size_t j = 0; j < cols; ++j) {
+    if (!degenerate[j]) order.push_back(j);
+  }
+  ALBA_CHECK(!order.empty())
+      << "all " << cols << " columns are degenerate (constant or non-finite)";
   std::stable_sort(order.begin(), order.end(),
                    [this](std::size_t a, std::size_t b) {
                      return scores_[a] > scores_[b];

@@ -18,7 +18,10 @@ class SelectKBestChi2 {
 
   /// Scores all columns of (non-negative) `x` against `y` and records the
   /// indices of the k highest-scoring ones (ties broken by column order).
-  /// k is clamped to the number of columns.
+  /// k is clamped to the number of columns. Degenerate columns — any
+  /// non-finite value, or constant across all rows (zero variance, so
+  /// chi-square carries no signal) — are never selected; throws when every
+  /// column is degenerate.
   void fit(const Matrix& x, std::span<const int> y);
 
   /// Returns a matrix holding only the selected columns, in score order.
@@ -39,11 +42,14 @@ class SelectKBestChi2 {
   }
   const std::vector<double>& scores() const noexcept { return scores_; }
   std::size_t k() const noexcept { return k_; }
+  /// Columns excluded from the last fit for being degenerate.
+  std::size_t degenerate_skipped() const noexcept { return degenerate_; }
 
  private:
   std::size_t k_;
   std::vector<std::size_t> selected_;
   std::vector<double> scores_;
+  std::size_t degenerate_ = 0;
 };
 
 }  // namespace alba

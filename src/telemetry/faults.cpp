@@ -1,0 +1,171 @@
+#include "telemetry/faults.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace alba {
+
+namespace {
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+double clamp01(double v) noexcept { return std::clamp(v, 0.0, 1.0); }
+
+}  // namespace
+
+bool FaultConfig::enabled() const noexcept {
+  return metric_dropout_rate > 0.0 || stuck_rate > 0.0 ||
+         nan_burst_rate > 0.0 || counter_reset_rate > 0.0 ||
+         row_stall_rate > 0.0 || truncate_prob > 0.0;
+}
+
+FaultConfig FaultConfig::scaled(double intensity) const noexcept {
+  FaultConfig out = *this;
+  out.metric_dropout_rate = clamp01(metric_dropout_rate * intensity);
+  out.stuck_rate = clamp01(stuck_rate * intensity);
+  out.nan_burst_rate = clamp01(nan_burst_rate * intensity);
+  out.counter_reset_rate = clamp01(counter_reset_rate * intensity);
+  out.row_stall_rate = clamp01(row_stall_rate * intensity);
+  out.truncate_prob = clamp01(truncate_prob * intensity);
+  return out;
+}
+
+FaultConfig production_faults() {
+  FaultConfig cfg;
+  cfg.metric_dropout_rate = 0.02;
+  cfg.stuck_rate = 0.02;
+  cfg.nan_burst_rate = 0.05;
+  cfg.nan_burst_len = 8;
+  cfg.counter_reset_rate = 0.03;
+  cfg.row_stall_rate = 0.01;
+  cfg.truncate_prob = 0.04;
+  cfg.truncate_min_frac = 0.4;
+  return cfg;
+}
+
+std::size_t FaultSummary::total_events() const noexcept {
+  return metric_dropouts + stuck_metrics + nan_bursts + counter_resets +
+         stalled_rows + truncated_runs;
+}
+
+FaultSummary& FaultSummary::operator+=(const FaultSummary& other) noexcept {
+  metric_dropouts += other.metric_dropouts;
+  stuck_metrics += other.stuck_metrics;
+  nan_bursts += other.nan_bursts;
+  counter_resets += other.counter_resets;
+  stalled_rows += other.stalled_rows;
+  truncated_runs += other.truncated_runs;
+  truncated_rows += other.truncated_rows;
+  cells_corrupted += other.cells_corrupted;
+  return *this;
+}
+
+TelemetryFaultInjector::TelemetryFaultInjector(FaultConfig config)
+    : config_(config) {
+  auto rate_ok = [](double r) { return r >= 0.0 && r <= 1.0; };
+  ALBA_CHECK(rate_ok(config_.metric_dropout_rate) &&
+             rate_ok(config_.stuck_rate) && rate_ok(config_.nan_burst_rate) &&
+             rate_ok(config_.counter_reset_rate) &&
+             rate_ok(config_.row_stall_rate) && rate_ok(config_.truncate_prob))
+      << "fault rates must lie in [0, 1]";
+  ALBA_CHECK(config_.nan_burst_len >= 1)
+      << "nan_burst_len " << config_.nan_burst_len << " < 1";
+  ALBA_CHECK(config_.truncate_min_frac > 0.0 && config_.truncate_min_frac <= 1.0)
+      << "truncate_min_frac " << config_.truncate_min_frac << " outside (0, 1]";
+}
+
+FaultSummary TelemetryFaultInjector::apply(Matrix& series,
+                                           const MetricRegistry& registry,
+                                           Rng& rng) const {
+  ALBA_CHECK(series.cols() == registry.size())
+      << "series has " << series.cols() << " metrics, registry has "
+      << registry.size();
+  FaultSummary summary;
+  if (series.rows() == 0 || series.cols() == 0) return summary;
+  const std::size_t m = series.cols();
+
+  // 1. Run truncation (job killed early). Both draws happen whether or not
+  // the run is cut so the stream consumed by later stages is independent of
+  // the outcome.
+  const bool truncate = rng.bernoulli(config_.truncate_prob);
+  const double keep_frac = rng.uniform(config_.truncate_min_frac, 1.0);
+  if (truncate) {
+    const std::size_t t_full = series.rows();
+    const auto t_cut = std::max<std::size_t>(
+        2, static_cast<std::size_t>(keep_frac * static_cast<double>(t_full)));
+    if (t_cut < t_full) {
+      Matrix cut(t_cut, m);
+      for (std::size_t t = 0; t < t_cut; ++t) {
+        for (std::size_t j = 0; j < m; ++j) cut(t, j) = series(t, j);
+      }
+      series = std::move(cut);
+      summary.truncated_runs = 1;
+      summary.truncated_rows = t_full - t_cut;
+    }
+  }
+  const std::size_t rows = series.rows();
+
+  // 2. Stalled sampler: row t re-delivers row t-1.
+  if (config_.row_stall_rate > 0.0) {
+    for (std::size_t t = 1; t < rows; ++t) {
+      if (!rng.bernoulli(config_.row_stall_rate)) continue;
+      for (std::size_t j = 0; j < m; ++j) series(t, j) = series(t - 1, j);
+      ++summary.stalled_rows;
+      summary.cells_corrupted += m;
+    }
+  }
+
+  // 3. Per-metric lottery (dropout / stuck / NaN burst are mutually
+  // exclusive for one metric) plus the independent counter-reset draw.
+  const double p_drop = config_.metric_dropout_rate;
+  const double p_stuck = p_drop + config_.stuck_rate;
+  const double p_burst = p_stuck + config_.nan_burst_rate;
+  for (std::size_t j = 0; j < m; ++j) {
+    const double u = rng.uniform();
+    const std::size_t onset = rng.uniform_index(rows);
+    if (u < p_drop) {
+      for (std::size_t t = 0; t < rows; ++t) series(t, j) = kNaN;
+      ++summary.metric_dropouts;
+      summary.cells_corrupted += rows;
+    } else if (u < p_stuck) {
+      // Dead sampler: repeat the last good reading from `onset` on. Walk
+      // back past missing cells for the held value; a column with no finite
+      // reading before the onset freezes at 0.
+      double held = 0.0;
+      for (std::size_t t = onset + 1; t-- > 0;) {
+        if (std::isfinite(series(t, j))) {
+          held = series(t, j);
+          break;
+        }
+      }
+      for (std::size_t t = onset; t < rows; ++t) series(t, j) = held;
+      ++summary.stuck_metrics;
+      summary.cells_corrupted += rows - onset;
+    } else if (u < p_burst) {
+      const std::size_t len = std::min<std::size_t>(
+          static_cast<std::size_t>(config_.nan_burst_len), rows - onset);
+      for (std::size_t t = onset; t < onset + len; ++t) series(t, j) = kNaN;
+      ++summary.nan_bursts;
+      summary.cells_corrupted += len;
+    }
+
+    if (registry.metric(j).kind == MetricKind::Counter && rows >= 2) {
+      const bool reset = rng.bernoulli(config_.counter_reset_rate);
+      const std::size_t t0 = 1 + rng.uniform_index(rows - 1);
+      // A reset on an erased column is invisible (the collector is down);
+      // skip it so the accounting only counts observable resets.
+      if (reset && std::isfinite(series(t0, j))) {
+        const double base = series(t0, j);
+        for (std::size_t t = t0; t < rows; ++t) series(t, j) -= base;
+        ++summary.counter_resets;
+        summary.cells_corrupted += rows - t0;
+      }
+    }
+  }
+  return summary;
+}
+
+}  // namespace alba

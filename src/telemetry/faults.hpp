@@ -1,0 +1,102 @@
+// Telemetry fault injection: degrades a raw T x M node series the way
+// production collectors do, beyond the sparse per-cell misses the simulator
+// already models. The failure modes follow what LDMS-style pipelines see in
+// the field: whole-metric dropouts (a sampler plugin dies for the run),
+// stuck-at-constant readings (a dead sensor repeats its last value), bursts
+// of consecutive missing samples (aggregator hiccup), mid-run counter
+// resets (daemon restart — the source of the negative first differences the
+// preprocessing clamp exists for), stalled/duplicated sample rows, and run
+// truncation (job killed early). Injection is seeded and deterministic:
+// the same config, series shape, and RNG stream reproduce the exact same
+// corruption, so degraded datasets are as replayable as clean ones.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/rng.hpp"
+#include "linalg/matrix.hpp"
+#include "telemetry/registry.hpp"
+
+namespace alba {
+
+/// Rates are probabilities per site (per metric, per row, or per run —
+/// see each field). All-zero (the default) means injection is disabled and
+/// the telemetry path behaves exactly as before this subsystem existed.
+struct FaultConfig {
+  // Per-metric lottery, mutually exclusive in this order: the whole column
+  // goes missing; the sampler freezes at a random onset and repeats the
+  // last good reading; a burst of `nan_burst_len` consecutive cells is
+  // dropped starting at a random step.
+  double metric_dropout_rate = 0.0;
+  double stuck_rate = 0.0;
+  double nan_burst_rate = 0.0;
+  int nan_burst_len = 8;
+
+  // Counter metrics only (drawn independently of the lottery above): the
+  // cumulative counter restarts from zero at a random mid-run step.
+  double counter_reset_rate = 0.0;
+
+  // Per-row probability (rows 1..T-1) that the collector re-delivers the
+  // previous scan: row t becomes a copy of row t-1.
+  double row_stall_rate = 0.0;
+
+  // Per-run probability the series is truncated to a uniform fraction in
+  // [truncate_min_frac, 1) of its rows (job killed early). Downstream, a
+  // series left too short for the configured trim is dropped — and
+  // accounted for — by the robust preprocessing path.
+  double truncate_prob = 0.0;
+  double truncate_min_frac = 0.4;
+
+  /// True when any rate is positive (injection would do something).
+  bool enabled() const noexcept;
+
+  /// Every rate multiplied by `intensity` and clamped to [0, 1] — the
+  /// single knob the robustness ablation sweeps. 0 disables injection.
+  FaultConfig scaled(double intensity) const noexcept;
+};
+
+/// A moderately unhealthy production collector: every failure mode active
+/// at a plausible base rate. `production_faults().scaled(x)` is the unit
+/// the robustness ablation multiplies.
+FaultConfig production_faults();
+
+/// What one `TelemetryFaultInjector::apply` call actually did. Summaries
+/// add across samples into the experiment-level DataQualityReport.
+struct FaultSummary {
+  std::size_t metric_dropouts = 0;  // columns erased for the whole run
+  std::size_t stuck_metrics = 0;    // columns frozen from a random onset
+  std::size_t nan_bursts = 0;       // NaN bursts placed
+  std::size_t counter_resets = 0;   // counters restarted mid-run
+  std::size_t stalled_rows = 0;     // rows replaced by the previous scan
+  std::size_t truncated_runs = 0;   // series cut short (0 or 1 per apply)
+  std::size_t truncated_rows = 0;   // rows removed by truncation
+  std::size_t cells_corrupted = 0;  // cells overwritten by any fault
+
+  /// Total fault events (not cells): one per dropout/stuck/burst/reset/
+  /// stalled row/truncation.
+  std::size_t total_events() const noexcept;
+
+  FaultSummary& operator+=(const FaultSummary& other) noexcept;
+};
+
+class TelemetryFaultInjector {
+ public:
+  /// Validates the config (rates in [0, 1], burst length >= 1,
+  /// truncate_min_frac in (0, 1]); throws alba::Error otherwise.
+  explicit TelemetryFaultInjector(FaultConfig config);
+
+  const FaultConfig& config() const noexcept { return config_; }
+
+  /// Corrupts `series` (raw T x M telemetry of one node, columns matching
+  /// `registry`) in place and returns the damage report. `rng` should be a
+  /// stream dedicated to this (run, node) so injection neither perturbs nor
+  /// depends on the simulation's own draws.
+  FaultSummary apply(Matrix& series, const MetricRegistry& registry,
+                     Rng& rng) const;
+
+ private:
+  FaultConfig config_;
+};
+
+}  // namespace alba

@@ -9,11 +9,12 @@
 namespace alba {
 
 RunGenerator::RunGenerator(SystemKind kind, RegistryConfig registry_config,
-                           NodeSimConfig sim_config)
+                           NodeSimConfig sim_config, FaultConfig faults)
     : kind_(kind),
       registry_(kind, registry_config),
       apps_(applications_for(kind)),
-      simulator_(registry_, sim_config) {}
+      simulator_(registry_, sim_config),
+      injector_(faults) {}
 
 std::vector<Sample> RunGenerator::generate_run(const RunSpec& spec) const {
   ALBA_CHECK(spec.app_id >= 0 &&
@@ -40,6 +41,14 @@ std::vector<Sample> RunGenerator::generate_run(const RunSpec& spec) const {
     const AnomalyInjector* inj = (node == 0) ? injector.get() : nullptr;
     Sample s;
     s.series = simulator_.simulate(app, deck, node, inj, node_rng);
+    if (injector_.config().enabled()) {
+      // Dedicated stream per (run, node), split from the same parent as the
+      // simulation streams (split never advances the parent), so the clean
+      // series above stays bit-identical whether or not faults are on.
+      Rng fault_rng =
+          run_rng.split(0xFA017EC0ULL + static_cast<std::uint64_t>(node));
+      s.faults = injector_.apply(s.series, registry_, fault_rng);
+    }
     s.app_id = spec.app_id;
     s.input_id = spec.input_id;
     s.node_index = node;

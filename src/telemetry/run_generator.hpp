@@ -11,6 +11,7 @@
 #include "anomaly/anomaly.hpp"
 #include "linalg/matrix.hpp"
 #include "telemetry/app_model.hpp"
+#include "telemetry/faults.hpp"
 #include "telemetry/node_sim.hpp"
 #include "telemetry/registry.hpp"
 
@@ -34,17 +35,22 @@ struct Sample {
   int node_index = 0;
   int run_id = 0;
   AnomalyType label = AnomalyType::Healthy;
+  FaultSummary faults;  // injected degradation (all zero when disabled)
 };
 
 class RunGenerator {
  public:
+  /// `faults` (default: disabled) corrupts every node's series
+  /// post-simulation from a dedicated RNG stream, so enabling injection
+  /// never perturbs the clean simulation draws.
   RunGenerator(SystemKind kind, RegistryConfig registry_config,
-               NodeSimConfig sim_config);
+               NodeSimConfig sim_config, FaultConfig faults = {});
 
   const MetricRegistry& registry() const noexcept { return registry_; }
   const std::vector<AppSignature>& apps() const noexcept { return apps_; }
   SystemKind kind() const noexcept { return kind_; }
   const NodeSimulator& simulator() const noexcept { return simulator_; }
+  const FaultConfig& faults() const noexcept { return injector_.config(); }
 
   /// Simulates all nodes of one run; node 0 hosts the anomaly if any.
   std::vector<Sample> generate_run(const RunSpec& spec) const;
@@ -57,6 +63,7 @@ class RunGenerator {
   MetricRegistry registry_;
   std::vector<AppSignature> apps_;
   NodeSimulator simulator_;
+  TelemetryFaultInjector injector_;
 };
 
 /// Builds the paper-style collection plan for a system:

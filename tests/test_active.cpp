@@ -136,6 +136,34 @@ TEST(Oracle, NoisyOracleErrsAtConfiguredRate) {
   EXPECT_NEAR(static_cast<double>(wrong) / 5000.0, 0.2, 0.02);
 }
 
+TEST(Oracle, ZeroErrorRateIsExactOnEveryQuery) {
+  std::vector<int> labels(2000);
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    labels[i] = static_cast<int>(i % 6);
+  }
+  LabelOracle oracle(labels, 6, 0.0, 99);
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    ASSERT_EQ(oracle.annotate(i), labels[i]) << "sample " << i;
+  }
+}
+
+TEST(Oracle, WrongAnswersAreValidClassesSpreadOverAlternatives) {
+  std::vector<int> labels(4000, 2);
+  LabelOracle oracle(std::move(labels), 6, 0.5, 11);
+  std::set<int> wrong_classes;
+  for (std::size_t i = 0; i < 4000; ++i) {
+    const int answer = oracle.annotate(i);
+    ASSERT_GE(answer, 0);
+    ASSERT_LT(answer, 6);
+    if (answer != 2) wrong_classes.insert(answer);
+  }
+  // A wrong answer is drawn uniformly among the OTHER classes: with ~2000
+  // errors every alternative must appear, and the truth never counts as
+  // an error.
+  EXPECT_EQ(wrong_classes.size(), 5u);
+  EXPECT_EQ(wrong_classes.count(2), 0u);
+}
+
 TEST(Oracle, RejectsBadConstruction) {
   EXPECT_THROW(LabelOracle({0, 9}, 6), Error);
   EXPECT_THROW(LabelOracle({0}, 1), Error);

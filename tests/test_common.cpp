@@ -5,6 +5,7 @@
 #include <atomic>
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
 #include <set>
 
 #include "common/cli.hpp"
@@ -243,6 +244,91 @@ TEST(Csv, WriteReadRoundtrip) {
 
 TEST(Csv, ReadMissingFileThrows) {
   EXPECT_THROW(read_csv("/nonexistent/path/file.csv"), Error);
+}
+
+namespace {
+
+std::string write_temp_csv(const std::string& name, const std::string& body) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / name).string();
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << body;
+  return path;
+}
+
+}  // namespace
+
+TEST(Csv, CrlfLineEndingsAreStripped) {
+  const std::string path = write_temp_csv(
+      "alba_csv_crlf.csv", "name,value\r\na,1\r\nb,2\r\n");
+  const CsvTable t = read_csv(path);
+  ASSERT_EQ(t.rows.size(), 2u);
+  EXPECT_EQ(t.header.back(), "value");  // no '\r' tail
+  EXPECT_EQ(t.rows[0][1], "1");
+  EXPECT_EQ(t.rows[1][1], "2");
+  std::filesystem::remove(path);
+}
+
+TEST(Csv, BlankLinesAreSkipped) {
+  const std::string path =
+      write_temp_csv("alba_csv_blank.csv", "name,value\na,1\n\nb,2\n\n");
+  const CsvTable t = read_csv(path);
+  EXPECT_EQ(t.rows.size(), 2u);
+  std::filesystem::remove(path);
+}
+
+TEST(Csv, RaggedRowThrowsWithLineNumber) {
+  const std::string path = write_temp_csv(
+      "alba_csv_ragged.csv", "name,value\na,1\nb,2,unexpected,extra\n");
+  try {
+    read_csv(path);
+    FAIL() << "expected alba::Error on ragged row";
+  } catch (const Error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find(":3:"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("ragged row"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("4 fields"), std::string::npos) << msg;
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(Csv, TrailingDelimiterThrowsWithHint) {
+  const std::string path =
+      write_temp_csv("alba_csv_trail.csv", "name,value\na,1,\n");
+  try {
+    read_csv(path);
+    FAIL() << "expected alba::Error on trailing delimiter";
+  } catch (const Error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find(":2:"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("trailing delimiter"), std::string::npos) << msg;
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(Csv, UnterminatedQuoteThrowsWithLineNumber) {
+  const std::string path = write_temp_csv(
+      "alba_csv_quote.csv", "name,value\na,\"open quote never closes\n");
+  try {
+    read_csv(path);
+    FAIL() << "expected alba::Error on unterminated quote";
+  } catch (const Error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find(":2:"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("unterminated"), std::string::npos) << msg;
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(Csv, QuotedFieldWithEmbeddedNewlineStillParses) {
+  const std::string path = write_temp_csv(
+      "alba_csv_multiline.csv", "name,value\n\"two\nlines\",1\nb,2\n");
+  const CsvTable t = read_csv(path);
+  ASSERT_EQ(t.rows.size(), 2u);
+  EXPECT_EQ(t.rows[0][0], "two\nlines");
+  // The physical line offset is tracked across the multi-line record: a
+  // ragged row after it still reports the right line.
+  std::filesystem::remove(path);
 }
 
 

@@ -42,6 +42,26 @@ TEST(Interpolate, NoNaNIsNoop) {
   EXPECT_EQ(x, (std::vector<double>{1.0, 2.0, 3.0}));
 }
 
+TEST(Interpolate, SingleElementEdges) {
+  std::vector<double> lone_nan{kNaN};
+  interpolate_nans(lone_nan);
+  EXPECT_DOUBLE_EQ(lone_nan[0], 0.0);
+
+  std::vector<double> lone_value{4.5};
+  interpolate_nans(lone_value);
+  EXPECT_DOUBLE_EQ(lone_value[0], 4.5);
+
+  std::vector<double> empty;
+  interpolate_nans(empty);  // must not crash
+  EXPECT_TRUE(empty.empty());
+}
+
+TEST(Interpolate, LoneFiniteValueFillsBothSides) {
+  std::vector<double> x{kNaN, kNaN, 9.0, kNaN, kNaN};
+  interpolate_nans(x);
+  for (const double v : x) EXPECT_DOUBLE_EQ(v, 9.0);
+}
+
 // ---------------------------------------------------------- differencing ---
 
 TEST(DifferenceCounter, BasicRates) {
@@ -59,6 +79,20 @@ TEST(DifferenceCounter, ClampsCounterResets) {
 
 TEST(DifferenceCounter, TooShortThrows) {
   EXPECT_THROW(difference_counter(std::vector<double>{1.0}), Error);
+}
+
+TEST(DifferenceCounter, LengthTwoYieldsOneRate) {
+  const auto d = difference_counter(std::vector<double>{7.0, 11.5});
+  ASSERT_EQ(d.size(), 1u);
+  EXPECT_DOUBLE_EQ(d[0], 4.5);
+}
+
+TEST(DifferenceCounter, EveryResetClampsIndependently) {
+  // Two mid-run resets (e.g. repeated injected counter resets): each
+  // negative step clamps to zero while the climbs in between survive.
+  const std::vector<double> x{50.0, 60.0, 5.0, 15.0, 2.0, 4.0};
+  const auto d = difference_counter(x);
+  EXPECT_EQ(d, (std::vector<double>{10.0, 0.0, 10.0, 0.0, 2.0}));
 }
 
 // ---------------------------------------------------------- preprocess ---
