@@ -1,0 +1,213 @@
+// Serving-path benchmark: end-to-end from an exported ModelBundle. Trains
+// a small model, freezes it with export_model_bundle, reloads it into a
+// DiagnosisService, and serves a stream of raw telemetry windows (with a
+// repeated-window share to exercise the LRU cache), sweeping micro-batch
+// size x thread count and reporting p50/p99 request latency, windows/sec,
+// and cache hit rate per configuration.
+//
+// --smoke runs the CI gate instead of the sweep: serve 100 windows and
+// assert nonzero throughput plus bit-identical agreement with the offline
+// pipeline (extract_features -> project -> scale -> select -> predict).
+//
+//   ./build/bench/bench_serving            # the sweep
+//   ./build/bench/bench_serving --smoke    # CI smoke, exit 1 on failure
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "alba.hpp"
+
+using namespace alba;
+
+namespace {
+
+constexpr const char* kBundlePath = "/tmp/albadross_bench_bundle.bin";
+
+struct Stream {
+  std::vector<Sample> samples;   // aligned with windows (repeats duplicated)
+  std::vector<Matrix> windows;
+};
+
+// A stream of per-node windows from fresh runs; every 4th window repeats an
+// earlier one (a stalled collector / dashboard re-check) so the cache has
+// something to do.
+Stream make_stream(const RunGenerator& generator, std::size_t count,
+                   std::uint64_t seed) {
+  Stream stream;
+  const auto num_apps = static_cast<int>(generator.apps().size());
+  int run_id = 1000;
+  while (stream.windows.size() < count) {
+    RunSpec spec;
+    spec.app_id = run_id % num_apps;
+    spec.input_id = run_id % 2;
+    spec.nodes = 2;
+    const std::size_t variant = static_cast<std::size_t>(run_id) % 4;
+    if (variant != 0) {
+      spec.anomaly = kAnomalyTypes[variant - 1];
+      spec.intensity = variant == 1 ? 0.5 : 1.0;
+    }
+    spec.run_id = run_id;
+    spec.seed = seed + static_cast<std::uint64_t>(run_id);
+    ++run_id;
+    for (const Sample& s : generator.generate_run(spec)) {
+      if (stream.windows.size() >= count) break;
+      if (stream.windows.size() % 4 == 3 && stream.windows.size() > 4) {
+        const std::size_t repeat = stream.windows.size() / 2;
+        stream.samples.push_back(stream.samples[repeat]);
+        stream.windows.push_back(stream.windows[repeat]);
+        continue;
+      }
+      stream.samples.push_back(s);
+      stream.windows.push_back(s.series);
+    }
+  }
+  return stream;
+}
+
+// The offline reference: the exact training-harness pipeline over the same
+// windows, ending in Classifier::predict_proba.
+Matrix offline_probs(const Stream& stream, const RunGenerator& generator,
+                     const DatasetConfig& cfg, const ModelBundle& bundle,
+                     const PreparedSplit& prepared, const Classifier& model) {
+  const auto extractor = make_extractor(cfg.extractor);
+  const FeatureMatrix fm = extract_features(stream.samples,
+                                            generator.registry(), *extractor,
+                                            cfg.preprocess);
+  Matrix x = select_features_by_name(fm, bundle.feature_names);
+  prepared.scaler.transform(x);
+  x = prepared.selector.transform(x);
+  return model.predict_proba(x);
+}
+
+bool bits_equal(double a, double b) noexcept {
+  return std::memcmp(&a, &b, sizeof(double)) == 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int windows = 240;
+  std::uint64_t seed = 7;
+  bool smoke = false;
+  std::string out_csv;
+  Cli cli("bench_serving",
+          "Online serving benchmark: latency/throughput/cache sweep over an "
+          "exported ModelBundle (--smoke for the CI agreement gate).");
+  cli.flag("windows", &windows, "windows in the served stream");
+  cli.flag("seed", &seed, "stream generation seed");
+  cli.flag("smoke", &smoke, "serve 100 windows, assert offline agreement");
+  cli.flag("out", &out_csv, "CSV dump path (empty = none)");
+  cli.parse(argc, argv);
+  set_log_level(LogLevel::Warn);
+
+  // ---- train a small model and freeze it --------------------------------
+  DatasetConfig cfg = tiny_config();
+  cfg.seed = seed;
+  std::printf("[setup] building dataset + training classifier...\n");
+  const ExperimentData data = build_experiment_data(cfg);
+  const SplitIndices split = make_split(data, cfg.test_fraction, seed);
+  const PreparedSplit prepared = prepare_split(data, split, cfg.select_k);
+  auto model = make_model_factory("rf", kNumClasses, seed)(
+      table4_optimum("rf", false));
+  model->fit(prepared.train_x, prepared.train_y);
+  export_model_bundle(kBundlePath, data, prepared, *model);
+  std::printf("[setup] bundle exported to %s (%zu selected features)\n",
+              kBundlePath, prepared.selected_names.size());
+
+  const RunGenerator generator(cfg.system, cfg.registry, cfg.sim);
+  const std::size_t n = smoke ? 100 : static_cast<std::size_t>(windows);
+  const Stream stream = make_stream(generator, n, seed + 1);
+
+  if (smoke) {
+    DiagnosisService service(load_model_bundle_file(kBundlePath),
+                             ServingConfig{.max_batch = 8});
+    const auto diagnoses = service.diagnose_batch(stream.windows);
+    const Matrix reference =
+        offline_probs(stream, generator, cfg, service.bundle(), prepared,
+                      *model);
+    const std::vector<int> offline_labels = model->predict(
+        [&] {
+          Matrix x = select_features_by_name(
+              extract_features(stream.samples, generator.registry(),
+                               *make_extractor(cfg.extractor),
+                               cfg.preprocess),
+              service.bundle().feature_names);
+          prepared.scaler.transform(x);
+          return prepared.selector.transform(x);
+        }());
+
+    std::size_t disagreements = 0;
+    for (std::size_t i = 0; i < diagnoses.size(); ++i) {
+      if (diagnoses[i].label != offline_labels[i]) ++disagreements;
+      for (std::size_t c = 0; c < diagnoses[i].probs.size(); ++c) {
+        if (!bits_equal(diagnoses[i].probs[c], reference(i, c))) {
+          ++disagreements;
+          break;
+        }
+      }
+    }
+    const ServingStats s = service.stats();
+    std::printf("[smoke] %s\n", format_serving_summary(s).c_str());
+    if (disagreements != 0 || s.windows_per_second() <= 0.0 ||
+        s.windows != diagnoses.size()) {
+      std::printf("[smoke] FAILED: %zu disagreements, %.1f win/s\n",
+                  disagreements, s.windows_per_second());
+      return 1;
+    }
+    std::printf("[smoke] ok: %zu windows served, bit-identical to the "
+                "offline pipeline, cache hit rate %.1f%%\n",
+                diagnoses.size(), 100.0 * s.hit_rate());
+    return 0;
+  }
+
+  // ---- the sweep ---------------------------------------------------------
+  const std::size_t hw = std::max<std::size_t>(
+      1, std::thread::hardware_concurrency());
+  std::vector<std::size_t> thread_counts{1};
+  if (hw > 1) thread_counts.push_back(hw);
+  const std::vector<std::size_t> batch_sizes{1, 8, 32};
+
+  TextTable table({"batch", "threads", "p50 ms", "p99 ms", "windows/s",
+                   "cache hit %"});
+  std::vector<std::string> csv_rows;
+  for (const std::size_t threads : thread_counts) {
+    ThreadPool pool(threads);
+    for (const std::size_t batch : batch_sizes) {
+      ServingConfig serving;
+      serving.max_batch = batch;
+      serving.pool = &pool;
+      DiagnosisService service(load_model_bundle_file(kBundlePath), serving);
+      for (std::size_t begin = 0; begin < stream.windows.size();
+           begin += batch) {
+        const std::size_t end =
+            std::min(stream.windows.size(), begin + batch);
+        service.diagnose_batch(std::span<const Matrix>(stream.windows)
+                                   .subspan(begin, end - begin));
+      }
+      const ServingStats s = service.stats();
+      table.add_row({std::to_string(batch), std::to_string(threads),
+                     strformat("%.3f", s.latency_p50_ms),
+                     strformat("%.3f", s.latency_p99_ms),
+                     strformat("%.1f", s.windows_per_second()),
+                     strformat("%.1f", 100.0 * s.hit_rate())});
+      csv_rows.push_back(serving_stats_csv_row(
+          strformat("batch=%zu/threads=%zu", batch, threads), s));
+    }
+  }
+  std::printf("\nserving sweep over %zu windows (%zu distinct)\n%s\n",
+              stream.windows.size(),
+              stream.windows.size() - stream.windows.size() / 4,
+              table.render().c_str());
+
+  if (!out_csv.empty()) {
+    std::ofstream out(out_csv);
+    out << serving_stats_csv_header() << "\n";
+    for (const auto& row : csv_rows) out << row << "\n";
+    std::printf("CSV written to %s\n", out_csv.c_str());
+  }
+  return 0;
+}

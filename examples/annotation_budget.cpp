@@ -8,12 +8,7 @@
 // Build & run:  ./build/examples/annotation_budget
 #include <cstdio>
 
-#include "active/learner.hpp"
-#include "common/log.hpp"
-#include "common/table.hpp"
-#include "common/string_util.hpp"
-#include "core/pipeline.hpp"
-#include "ml/grid_search.hpp"
+#include "alba.hpp"
 
 using namespace alba;
 

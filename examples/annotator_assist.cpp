@@ -8,12 +8,7 @@
 #include <algorithm>
 #include <cstdio>
 
-#include "active/explain.hpp"
-#include "active/learner.hpp"
-#include "common/log.hpp"
-#include "core/pipeline.hpp"
-#include "ml/grid_search.hpp"
-#include "ml/random_forest.hpp"
+#include "alba.hpp"
 
 using namespace alba;
 

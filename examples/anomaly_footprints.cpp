@@ -8,12 +8,7 @@
 #include <cmath>
 #include <cstdio>
 
-#include "common/log.hpp"
-#include "common/string_util.hpp"
-#include "common/table.hpp"
-#include "features/preprocessing.hpp"
-#include "stats/descriptive.hpp"
-#include "telemetry/run_generator.hpp"
+#include "alba.hpp"
 
 using namespace alba;
 
@@ -21,7 +16,10 @@ namespace {
 
 // Mean of a preprocessed metric column.
 double column_mean(const Matrix& clean, std::size_t idx) {
-  return stats::mean(clean.col(idx));
+  const std::vector<double> col = clean.col(idx);
+  double sum = 0.0;
+  for (const double v : col) sum += v;
+  return col.empty() ? 0.0 : sum / static_cast<double>(col.size());
 }
 
 }  // namespace

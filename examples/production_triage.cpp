@@ -1,56 +1,20 @@
 // Production triage scenario: the deployment workflow the paper's
-// conclusion sketches. A model is trained once with active learning, then
-// stored; later, fresh multi-node application runs stream in from the
-// monitoring system and every node's telemetry is diagnosed, producing the
-// kind of triage report a system administrator would act on (which node,
-// which anomaly, what confidence).
+// conclusion sketches, now through the serving layer. A model is trained
+// once with active learning and frozen into a ModelBundle (classifier +
+// scaler + selected features + label names + feature config in one
+// archive); later, a DiagnosisService loads the bundle and serves a stream
+// of freshly arrived multi-node runs — collected by a degraded production
+// telemetry pipeline, so windows carry dropouts, stuck sensors, and NaN
+// bursts — producing the kind of triage report a system administrator
+// would act on (which node, which anomaly, what confidence).
 //
 // Build & run:  ./build/examples/production_triage
 #include <cstdio>
+#include <vector>
 
-#include "active/learner.hpp"
-#include "common/log.hpp"
-#include "core/pipeline.hpp"
-#include "ml/grid_search.hpp"
-#include "ml/serialize.hpp"
-#include "preprocess/scalers.hpp"
+#include "alba.hpp"
 
 using namespace alba;
-
-namespace {
-
-// One freshly arrived run: simulate it, preprocess, extract, project onto
-// the training-time feature space (fresh runs have all raw features, the
-// training matrix had unusable columns dropped), scale/select with the
-// training-time transforms, and diagnose per node.
-void triage_run(const RunGenerator& generator, const FeatureExtractor& extractor,
-                const PreprocessConfig& preprocess,
-                const std::vector<std::string>& training_feature_names,
-                const MinMaxScaler& scaler, const SelectKBestChi2& selector,
-                const Classifier& model, const RunSpec& spec) {
-  const auto samples = generator.generate_run(spec);
-  const FeatureMatrix features =
-      extract_features(samples, generator.registry(), extractor, preprocess);
-
-  Matrix x = select_features_by_name(features, training_feature_names);
-  scaler.transform(x);
-  x = selector.transform(x);
-  const Matrix probs = model.predict_proba(x);
-
-  const std::string app = generator.apps()[spec.app_id].name;
-  std::printf("run %3d  %-10s input %d, %d nodes:\n", spec.run_id, app.c_str(),
-              spec.input_id, spec.nodes);
-  for (std::size_t node = 0; node < probs.rows(); ++node) {
-    const int label = argmax_label(probs.row(node));
-    const double confidence = probs(node, static_cast<std::size_t>(label));
-    const char* marker = label != 0 ? "  <-- ALERT" : "";
-    std::printf("    node %zu: %-10s confidence %.2f%s\n", node,
-                std::string(anomaly_name(anomaly_from_label(label))).c_str(),
-                confidence, marker);
-  }
-}
-
-}  // namespace
 
 int main() {
   set_log_level(LogLevel::Warn);
@@ -61,20 +25,6 @@ int main() {
   std::printf("[train] building dataset and training with active learning...\n");
   const ExperimentData data = build_experiment_data(config);
   const SplitIndices split = make_split(data, 0.3, 11);
-
-  // Reproduce the training-time transforms so fresh runs can be projected
-  // into the same feature space.
-  Matrix train_x = data.features.x.select_rows(split.train);
-  std::vector<int> train_y;
-  for (const std::size_t i : split.train) {
-    train_y.push_back(data.features.labels[i]);
-  }
-  MinMaxScaler scaler;
-  scaler.fit(train_x);
-  scaler.transform(train_x);
-  SelectKBestChi2 selector(config.select_k);
-  selector.fit(train_x, train_y);
-
   const PreparedSplit prepared = prepare_split(data, split, config.select_k);
   const ALSetup setup = make_al_setup(prepared, 12);
 
@@ -91,18 +41,28 @@ int main() {
   std::printf("[train] F1 %.3f after %zu annotations\n\n", result.final_f1,
               oracle.queries_answered());
 
-  const std::string model_path = "/tmp/albadross_triage_model.bin";
-  save_classifier_file(model_path, learner.model());
+  // Freeze everything the serving side needs — the classifier plus the
+  // scaler/selector prepare_split fitted — into one versioned archive.
+  const std::string bundle_path = "/tmp/albadross_triage_bundle.bin";
+  export_model_bundle(bundle_path, data, prepared, learner.model());
 
   // ---- deployment phase --------------------------------------------------
-  std::printf("[deploy] loading %s and triaging incoming runs\n\n",
-              model_path.c_str());
-  const auto model = load_classifier_file(model_path);
+  std::printf("[deploy] loading %s and serving incoming runs\n\n",
+              bundle_path.c_str());
+  ServingConfig serving;
+  serving.max_batch = 8;
+  DiagnosisService service(load_model_bundle_file(bundle_path), serving);
 
-  // Caution: the scaler/selector must ride along with the model in a real
-  // deployment; here they are still in scope.
-  RunGenerator generator(config.system, config.registry, config.sim);
-  const auto extractor = make_extractor(config.extractor);
+  // The production collector is imperfect: metric dropouts, stuck sensors,
+  // and NaN bursts degrade the incoming windows (truncation off so every
+  // window stays long enough to trim).
+  FaultConfig collector_faults;
+  collector_faults.metric_dropout_rate = 0.02;
+  collector_faults.stuck_rate = 0.02;
+  collector_faults.nan_burst_rate = 0.05;
+  collector_faults.row_stall_rate = 0.01;
+  RunGenerator generator(config.system, config.registry, config.sim,
+                         collector_faults);
 
   // A morning's worth of incoming runs: mixed healthy and anomalous.
   const std::vector<RunSpec> incoming{
@@ -118,11 +78,33 @@ int main() {
        .intensity = 0.5, .run_id = 904, .seed = 9005},
   };
   for (const auto& spec : incoming) {
-    triage_run(generator, *extractor, config.preprocess, data.features.names,
-               scaler, selector, *model, spec);
+    const auto samples = generator.generate_run(spec);
+    std::vector<Matrix> windows;
+    windows.reserve(samples.size());
+    for (const Sample& s : samples) windows.push_back(s.series);
+    const auto diagnoses = service.diagnose_batch(windows);
+
+    const std::string app = generator.apps()[spec.app_id].name;
+    std::printf("run %3d  %-10s input %d, %d nodes:\n", spec.run_id,
+                app.c_str(), spec.input_id, spec.nodes);
+    for (std::size_t node = 0; node < diagnoses.size(); ++node) {
+      const Diagnosis& d = diagnoses[node];
+      const char* marker = d.label != 0 ? "  <-- ALERT" : "";
+      std::printf("    node %zu: %-10s confidence %.2f%s\n", node,
+                  std::string(service.label_name(d.label)).c_str(),
+                  d.confidence, marker);
+    }
   }
+
+  // A dashboard re-checking the last alerting run hits the window cache.
+  const auto recheck = generator.generate_run(incoming[3]);
+  std::vector<Matrix> recheck_windows;
+  for (const Sample& s : recheck) recheck_windows.push_back(s.series);
+  service.diagnose_batch(recheck_windows);
 
   std::printf("\n(ground truth: run 901 memleak@node0, 903 membw@node0, "
               "904 dial@node0; the rest healthy)\n");
+  std::printf("[serving] %s\n",
+              format_serving_summary(service.stats()).c_str());
   return 0;
 }

@@ -10,13 +10,7 @@
 // Build & run:  ./build/examples/quickstart
 #include <cstdio>
 
-#include "active/learner.hpp"
-#include "anomaly/anomaly.hpp"
-#include "common/log.hpp"
-#include "core/pipeline.hpp"
-#include "ml/grid_search.hpp"
-#include "ml/metrics.hpp"
-#include "ml/serialize.hpp"
+#include "alba.hpp"
 
 using namespace alba;
 

@@ -1,10 +1,12 @@
 #!/usr/bin/env bash
-# Repo check: the tier-1 build + test suite, an AddressSanitizer +
+# Repo check: the tier-1 build + test suite, a serving smoke run (train a
+# tiny model, export a bundle, serve 100 windows, assert bit-identical
+# agreement with the offline pipeline), an AddressSanitizer +
 # UndefinedBehaviorSanitizer build of the full suite (the fault-injection
 # paths shuffle NaNs and truncated buffers around — exactly where silent
 # out-of-bounds reads would hide), then a ThreadSanitizer build of the
-# concurrency-sensitive tests (thread pool, active-learning loop) to catch
-# races in the parallel scoring path.
+# concurrency-sensitive tests (thread pool, active-learning loop, the
+# diagnosis service) to catch races in the parallel scoring/serving paths.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -13,6 +15,10 @@ echo "== tier 1: build + ctest =="
 cmake -B build -S . > /dev/null
 cmake --build build -j"$(nproc)" > /dev/null
 (cd build && ctest --output-on-failure -j"$(nproc)")
+
+echo
+echo "== serving smoke: export bundle + serve 100 windows =="
+./build/bench/bench_serving --smoke
 
 echo
 echo "== asan+ubsan: full test suite =="
@@ -25,18 +31,18 @@ cmake --build build-asan -j"$(nproc)" --target \
   test_stats_spectral test_anomaly test_telemetry test_features \
   test_preprocess test_ml_metrics test_ml_trees test_ml_linear \
   test_ml_tools test_active test_active_ext test_core test_properties \
-  test_faults > /dev/null
+  test_faults test_serving > /dev/null
 (cd build-asan && ctest --output-on-failure -j"$(nproc)")
 
 echo
-echo "== tsan: thread pool + active learning =="
+echo "== tsan: thread pool + active learning + serving =="
 cmake -B build-tsan -S . \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DCMAKE_CXX_FLAGS="-fsanitize=thread -fno-omit-frame-pointer" \
   -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread" > /dev/null
 cmake --build build-tsan -j"$(nproc)" \
-  --target test_thread_pool test_active test_active_ext > /dev/null
-for t in test_thread_pool test_active test_active_ext; do
+  --target test_thread_pool test_active test_active_ext test_serving > /dev/null
+for t in test_thread_pool test_active test_active_ext test_serving; do
   echo "-- $t (tsan)"
   ./build-tsan/tests/"$t"
 done

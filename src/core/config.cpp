@@ -62,4 +62,8 @@ DatasetConfig tiny_config(SystemKind system) {
   return cfg;
 }
 
+FeatureConfig feature_config(const DatasetConfig& config) {
+  return {config.system, config.registry, config.preprocess, config.extractor};
+}
+
 }  // namespace alba

@@ -13,6 +13,18 @@
 
 namespace alba {
 
+/// The slice of a DatasetConfig a frozen model must remember to turn one
+/// raw telemetry window into a feature row at serving time: which system's
+/// metric registry the window comes from, how to preprocess it, and which
+/// extractor produced the training features. ModelBundle persists exactly
+/// this (see serving/model_bundle.hpp).
+struct FeatureConfig {
+  SystemKind system = SystemKind::Volta;
+  RegistryConfig registry;
+  PreprocessConfig preprocess;
+  ExtractorKind extractor = ExtractorKind::Tsfresh;
+};
+
 struct DatasetConfig {
   SystemKind system = SystemKind::Volta;
   RegistryConfig registry;
@@ -39,5 +51,8 @@ DatasetConfig eclipse_config(bool full = false);
 
 /// Tiny configuration for unit tests (2 apps, short runs, few metrics).
 DatasetConfig tiny_config(SystemKind system = SystemKind::Volta);
+
+/// Projects the serving-relevant fields out of a full experiment config.
+FeatureConfig feature_config(const DatasetConfig& config);
 
 }  // namespace alba

@@ -89,18 +89,19 @@ PreparedSplit prepare_split(const ExperimentData& data,
   }
 
   // Min-Max scaling fitted on the training partition (keeps features
-  // non-negative for chi-square), then top-k chi-square selection.
-  MinMaxScaler scaler;
-  scaler.fit(train_x);
-  scaler.transform(train_x);
-  scaler.transform(test_x);
+  // non-negative for chi-square), then top-k chi-square selection. Both
+  // stay fitted in the returned split so export/serving code can freeze
+  // them rather than refit.
+  out.scaler.fit(train_x);
+  out.scaler.transform(train_x);
+  out.scaler.transform(test_x);
 
-  SelectKBestChi2 selector(std::min(select_k, train_x.cols()));
-  selector.fit(train_x, out.train_y);
-  out.train_x = selector.transform(train_x);
-  out.test_x = selector.transform(test_x);
-  out.selected_names = selector.transform_names(fm.names);
-  out.degenerate_columns = selector.degenerate_skipped();
+  out.selector = SelectKBestChi2(std::min(select_k, train_x.cols()));
+  out.selector.fit(train_x, out.train_y);
+  out.train_x = out.selector.transform(train_x);
+  out.test_x = out.selector.transform(test_x);
+  out.selected_names = out.selector.transform_names(fm.names);
+  out.degenerate_columns = out.selector.degenerate_skipped();
   return out;
 }
 

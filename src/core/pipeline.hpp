@@ -8,6 +8,7 @@
 #include "core/data_quality.hpp"
 #include "features/extractor.hpp"
 #include "ml/dataset.hpp"
+#include "preprocess/scalers.hpp"
 #include "preprocess/select_kbest.hpp"
 #include "preprocess/split.hpp"
 
@@ -37,6 +38,12 @@ struct PreparedSplit {
   std::vector<int> train_app, test_app;
   std::vector<int> train_input, test_input;
   std::vector<std::string> selected_names;
+  // The transforms fitted on this split's training partition, in the state
+  // used to produce train_x/test_x. Export code (serving/model_bundle)
+  // freezes these instead of refitting; the scaler spans the full usable
+  // feature space, the selector maps it to the top-k columns.
+  MinMaxScaler scaler;
+  SelectKBestChi2 selector;
   // Columns the chi-square selector refused for being constant or
   // non-finite within this split's training partition.
   std::size_t degenerate_columns = 0;

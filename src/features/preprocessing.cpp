@@ -52,8 +52,12 @@ std::vector<double> difference_counter(std::span<const double> x) {
   return out;
 }
 
-Matrix preprocess_series(const Matrix& raw, const MetricRegistry& registry,
-                         const PreprocessConfig& config) {
+namespace {
+
+// Shared shape validation for the full-series and per-column entry points;
+// returns the number of samples kept after trimming.
+std::size_t check_trim(const Matrix& raw, const MetricRegistry& registry,
+                       const PreprocessConfig& config) {
   ALBA_CHECK(raw.cols() == registry.size())
       << "series has " << raw.cols() << " metrics, registry has "
       << registry.size();
@@ -63,23 +67,41 @@ Matrix preprocess_series(const Matrix& raw, const MetricRegistry& registry,
   const auto tail = static_cast<std::size_t>(config.trim_tail);
   ALBA_CHECK(t_raw > head + tail + 1)
       << "series too short (" << t_raw << ") for trim " << head << "+" << tail;
+  return t_raw - head - tail;
+}
 
-  const std::size_t t_kept = t_raw - head - tail;  // samples after trimming
-  const std::size_t t_out = t_kept - 1;            // after differencing
+}  // namespace
+
+std::vector<double> preprocess_metric_column(const Matrix& raw,
+                                             std::size_t metric,
+                                             const MetricRegistry& registry,
+                                             const PreprocessConfig& config) {
+  const std::size_t t_kept = check_trim(raw, registry, config);
+  ALBA_CHECK(metric < raw.cols());
+  const auto head = static_cast<std::size_t>(config.trim_head);
+
+  std::vector<double> col(t_kept);
+  for (std::size_t t = 0; t < t_kept; ++t) col[t] = raw(head + t, metric);
+  interpolate_nans(col);
+  if (registry.metric(metric).kind == MetricKind::Counter) {
+    return difference_counter(col);
+  }
+  // Drop the first kept sample so gauge rows align with counter rates.
+  col.erase(col.begin());
+  return col;
+}
+
+Matrix preprocess_series(const Matrix& raw, const MetricRegistry& registry,
+                         const PreprocessConfig& config) {
+  const std::size_t t_kept = check_trim(raw, registry, config);
+  const std::size_t t_out = t_kept - 1;  // after differencing
   const std::size_t m = raw.cols();
 
   Matrix out(t_out, m);
-  std::vector<double> col(t_kept);
   for (std::size_t j = 0; j < m; ++j) {
-    for (std::size_t t = 0; t < t_kept; ++t) col[t] = raw(head + t, j);
-    interpolate_nans(col);
-    if (registry.metric(j).kind == MetricKind::Counter) {
-      const auto rates = difference_counter(col);
-      for (std::size_t t = 0; t < t_out; ++t) out(t, j) = rates[t];
-    } else {
-      // Drop the first kept sample so gauge rows align with counter rates.
-      for (std::size_t t = 0; t < t_out; ++t) out(t, j) = col[t + 1];
-    }
+    const std::vector<double> col =
+        preprocess_metric_column(raw, j, registry, config);
+    for (std::size_t t = 0; t < t_out; ++t) out(t, j) = col[t];
   }
   return out;
 }

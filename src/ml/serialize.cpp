@@ -2,6 +2,7 @@
 
 #include <fstream>
 #include <istream>
+#include <limits>
 #include <ostream>
 
 #include "common/error.hpp"
@@ -57,6 +58,32 @@ void ArchiveWriter::write_matrix(const Matrix& m) {
 
 ArchiveReader::ArchiveReader(std::istream& in) : in_(in) {
   ALBA_CHECK(in_.good()) << "archive stream not readable";
+  // Remember the stream size (when seekable) so length-prefixed reads can
+  // reject lengths that exceed the remaining bytes before allocating.
+  const std::streampos cur = in_.tellg();
+  if (cur != std::streampos(-1)) {
+    in_.seekg(0, std::ios::end);
+    stream_end_ = in_.tellg();
+    in_.seekg(cur);
+    in_.clear();
+  }
+}
+
+void ArchiveReader::check_count(std::uint64_t count, std::size_t elem_size,
+                                const char* what) const {
+  if (stream_end_ < 0 || count == 0) return;
+  const std::streampos cur = in_.tellg();
+  if (cur == std::streampos(-1)) return;
+  const auto remaining =
+      static_cast<std::uint64_t>(stream_end_ - static_cast<std::streamoff>(cur));
+  // Divide instead of multiplying so a huge stored count cannot overflow.
+  if (count > remaining / elem_size) {
+    throw Error("corrupt archive: " + std::string(what) + " length " +
+                std::to_string(count) + " (x" + std::to_string(elem_size) +
+                " bytes) exceeds the " + std::to_string(remaining) +
+                " bytes remaining at offset " +
+                std::to_string(static_cast<std::streamoff>(cur)));
+  }
 }
 
 std::uint64_t ArchiveReader::read_u64() {
@@ -76,6 +103,7 @@ double ArchiveReader::read_double() {
 }
 std::string ArchiveReader::read_string() {
   const std::uint64_t n = read_u64();
+  check_count(n, 1, "string");
   std::string s(n, '\0');
   in_.read(s.data(), static_cast<std::streamsize>(n));
   ALBA_CHECK(in_.good()) << "archive read failed (truncated?)";
@@ -83,6 +111,7 @@ std::string ArchiveReader::read_string() {
 }
 std::vector<double> ArchiveReader::read_doubles() {
   const std::uint64_t n = read_u64();
+  check_count(n, sizeof(double), "double array");
   std::vector<double> v(n);
   in_.read(reinterpret_cast<char*>(v.data()),
            static_cast<std::streamsize>(n * sizeof(double)));
@@ -91,6 +120,7 @@ std::vector<double> ArchiveReader::read_doubles() {
 }
 std::vector<int> ArchiveReader::read_ints() {
   const std::uint64_t n = read_u64();
+  check_count(n, sizeof(std::uint64_t), "int array");
   std::vector<int> v(n);
   for (auto& x : v) x = static_cast<int>(read_i64());
   return v;
@@ -98,6 +128,13 @@ std::vector<int> ArchiveReader::read_ints() {
 Matrix ArchiveReader::read_matrix() {
   const std::uint64_t rows = read_u64();
   const std::uint64_t cols = read_u64();
+  // Guard the rows*cols product itself before sizing the allocation.
+  if (cols != 0 &&
+      rows > std::numeric_limits<std::uint64_t>::max() / cols) {
+    throw Error("corrupt archive: matrix claims " + std::to_string(rows) +
+                " x " + std::to_string(cols) + " elements");
+  }
+  check_count(rows * cols, sizeof(double), "matrix");
   Matrix m(rows, cols);
   in_.read(reinterpret_cast<char*>(m.data()),
            static_cast<std::streamsize>(m.size() * sizeof(double)));

@@ -30,6 +30,10 @@ class ArchiveWriter {
   std::ostream& out_;
 };
 
+/// Length-prefixed reads validate the stored length against the bytes
+/// actually left in the stream (when it is seekable) before allocating, so
+/// a truncated or corrupt archive raises alba::Error with the offending
+/// offset instead of attempting an attacker-controlled allocation.
 class ArchiveReader {
  public:
   explicit ArchiveReader(std::istream& in);
@@ -43,7 +47,13 @@ class ArchiveReader {
   Matrix read_matrix();
 
  private:
+  /// Throws when `count` elements of `elem_size` bytes cannot fit in the
+  /// remaining stream; no-op when the stream size is unknown.
+  void check_count(std::uint64_t count, std::size_t elem_size,
+                   const char* what) const;
+
   std::istream& in_;
+  std::streamoff stream_end_ = -1;  // total size when seekable, else -1
 };
 
 /// Serializes a fitted classifier (random_forest, logistic_regression,

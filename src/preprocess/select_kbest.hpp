@@ -14,7 +14,9 @@ namespace alba {
 
 class SelectKBestChi2 {
  public:
-  explicit SelectKBestChi2(std::size_t k) : k_(k) {}
+  /// A default-constructed (k = 0) selector is a placeholder — fit() rejects
+  /// it; structs that carry a selector by value (PreparedSplit) start there.
+  explicit SelectKBestChi2(std::size_t k = 0) : k_(k) {}
 
   /// Scores all columns of (non-negative) `x` against `y` and records the
   /// indices of the k highest-scoring ones (ties broken by column order).

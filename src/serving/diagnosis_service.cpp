@@ -1,0 +1,256 @@
+#include "serving/diagnosis_service.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <unordered_map>
+
+#include "common/error.hpp"
+#include "common/timer.hpp"
+#include "features/preprocessing.hpp"
+
+namespace alba {
+
+std::uint64_t hash_window(const Matrix& window) noexcept {
+  // FNV-1a over the shape and the raw bit pattern of every cell (NaNs hash
+  // by payload, which is what content-identity wants).
+  std::uint64_t h = 1469598103934665603ULL;
+  const auto mix = [&h](const void* p, std::size_t n) noexcept {
+    const auto* bytes = static_cast<const unsigned char*>(p);
+    for (std::size_t i = 0; i < n; ++i) {
+      h ^= bytes[i];
+      h *= 1099511628211ULL;
+    }
+  };
+  const std::uint64_t rows = window.rows();
+  const std::uint64_t cols = window.cols();
+  mix(&rows, sizeof(rows));
+  mix(&cols, sizeof(cols));
+  mix(window.data(), window.size() * sizeof(double));
+  return h;
+}
+
+DiagnosisService::DiagnosisService(ModelBundle bundle, ServingConfig config)
+    : bundle_(std::move(bundle)),
+      config_(config),
+      registry_(bundle_.features.system, bundle_.features.registry),
+      extractor_(make_extractor(bundle_.features.extractor)),
+      pool_(config.pool != nullptr ? config.pool : &global_pool()) {
+  ALBA_CHECK(bundle_.model && bundle_.model->fitted())
+      << "DiagnosisService needs a fitted model";
+  ALBA_CHECK(config_.max_batch > 0);
+
+  // Resolve every selected feature name against the raw feature space this
+  // registry/extractor pair produces (column j*F+f is feature f of metric
+  // j, as in extract_features), composing projection + scaling into a
+  // per-input-column plan grouped by metric.
+  const std::size_t f = extractor_->num_features();
+  const auto& extractor_features = extractor_->feature_names();
+  std::unordered_map<std::string, std::size_t> raw_index;
+  raw_index.reserve(registry_.size() * f);
+  for (std::size_t j = 0; j < registry_.size(); ++j) {
+    for (std::size_t k = 0; k < f; ++k) {
+      raw_index.emplace(registry_.metric(j).name + "|" + extractor_features[k],
+                        j * f + k);
+    }
+  }
+
+  const std::size_t inputs = bundle_.selected.size();
+  col_min_.resize(inputs);
+  col_max_.resize(inputs);
+  std::unordered_map<std::size_t, std::size_t> metric_slot;
+  for (std::size_t c = 0; c < inputs; ++c) {
+    const auto sel = static_cast<std::size_t>(bundle_.selected[c]);
+    const std::string& name = bundle_.feature_names[sel];
+    const auto it = raw_index.find(name);
+    ALBA_CHECK(it != raw_index.end())
+        << "bundle feature '" << name
+        << "' is not produced by its own registry/extractor config";
+    const std::size_t metric = it->second / f;
+    const std::size_t feature = it->second % f;
+    col_min_[c] = bundle_.scaler_mins[sel];
+    col_max_[c] = bundle_.scaler_maxs[sel];
+
+    const auto [slot_it, inserted] =
+        metric_slot.emplace(metric, plan_.size());
+    if (inserted) plan_.push_back(MetricPlan{metric, {}});
+    plan_[slot_it->second].outputs.emplace_back(feature, c);
+  }
+
+  latency_ring_.reserve(kLatencyWindow);
+}
+
+void DiagnosisService::extract_row(const Matrix& window,
+                                   std::span<double> out) const {
+  ALBA_DCHECK(out.size() == bundle_.selected.size());
+  std::vector<double> features(extractor_->num_features());
+  for (const MetricPlan& mp : plan_) {
+    const std::vector<double> clean = preprocess_metric_column(
+        window, mp.metric, registry_, bundle_.features.preprocess);
+    extractor_->extract(clean, features);
+    for (const auto& [feature, col] : mp.outputs) {
+      // Same composition as the offline path: non-finite extraction output
+      // becomes 0 (select_features_by_name), then the training-time
+      // Min-Max map with clipping (MinMaxScaler::transform).
+      double v = features[feature];
+      if (!std::isfinite(v)) v = 0.0;
+      const double span = col_max_[col] - col_min_[col];
+      v = span > 0.0 ? (v - col_min_[col]) / span : 0.0;
+      out[col] = std::clamp(v, 0.0, 1.0);
+    }
+  }
+}
+
+bool DiagnosisService::cache_lookup(std::uint64_t key, Diagnosis& out) {
+  if (config_.cache_capacity == 0) return false;
+  std::lock_guard<std::mutex> lock(cache_mutex_);
+  const auto it = index_.find(key);
+  if (it == index_.end()) return false;
+  lru_.splice(lru_.begin(), lru_, it->second);
+  out = it->second->result;
+  out.cache_hit = true;
+  return true;
+}
+
+void DiagnosisService::cache_insert(std::uint64_t key, const Diagnosis& d) {
+  if (config_.cache_capacity == 0) return;
+  std::lock_guard<std::mutex> lock(cache_mutex_);
+  if (index_.count(key) != 0) return;  // a concurrent miss got there first
+  lru_.push_front(CacheEntry{key, d});
+  lru_.front().result.cache_hit = false;
+  index_.emplace(key, lru_.begin());
+  while (lru_.size() > config_.cache_capacity) {
+    index_.erase(lru_.back().key);
+    lru_.pop_back();
+  }
+}
+
+void DiagnosisService::serve_micro_batch(std::span<const Matrix> windows,
+                                         std::span<Diagnosis> out) {
+  const std::size_t n = windows.size();
+  Timer total;
+
+  // Cache pass: answer hits, dedup identical windows within the batch.
+  std::vector<std::uint64_t> keys(n);
+  std::vector<std::size_t> miss;            // window index per miss slot
+  std::unordered_map<std::uint64_t, std::size_t> pending;  // key -> miss slot
+  std::vector<std::pair<std::size_t, std::size_t>> aliases;  // (window, slot)
+  std::size_t hits = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    keys[i] = hash_window(windows[i]);
+    if (cache_lookup(keys[i], out[i])) {
+      ++hits;
+      continue;
+    }
+    const auto [it, inserted] = pending.emplace(keys[i], miss.size());
+    if (inserted) {
+      miss.push_back(i);
+    } else {
+      aliases.emplace_back(i, it->second);
+    }
+  }
+
+  double extract_s = 0.0;
+  double predict_s = 0.0;
+  std::size_t batches = 0;
+  if (!miss.empty()) {
+    // Parallel feature extraction, one row per distinct missed window.
+    Timer phase;
+    Matrix batch_x(miss.size(), bundle_.selected.size());
+    pool_->parallel_for(miss.size(), [&](std::size_t m) {
+      extract_row(windows[miss[m]], batch_x.row(m));
+    });
+    extract_s = phase.seconds();
+
+    phase.reset();
+    const Matrix probs = bundle_.model->predict_proba(batch_x);
+    predict_s = phase.seconds();
+    batches = 1;
+
+    for (std::size_t m = 0; m < miss.size(); ++m) {
+      const std::size_t i = miss[m];
+      Diagnosis& d = out[i];
+      const auto row = probs.row(m);
+      d.probs.assign(row.begin(), row.end());
+      d.label = argmax_label(row);
+      d.confidence = row[static_cast<std::size_t>(d.label)];
+      d.cache_hit = false;
+      cache_insert(keys[i], d);
+    }
+    for (const auto& [i, slot] : aliases) {
+      out[i] = out[miss[slot]];
+      out[i].cache_hit = true;  // answered without a pipeline pass
+    }
+  }
+
+  // Intra-batch duplicates count as hits: they were answered without a
+  // pipeline pass, exactly what the hit rate measures.
+  const double total_s = total.seconds();
+  record_request(total_s * 1e3, n, extract_s, predict_s, total_s,
+                 hits + aliases.size(), miss.size(), batches);
+}
+
+std::vector<Diagnosis> DiagnosisService::diagnose_batch(
+    std::span<const Matrix> windows) {
+  std::vector<Diagnosis> out(windows.size());
+  for (std::size_t begin = 0; begin < windows.size();
+       begin += config_.max_batch) {
+    const std::size_t end =
+        std::min(windows.size(), begin + config_.max_batch);
+    serve_micro_batch(windows.subspan(begin, end - begin),
+                      std::span<Diagnosis>(out).subspan(begin, end - begin));
+  }
+  return out;
+}
+
+Diagnosis DiagnosisService::diagnose(const Matrix& window) {
+  std::vector<Diagnosis> out(1);
+  serve_micro_batch({&window, 1}, out);
+  return std::move(out[0]);
+}
+
+std::string_view DiagnosisService::label_name(int label) const {
+  ALBA_CHECK(label >= 0 &&
+             static_cast<std::size_t>(label) < bundle_.label_names.size())
+      << "label " << label << " outside the bundle's label space";
+  return bundle_.label_names[static_cast<std::size_t>(label)];
+}
+
+void DiagnosisService::record_request(double latency_ms, std::size_t windows,
+                                      double extract_s, double predict_s,
+                                      double total_s, std::size_t hits,
+                                      std::size_t misses,
+                                      std::size_t batches) {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  totals_.requests += 1;
+  totals_.windows += windows;
+  totals_.batches += batches;
+  totals_.cache_hits += hits;
+  totals_.cache_misses += misses;
+  totals_.extract_seconds += extract_s;
+  totals_.predict_seconds += predict_s;
+  totals_.total_seconds += total_s;
+  if (latency_ring_.size() < kLatencyWindow) {
+    latency_ring_.push_back(latency_ms);
+  } else {
+    latency_ring_[latency_next_] = latency_ms;
+  }
+  latency_next_ = (latency_next_ + 1) % kLatencyWindow;
+}
+
+ServingStats DiagnosisService::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  ServingStats s = totals_;
+  s.latency_p50_ms = latency_percentile(latency_ring_, 0.50);
+  s.latency_p99_ms = latency_percentile(latency_ring_, 0.99);
+  return s;
+}
+
+void DiagnosisService::reset_stats() {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  totals_ = ServingStats{};
+  latency_ring_.clear();
+  latency_next_ = 0;
+}
+
+}  // namespace alba

@@ -1,0 +1,146 @@
+// Online diagnosis serving: the first end-to-end inference path from a raw
+// per-node telemetry window (T x M matrix, as collected) to an anomaly
+// label, using nothing but a frozen ModelBundle. The service replays the
+// training-time pipeline — preprocess, extract, project onto the selected
+// training columns, Min-Max scale, predict — with two serving-only
+// optimizations that keep results bit-identical to the offline path:
+//
+//  * only metrics that feed at least one selected feature are preprocessed
+//    and extracted (preprocessing and extraction are per-metric, so the
+//    skipped work cannot change the kept columns);
+//  * scaling and column selection are composed per selected column, so the
+//    full feature_names-wide row is never materialized.
+//
+// Windows are served as micro-batches: feature rows are extracted in
+// parallel on the shared ThreadPool and predicted with one classifier
+// forward pass per batch. An LRU cache keyed on the window's content hash
+// answers repeated windows (a stalled collector re-delivering the same
+// scan, a dashboard re-asking about the same incident) without touching
+// the pipeline.
+//
+// Thread-safety contract: diagnose and diagnose_batch may be called
+// concurrently from any number of threads. The cache and the statistics
+// are mutex-guarded; the pipeline itself only reads the frozen bundle.
+// stats()/reset_stats() are safe concurrently with serving.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+#include "features/extractor.hpp"
+#include "linalg/matrix.hpp"
+#include "serving/model_bundle.hpp"
+#include "serving/serving_stats.hpp"
+#include "telemetry/registry.hpp"
+
+namespace alba {
+
+struct ServingConfig {
+  // Windows per classifier forward pass; larger batches amortize the
+  // per-call overhead at the cost of per-window latency.
+  std::size_t max_batch = 32;
+  // LRU entries keyed on window content hash; 0 disables caching.
+  std::size_t cache_capacity = 1024;
+  // Pool for parallel feature extraction; nullptr = the process-wide
+  // global_pool().
+  ThreadPool* pool = nullptr;
+};
+
+/// One window's diagnosis. `probs` has one entry per class, summing to 1;
+/// `label` is its argmax and `confidence` the winning probability —
+/// bit-identical to Classifier::predict on the offline pipeline's row.
+struct Diagnosis {
+  int label = 0;
+  double confidence = 0.0;
+  std::vector<double> probs;
+  bool cache_hit = false;
+};
+
+class DiagnosisService {
+ public:
+  /// Latency-percentile window: stats() computes p50/p99 over at most this
+  /// many most-recent requests.
+  static constexpr std::size_t kLatencyWindow = 4096;
+
+  /// Takes ownership of the bundle and precomputes the serving plan
+  /// (needed metrics, per-column scaling). Throws when the bundle's
+  /// feature names cannot be produced by its own registry/extractor
+  /// configuration.
+  explicit DiagnosisService(ModelBundle bundle, ServingConfig config = {});
+
+  /// Diagnoses one raw T x M window (M must match the bundle's registry,
+  /// T must exceed the configured trim; throws alba::Error otherwise).
+  Diagnosis diagnose(const Matrix& window);
+
+  /// Diagnoses a stream of windows as micro-batches of at most
+  /// config.max_batch, preserving order. Duplicate windows — within the
+  /// batch or across requests — are answered once and deduplicated.
+  std::vector<Diagnosis> diagnose_batch(std::span<const Matrix> windows);
+
+  const ModelBundle& bundle() const noexcept { return bundle_; }
+  const MetricRegistry& registry() const noexcept { return registry_; }
+  std::string_view label_name(int label) const;
+
+  /// Counter snapshot including latency percentiles; see ServingStats.
+  ServingStats stats() const;
+  void reset_stats();
+
+ private:
+  // Extraction plan for one needed metric: which extractor outputs feed
+  // which model-input columns.
+  struct MetricPlan {
+    std::size_t metric = 0;  // registry column
+    // (extractor feature index, model input column) pairs.
+    std::vector<std::pair<std::size_t, std::size_t>> outputs;
+  };
+
+  struct CacheEntry {
+    std::uint64_t key = 0;
+    Diagnosis result;  // stored with cache_hit=false; flagged on lookup
+  };
+
+  void extract_row(const Matrix& window, std::span<double> out) const;
+  void serve_micro_batch(std::span<const Matrix> windows,
+                         std::span<Diagnosis> out);
+  bool cache_lookup(std::uint64_t key, Diagnosis& out);
+  void cache_insert(std::uint64_t key, const Diagnosis& d);
+  void record_request(double latency_ms, std::size_t windows, double extract_s,
+                      double predict_s, double total_s, std::size_t hits,
+                      std::size_t misses, std::size_t batches);
+
+  ModelBundle bundle_;
+  ServingConfig config_;
+  MetricRegistry registry_;
+  std::unique_ptr<FeatureExtractor> extractor_;
+  ThreadPool* pool_;
+
+  // Precomputed plan: per-needed-metric extraction targets and, per model
+  // input column, the Min-Max parameters of its source feature column.
+  std::vector<MetricPlan> plan_;
+  std::vector<double> col_min_;
+  std::vector<double> col_max_;
+
+  // LRU cache: most-recent at the front; map points into the list.
+  mutable std::mutex cache_mutex_;
+  std::list<CacheEntry> lru_;
+  std::unordered_map<std::uint64_t, std::list<CacheEntry>::iterator> index_;
+
+  // Aggregate counters + per-request latency ring (RoundStats idiom).
+  mutable std::mutex stats_mutex_;
+  ServingStats totals_;
+  std::vector<double> latency_ring_;
+  std::size_t latency_next_ = 0;
+};
+
+/// Content hash of a raw window (shape + bit pattern of every cell) — the
+/// cache key. Exposed for tests.
+std::uint64_t hash_window(const Matrix& window) noexcept;
+
+}  // namespace alba

@@ -1,0 +1,178 @@
+#include "serving/model_bundle.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "anomaly/anomaly.hpp"
+#include "common/error.hpp"
+#include "ml/serialize.hpp"
+
+namespace alba {
+
+namespace {
+
+constexpr std::uint64_t kBundleMagic = 0x414C4241424E444CULL;  // "ALBABNDL"
+constexpr std::uint64_t kBundleVersion = 1;
+
+void write_strings(ArchiveWriter& w, const std::vector<std::string>& v) {
+  w.write_u64(v.size());
+  for (const auto& s : v) w.write_string(s);
+}
+
+std::vector<std::string> read_strings(ArchiveReader& r) {
+  const std::uint64_t n = r.read_u64();
+  std::vector<std::string> v;
+  v.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) v.push_back(r.read_string());
+  return v;
+}
+
+}  // namespace
+
+ModelBundle make_model_bundle(const ExperimentData& data,
+                              const PreparedSplit& split,
+                              const Classifier& model) {
+  ALBA_CHECK(model.fitted()) << "refusing to bundle an unfitted model";
+  ALBA_CHECK(split.scaler.fitted() && split.selector.fitted())
+      << "split carries unfitted transforms (was it made by prepare_split?)";
+  ALBA_CHECK(split.scaler.mins().size() == data.features.names.size())
+      << "scaler fitted on " << split.scaler.mins().size()
+      << " columns but the data has " << data.features.names.size();
+  ALBA_CHECK(model.num_classes() == kNumClasses);
+
+  ModelBundle bundle;
+  bundle.features = feature_config(data.config);
+  bundle.feature_names = data.features.names;
+  bundle.scaler_mins = split.scaler.mins();
+  bundle.scaler_maxs = split.scaler.maxs();
+  bundle.selected.reserve(split.selector.selected_indices().size());
+  for (const std::size_t j : split.selector.selected_indices()) {
+    bundle.selected.push_back(static_cast<int>(j));
+  }
+  bundle.selected_names = split.selected_names;
+  for (int c = 0; c < kNumClasses; ++c) {
+    bundle.label_names.emplace_back(anomaly_name(anomaly_from_label(c)));
+  }
+  // Deep-copy the fitted classifier through its archive form (clone() is
+  // hyperparameters-only by contract).
+  std::stringstream ss(std::ios::in | std::ios::out | std::ios::binary);
+  save_classifier(ss, model);
+  bundle.model = load_classifier(ss);
+  return bundle;
+}
+
+void save_model_bundle(std::ostream& out, const ModelBundle& bundle) {
+  ALBA_CHECK(bundle.model && bundle.model->fitted())
+      << "bundle holds no fitted model";
+  ArchiveWriter w(out);
+  w.write_u64(kBundleMagic);
+  w.write_u64(kBundleVersion);
+
+  w.write_i64(static_cast<int>(bundle.features.system));
+  w.write_i64(bundle.features.registry.cores);
+  w.write_i64(bundle.features.registry.nics);
+  w.write_i64(bundle.features.registry.filler_gauges);
+  w.write_i64(bundle.features.preprocess.trim_head);
+  w.write_i64(bundle.features.preprocess.trim_tail);
+  w.write_i64(bundle.features.preprocess.quarantine_constant ? 1 : 0);
+  w.write_i64(static_cast<int>(bundle.features.extractor));
+
+  write_strings(w, bundle.feature_names);
+  w.write_doubles(bundle.scaler_mins);
+  w.write_doubles(bundle.scaler_maxs);
+  w.write_ints(bundle.selected);
+  write_strings(w, bundle.selected_names);
+  write_strings(w, bundle.label_names);
+  save_classifier(out, *bundle.model);
+}
+
+ModelBundle load_model_bundle(std::istream& in) {
+  ArchiveReader r(in);
+  if (r.read_u64() != kBundleMagic) {
+    throw Error("not an ALBADross model bundle");
+  }
+  const std::uint64_t version = r.read_u64();
+  if (version != kBundleVersion) {
+    throw Error("unsupported model bundle version " +
+                std::to_string(version) + " (this build reads version " +
+                std::to_string(kBundleVersion) + ")");
+  }
+
+  ModelBundle bundle;
+  bundle.features.system = static_cast<SystemKind>(r.read_i64());
+  bundle.features.registry.cores = static_cast<int>(r.read_i64());
+  bundle.features.registry.nics = static_cast<int>(r.read_i64());
+  bundle.features.registry.filler_gauges = static_cast<int>(r.read_i64());
+  bundle.features.preprocess.trim_head = static_cast<int>(r.read_i64());
+  bundle.features.preprocess.trim_tail = static_cast<int>(r.read_i64());
+  bundle.features.preprocess.quarantine_constant = r.read_i64() != 0;
+  bundle.features.extractor = static_cast<ExtractorKind>(r.read_i64());
+
+  bundle.feature_names = read_strings(r);
+  bundle.scaler_mins = r.read_doubles();
+  bundle.scaler_maxs = r.read_doubles();
+  bundle.selected = r.read_ints();
+  bundle.selected_names = read_strings(r);
+  bundle.label_names = read_strings(r);
+  bundle.model = load_classifier(in);
+
+  // Structural validation: every cross-reference in the bundle must agree
+  // before it is allowed anywhere near the serving path.
+  const std::size_t width = bundle.feature_names.size();
+  if (bundle.scaler_mins.size() != width ||
+      bundle.scaler_maxs.size() != width) {
+    throw Error("corrupt model bundle: scaler covers " +
+                std::to_string(bundle.scaler_mins.size()) + "/" +
+                std::to_string(bundle.scaler_maxs.size()) +
+                " columns, feature space has " + std::to_string(width));
+  }
+  if (bundle.selected.empty() ||
+      bundle.selected.size() != bundle.selected_names.size()) {
+    throw Error("corrupt model bundle: selected column list is empty or "
+                "disagrees with its name list");
+  }
+  for (std::size_t c = 0; c < bundle.selected.size(); ++c) {
+    const int j = bundle.selected[c];
+    if (j < 0 || static_cast<std::size_t>(j) >= width) {
+      throw Error("corrupt model bundle: selected column " +
+                  std::to_string(j) + " outside feature space of " +
+                  std::to_string(width));
+    }
+    if (bundle.feature_names[static_cast<std::size_t>(j)] !=
+        bundle.selected_names[c]) {
+      throw Error("corrupt model bundle: selected name '" +
+                  bundle.selected_names[c] + "' does not match feature '" +
+                  bundle.feature_names[static_cast<std::size_t>(j)] + "'");
+    }
+  }
+  if (static_cast<std::size_t>(bundle.model->num_classes()) !=
+      bundle.label_names.size()) {
+    throw Error("corrupt model bundle: " +
+                std::to_string(bundle.label_names.size()) +
+                " label names for a " +
+                std::to_string(bundle.model->num_classes()) +
+                "-class model");
+  }
+  return bundle;
+}
+
+void export_model_bundle(const std::string& path, const ExperimentData& data,
+                         const PreparedSplit& split,
+                         const Classifier& model) {
+  save_model_bundle_file(path, make_model_bundle(data, split, model));
+}
+
+void save_model_bundle_file(const std::string& path,
+                            const ModelBundle& bundle) {
+  std::ofstream out(path, std::ios::binary);
+  ALBA_CHECK(out.good()) << "cannot open '" << path << "' for writing";
+  save_model_bundle(out, bundle);
+}
+
+ModelBundle load_model_bundle_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  ALBA_CHECK(in.good()) << "cannot open '" << path << "' for reading";
+  return load_model_bundle(in);
+}
+
+}  // namespace alba

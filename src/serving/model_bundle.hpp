@@ -1,0 +1,70 @@
+// Frozen model bundles — the deployable artifact the paper's conclusion
+// implies but the offline harness never produced. save_classifier alone is
+// not a deployable model: diagnosing a raw telemetry window also needs the
+// Min-Max scaler parameters, the chi-square-selected column set, the label
+// names, and the feature configuration (registry shape, preprocessing,
+// extractor) that were in effect at train time. A ModelBundle freezes all
+// of that into one versioned archive (ArchiveWriter framing, own magic) so
+// the serving layer can reconstruct the exact training-time pipeline.
+#pragma once
+
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/pipeline.hpp"
+#include "ml/classifier.hpp"
+
+namespace alba {
+
+struct ModelBundle {
+  // How to turn one raw window into the training-time feature space.
+  FeatureConfig features;
+  // The usable training columns ("metric|feature"), i.e. the projection
+  // target for freshly extracted windows (columns dropped at train time
+  // are simply never produced again).
+  std::vector<std::string> feature_names;
+  // Min-Max parameters over feature_names, fitted on the train partition.
+  std::vector<double> scaler_mins;
+  std::vector<double> scaler_maxs;
+  // Chi-square-selected columns: indices into feature_names in score order
+  // (the model's input column order), plus their names for integrity
+  // checks and reporting.
+  std::vector<int> selected;
+  std::vector<std::string> selected_names;
+  // Class id -> human-readable anomaly name.
+  std::vector<std::string> label_names;
+  // The fitted classifier; owned.
+  std::unique_ptr<Classifier> model;
+
+  /// Width of the model's input (= selected.size()).
+  std::size_t input_columns() const noexcept { return selected.size(); }
+};
+
+/// Freezes a trained model together with the transforms `prepare_split`
+/// fitted for this split. The classifier is deep-copied (via its archive
+/// form), so the bundle outlives the learner. Throws when the model is
+/// unfitted or the split's transforms don't match the data's feature space.
+ModelBundle make_model_bundle(const ExperimentData& data,
+                              const PreparedSplit& split,
+                              const Classifier& model);
+
+void save_model_bundle(std::ostream& out, const ModelBundle& bundle);
+
+/// Reads and validates a bundle: magic/version, internal shape consistency
+/// (scaler width, selected indices in range, selected names matching), and
+/// label count against the embedded model. Throws alba::Error on any
+/// mismatch — a loaded bundle is ready to serve.
+ModelBundle load_model_bundle(std::istream& in);
+
+/// The one-call training-side export: freeze and write to `path`.
+void export_model_bundle(const std::string& path, const ExperimentData& data,
+                         const PreparedSplit& split, const Classifier& model);
+
+void save_model_bundle_file(const std::string& path,
+                            const ModelBundle& bundle);
+ModelBundle load_model_bundle_file(const std::string& path);
+
+}  // namespace alba

@@ -1,0 +1,53 @@
+#include "serving/serving_stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/string_util.hpp"
+
+namespace alba {
+
+double latency_percentile(std::span<const double> latencies_ms, double q) {
+  if (latencies_ms.empty()) return 0.0;
+  std::vector<double> sorted(latencies_ms.begin(), latencies_ms.end());
+  std::sort(sorted.begin(), sorted.end());
+  q = std::clamp(q, 0.0, 1.0);
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+std::string format_serving_summary(const ServingStats& s) {
+  return strformat(
+      "%llu windows in %llu requests: %.1f win/s, p50 %.2fms, p99 %.2fms, "
+      "cache %.1f%% (extract %.2fs, predict %.2fs)",
+      static_cast<unsigned long long>(s.windows),
+      static_cast<unsigned long long>(s.requests), s.windows_per_second(),
+      s.latency_p50_ms, s.latency_p99_ms, 100.0 * s.hit_rate(),
+      s.extract_seconds, s.predict_seconds);
+}
+
+std::string serving_stats_csv_header() {
+  return "label,requests,windows,batches,cache_hits,cache_misses,"
+         "extract_seconds,predict_seconds,total_seconds,windows_per_second,"
+         "latency_p50_ms,latency_p99_ms";
+}
+
+std::string serving_stats_csv_row(std::string_view label,
+                                  const ServingStats& s) {
+  return strformat(
+      "%.*s,%llu,%llu,%llu,%llu,%llu,%.6f,%.6f,%.6f,%.3f,%.4f,%.4f",
+      static_cast<int>(label.size()), label.data(),
+      static_cast<unsigned long long>(s.requests),
+      static_cast<unsigned long long>(s.windows),
+      static_cast<unsigned long long>(s.batches),
+      static_cast<unsigned long long>(s.cache_hits),
+      static_cast<unsigned long long>(s.cache_misses), s.extract_seconds,
+      s.predict_seconds, s.total_seconds, s.windows_per_second(),
+      s.latency_p50_ms, s.latency_p99_ms);
+}
+
+}  // namespace alba

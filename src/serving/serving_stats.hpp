@@ -1,0 +1,61 @@
+// Aggregate instrumentation of the online diagnosis path, following the
+// RoundStats idiom from the active-learning loop: the service records phase
+// timings (feature extraction vs. model forward pass), request/window/batch
+// counts, and cache accounting as it serves, and exposes an immutable
+// snapshot with derived throughput and latency percentiles. Benches and the
+// smoke stage consume the same snapshot instead of re-instrumenting the
+// service.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+
+namespace alba {
+
+/// Snapshot of a DiagnosisService's counters since construction (or the
+/// last reset_stats). Latency percentiles cover the most recent requests
+/// (a bounded ring; see DiagnosisService::kLatencyWindow).
+struct ServingStats {
+  std::uint64_t requests = 0;      // diagnose / diagnose_batch calls
+  std::uint64_t windows = 0;       // windows diagnosed, cache hits included
+  std::uint64_t batches = 0;       // model micro-batches actually predicted
+  std::uint64_t cache_hits = 0;    // windows answered from the LRU cache
+  std::uint64_t cache_misses = 0;  // windows that ran the full pipeline
+  double extract_seconds = 0.0;    // preprocess + feature extraction
+  double predict_seconds = 0.0;    // classifier forward passes
+  double total_seconds = 0.0;      // wall time inside diagnose calls
+  double latency_p50_ms = 0.0;     // per-request latency percentiles
+  double latency_p99_ms = 0.0;
+
+  double hit_rate() const noexcept {
+    const std::uint64_t n = cache_hits + cache_misses;
+    return n == 0 ? 0.0
+                  : static_cast<double>(cache_hits) / static_cast<double>(n);
+  }
+  double windows_per_second() const noexcept {
+    return total_seconds > 0.0
+               ? static_cast<double>(windows) / total_seconds
+               : 0.0;
+  }
+};
+
+/// Linear-interpolation percentile over unsorted samples; q in [0, 1].
+/// Returns 0 for an empty span.
+double latency_percentile(std::span<const double> latencies_ms, double q);
+
+/// One human-readable line, e.g.
+///   "640 windows in 512 requests: 123.4 win/s, p50 1.2ms, p99 4.5ms,
+///    cache 37.5% (extract 3.1s, predict 1.0s)".
+std::string format_serving_summary(const ServingStats& s);
+
+/// CSV column names matching serving_stats_csv_row field order; the leading
+/// `label` column tags the configuration (e.g. "batch=8/threads=4") so one
+/// file can hold a whole sweep.
+std::string serving_stats_csv_header();
+std::string serving_stats_csv_row(std::string_view label,
+                                  const ServingStats& s);
+
+}  // namespace alba

@@ -1,0 +1,452 @@
+// Tests for the serving layer: ModelBundle round-trips and corruption
+// rejection, the hardened ArchiveReader length checks, the fitted
+// transforms PreparedSplit exposes for export, and DiagnosisService
+// bit-identity with the offline pipeline (plus its cache and its
+// thread-safety contract — this file runs under TSan in CI).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <sstream>
+#include <thread>
+
+#include "common/error.hpp"
+#include "core/pipeline.hpp"
+#include "ml/grid_search.hpp"
+#include "ml/serialize.hpp"
+#include "serving/diagnosis_service.hpp"
+#include "serving/model_bundle.hpp"
+#include "telemetry/run_generator.hpp"
+
+namespace alba {
+namespace {
+
+// One tiny trained experiment shared by every test in this file (building
+// the dataset is the expensive part; everything downstream is cheap).
+struct ServingEnv {
+  DatasetConfig cfg = tiny_config();
+  ExperimentData data;
+  SplitIndices split;
+  PreparedSplit prepared;
+  std::unique_ptr<Classifier> model;
+  std::string bundle_bytes;  // a valid serialized bundle, for corruption tests
+};
+
+const ServingEnv& env() {
+  static const ServingEnv* shared = [] {
+    auto* e = new ServingEnv;
+    e->data = build_experiment_data(e->cfg);
+    e->split = make_split(e->data, e->cfg.test_fraction, 5);
+    e->prepared = prepare_split(e->data, e->split, e->cfg.select_k);
+    ParamSet params = table4_optimum("rf", false);
+    params["n_estimators"] = "15";  // keep the fixture fast
+    e->model = make_model_factory("rf", kNumClasses, 9)(params);
+    e->model->fit(e->prepared.train_x, e->prepared.train_y);
+    std::stringstream ss(std::ios::in | std::ios::out | std::ios::binary);
+    save_model_bundle(ss, make_model_bundle(e->data, e->prepared, *e->model));
+    e->bundle_bytes = ss.str();
+    return e;
+  }();
+  return *shared;
+}
+
+ModelBundle load_from_bytes(const std::string& bytes) {
+  std::stringstream ss(bytes,
+                       std::ios::in | std::ios::out | std::ios::binary);
+  return load_model_bundle(ss);
+}
+
+// Fresh raw windows the training data never saw (different run seeds).
+std::vector<Sample> fresh_samples(const ServingEnv& e, int runs,
+                                  std::uint64_t seed) {
+  const RunGenerator generator(e.cfg.system, e.cfg.registry, e.cfg.sim);
+  std::vector<Sample> samples;
+  for (int r = 0; r < runs; ++r) {
+    RunSpec spec;
+    spec.app_id = r % static_cast<int>(e.data.num_apps);
+    spec.nodes = 2;
+    if (r % 3 != 0) {
+      spec.anomaly = kAnomalyTypes[static_cast<std::size_t>(r) %
+                                   kAnomalyTypes.size()];
+      spec.intensity = 1.0;
+    }
+    spec.run_id = 9000 + r;
+    spec.seed = seed + static_cast<std::uint64_t>(r);
+    for (Sample& s : generator.generate_run(spec)) {
+      samples.push_back(std::move(s));
+    }
+  }
+  return samples;
+}
+
+// The offline reference pipeline, ending in predict_proba.
+Matrix offline_probs(const ServingEnv& e, const std::vector<Sample>& samples) {
+  const RunGenerator generator(e.cfg.system, e.cfg.registry, e.cfg.sim);
+  const auto extractor = make_extractor(e.cfg.extractor);
+  const FeatureMatrix fm = extract_features(samples, generator.registry(),
+                                            *extractor, e.cfg.preprocess);
+  Matrix x = select_features_by_name(fm, e.data.features.names);
+  e.prepared.scaler.transform(x);
+  x = e.prepared.selector.transform(x);
+  return e.model->predict_proba(x);
+}
+
+void expect_bit_identical(const Matrix& a, const Matrix& b) {
+  ASSERT_TRUE(a.same_shape(b));
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t j = 0; j < a.cols(); ++j) {
+      EXPECT_EQ(a(i, j), b(i, j)) << "at (" << i << ", " << j << ")";
+    }
+  }
+}
+
+// ------------------------------------------------------- PreparedSplit ---
+
+TEST(PreparedSplit, ExposesTheFittedTransforms) {
+  const ServingEnv& e = env();
+  ASSERT_TRUE(e.prepared.scaler.fitted());
+  ASSERT_TRUE(e.prepared.selector.fitted());
+  EXPECT_EQ(e.prepared.scaler.mins().size(), e.data.features.names.size());
+  EXPECT_EQ(e.prepared.selector.selected_indices().size(),
+            e.prepared.selected_names.size());
+
+  // Re-applying the frozen transforms to the raw test rows must reproduce
+  // test_x exactly — this is the property model export relies on.
+  Matrix x = e.data.features.x.select_rows(e.split.test);
+  e.prepared.scaler.transform(x);
+  expect_bit_identical(e.prepared.selector.transform(x), e.prepared.test_x);
+}
+
+TEST(PreparedSplit, DefaultSelectorIsAPlaceholder) {
+  SelectKBestChi2 selector;  // as embedded in a default PreparedSplit
+  EXPECT_FALSE(selector.fitted());
+  const Matrix x = Matrix::from_rows({{0.1, 0.2}, {0.9, 0.8}});
+  const std::vector<int> y{0, 1};
+  EXPECT_THROW(selector.fit(x, y), Error);
+}
+
+// --------------------------------------------------------- ModelBundle ---
+
+class BundleRoundTrip : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(BundleRoundTrip, PredictionsAndMetadataSurvive) {
+  const ServingEnv& e = env();
+  ParamSet params = table4_optimum(GetParam(), false);
+  if (GetParam() == "mlp") params["max_iter"] = "25";
+  if (GetParam() == "rf") params["n_estimators"] = "10";
+  auto model = make_model_factory(GetParam(), kNumClasses, 13)(params);
+  model->fit(e.prepared.train_x, e.prepared.train_y);
+  const Matrix before = model->predict_proba(e.prepared.test_x);
+
+  std::stringstream ss(std::ios::in | std::ios::out | std::ios::binary);
+  save_model_bundle(ss, make_model_bundle(e.data, e.prepared, *model));
+  const ModelBundle restored = load_model_bundle(ss);
+
+  EXPECT_EQ(restored.feature_names, e.data.features.names);
+  EXPECT_EQ(restored.scaler_mins, e.prepared.scaler.mins());
+  EXPECT_EQ(restored.scaler_maxs, e.prepared.scaler.maxs());
+  EXPECT_EQ(restored.selected_names, e.prepared.selected_names);
+  ASSERT_EQ(restored.selected.size(),
+            e.prepared.selector.selected_indices().size());
+  ASSERT_EQ(restored.label_names.size(),
+            static_cast<std::size_t>(kNumClasses));
+  EXPECT_EQ(restored.label_names[0], "healthy");
+  EXPECT_EQ(restored.features.extractor, e.cfg.extractor);
+  EXPECT_EQ(restored.features.preprocess.trim_head,
+            e.cfg.preprocess.trim_head);
+
+  ASSERT_TRUE(restored.model && restored.model->fitted());
+  EXPECT_EQ(restored.model->name(), model->name());
+  expect_bit_identical(restored.model->predict_proba(e.prepared.test_x),
+                       before);
+}
+
+INSTANTIATE_TEST_SUITE_P(Models, BundleRoundTrip,
+                         ::testing::Values("rf", "lr", "lgbm", "mlp"));
+
+TEST(ModelBundle, FileRoundTrip) {
+  const ServingEnv& e = env();
+  const std::string path = "/tmp/alba_bundle_test.bin";
+  export_model_bundle(path, e.data, e.prepared, *e.model);
+  const ModelBundle restored = load_model_bundle_file(path);
+  expect_bit_identical(restored.model->predict_proba(e.prepared.test_x),
+                       e.model->predict_proba(e.prepared.test_x));
+  std::remove(path.c_str());
+  EXPECT_THROW(load_model_bundle_file("/nonexistent/bundle.bin"), Error);
+}
+
+TEST(ModelBundle, RefusesUnfittedModel) {
+  const ServingEnv& e = env();
+  const auto unfitted = make_model_factory("rf", kNumClasses, 1)(
+      table4_optimum("rf", false));
+  EXPECT_THROW(make_model_bundle(e.data, e.prepared, *unfitted), Error);
+}
+
+TEST(ModelBundle, RefusesUnfittedTransforms) {
+  const ServingEnv& e = env();
+  PreparedSplit bare;  // default transforms: never fitted
+  bare.train_x = e.prepared.train_x;
+  EXPECT_THROW(make_model_bundle(e.data, bare, *e.model), Error);
+}
+
+TEST(ModelBundle, RejectsWrongMagic) {
+  std::string bytes = env().bundle_bytes;
+  bytes[0] ^= 0x01;
+  EXPECT_THROW(load_from_bytes(bytes), Error);
+}
+
+TEST(ModelBundle, RejectsUnsupportedVersion) {
+  std::string bytes = env().bundle_bytes;
+  bytes[8] = static_cast<char>(0x7E);  // version u64 little-endian low byte
+  try {
+    load_from_bytes(bytes);
+    FAIL() << "corrupt version accepted";
+  } catch (const Error& err) {
+    EXPECT_NE(std::string(err.what()).find("version"), std::string::npos);
+  }
+}
+
+TEST(ModelBundle, RejectsTruncationAtEveryStage) {
+  const std::string& bytes = env().bundle_bytes;
+  ASSERT_GT(bytes.size(), 64u);
+  for (const std::size_t cut :
+       {std::size_t{4}, std::size_t{12}, bytes.size() / 4, bytes.size() / 2,
+        (3 * bytes.size()) / 4, bytes.size() - 9, bytes.size() - 1}) {
+    EXPECT_THROW(load_from_bytes(bytes.substr(0, cut)), Error)
+        << "cut at " << cut << " of " << bytes.size();
+  }
+}
+
+TEST(ModelBundle, RejectsBitFlippedLengthPrefix) {
+  // Corrupt the length prefix of the first feature-name string to a value
+  // far beyond the archive size: the hardened reader must reject it before
+  // attempting the allocation.
+  const ServingEnv& e = env();
+  std::string bytes = e.bundle_bytes;
+  const std::string& first_name = e.data.features.names.front();
+  const std::size_t at = bytes.find(first_name);
+  ASSERT_NE(at, std::string::npos);
+  ASSERT_GE(at, 8u);
+  for (std::size_t b = 0; b < 8; ++b) {
+    bytes[at - 8 + b] = static_cast<char>(0xFF);
+  }
+  try {
+    load_from_bytes(bytes);
+    FAIL() << "oversized length prefix accepted";
+  } catch (const Error& err) {
+    EXPECT_NE(std::string(err.what()).find("offset"), std::string::npos)
+        << err.what();
+  }
+}
+
+// ------------------------------------------------ ArchiveReader limits ---
+
+TEST(ArchiveReader, HugeLengthsRejectedBeforeAllocation) {
+  const auto corrupt_stream = [](std::uint64_t fake_len) {
+    auto ss = std::make_unique<std::stringstream>(
+        std::ios::in | std::ios::out | std::ios::binary);
+    ArchiveWriter w(*ss);
+    w.write_u64(fake_len);
+    w.write_double(1.0);  // a few real bytes, far fewer than claimed
+    return ss;
+  };
+  {
+    auto ss = corrupt_stream(1ULL << 60);
+    ArchiveReader r(*ss);
+    EXPECT_THROW(r.read_doubles(), Error);
+  }
+  {
+    auto ss = corrupt_stream(1ULL << 60);
+    ArchiveReader r(*ss);
+    EXPECT_THROW(r.read_string(), Error);
+  }
+  {
+    auto ss = corrupt_stream(1ULL << 60);
+    ArchiveReader r(*ss);
+    EXPECT_THROW(r.read_ints(), Error);
+  }
+  {
+    // read_matrix: rows * cols would overflow 64 bits entirely.
+    auto ss = std::make_unique<std::stringstream>(
+        std::ios::in | std::ios::out | std::ios::binary);
+    ArchiveWriter w(*ss);
+    w.write_u64(1ULL << 40);
+    w.write_u64(1ULL << 40);
+    ArchiveReader r(*ss);
+    EXPECT_THROW(r.read_matrix(), Error);
+  }
+}
+
+TEST(ArchiveReader, ErrorNamesTheOffendingOffset) {
+  std::stringstream ss(std::ios::in | std::ios::out | std::ios::binary);
+  ArchiveWriter w(ss);
+  w.write_u64(123456789);  // claims ~1 GB of doubles; stream has none
+  ArchiveReader r(ss);
+  try {
+    r.read_doubles();
+    FAIL() << "oversized vector accepted";
+  } catch (const Error& err) {
+    const std::string what = err.what();
+    EXPECT_NE(what.find("offset"), std::string::npos) << what;
+    EXPECT_NE(what.find("123456789"), std::string::npos) << what;
+  }
+}
+
+// ----------------------------------------------------- DiagnosisService ---
+
+TEST(DiagnosisService, BitIdenticalToOfflinePipeline) {
+  const ServingEnv& e = env();
+  const std::vector<Sample> samples = fresh_samples(e, 4, 777);
+  std::vector<Matrix> windows;
+  for (const Sample& s : samples) windows.push_back(s.series);
+
+  ServingConfig serving;
+  serving.max_batch = 3;  // force several micro-batches
+  DiagnosisService service(load_from_bytes(e.bundle_bytes), serving);
+  const auto diagnoses = service.diagnose_batch(windows);
+  const Matrix reference = offline_probs(e, samples);
+
+  ASSERT_EQ(diagnoses.size(), windows.size());
+  for (std::size_t i = 0; i < diagnoses.size(); ++i) {
+    ASSERT_EQ(diagnoses[i].probs.size(),
+              static_cast<std::size_t>(kNumClasses));
+    EXPECT_EQ(diagnoses[i].label, argmax_label(reference.row(i)));
+    for (std::size_t c = 0; c < diagnoses[i].probs.size(); ++c) {
+      EXPECT_EQ(diagnoses[i].probs[c], reference(i, c))
+          << "window " << i << " class " << c;
+    }
+    EXPECT_EQ(diagnoses[i].confidence,
+              diagnoses[i].probs[static_cast<std::size_t>(
+                  diagnoses[i].label)]);
+  }
+
+  const ServingStats s = service.stats();
+  EXPECT_EQ(s.windows, windows.size());
+  EXPECT_EQ(s.cache_misses, windows.size());  // all distinct, cold cache
+  EXPECT_GT(s.windows_per_second(), 0.0);
+}
+
+TEST(DiagnosisService, CachesRepeatedWindows) {
+  const ServingEnv& e = env();
+  const std::vector<Sample> samples = fresh_samples(e, 1, 881);
+  DiagnosisService service(load_from_bytes(e.bundle_bytes));
+
+  const Diagnosis first = service.diagnose(samples[0].series);
+  EXPECT_FALSE(first.cache_hit);
+  const Diagnosis again = service.diagnose(samples[0].series);
+  EXPECT_TRUE(again.cache_hit);
+  EXPECT_EQ(again.label, first.label);
+  EXPECT_EQ(again.probs, first.probs);
+
+  const ServingStats s = service.stats();
+  EXPECT_EQ(s.requests, 2u);
+  EXPECT_EQ(s.cache_hits, 1u);
+  EXPECT_EQ(s.cache_misses, 1u);
+  EXPECT_DOUBLE_EQ(s.hit_rate(), 0.5);
+
+  service.reset_stats();
+  EXPECT_EQ(service.stats().requests, 0u);
+}
+
+TEST(DiagnosisService, DedupsIdenticalWindowsWithinABatch) {
+  const ServingEnv& e = env();
+  const std::vector<Sample> samples = fresh_samples(e, 1, 882);
+  ASSERT_GE(samples.size(), 2u);
+  const std::vector<Matrix> windows{samples[0].series, samples[1].series,
+                                    samples[0].series, samples[1].series};
+  DiagnosisService service(load_from_bytes(e.bundle_bytes));
+  const auto out = service.diagnose_batch(windows);
+
+  EXPECT_FALSE(out[0].cache_hit);
+  EXPECT_FALSE(out[1].cache_hit);
+  EXPECT_TRUE(out[2].cache_hit);
+  EXPECT_TRUE(out[3].cache_hit);
+  EXPECT_EQ(out[2].probs, out[0].probs);
+  EXPECT_EQ(out[3].probs, out[1].probs);
+
+  const ServingStats s = service.stats();
+  EXPECT_EQ(s.cache_hits, 2u);    // the two intra-batch duplicates
+  EXPECT_EQ(s.cache_misses, 2u);  // the two distinct windows
+}
+
+TEST(DiagnosisService, CacheCapacityZeroDisablesCaching) {
+  const ServingEnv& e = env();
+  const std::vector<Sample> samples = fresh_samples(e, 1, 883);
+  ServingConfig serving;
+  serving.cache_capacity = 0;
+  DiagnosisService service(load_from_bytes(e.bundle_bytes), serving);
+  const Diagnosis first = service.diagnose(samples[0].series);
+  const Diagnosis again = service.diagnose(samples[0].series);
+  EXPECT_FALSE(again.cache_hit);
+  EXPECT_EQ(again.probs, first.probs);  // same answer, recomputed
+}
+
+TEST(DiagnosisService, RejectsMalformedWindows) {
+  const ServingEnv& e = env();
+  DiagnosisService service(load_from_bytes(e.bundle_bytes));
+  // Wrong metric count.
+  EXPECT_THROW(service.diagnose(Matrix(40, 3)), Error);
+  // Too few timesteps for the configured trim.
+  EXPECT_THROW(service.diagnose(Matrix(2, service.registry().size())), Error);
+}
+
+TEST(DiagnosisService, LabelNamesComeFromTheBundle) {
+  DiagnosisService service(load_from_bytes(env().bundle_bytes));
+  EXPECT_EQ(service.label_name(0), "healthy");
+  EXPECT_EQ(service.label_name(kNumClasses - 1), "dial");
+  EXPECT_THROW(service.label_name(-1), Error);
+  EXPECT_THROW(service.label_name(kNumClasses), Error);
+}
+
+TEST(DiagnosisService, HashWindowDistinguishesContentAndShape) {
+  Matrix a = Matrix::from_rows({{1.0, 2.0}, {3.0, 4.0}});
+  Matrix b = a;
+  EXPECT_EQ(hash_window(a), hash_window(b));
+  b(1, 1) = 4.0000000001;
+  EXPECT_NE(hash_window(a), hash_window(b));
+  const Matrix flat = Matrix::from_rows({{1.0, 2.0, 3.0, 4.0}});
+  EXPECT_NE(hash_window(a), hash_window(flat));
+}
+
+// The TSan target: concurrent diagnose/diagnose_batch/stats on one shared
+// service must be race-free and answer every thread bit-identically.
+TEST(DiagnosisService, ConcurrentDiagnoseIsThreadSafe) {
+  const ServingEnv& e = env();
+  const std::vector<Sample> samples = fresh_samples(e, 2, 884);
+  std::vector<Matrix> windows;
+  for (const Sample& s : samples) windows.push_back(s.series);
+
+  // A 2-entry cache over 4 distinct windows keeps eviction, insertion, and
+  // the extraction path all active under contention.
+  ServingConfig serving;
+  serving.cache_capacity = 2;
+  DiagnosisService service(load_from_bytes(e.bundle_bytes), serving);
+  const auto reference = service.diagnose_batch(windows);
+
+  constexpr int kThreads = 4;
+  constexpr int kIters = 8;
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int it = 0; it < kIters; ++it) {
+        const std::size_t i =
+            static_cast<std::size_t>(t + it) % windows.size();
+        const Diagnosis d = service.diagnose(windows[i]);
+        if (d.probs != reference[i].probs || d.label != reference[i].label) {
+          mismatches.fetch_add(1);
+        }
+        if (it % 3 == 0) (void)service.stats();
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(mismatches.load(), 0);
+  const ServingStats s = service.stats();
+  EXPECT_EQ(s.requests, static_cast<std::size_t>(kThreads * kIters) + 1);
+  EXPECT_EQ(s.windows,
+            static_cast<std::size_t>(kThreads * kIters) + windows.size());
+}
+
+}  // namespace
+}  // namespace alba
