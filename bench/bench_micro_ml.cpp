@@ -3,20 +3,30 @@
 // samples × a few hundred selected features), chi-square selection, and
 // query-strategy scoring over a pool — the old copy-then-score path against
 // the learner's index-view path. A custom main also runs one small
-// synthetic AL loop and dumps its per-round phase timings as CSV.
+// synthetic AL loop and dumps its per-round phase timings as CSV, then a
+// train-time sweep of the exact vs histogram split finders (Exact vs Hist ×
+// n_samples × n_features for RF and GBM) emitted as BENCH_ml_train.json,
+// with a hist-vs-exact macro-F1 parity gate. `--smoke` runs only a scaled-
+// down sweep + parity gate, the CI entry point.
 #include <benchmark/benchmark.h>
 
+#include <cmath>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <numeric>
+#include <string>
+#include <vector>
 
 #include "active/learner.hpp"
 #include "active/oracle.hpp"
 #include "active/round_stats.hpp"
 #include "active/strategy.hpp"
 #include "common/rng.hpp"
+#include "common/timer.hpp"
 #include "ml/gbm.hpp"
 #include "ml/logreg.hpp"
+#include "ml/metrics.hpp"
 #include "ml/random_forest.hpp"
 #include "preprocess/select_kbest.hpp"
 
@@ -231,13 +241,130 @@ void write_al_round_stats(const char* path) {
               format_round_summary(result.rounds).c_str(), path);
 }
 
+// ---------------------------------------------------- train-time sweep ---
+
+struct SweepEntry {
+  std::string model;
+  std::string algo;
+  std::size_t n = 0;
+  std::size_t f = 0;
+  double train_s = 0.0;
+  double f1 = 0.0;
+};
+
+// Fits one (model, algo) cell of the sweep and scores it on held-out data.
+template <typename Model, typename Config>
+SweepEntry run_cell(const char* name, Config cfg, SplitAlgo algo,
+                    const Synth& train, const Synth& test) {
+  cfg.split_algo = algo;
+  Model model(cfg, 1);
+  Timer timer;
+  model.fit(train.x, train.y);
+  SweepEntry e;
+  e.model = name;
+  e.algo = algo == SplitAlgo::Hist ? "hist" : "exact";
+  e.n = train.x.rows();
+  e.f = train.x.cols();
+  e.train_s = timer.seconds();
+  e.f1 = macro_f1(test.y, model.predict(test.x), 6);
+  return e;
+}
+
+// Exact-vs-Hist train-time sweep. Enforces the hist-vs-exact macro-F1
+// parity gate (±0.02) always, and the ≥3× pool-scale speedup gate in the
+// full sweep; returns false when a gate fails.
+bool run_train_sweep(bool smoke, const char* json_path) {
+  struct Shape {
+    std::size_t n;
+    std::size_t f;
+  };
+  const std::vector<Shape> shapes =
+      smoke ? std::vector<Shape>{{240, 120}}
+            : std::vector<Shape>{{500, 500}, {2000, 500}, {500, 2000},
+                                 {2000, 2000}};
+
+  // sklearn's default forest size; one shared BinnedMatrix serves all
+  // trees, so its build cost amortizes the way real fits amortize it.
+  ForestConfig rf_cfg;
+  rf_cfg.num_classes = 6;
+  rf_cfg.n_estimators = smoke ? 10 : 100;
+  rf_cfg.max_depth = 8;
+  GbmConfig gbm_cfg;
+  gbm_cfg.num_classes = 6;
+  gbm_cfg.n_estimators = 5;
+  gbm_cfg.num_leaves = 31;
+
+  std::vector<SweepEntry> entries;
+  bool ok = true;
+  for (const Shape& shape : shapes) {
+    const Synth train = make_synth(shape.n, shape.f, 6, 21);
+    const Synth test = make_synth(shape.n / 2, shape.f, 6, 22);
+
+    for (const char* model : {"rf", "lgbm"}) {
+      const bool is_rf = std::strcmp(model, "rf") == 0;
+      const SweepEntry exact =
+          is_rf ? run_cell<RandomForest>("rf", rf_cfg, SplitAlgo::Exact, train,
+                                         test)
+                : run_cell<GbmClassifier>("lgbm", gbm_cfg, SplitAlgo::Exact,
+                                          train, test);
+      const SweepEntry hist =
+          is_rf ? run_cell<RandomForest>("rf", rf_cfg, SplitAlgo::Hist, train,
+                                         test)
+                : run_cell<GbmClassifier>("lgbm", gbm_cfg, SplitAlgo::Hist,
+                                          train, test);
+      const double speedup =
+          hist.train_s > 0.0 ? exact.train_s / hist.train_s : 0.0;
+      std::printf(
+          "train sweep %-5s %5zux%-5zu exact %8.3fs f1 %.3f | hist %8.3fs "
+          "f1 %.3f | speedup %.2fx\n",
+          model, shape.n, shape.f, exact.train_s, exact.f1, hist.train_s,
+          hist.f1, speedup);
+      if (std::abs(exact.f1 - hist.f1) > 0.02) {
+        std::fprintf(stderr,
+                     "PARITY FAIL: %s %zux%zu hist f1 %.4f vs exact %.4f "
+                     "(gate ±0.02)\n",
+                     model, shape.n, shape.f, hist.f1, exact.f1);
+        ok = false;
+      }
+      if (!smoke && shape.n >= 2000 && shape.f >= 2000 && speedup < 3.0) {
+        std::fprintf(stderr,
+                     "SPEEDUP FAIL: %s %zux%zu hist speedup %.2fx < 3x\n",
+                     model, shape.n, shape.f, speedup);
+        ok = false;
+      }
+      entries.push_back(exact);
+      entries.push_back(hist);
+    }
+  }
+
+  std::ofstream os(json_path);
+  os << "[\n";
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    const SweepEntry& e = entries[i];
+    os << "  {\"model\": \"" << e.model << "\", \"algo\": \"" << e.algo
+       << "\", \"n\": " << e.n << ", \"f\": " << e.f
+       << ", \"train_s\": " << e.train_s << ", \"macro_f1\": " << e.f1 << "}"
+       << (i + 1 < entries.size() ? "," : "") << "\n";
+  }
+  os << "]\n";
+  std::printf("train sweep written to %s (%zu entries)%s\n", json_path,
+              entries.size(), ok ? "" : " — GATES FAILED");
+  return ok;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      // CI gate: scaled-down Exact-vs-Hist sweep + macro-F1 parity only.
+      return run_train_sweep(true, "BENCH_ml_train.json") ? 0 : 1;
+    }
+  }
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   write_al_round_stats("micro_ml_round_stats.csv");
-  return 0;
+  return run_train_sweep(false, "BENCH_ml_train.json") ? 0 : 1;
 }

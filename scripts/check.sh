@@ -1,12 +1,15 @@
 #!/usr/bin/env bash
 # Repo check: the tier-1 build + test suite, a serving smoke run (train a
 # tiny model, export a bundle, serve 100 windows, assert bit-identical
-# agreement with the offline pipeline), an AddressSanitizer +
-# UndefinedBehaviorSanitizer build of the full suite (the fault-injection
-# paths shuffle NaNs and truncated buffers around — exactly where silent
-# out-of-bounds reads would hide), then a ThreadSanitizer build of the
-# concurrency-sensitive tests (thread pool, active-learning loop, the
-# diagnosis service) to catch races in the parallel scoring/serving paths.
+# agreement with the offline pipeline), an ML train smoke run (histogram
+# vs exact split finders must agree on macro-F1 within the parity gate),
+# an AddressSanitizer + UndefinedBehaviorSanitizer build of the full suite
+# (the fault-injection paths shuffle NaNs and truncated buffers around —
+# exactly where silent out-of-bounds reads would hide), then a
+# ThreadSanitizer build of the concurrency-sensitive tests (thread pool,
+# tree training incl. the shared BinnedMatrix, active-learning loop, the
+# diagnosis service) to catch races in the parallel training/scoring/
+# serving paths.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -21,6 +24,10 @@ echo "== serving smoke: export bundle + serve 100 windows =="
 ./build/bench/bench_serving --smoke
 
 echo
+echo "== ml train smoke: hist vs exact parity gate =="
+(cd build/bench && ./bench_micro_ml --smoke)
+
+echo
 echo "== asan+ubsan: full test suite =="
 cmake -B build-asan -S . \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
@@ -29,20 +36,22 @@ cmake -B build-asan -S . \
 cmake --build build-asan -j"$(nproc)" --target \
   test_common test_thread_pool test_linalg test_stats_descriptive \
   test_stats_spectral test_anomaly test_telemetry test_features \
-  test_preprocess test_ml_metrics test_ml_trees test_ml_linear \
-  test_ml_tools test_active test_active_ext test_core test_properties \
-  test_faults test_serving > /dev/null
+  test_preprocess test_ml_metrics test_binning test_ml_trees \
+  test_ml_linear test_ml_tools test_active test_active_ext test_core \
+  test_properties test_faults test_serving > /dev/null
 (cd build-asan && ctest --output-on-failure -j"$(nproc)")
 
 echo
-echo "== tsan: thread pool + active learning + serving =="
+echo "== tsan: thread pool + tree training + active learning + serving =="
 cmake -B build-tsan -S . \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DCMAKE_CXX_FLAGS="-fsanitize=thread -fno-omit-frame-pointer" \
   -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread" > /dev/null
 cmake --build build-tsan -j"$(nproc)" \
-  --target test_thread_pool test_active test_active_ext test_serving > /dev/null
-for t in test_thread_pool test_active test_active_ext test_serving; do
+  --target test_thread_pool test_binning test_ml_trees test_ml_tools \
+  test_active test_active_ext test_serving > /dev/null
+for t in test_thread_pool test_binning test_ml_trees test_ml_tools \
+         test_active test_active_ext test_serving; do
   echo "-- $t (tsan)"
   ./build-tsan/tests/"$t"
 done

@@ -30,6 +30,49 @@ double impurity(std::span<const double> counts, double total,
   return acc;
 }
 
+// Sibling subtraction passes a node's full-feature histogram down the
+// recursion (larger child = parent − smaller child). Histograms are
+// depth-bounded in memory, so stop handing them down past this depth —
+// deeper nodes are tiny and rebuild cheaply anyway.
+constexpr int kMaxSubtractDepth = 32;
+
+// Candidate features for one split, drawn with the node's RNG.
+std::vector<std::size_t> sample_features(std::size_t f_total, int max_features,
+                                         Rng& rng) {
+  std::size_t f_try = f_total;
+  if (max_features == -1) {
+    f_try = std::max<std::size_t>(
+        1, static_cast<std::size_t>(std::sqrt(static_cast<double>(f_total))));
+  } else if (max_features > 0) {
+    f_try =
+        std::min<std::size_t>(static_cast<std::size_t>(max_features), f_total);
+  }
+  if (f_try == f_total) {
+    std::vector<std::size_t> all(f_total);
+    std::iota(all.begin(), all.end(), std::size_t{0});
+    return all;
+  }
+  return rng.sample_without_replacement(f_total, f_try);
+}
+
+// Accumulates per-feature (bin × class) count histograms for the given rows.
+// `hist` must be zeroed, laid out [feature][bin][class] with a fixed
+// kMaxBins × k stride per feature.
+void build_count_hist(const BinnedMatrix& binned, std::span<const int> y,
+                      std::span<const std::size_t> rows,
+                      std::span<const std::size_t> features, std::size_t k,
+                      double* hist) {
+  const std::size_t stride = static_cast<std::size_t>(BinnedMatrix::kMaxBins) * k;
+  for (std::size_t fi = 0; fi < features.size(); ++fi) {
+    const std::uint8_t* codes = binned.column(features[fi]);
+    double* h = hist + fi * stride;
+    for (const std::size_t row : rows) {
+      h[static_cast<std::size_t>(codes[row]) * k +
+        static_cast<std::size_t>(y[row])] += 1.0;
+    }
+  }
+}
+
 }  // namespace
 
 DecisionTree::DecisionTree(TreeConfig config, std::uint64_t seed)
@@ -48,6 +91,12 @@ void DecisionTree::fit(const Matrix& x, std::span<const int> y) {
 
 void DecisionTree::fit_on(const Matrix& x, std::span<const int> y,
                           std::vector<std::size_t> indices) {
+  fit_on(x, y, std::move(indices), nullptr);
+}
+
+void DecisionTree::fit_on(const Matrix& x, std::span<const int> y,
+                          std::vector<std::size_t> indices,
+                          const BinnedMatrix* binned) {
   ALBA_CHECK(x.rows() == y.size());
   ALBA_CHECK(!indices.empty()) << "fitting a tree on zero samples";
   for (const int label : y) {
@@ -57,6 +106,19 @@ void DecisionTree::fit_on(const Matrix& x, std::span<const int> y,
   nodes_.clear();
   leaf_probs_.clear();
   Rng rng(seed_);
+  if (config_.split_algo == SplitAlgo::Hist) {
+    // Quantize locally when the caller didn't share a binned view (the
+    // forest/boosting loops build one per fit and pass it to every tree).
+    if (binned != nullptr) {
+      ALBA_CHECK(binned->rows() == x.rows() && binned->cols() == x.cols())
+          << "binned view shape mismatch";
+      build_node_hist(*binned, y, indices, 0, indices.size(), 0, rng, {});
+    } else {
+      const BinnedMatrix local(x);
+      build_node_hist(local, y, indices, 0, indices.size(), 0, rng, {});
+    }
+    return;
+  }
   build_node(x, y, indices, 0, indices.size(), 0, rng);
 }
 
@@ -105,23 +167,8 @@ int DecisionTree::build_node(const Matrix& x, std::span<const int> y,
   }
 
   // Feature subset for this split.
-  const std::size_t f_total = x.cols();
-  std::size_t f_try = f_total;
-  if (config_.max_features == -1) {
-    f_try = std::max<std::size_t>(
-        1, static_cast<std::size_t>(std::sqrt(static_cast<double>(f_total))));
-  } else if (config_.max_features > 0) {
-    f_try = std::min<std::size_t>(static_cast<std::size_t>(config_.max_features),
-                                  f_total);
-  }
-  std::vector<std::size_t> features =
-      f_try == f_total
-          ? [&] {
-              std::vector<std::size_t> all(f_total);
-              std::iota(all.begin(), all.end(), std::size_t{0});
-              return all;
-            }()
-          : rng.sample_without_replacement(f_total, f_try);
+  const std::vector<std::size_t> features =
+      sample_features(x.cols(), config_.max_features, rng);
 
   // Exact best split: sort node samples by feature value and scan.
   const double parent_impurity =
@@ -132,6 +179,7 @@ int DecisionTree::build_node(const Matrix& x, std::span<const int> y,
 
   std::vector<std::pair<double, int>> sorted(n);  // (value, label)
   std::vector<double> left_counts(k);
+  std::vector<double> right_counts(k);
   const auto min_leaf = static_cast<std::size_t>(config_.min_samples_leaf);
 
   for (const std::size_t f : features) {
@@ -153,16 +201,13 @@ int DecisionTree::build_node(const Matrix& x, std::span<const int> y,
       double right_total = 0.0;
       double imp_left =
           impurity(left_counts, static_cast<double>(n_left), config_.criterion);
-      // right counts = counts - left_counts
-      double imp_right;
-      {
-        std::vector<double> right_counts(k);
-        for (std::size_t c = 0; c < k; ++c) {
-          right_counts[c] = counts[c] - left_counts[c];
-          right_total += right_counts[c];
-        }
-        imp_right = impurity(right_counts, right_total, config_.criterion);
+      // right counts = counts - left_counts (buffer hoisted out of the scan)
+      for (std::size_t c = 0; c < k; ++c) {
+        right_counts[c] = counts[c] - left_counts[c];
+        right_total += right_counts[c];
       }
+      const double imp_right =
+          impurity(right_counts, right_total, config_.criterion);
       const double weighted =
           (static_cast<double>(n_left) * imp_left +
            static_cast<double>(n_right) * imp_right) /
@@ -196,6 +241,219 @@ int DecisionTree::build_node(const Matrix& x, std::span<const int> y,
 
   const int left = build_node(x, y, indices, begin, mid, depth + 1, rng);
   const int right = build_node(x, y, indices, mid, end, depth + 1, rng);
+  nodes_[static_cast<std::size_t>(self)].left = left;
+  nodes_[static_cast<std::size_t>(self)].right = right;
+  return self;
+}
+
+// Histogram split finder: O(n × f_try) per node instead of the exact
+// splitter's O(n log n × f_try) re-sorts. `node_hist` is this node's
+// [feature][bin][class] histogram handed down by the parent via sibling
+// subtraction (only when every split sees all features, so parent and
+// child histograms cover the same columns); empty means build it here.
+int DecisionTree::build_node_hist(const BinnedMatrix& binned,
+                                  std::span<const int> y,
+                                  std::vector<std::size_t>& indices,
+                                  std::size_t begin, std::size_t end, int depth,
+                                  Rng& rng, std::vector<double>&& node_hist) {
+  const std::size_t n = end - begin;
+  const auto k = static_cast<std::size_t>(config_.num_classes);
+  const auto node_span =
+      std::span<const std::size_t>(indices.data() + begin, n);
+
+  // Class histogram; detect purity.
+  std::vector<double> counts(k, 0.0);
+  for (const std::size_t i : node_span) {
+    counts[static_cast<std::size_t>(y[i])] += 1.0;
+  }
+  bool pure = false;
+  for (const double c : counts) {
+    if (c == static_cast<double>(n)) pure = true;
+  }
+
+  const bool depth_capped =
+      config_.max_depth >= 0 && depth >= config_.max_depth;
+  if (pure || depth_capped ||
+      n < static_cast<std::size_t>(config_.min_samples_split)) {
+    return make_leaf(y, node_span);
+  }
+
+  const std::size_t f_total = binned.cols();
+  const std::vector<std::size_t> features =
+      sample_features(f_total, config_.max_features, rng);
+  const bool all_features = features.size() == f_total;
+  const std::size_t stride = static_cast<std::size_t>(BinnedMatrix::kMaxBins) * k;
+
+  // Sibling subtraction passes full node histograms down the recursion, so
+  // they are only worth materializing when every split sees all features
+  // (parent and child then histogram the same columns). Subsampled nodes —
+  // the forest's default — use the compact per-feature scan below instead:
+  // a full [feature][bin][class] histogram costs O(kMaxBins × k) per
+  // feature to zero and scan no matter how small the node is, which makes
+  // deep trees slower than the exact splitter.
+  const bool subtract = all_features && depth < kMaxSubtractDepth;
+  if (node_hist.empty() && subtract) {
+    node_hist.assign(features.size() * stride, 0.0);
+    build_count_hist(binned, y, node_span, features, k, node_hist.data());
+  }
+
+  const double parent_impurity =
+      impurity(counts, static_cast<double>(n), config_.criterion);
+  double best_gain = 1e-12;
+  std::size_t best_feature = 0;
+  int best_bin = 0;
+
+  std::vector<double> left_counts(k);
+  std::vector<double> right_counts(k);
+  const auto min_leaf = static_cast<double>(config_.min_samples_leaf);
+  double n_left = 0.0;  // reset per feature before each bin walk
+
+  // Cumulates `bin` into the left side and scores the cut "bins 1..b left,
+  // higher bins and NaN (bin 0) right" — matching the raw-value predicate
+  // `value <= upper_edge(f, b)`. Shared by both scans below; cumulating an
+  // empty bin is a no-op, so skipping empty bins entirely (the compact
+  // scan) picks the same split as walking every bin (the full scan).
+  const auto evaluate_cut = [&](std::size_t f, int b, const double* bin) {
+    double bin_total = 0.0;
+    for (std::size_t c = 0; c < k; ++c) {
+      left_counts[c] += bin[c];
+      bin_total += bin[c];
+    }
+    n_left += bin_total;
+    if (bin_total == 0.0) return;  // same partition as previous cut
+    const double n_right = static_cast<double>(n) - n_left;
+    if (n_left < min_leaf || n_right < min_leaf) return;
+    const double imp_left = impurity(left_counts, n_left, config_.criterion);
+    double right_total = 0.0;
+    for (std::size_t c = 0; c < k; ++c) {
+      right_counts[c] = counts[c] - left_counts[c];
+      right_total += right_counts[c];
+    }
+    const double imp_right =
+        impurity(right_counts, right_total, config_.criterion);
+    const double weighted =
+        (n_left * imp_left + n_right * imp_right) / static_cast<double>(n);
+    const double gain = parent_impurity - weighted;
+    if (gain > best_gain) {
+      best_gain = gain;
+      best_feature = f;
+      best_bin = b;
+    }
+  };
+
+  if (!node_hist.empty()) {
+    for (std::size_t fi = 0; fi < features.size(); ++fi) {
+      const std::size_t f = features[fi];
+      const int nb = binned.num_bins(f);
+      if (nb <= 2) continue;  // at most one finite bin: constant column
+      const double* h = node_hist.data() + fi * stride;
+      std::fill(left_counts.begin(), left_counts.end(), 0.0);
+      n_left = 0.0;
+      for (int b = 1; b + 1 < nb; ++b) {
+        evaluate_cut(f, b, h + static_cast<std::size_t>(b) * k);
+      }
+    }
+  } else {
+    // Compact scan: histogram one feature at a time into a reused
+    // kMaxBins × k scratch, remembering which bins the node's rows touch.
+    // Only occupied bins are walked (in ascending order — empty bins can't
+    // host a cut) and only touched entries are re-zeroed, so a node of m
+    // rows costs O(m + occupied × k) per feature instead of
+    // O(kMaxBins × k). That is what keeps small deep nodes cheap.
+    std::vector<double> fhist(
+        static_cast<std::size_t>(BinnedMatrix::kMaxBins) * k, 0.0);
+    std::vector<std::uint32_t> bin_n(BinnedMatrix::kMaxBins, 0);
+    std::vector<std::uint8_t> occupied;
+    occupied.reserve(
+        std::min<std::size_t>(n, BinnedMatrix::kMaxBins));
+    for (const std::size_t f : features) {
+      const int nb = binned.num_bins(f);
+      if (nb <= 2) continue;  // at most one finite bin: constant column
+      const std::uint8_t* codes = binned.column(f);
+      occupied.clear();
+      for (const std::size_t row : node_span) {
+        const std::uint8_t c = codes[row];
+        if (bin_n[c]++ == 0) occupied.push_back(c);
+        fhist[static_cast<std::size_t>(c) * k +
+              static_cast<std::size_t>(y[row])] += 1.0;
+      }
+      std::sort(occupied.begin(), occupied.end());
+
+      std::fill(left_counts.begin(), left_counts.end(), 0.0);
+      n_left = 0.0;
+      for (const std::uint8_t c8 : occupied) {
+        const int b = c8;
+        // NaN bin and the last finite bin always stay right.
+        if (b == 0 || b + 1 >= nb) continue;
+        evaluate_cut(f, b, fhist.data() + static_cast<std::size_t>(b) * k);
+      }
+      for (const std::uint8_t c8 : occupied) {
+        std::fill_n(fhist.begin() +
+                        static_cast<std::ptrdiff_t>(
+                            static_cast<std::size_t>(c8) * k),
+                    k, 0.0);
+        bin_n[c8] = 0;
+      }
+    }
+  }
+
+  if (best_gain <= 1e-12) return make_leaf(y, node_span);
+
+  // Partition [begin, end) by bin code; NaN (code 0) goes right, exactly as
+  // raw-value prediction routes it (`NaN <= threshold` is false).
+  const std::uint8_t* best_codes = binned.column(best_feature);
+  const auto mid_it = std::partition(
+      indices.begin() + static_cast<std::ptrdiff_t>(begin),
+      indices.begin() + static_cast<std::ptrdiff_t>(end),
+      [&](std::size_t i) {
+        const std::uint8_t c = best_codes[i];
+        return c >= 1 && static_cast<int>(c) <= best_bin;
+      });
+  const std::size_t mid =
+      static_cast<std::size_t>(mid_it - indices.begin());
+  if (mid == begin || mid == end) return make_leaf(y, node_span);
+
+  Node node;
+  node.feature = static_cast<int>(best_feature);
+  node.threshold = binned.upper_edge(best_feature, best_bin);
+  node.importance = best_gain * static_cast<double>(n);
+  const int self = static_cast<int>(nodes_.size());
+  nodes_.push_back(node);
+
+  // Sibling subtraction: build the smaller child's histogram from its rows
+  // and derive the larger child's as parent − smaller, halving histogram
+  // work. Only valid when parent and children histogram the same columns
+  // (all-features mode); depth-capped so live histograms stay bounded.
+  std::vector<double> left_hist;
+  std::vector<double> right_hist;
+  if (subtract) {
+    const std::size_t n_left_rows = mid - begin;
+    const bool left_smaller = n_left_rows * 2 <= n;
+    const auto small_span =
+        left_smaller
+            ? std::span<const std::size_t>(indices.data() + begin, n_left_rows)
+            : std::span<const std::size_t>(indices.data() + mid, end - mid);
+    std::vector<double> small_hist(node_hist.size(), 0.0);
+    build_count_hist(binned, y, small_span, features, k, small_hist.data());
+    // Reuse the parent's buffer for the larger child.
+    for (std::size_t i = 0; i < node_hist.size(); ++i) {
+      node_hist[i] -= small_hist[i];
+    }
+    if (left_smaller) {
+      left_hist = std::move(small_hist);
+      right_hist = std::move(node_hist);
+    } else {
+      left_hist = std::move(node_hist);
+      right_hist = std::move(small_hist);
+    }
+  }
+  node_hist.clear();
+  node_hist.shrink_to_fit();
+
+  const int left = build_node_hist(binned, y, indices, begin, mid, depth + 1,
+                                   rng, std::move(left_hist));
+  const int right = build_node_hist(binned, y, indices, mid, end, depth + 1,
+                                    rng, std::move(right_hist));
   nodes_[static_cast<std::size_t>(self)].left = left;
   nodes_[static_cast<std::size_t>(self)].right = right;
   return self;

@@ -1,11 +1,15 @@
-// CART decision-tree classifier: exact single-threaded splitter with
-// per-node feature subsampling (the randomness source of the forest),
-// gini or entropy impurity (both appear in the paper's Table IV grid).
+// CART decision-tree classifier with two split finders: the exact
+// single-threaded splitter (sorts raw values at every node) and a
+// histogram-based one (`SplitAlgo::Hist`) that scans quantized bin
+// histograms — see ml/binning.hpp. Per-node feature subsampling is the
+// randomness source of the forest; gini or entropy impurity (both appear
+// in the paper's Table IV grid).
 #pragma once
 
 #include <cstdint>
 
 #include "common/rng.hpp"
+#include "ml/binning.hpp"
 #include "ml/classifier.hpp"
 
 namespace alba {
@@ -20,6 +24,7 @@ struct TreeConfig {
   // Features examined per split: 0 = all, -1 = floor(sqrt(F)), >0 = exactly.
   int max_features = 0;
   SplitCriterion criterion = SplitCriterion::Gini;
+  SplitAlgo split_algo = SplitAlgo::Exact;
 };
 
 class DecisionTree final : public Classifier {
@@ -31,6 +36,14 @@ class DecisionTree final : public Classifier {
   /// Fits on a row subset (duplicates allowed — bootstrap sampling).
   void fit_on(const Matrix& x, std::span<const int> y,
               std::vector<std::size_t> indices);
+
+  /// Like fit_on but reuses a caller-built binned view of `x` when the
+  /// config selects `SplitAlgo::Hist` — the forest and the boosting loop
+  /// quantize once and share the result across all trees. `binned` may be
+  /// null (the tree quantizes for itself); it is ignored in Exact mode and
+  /// never retained past the call.
+  void fit_on(const Matrix& x, std::span<const int> y,
+              std::vector<std::size_t> indices, const BinnedMatrix* binned);
 
   Matrix predict_proba(const Matrix& x) const override;
   void predict_proba_rows(const Matrix& x, std::span<const std::size_t> rows,
@@ -75,6 +88,10 @@ class DecisionTree final : public Classifier {
   int build_node(const Matrix& x, std::span<const int> y,
                  std::vector<std::size_t>& indices, std::size_t begin,
                  std::size_t end, int depth, Rng& rng);
+  int build_node_hist(const BinnedMatrix& binned, std::span<const int> y,
+                      std::vector<std::size_t>& indices, std::size_t begin,
+                      std::size_t end, int depth, Rng& rng,
+                      std::vector<double>&& node_hist);
   int make_leaf(std::span<const int> y,
                 std::span<const std::size_t> indices);
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
 #include <numeric>
 #include <queue>
 
@@ -21,11 +22,21 @@ struct LeafCandidate {
   double gain = 0.0;           // best split gain found for this leaf
   std::size_t feature = 0;
   double threshold = 0.0;
+  int bin = 0;                 // hist mode: split after this finite bin
+  // Hist mode: this leaf's [feature][bin][count,grad,hess] histogram,
+  // retained while the candidate waits in the heap so a split can derive
+  // the larger child by sibling subtraction (shared_ptr because the
+  // priority queue copies candidates).
+  std::shared_ptr<std::vector<double>> hist;
 
   bool operator<(const LeafCandidate& other) const noexcept {
     return gain < other.gain;  // max-heap on gain
   }
 };
+
+// Per-feature histogram stride: kMaxBins bins × (count, grad, hess).
+constexpr std::size_t kHistStride =
+    static_cast<std::size_t>(BinnedMatrix::kMaxBins) * 3;
 
 double leaf_value(double sum_grad, double sum_hess, double lambda) noexcept {
   return -sum_grad / (sum_hess + lambda);
@@ -198,6 +209,201 @@ GbmClassifier::RegTree GbmClassifier::fit_tree(
   return tree;
 }
 
+// Histogram variant of fit_tree: per-leaf split search scans bin
+// histograms of (count, grad, hess) instead of sorting raw values, and
+// when a leaf splits, the smaller child's histogram is accumulated from
+// its rows while the larger child's is derived by sibling subtraction
+// (parent − smaller). The feature pool is fixed per tree (colsample),
+// so parent and child histograms always cover the same columns.
+GbmClassifier::RegTree GbmClassifier::fit_tree_hist(
+    const BinnedMatrix& binned, std::span<const double> grad,
+    std::span<const double> hess,
+    std::span<const std::size_t> feature_pool) const {
+  const std::size_t n = binned.rows();
+  RegTree tree;
+
+  std::vector<std::size_t> indices(n);
+  std::iota(indices.begin(), indices.end(), std::size_t{0});
+
+  auto build_hist = [&](std::size_t begin, std::size_t end,
+                        std::vector<double>& hist) {
+    hist.assign(feature_pool.size() * kHistStride, 0.0);
+    for (std::size_t fi = 0; fi < feature_pool.size(); ++fi) {
+      const std::uint8_t* codes = binned.column(feature_pool[fi]);
+      double* h = hist.data() + fi * kHistStride;
+      for (std::size_t i = begin; i < end; ++i) {
+        const std::size_t row = indices[i];
+        double* cell = h + static_cast<std::size_t>(codes[row]) * 3;
+        cell[0] += 1.0;
+        cell[1] += grad[row];
+        cell[2] += hess[row];
+      }
+    }
+  };
+
+  // Scans `cand`'s histogram (building it first when the parent couldn't
+  // hand one down) for the best cut point.
+  auto evaluate_leaf = [&](LeafCandidate& cand,
+                           std::shared_ptr<std::vector<double>> hist) {
+    cand.gain = 0.0;
+    const std::size_t count = cand.end - cand.begin;
+    if (count < 2 * static_cast<std::size_t>(config_.min_samples_leaf)) return;
+    if (config_.max_depth >= 0 && cand.depth >= config_.max_depth) return;
+
+    if (!hist) {
+      hist = std::make_shared<std::vector<double>>();
+      build_hist(cand.begin, cand.end, *hist);
+    }
+    cand.hist = std::move(hist);
+
+    double g_total = 0.0;
+    double h_total = 0.0;
+    for (std::size_t i = cand.begin; i < cand.end; ++i) {
+      g_total += grad[indices[i]];
+      h_total += hess[indices[i]];
+    }
+    const double parent = split_score(g_total, h_total, config_.reg_lambda);
+    const auto min_leaf = static_cast<double>(config_.min_samples_leaf);
+
+    for (std::size_t fi = 0; fi < feature_pool.size(); ++fi) {
+      const std::size_t f = feature_pool[fi];
+      const int nb = binned.num_bins(f);
+      if (nb <= 2) continue;  // constant column
+      const double* h = cand.hist->data() + fi * kHistStride;
+
+      double c_left = 0.0;
+      double g_left = 0.0;
+      double h_left = 0.0;
+      // Split after finite bin b: bins 1..b left, higher bins and the NaN
+      // bin 0 right — the raw-value predicate `value <= edge` routes NaN
+      // right the same way.
+      for (int b = 1; b + 1 < nb; ++b) {
+        const double* cell = h + static_cast<std::size_t>(b) * 3;
+        c_left += cell[0];
+        g_left += cell[1];
+        h_left += cell[2];
+        if (cell[0] == 0.0) continue;  // same partition as previous cut
+        if (c_left < min_leaf ||
+            static_cast<double>(count) - c_left < min_leaf) {
+          continue;
+        }
+        const double gain =
+            split_score(g_left, h_left, config_.reg_lambda) +
+            split_score(g_total - g_left, h_total - h_left,
+                        config_.reg_lambda) -
+            parent;
+        if (gain > cand.gain) {
+          cand.gain = gain;
+          cand.feature = f;
+          cand.bin = b;
+          cand.threshold = binned.upper_edge(f, b);
+        }
+      }
+    }
+  };
+
+  auto set_leaf_value = [&](int node, std::size_t begin, std::size_t end) {
+    double g = 0.0;
+    double h = 0.0;
+    for (std::size_t i = begin; i < end; ++i) {
+      g += grad[indices[i]];
+      h += hess[indices[i]];
+    }
+    tree.nodes[static_cast<std::size_t>(node)].value =
+        leaf_value(g, h, config_.reg_lambda);
+  };
+
+  tree.nodes.push_back(RegNode{});
+  LeafCandidate root;
+  root.node = 0;
+  root.begin = 0;
+  root.end = n;
+  root.depth = 0;
+  evaluate_leaf(root, nullptr);
+
+  std::priority_queue<LeafCandidate> heap;
+  heap.push(root);
+  root.hist.reset();
+  int leaves = 1;
+
+  while (!heap.empty() && leaves < config_.num_leaves) {
+    LeafCandidate cand = heap.top();
+    heap.pop();
+    if (cand.gain <= config_.min_gain) {
+      set_leaf_value(cand.node, cand.begin, cand.end);
+      continue;
+    }
+
+    // Partition the index range by bin code (NaN bin 0 goes right).
+    const std::uint8_t* codes = binned.column(cand.feature);
+    const auto begin_it =
+        indices.begin() + static_cast<std::ptrdiff_t>(cand.begin);
+    const auto end_it = indices.begin() + static_cast<std::ptrdiff_t>(cand.end);
+    const auto mid_it = std::partition(begin_it, end_it, [&](std::size_t i) {
+      const std::uint8_t c = codes[i];
+      return c >= 1 && static_cast<int>(c) <= cand.bin;
+    });
+    const std::size_t mid = static_cast<std::size_t>(mid_it - indices.begin());
+    if (mid == cand.begin || mid == cand.end) {
+      set_leaf_value(cand.node, cand.begin, cand.end);
+      continue;
+    }
+
+    RegNode& parent = tree.nodes[static_cast<std::size_t>(cand.node)];
+    parent.feature = static_cast<int>(cand.feature);
+    parent.threshold = cand.threshold;
+    parent.left = static_cast<int>(tree.nodes.size());
+    parent.right = static_cast<int>(tree.nodes.size() + 1);
+    tree.nodes.push_back(RegNode{});
+    tree.nodes.push_back(RegNode{});
+    ++leaves;
+
+    LeafCandidate left;
+    left.node = tree.nodes[static_cast<std::size_t>(cand.node)].left;
+    left.begin = cand.begin;
+    left.end = mid;
+    left.depth = cand.depth + 1;
+    LeafCandidate right;
+    right.node = tree.nodes[static_cast<std::size_t>(cand.node)].right;
+    right.begin = mid;
+    right.end = cand.end;
+    right.depth = cand.depth + 1;
+
+    // Sibling subtraction: accumulate the smaller child from its rows and
+    // derive the larger child as parent − smaller, reusing the parent's
+    // buffer (ours alone once popped from the heap).
+    const bool left_smaller = (mid - cand.begin) * 2 <= (cand.end - cand.begin);
+    LeafCandidate& small = left_smaller ? left : right;
+    LeafCandidate& large = left_smaller ? right : left;
+    std::shared_ptr<std::vector<double>> small_hist;
+    std::shared_ptr<std::vector<double>> large_hist;
+    if (cand.hist) {
+      small_hist = std::make_shared<std::vector<double>>();
+      build_hist(small.begin, small.end, *small_hist);
+      large_hist = std::move(cand.hist);
+      if (large_hist.use_count() > 1) {
+        large_hist = std::make_shared<std::vector<double>>(*large_hist);
+      }
+      for (std::size_t i = 0; i < large_hist->size(); ++i) {
+        (*large_hist)[i] -= (*small_hist)[i];
+      }
+    }
+    evaluate_leaf(small, std::move(small_hist));
+    evaluate_leaf(large, std::move(large_hist));
+    heap.push(left);
+    left.hist.reset();
+    heap.push(right);
+    right.hist.reset();
+  }
+
+  while (!heap.empty()) {
+    const LeafCandidate cand = heap.top();
+    heap.pop();
+    set_leaf_value(cand.node, cand.begin, cand.end);
+  }
+  return tree;
+}
+
 void GbmClassifier::fit(const Matrix& x, std::span<const int> y) {
   ALBA_CHECK(x.rows() == y.size());
   ALBA_CHECK(x.rows() > 0);
@@ -230,6 +436,12 @@ void GbmClassifier::fit(const Matrix& x, std::span<const int> y) {
   std::vector<double> hess(n);
   Matrix probs;
 
+  // Hist mode: quantize once, share the read-only view across every
+  // boosting round and class tree.
+  const BinnedMatrix binned = config_.split_algo == SplitAlgo::Hist
+                                  ? BinnedMatrix(x)
+                                  : BinnedMatrix();
+
   for (int round = 0; round < config_.n_estimators; ++round) {
     probs = raw;
     softmax_rows(probs);
@@ -258,7 +470,9 @@ void GbmClassifier::fit(const Matrix& x, std::span<const int> y) {
         grad[i] = p - target;
         hess[i] = std::max(p * (1.0 - p), 1e-9);
       }
-      RegTree tree = fit_tree(x, grad, hess, feature_pool);
+      RegTree tree = config_.split_algo == SplitAlgo::Hist
+                         ? fit_tree_hist(binned, grad, hess, feature_pool)
+                         : fit_tree(x, grad, hess, feature_pool);
       for (std::size_t i = 0; i < n; ++i) {
         raw(i, c) += config_.learning_rate * tree.predict(x.row(i));
       }

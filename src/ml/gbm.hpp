@@ -8,6 +8,7 @@
 #include <cstdint>
 
 #include "common/rng.hpp"
+#include "ml/binning.hpp"
 #include "ml/classifier.hpp"
 
 namespace alba {
@@ -22,6 +23,7 @@ struct GbmConfig {
   double reg_lambda = 1.0;    // L2 on leaf values
   int min_samples_leaf = 1;
   double min_gain = 1e-7;
+  SplitAlgo split_algo = SplitAlgo::Exact;
 };
 
 class GbmClassifier final : public Classifier {
@@ -70,6 +72,10 @@ class GbmClassifier final : public Classifier {
   RegTree fit_tree(const Matrix& x, std::span<const double> grad,
                    std::span<const double> hess,
                    std::span<const std::size_t> feature_pool) const;
+  RegTree fit_tree_hist(const BinnedMatrix& binned,
+                        std::span<const double> grad,
+                        std::span<const double> hess,
+                        std::span<const std::size_t> feature_pool) const;
 
   GbmConfig config_;
   std::uint64_t seed_;

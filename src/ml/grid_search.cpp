@@ -5,6 +5,8 @@
 
 #include "common/error.hpp"
 #include "common/string_util.hpp"
+#include "common/thread_pool.hpp"
+#include "common/timer.hpp"
 #include "ml/gbm.hpp"
 #include "ml/logreg.hpp"
 #include "ml/metrics.hpp"
@@ -32,50 +34,116 @@ std::vector<ParamSet> enumerate_grid(const ParamGrid& grid) {
   return out;
 }
 
-GridSearchResult grid_search_cv(const ClassifierFactory& factory,
-                                const ParamGrid& grid, const Matrix& x,
-                                std::span<const int> y, std::size_t folds,
-                                std::uint64_t seed) {
+namespace {
+
+// One fold's train/test slices, materialized once and shared read-only by
+// every combination (the serial implementation re-gathered them per combo).
+struct FoldData {
+  Matrix x_train;
+  Matrix x_test;
+  std::vector<int> y_train;
+  std::vector<int> y_test;
+};
+
+GridSearchResult grid_search_impl(const ClassifierFactory& factory,
+                                  const ParamGrid& grid, const Matrix& x,
+                                  std::span<const int> y, std::size_t folds,
+                                  std::uint64_t seed, bool parallel) {
   ALBA_CHECK(x.rows() == y.size());
   const auto combos = enumerate_grid(grid);
   const auto splits = stratified_kfold(y, folds, seed);
 
-  GridSearchResult result;
-  result.best_score = -1.0;
+  std::vector<FoldData> fold_data;
+  fold_data.reserve(splits.size());
+  for (const auto& split : splits) {
+    FoldData fd;
+    fd.x_train = x.select_rows(split.train);
+    fd.x_test = x.select_rows(split.test);
+    fd.y_train.reserve(split.train.size());
+    fd.y_test.reserve(split.test.size());
+    for (const std::size_t i : split.train) fd.y_train.push_back(y[i]);
+    for (const std::size_t i : split.test) fd.y_test.push_back(y[i]);
+    fold_data.push_back(std::move(fd));
+  }
+
+  // Class count pinned once up front: the label range of the full dataset,
+  // widened by the factory's configured class count. Individual folds may
+  // lack a class entirely (rare labels land in a single test fold); scoring
+  // every fold against the same pinned count keeps macro-F1 dimensions
+  // stable instead of re-deriving them per fold.
   int num_classes = 0;
   for (const int label : y) num_classes = std::max(num_classes, label + 1);
+  num_classes = std::max(num_classes, factory(combos.front())->num_classes());
 
-  for (const auto& params : combos) {
+  // Fan combination × fold tasks onto the pool. Each task is independent
+  // and writes a distinct slot, so the schedule never affects the result;
+  // model fits are deterministic for the factory's seed regardless of
+  // nesting (a fit inside a pool worker runs its own parallel loops
+  // inline).
+  const std::size_t nf = fold_data.size();
+  const std::size_t n_tasks = combos.size() * nf;
+  std::vector<double> scores(n_tasks, 0.0);
+  std::vector<double> task_ms(n_tasks, 0.0);
+  const auto run_task = [&](std::size_t t) {
+    const auto& params = combos[t / nf];
+    const FoldData& fd = fold_data[t % nf];
+    Timer timer;
+    auto model = factory(params);
+    model->fit(fd.x_train, fd.y_train);
+    scores[t] = macro_f1(fd.y_test, model->predict(fd.x_test), num_classes);
+    task_ms[t] = timer.milliseconds();
+  };
+  if (parallel) {
+    global_pool().parallel_for(n_tasks, run_task);
+  } else {
+    for (std::size_t t = 0; t < n_tasks; ++t) run_task(t);
+  }
+
+  // Reduce in combination order (folds in split order within each), so the
+  // floating-point accumulation matches the serial reference bit-for-bit.
+  GridSearchResult result;
+  result.best_score = -1.0;
+  result.entries.reserve(combos.size());
+  for (std::size_t ci = 0; ci < combos.size(); ++ci) {
     double sum = 0.0;
     double sum_sq = 0.0;
-    for (const auto& split : splits) {
-      const Matrix x_train = x.select_rows(split.train);
-      const Matrix x_test = x.select_rows(split.test);
-      std::vector<int> y_train;
-      std::vector<int> y_test;
-      for (const std::size_t i : split.train) y_train.push_back(y[i]);
-      for (const std::size_t i : split.test) y_test.push_back(y[i]);
-
-      auto model = factory(params);
-      model->fit(x_train, y_train);
-      const double score = macro_f1(y_test, model->predict(x_test),
-                                    std::max(num_classes, model->num_classes()));
+    double ms = 0.0;
+    for (std::size_t fi = 0; fi < nf; ++fi) {
+      const double score = scores[ci * nf + fi];
       sum += score;
       sum_sq += score * score;
+      ms += task_ms[ci * nf + fi];
     }
-    const double n = static_cast<double>(splits.size());
+    const double n = static_cast<double>(nf);
     GridSearchEntry entry;
-    entry.params = params;
+    entry.params = combos[ci];
     entry.mean_score = sum / n;
-    entry.std_score =
-        std::sqrt(std::max(0.0, sum_sq / n - entry.mean_score * entry.mean_score));
+    entry.std_score = std::sqrt(
+        std::max(0.0, sum_sq / n - entry.mean_score * entry.mean_score));
+    entry.wall_ms = ms;
     if (entry.mean_score > result.best_score) {
       result.best_score = entry.mean_score;
-      result.best_params = params;
+      result.best_params = entry.params;
     }
     result.entries.push_back(std::move(entry));
   }
   return result;
+}
+
+}  // namespace
+
+GridSearchResult grid_search_cv(const ClassifierFactory& factory,
+                                const ParamGrid& grid, const Matrix& x,
+                                std::span<const int> y, std::size_t folds,
+                                std::uint64_t seed) {
+  return grid_search_impl(factory, grid, x, y, folds, seed, true);
+}
+
+GridSearchResult grid_search_cv_serial(const ClassifierFactory& factory,
+                                       const ParamGrid& grid, const Matrix& x,
+                                       std::span<const int> y,
+                                       std::size_t folds, std::uint64_t seed) {
+  return grid_search_impl(factory, grid, x, y, folds, seed, false);
 }
 
 namespace {

@@ -24,6 +24,10 @@ struct GridSearchEntry {
   ParamSet params;
   double mean_score = 0.0;
   double std_score = 0.0;
+  /// Summed fit+score wall time of this combination's fold tasks, in
+  /// milliseconds — the combination's training cost, independent of how
+  /// many tasks ran concurrently.
+  double wall_ms = 0.0;
 };
 
 struct GridSearchResult {
@@ -33,12 +37,21 @@ struct GridSearchResult {
 };
 
 /// Exhaustive search over the grid's cartesian product; each combination is
-/// scored with `folds`-fold stratified CV macro-F1. Deterministic for a
-/// fixed seed (folds are shared across combinations).
+/// scored with `folds`-fold stratified CV macro-F1. The fold train/test
+/// matrices are materialized once and shared; combination × fold tasks fan
+/// out onto the global thread pool and scores reduce in combination order,
+/// so the result (best_params, mean/std scores) is deterministic for a
+/// fixed seed and bit-identical to the serial reference below.
 GridSearchResult grid_search_cv(const ClassifierFactory& factory,
                                 const ParamGrid& grid, const Matrix& x,
                                 std::span<const int> y, std::size_t folds,
                                 std::uint64_t seed);
+
+/// Single-threaded reference implementation (exposed for parity tests).
+GridSearchResult grid_search_cv_serial(const ClassifierFactory& factory,
+                                       const ParamGrid& grid, const Matrix& x,
+                                       std::span<const int> y,
+                                       std::size_t folds, std::uint64_t seed);
 
 /// Enumerates the cartesian product of a grid (exposed for tests).
 std::vector<ParamSet> enumerate_grid(const ParamGrid& grid);

@@ -24,6 +24,7 @@ void RandomForest::fit(const Matrix& x, std::span<const int> y) {
   tree_config.min_samples_leaf = config_.min_samples_leaf;
   tree_config.max_features = config_.max_features;
   tree_config.criterion = config_.criterion;
+  tree_config.split_algo = config_.split_algo;
 
   const auto t = static_cast<std::size_t>(config_.n_estimators);
   trees_.clear();
@@ -37,6 +38,14 @@ void RandomForest::fit(const Matrix& x, std::span<const int> y) {
     trees_.emplace_back(tree_config, tree_seeds[i]);
   }
 
+  // Hist mode: quantize the training matrix once and share the read-only
+  // binned view across every tree (each tree's split search stays
+  // single-threaded, so per-tree determinism is schedule-independent).
+  const BinnedMatrix binned_storage =
+      config_.split_algo == SplitAlgo::Hist ? BinnedMatrix(x) : BinnedMatrix();
+  const BinnedMatrix* binned =
+      config_.split_algo == SplitAlgo::Hist ? &binned_storage : nullptr;
+
   parallel_for(t, [&](std::size_t i) {
     Rng rng(tree_seeds[i] ^ 0xB0075742ULL);
     std::vector<std::size_t> idx;
@@ -46,7 +55,7 @@ void RandomForest::fit(const Matrix& x, std::span<const int> y) {
       idx.resize(x.rows());
       std::iota(idx.begin(), idx.end(), std::size_t{0});
     }
-    trees_[i].fit_on(x, y, std::move(idx));
+    trees_[i].fit_on(x, y, std::move(idx), binned);
   });
 }
 

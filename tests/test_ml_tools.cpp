@@ -84,6 +84,53 @@ TEST(GridSearch, EntryScoresBoundedAndOrdered) {
   }
 }
 
+TEST(GridSearch, ParallelBitIdenticalToSerial) {
+  const Blobs blobs = make_blobs(30, 1.2, 9);
+  const ParamGrid grid{{"n_estimators", {"5", "15"}},
+                       {"max_depth", {"4", "8"}}};
+  const auto factory = make_model_factory("rf", 3, 21);
+  const auto par = grid_search_cv(factory, grid, blobs.x, blobs.y, 3, 5);
+  const auto ser = grid_search_cv_serial(factory, grid, blobs.x, blobs.y, 3, 5);
+  EXPECT_EQ(par.best_params, ser.best_params);
+  EXPECT_DOUBLE_EQ(par.best_score, ser.best_score);
+  ASSERT_EQ(par.entries.size(), ser.entries.size());
+  for (std::size_t i = 0; i < par.entries.size(); ++i) {
+    EXPECT_EQ(par.entries[i].params, ser.entries[i].params);
+    EXPECT_DOUBLE_EQ(par.entries[i].mean_score, ser.entries[i].mean_score);
+    EXPECT_DOUBLE_EQ(par.entries[i].std_score, ser.entries[i].std_score);
+  }
+}
+
+TEST(GridSearch, SurvivesFoldMissingAClass) {
+  // One singleton class: with 3 folds two of them never see label 3 in
+  // training and two never see it in test. The pinned class count must
+  // keep every fold's macro-F1 dimensions consistent instead of throwing
+  // or scoring against a shrunken label set.
+  Blobs blobs = make_blobs(12, 0.8, 10);
+  blobs.x.append_row(std::vector<double>{9.0, -9.0});
+  blobs.y.push_back(3);
+  const ParamGrid grid{{"n_estimators", {"5"}}};
+  const auto factory = make_model_factory("rf", 4, 13);
+  const auto result = grid_search_cv(factory, grid, blobs.x, blobs.y, 3, 5);
+  ASSERT_EQ(result.entries.size(), 1u);
+  EXPECT_GT(result.entries[0].mean_score, 0.0);
+  EXPECT_LE(result.entries[0].mean_score, 1.0);
+  const auto serial =
+      grid_search_cv_serial(factory, grid, blobs.x, blobs.y, 3, 5);
+  EXPECT_DOUBLE_EQ(result.entries[0].mean_score,
+                   serial.entries[0].mean_score);
+}
+
+TEST(GridSearch, ReportsPerComboWallTime) {
+  const Blobs blobs = make_blobs(20, 1.0, 11);
+  const ParamGrid grid{{"n_estimators", {"2", "20"}}};
+  const auto factory = make_model_factory("rf", 3, 17);
+  const auto result = grid_search_cv(factory, grid, blobs.x, blobs.y, 3, 5);
+  for (const auto& entry : result.entries) {
+    EXPECT_GT(entry.wall_ms, 0.0);
+  }
+}
+
 TEST(Table4, GridsMatchPaperSizes) {
   EXPECT_EQ(enumerate_grid(table4_grid("lr")).size(), 2u * 5u);
   EXPECT_EQ(enumerate_grid(table4_grid("rf")).size(), 5u * 5u * 2u);

@@ -2,6 +2,8 @@
 // the LightGBM-style gradient boosting classifier.
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "common/rng.hpp"
 #include "ml/decision_tree.hpp"
 #include "ml/gbm.hpp"
@@ -355,6 +357,94 @@ TEST(Gbm, DeterministicForSeed) {
   }
 }
 
+// ------------------------------------------------- histogram splitting ---
+
+TEST(HistSplit, DecisionTreeMatchesExactAccuracy) {
+  const Blobs train = make_blobs(60, 1.0, 31);
+  const Blobs test = make_blobs(40, 1.0, 32);
+  TreeConfig cfg = blob_tree_config();
+  DecisionTree exact(cfg, 1);
+  exact.fit(train.x, train.y);
+  cfg.split_algo = SplitAlgo::Hist;
+  DecisionTree hist(cfg, 1);
+  hist.fit(train.x, train.y);
+  const double f1_exact = macro_f1(test.y, exact.predict(test.x), 3);
+  const double f1_hist = macro_f1(test.y, hist.predict(test.x), 3);
+  EXPECT_NEAR(f1_hist, f1_exact, 0.02);
+}
+
+TEST(HistSplit, ForestMatchesExactAccuracy) {
+  const Blobs train = make_blobs(60, 1.2, 33);
+  const Blobs test = make_blobs(40, 1.2, 34);
+  ForestConfig cfg;
+  cfg.num_classes = 3;
+  cfg.n_estimators = 25;
+  cfg.max_depth = 8;
+  RandomForest exact(cfg, 7);
+  exact.fit(train.x, train.y);
+  cfg.split_algo = SplitAlgo::Hist;
+  RandomForest hist(cfg, 7);
+  hist.fit(train.x, train.y);
+  const double f1_exact = macro_f1(test.y, exact.predict(test.x), 3);
+  const double f1_hist = macro_f1(test.y, hist.predict(test.x), 3);
+  EXPECT_NEAR(f1_hist, f1_exact, 0.02);
+}
+
+TEST(HistSplit, GbmMatchesExactAccuracy) {
+  const Blobs train = make_blobs(60, 1.2, 35);
+  const Blobs test = make_blobs(40, 1.2, 36);
+  GbmConfig cfg;
+  cfg.num_classes = 3;
+  cfg.n_estimators = 12;
+  cfg.num_leaves = 15;
+  GbmClassifier exact(cfg, 7);
+  exact.fit(train.x, train.y);
+  cfg.split_algo = SplitAlgo::Hist;
+  GbmClassifier hist(cfg, 7);
+  hist.fit(train.x, train.y);
+  const double f1_exact = macro_f1(test.y, exact.predict(test.x), 3);
+  const double f1_hist = macro_f1(test.y, hist.predict(test.x), 3);
+  EXPECT_NEAR(f1_hist, f1_exact, 0.02);
+}
+
+TEST(HistSplit, DeterministicForSeed) {
+  const Blobs blobs = make_blobs(40, 1.0, 37);
+  ForestConfig cfg;
+  cfg.num_classes = 3;
+  cfg.n_estimators = 10;
+  cfg.split_algo = SplitAlgo::Hist;
+  RandomForest a(cfg, 5);
+  RandomForest b(cfg, 5);
+  a.fit(blobs.x, blobs.y);
+  b.fit(blobs.x, blobs.y);
+  const Matrix pa = a.predict_proba(blobs.x);
+  const Matrix pb = b.predict_proba(blobs.x);
+  for (std::size_t i = 0; i < pa.rows(); ++i) {
+    for (std::size_t j = 0; j < pa.cols(); ++j) {
+      EXPECT_DOUBLE_EQ(pa(i, j), pb(i, j));
+    }
+  }
+}
+
+TEST(HistSplit, HandlesNaNFeaturesEndToEnd) {
+  // Exact splitting cannot sort NaN; Hist routes NaN (bin 0) right at
+  // every split, consistently between training and raw-value prediction.
+  Blobs blobs = make_blobs(40, 0.6, 38);
+  Rng rng(39);
+  for (std::size_t i = 0; i < blobs.x.rows(); ++i) {
+    if (rng.uniform() < 0.1) {
+      blobs.x(i, rng.uniform_index(2)) =
+          std::numeric_limits<double>::quiet_NaN();
+    }
+  }
+  ForestConfig cfg;
+  cfg.num_classes = 3;
+  cfg.n_estimators = 15;
+  cfg.split_algo = SplitAlgo::Hist;
+  RandomForest rf(cfg, 11);
+  rf.fit(blobs.x, blobs.y);
+  EXPECT_GT(accuracy(blobs.y, rf.predict(blobs.x)), 0.9);
+}
 
 TEST(FeatureImportances, InformativeFeatureDominates) {
   // Feature 0 carries the class; feature 1 is noise.
