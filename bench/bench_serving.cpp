@@ -9,14 +9,27 @@
 // assert nonzero throughput plus bit-identical agreement with the offline
 // pipeline (extract_features -> project -> scale -> select -> predict).
 //
-//   ./build/bench/bench_serving            # the sweep
-//   ./build/bench/bench_serving --smoke    # CI smoke, exit 1 on failure
+// --chaos-smoke runs the resilience gate: a client burst against a small
+// ServiceHost while the chaos harness injects slow and failing
+// extractions, then forced overload, forced deadline misses, poisoned
+// hot-reload pushes, and a drain. The gate fails if anything other than a
+// typed RequestStatus comes back, if an Ok result missed its deadline or
+// disagrees bit-for-bit with the clean pipeline, or if a failed reload
+// leaves anything but the old bundle serving.
+//
+//   ./build/bench/bench_serving                 # the sweep
+//   ./build/bench/bench_serving --smoke         # CI smoke, exit 1 on failure
+//   ./build/bench/bench_serving --chaos-smoke   # CI resilience gate
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "alba.hpp"
@@ -87,19 +100,228 @@ bool bits_equal(double a, double b) noexcept {
   return std::memcmp(&a, &b, sizeof(double)) == 0;
 }
 
+bool same_diagnosis(const Diagnosis& got, const Diagnosis& want) {
+  if (got.label != want.label) return false;
+  if (got.probs.size() != want.probs.size()) return false;
+  for (std::size_t c = 0; c < got.probs.size(); ++c) {
+    if (!bits_equal(got.probs[c], want.probs[c])) return false;
+  }
+  return true;
+}
+
+// The resilience gate. Every phase prints what it proved; any violated
+// invariant increments `violations` and the gate exits nonzero.
+int run_chaos_smoke(const Stream& stream, std::uint64_t seed) {
+  std::size_t violations = 0;
+  const auto check = [&violations](bool ok, const char* what) {
+    if (!ok) {
+      ++violations;
+      std::printf("[chaos-smoke] VIOLATION: %s\n", what);
+    }
+  };
+
+  // Clean reference answers: what every Ok result must match, bit for bit.
+  auto make_chaos_free = [] {
+    return std::make_shared<DiagnosisService>(
+        load_model_bundle_file(kBundlePath), ServingConfig{});
+  };
+  std::vector<Diagnosis> reference;
+  {
+    const auto clean = make_chaos_free();
+    for (const Matrix& w : stream.windows) {
+      reference.push_back(clean->diagnose(w));
+    }
+  }
+
+  // ---- phase 1: client burst under fault injection ----------------------
+  ChaosConfig chaos_config;
+  chaos_config.extract_fail_rate = 0.25;
+  chaos_config.slow_extract_rate = 0.15;
+  chaos_config.slow_extract_ms = 3.0;
+  chaos_config.seed = seed;
+  ServingChaos chaos(chaos_config);
+  ServingConfig chaotic;
+  chaotic.cache_capacity = 0;  // every request must run the faulty pipeline
+  chaotic.extraction_hook = chaos.hook();
+  HostConfig host_config;
+  host_config.workers = 2;
+  host_config.queue_capacity = 8;
+  host_config.unhealthy_error_rate = 1.0;  // soak: breaker stays out of it
+  {
+    ServiceHost host(std::make_shared<DiagnosisService>(
+                         load_model_bundle_file(kBundlePath), chaotic),
+                     host_config);
+    const Deadline::Clock::duration budget = std::chrono::seconds(5);
+    constexpr std::size_t kClients = 6;
+    std::atomic<std::size_t> ok{0}, failed{0}, rejected{0};
+    std::atomic<std::size_t> untyped{0}, late_ok{0}, mismatched{0};
+    std::vector<std::thread> clients;
+    for (std::size_t c = 0; c < kClients; ++c) {
+      clients.emplace_back([&, c] {
+        for (std::size_t i = c; i < stream.windows.size(); i += kClients) {
+          try {
+            const Deadline deadline = Deadline::at(
+                Deadline::Clock::now() + budget);
+            const HostResult r = host.diagnose(stream.windows[i], deadline);
+            if (r.ok()) {
+              ++ok;
+              if (deadline.expired()) ++late_ok;
+              if (!same_diagnosis(r.diagnosis, reference[i])) ++mismatched;
+            } else if (r.status == RequestStatus::Failed) {
+              ++failed;
+            } else if (is_rejection(r.status)) {
+              ++rejected;
+            }
+          } catch (...) {
+            ++untyped;  // nothing may escape the typed surface
+          }
+        }
+      });
+    }
+    for (auto& t : clients) t.join();
+    host.drain();
+    const HostStats s = host.stats();
+    std::printf("[chaos-smoke] burst: %s\n", format_host_summary(s).c_str());
+    std::printf("[chaos-smoke] chaos: %llu extractions, %llu failures, "
+                "%llu slowdowns injected\n",
+                static_cast<unsigned long long>(chaos.extractions_seen()),
+                static_cast<unsigned long long>(chaos.failures_injected()),
+                static_cast<unsigned long long>(chaos.slowdowns_injected()));
+    check(untyped == 0, "an exception escaped the typed result surface");
+    check(ok + failed + rejected == stream.windows.size(),
+          "request accounting does not add up");
+    check(ok > 0, "no request survived the burst");
+    check(failed > 0, "chaos injected no failures (harness inert?)");
+    check(late_ok == 0, "an Ok result missed its deadline");
+    check(mismatched == 0,
+          "an Ok result disagreed with the clean pipeline bit-for-bit");
+    check(chaos.failures_injected() == s.failed,
+          "failure counters disagree between chaos harness and host");
+  }
+
+  // ---- phase 2: forced overload + forced deadline misses ----------------
+  ChaosConfig molasses;
+  molasses.slow_extract_rate = 1.0;
+  molasses.slow_extract_ms = 25.0;
+  molasses.seed = seed + 1;
+  ServingChaos slow_chaos(molasses);
+  ServingConfig slow_serving;
+  slow_serving.cache_capacity = 0;
+  slow_serving.extraction_hook = slow_chaos.hook();
+  HostConfig tiny;
+  tiny.workers = 1;
+  tiny.queue_capacity = 1;
+  tiny.unhealthy_error_rate = 1.0;
+  {
+    ServiceHost host(std::make_shared<DiagnosisService>(
+                         load_model_bundle_file(kBundlePath), slow_serving),
+                     tiny);
+    constexpr std::size_t kClients = 6;
+    std::atomic<std::size_t> ok{0}, shed{0}, untyped{0};
+    std::vector<std::thread> clients;
+    for (std::size_t c = 0; c < kClients; ++c) {
+      clients.emplace_back([&, c] {
+        try {
+          const HostResult r =
+              host.diagnose(stream.windows[c], Deadline::after_ms(5.0));
+          if (r.ok()) ++ok;
+          if (is_rejection(r.status)) ++shed;
+        } catch (...) {
+          ++untyped;
+        }
+      });
+    }
+    for (auto& t : clients) t.join();
+    const HostStats s = host.stats();
+    check(untyped == 0, "overload phase: exception escaped");
+    check(ok == 0, "a 25ms pipeline pass beat a 5ms deadline");
+    check(shed == kClients, "overload phase: a request got lost");
+    check(s.rejected_queue_full >= 1,
+          "six clients against workers=1/queue=1 never overflowed");
+    check(s.rejected_deadline >= 1, "no deadline shedding under molasses");
+    std::printf("[chaos-smoke] overload: %s\n",
+                format_host_summary(s).c_str());
+  }
+
+  // ---- phase 3: poisoned hot-reload pushes ------------------------------
+  const std::string bad_path = std::string(kBundlePath) + ".poisoned";
+  {
+    ServiceHost host(make_chaos_free());
+    host.set_probe_windows({stream.windows[0], stream.windows[1]});
+    const HostResult before = host.diagnose(stream.windows[2]);
+    check(before.ok(), "reload phase: baseline request failed");
+
+    for (const auto& [poison, name] :
+         {std::pair{BundlePoison::Truncate, "truncate"},
+          std::pair{BundlePoison::BadMagic, "bad-magic"}}) {
+      write_poisoned_bundle(kBundlePath, bad_path, poison, seed + 2);
+      const ReloadReport report = host.reload_from_file(bad_path);
+      std::printf("[chaos-smoke] reload(%s): %s\n", name,
+                  report.summary().c_str());
+      check(!report.ok && report.rolled_back,
+            "poisoned bundle was accepted");
+      const HostResult after = host.diagnose(stream.windows[2]);
+      check(after.ok() && after.generation == 1 &&
+                same_diagnosis(after.diagnosis, before.diagnosis),
+            "rollback did not leave the old bundle serving bit-identically");
+    }
+    // A single flipped bit may or may not defeat validation; the invariant
+    // is weaker but still hard: typed outcome, consistent serving either way.
+    write_poisoned_bundle(kBundlePath, bad_path, BundlePoison::BitFlip,
+                          seed + 3);
+    const ReloadReport flip = host.reload_from_file(bad_path);
+    std::printf("[chaos-smoke] reload(bit-flip): %s\n",
+                flip.summary().c_str());
+    check(flip.ok != flip.rolled_back, "bit-flip reload in limbo");
+    check(host.diagnose(stream.windows[2]).ok(),
+          "host stopped serving after a bit-flip push");
+
+    // And a genuine upgrade still goes through after all that abuse.
+    const ReloadReport good = host.reload_from_file(kBundlePath);
+    check(good.ok && host.generation() == good.generation,
+          "clean reload failed after poisoned pushes");
+    const HostResult upgraded = host.diagnose(stream.windows[2]);
+    check(upgraded.ok() && upgraded.generation == good.generation &&
+              same_diagnosis(upgraded.diagnosis, before.diagnosis),
+          "reloaded bundle does not serve bit-identically");
+
+    // ---- phase 4: drain is terminal and typed ---------------------------
+    host.drain();
+    check(host.diagnose(stream.windows[0]).status ==
+              RequestStatus::RejectedDraining,
+          "post-drain submission was not shed as draining");
+    check(host.health() == HostHealth::Draining, "drain left wrong health");
+  }
+  std::remove(bad_path.c_str());
+
+  if (violations != 0) {
+    std::printf("[chaos-smoke] FAILED: %zu violated invariants\n",
+                violations);
+    return 1;
+  }
+  std::printf("[chaos-smoke] ok: typed shedding, deadline-honest results, "
+              "bit-identical serving across rollback and reload\n");
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   int windows = 240;
   std::uint64_t seed = 7;
   bool smoke = false;
+  bool chaos_smoke = false;
   std::string out_csv;
   Cli cli("bench_serving",
           "Online serving benchmark: latency/throughput/cache sweep over an "
-          "exported ModelBundle (--smoke for the CI agreement gate).");
+          "exported ModelBundle (--smoke for the CI agreement gate, "
+          "--chaos-smoke for the resilience gate).");
   cli.flag("windows", &windows, "windows in the served stream");
   cli.flag("seed", &seed, "stream generation seed");
   cli.flag("smoke", &smoke, "serve 100 windows, assert offline agreement");
+  cli.flag("chaos-smoke", &chaos_smoke,
+           "burst a chaos-injected ServiceHost, assert typed shedding, "
+           "deadline honesty, and rollback bit-identity");
   cli.flag("out", &out_csv, "CSV dump path (empty = none)");
   cli.parse(argc, argv);
   set_log_level(LogLevel::Warn);
@@ -119,12 +341,17 @@ int main(int argc, char** argv) {
               kBundlePath, prepared.selected_names.size());
 
   const RunGenerator generator(cfg.system, cfg.registry, cfg.sim);
-  const std::size_t n = smoke ? 100 : static_cast<std::size_t>(windows);
+  const std::size_t n =
+      (smoke || chaos_smoke) ? 100 : static_cast<std::size_t>(windows);
   const Stream stream = make_stream(generator, n, seed + 1);
 
+  if (chaos_smoke) return run_chaos_smoke(stream, seed);
+
   if (smoke) {
+    ServingConfig smoke_config;
+    smoke_config.max_batch = 8;
     DiagnosisService service(load_model_bundle_file(kBundlePath),
-                             ServingConfig{.max_batch = 8});
+                             smoke_config);
     const auto diagnoses = service.diagnose_batch(stream.windows);
     const Matrix reference =
         offline_probs(stream, generator, cfg, service.bundle(), prepared,
@@ -173,7 +400,7 @@ int main(int argc, char** argv) {
 
   TextTable table({"batch", "threads", "p50 ms", "p99 ms", "windows/s",
                    "cache hit %"});
-  std::vector<std::string> csv_rows;
+  std::vector<std::pair<std::string, ServingStats>> csv_rows;
   for (const std::size_t threads : thread_counts) {
     ThreadPool pool(threads);
     for (const std::size_t batch : batch_sizes) {
@@ -194,8 +421,8 @@ int main(int argc, char** argv) {
                      strformat("%.3f", s.latency_p99_ms),
                      strformat("%.1f", s.windows_per_second()),
                      strformat("%.1f", 100.0 * s.hit_rate())});
-      csv_rows.push_back(serving_stats_csv_row(
-          strformat("batch=%zu/threads=%zu", batch, threads), s));
+      csv_rows.emplace_back(strformat("batch=%zu/threads=%zu", batch, threads),
+                            s);
     }
   }
   std::printf("\nserving sweep over %zu windows (%zu distinct)\n%s\n",
@@ -205,8 +432,7 @@ int main(int argc, char** argv) {
 
   if (!out_csv.empty()) {
     std::ofstream out(out_csv);
-    out << serving_stats_csv_header() << "\n";
-    for (const auto& row : csv_rows) out << row << "\n";
+    write_serving_stats_csv(out, csv_rows);
     std::printf("CSV written to %s\n", out_csv.c_str());
   }
   return 0;

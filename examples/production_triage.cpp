@@ -1,15 +1,19 @@
 // Production triage scenario: the deployment workflow the paper's
-// conclusion sketches, now through the serving layer. A model is trained
-// once with active learning and frozen into a ModelBundle (classifier +
-// scaler + selected features + label names + feature config in one
-// archive); later, a DiagnosisService loads the bundle and serves a stream
-// of freshly arrived multi-node runs — collected by a degraded production
-// telemetry pipeline, so windows carry dropouts, stuck sensors, and NaN
-// bursts — producing the kind of triage report a system administrator
-// would act on (which node, which anomaly, what confidence).
+// conclusion sketches, now through the full serving stack. A model is
+// trained once with active learning and frozen into a ModelBundle
+// (classifier + scaler + selected features + label names + feature config
+// in one archive); later, a ServiceHost wraps the DiagnosisService the
+// way a production endpoint would — per-request deadlines, bounded
+// admission, typed load shedding — and serves a stream of freshly arrived
+// multi-node runs collected by a degraded telemetry pipeline (dropouts,
+// stuck sensors, NaN bursts). Mid-morning, operations pushes a model
+// update: first a corrupted artifact (rejected and rolled back by probe
+// validation), then the real one (atomic swap, next generation). The day
+// ends with a graceful drain.
 //
 // Build & run:  ./build/examples/production_triage
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "alba.hpp"
@@ -47,11 +51,21 @@ int main() {
   export_model_bundle(bundle_path, data, prepared, learner.model());
 
   // ---- deployment phase --------------------------------------------------
-  std::printf("[deploy] loading %s and serving incoming runs\n\n",
+  // The endpoint: bounded queue, two workers, a default deadline so a
+  // stuck pipeline pass can never hold a caller forever. diagnose() always
+  // returns a typed HostResult — overload and deadline misses are
+  // statuses, not exceptions.
+  std::printf("[deploy] hosting %s behind admission control\n\n",
               bundle_path.c_str());
   ServingConfig serving;
   serving.max_batch = 8;
-  DiagnosisService service(load_model_bundle_file(bundle_path), serving);
+  HostConfig host_config;
+  host_config.workers = 2;
+  host_config.queue_capacity = 16;
+  host_config.default_deadline_ms = 250.0;
+  ServiceHost host(std::make_shared<DiagnosisService>(
+                       load_model_bundle_file(bundle_path), serving),
+                   host_config);
 
   // The production collector is imperfect: metric dropouts, stuck sensors,
   // and NaN bursts degrade the incoming windows (truncation off so every
@@ -77,34 +91,76 @@ int main() {
       {.app_id = 2, .input_id = 0, .nodes = 4, .anomaly = AnomalyType::Dial,
        .intensity = 0.5, .run_id = 904, .seed = 9005},
   };
+  std::vector<Matrix> probe_windows;  // held back for reload validation
   for (const auto& spec : incoming) {
     const auto samples = generator.generate_run(spec);
-    std::vector<Matrix> windows;
-    windows.reserve(samples.size());
-    for (const Sample& s : samples) windows.push_back(s.series);
-    const auto diagnoses = service.diagnose_batch(windows);
-
     const std::string app = generator.apps()[spec.app_id].name;
     std::printf("run %3d  %-10s input %d, %d nodes:\n", spec.run_id,
                 app.c_str(), spec.input_id, spec.nodes);
-    for (std::size_t node = 0; node < diagnoses.size(); ++node) {
-      const Diagnosis& d = diagnoses[node];
+    for (std::size_t node = 0; node < samples.size(); ++node) {
+      const HostResult r = host.diagnose(samples[node].series);
+      if (!r.ok()) {  // shed or failed — typed, never an exception
+        std::printf("    node %zu: [%s] %s\n", node,
+                    std::string(to_string(r.status)).c_str(),
+                    r.error.c_str());
+        continue;
+      }
+      const Diagnosis& d = r.diagnosis;
       const char* marker = d.label != 0 ? "  <-- ALERT" : "";
       std::printf("    node %zu: %-10s confidence %.2f%s\n", node,
-                  std::string(service.label_name(d.label)).c_str(),
+                  std::string(host.service()->label_name(d.label)).c_str(),
                   d.confidence, marker);
+      if (probe_windows.size() < 4) {
+        probe_windows.push_back(samples[node].series);
+      }
     }
   }
 
-  // A dashboard re-checking the last alerting run hits the window cache.
+  // A dashboard re-checking the last alerting run hits the window cache;
+  // routed through the retrying wrapper a flaky client would use (any
+  // transient Failed / queue-full outcome gets seeded exponential backoff).
+  BackoffConfig backoff;
+  backoff.max_attempts = 3;
+  backoff.initial_delay_ms = 2.0;
   const auto recheck = generator.generate_run(incoming[3]);
-  std::vector<Matrix> recheck_windows;
-  for (const Sample& s : recheck) recheck_windows.push_back(s.series);
-  service.diagnose_batch(recheck_windows);
+  for (const Sample& s : recheck) {
+    host.diagnose_with_retry(s.series, Deadline::after_ms(500.0), backoff);
+  }
 
   std::printf("\n(ground truth: run 901 memleak@node0, 903 membw@node0, "
               "904 dial@node0; the rest healthy)\n");
   std::printf("[serving] %s\n",
-              format_serving_summary(service.stats()).c_str());
+              format_serving_summary(host.service()->stats()).c_str());
+
+  // ---- operations interlude: a model push gone wrong --------------------
+  // Every reload is validated against held-back probe windows before the
+  // swap. The corrupted artifact never reaches serving: the old bundle
+  // keeps answering, untouched.
+  host.set_probe_windows(probe_windows);
+  const std::string bad_path = bundle_path + ".corrupt";
+  write_poisoned_bundle(bundle_path, bad_path, BundlePoison::Truncate, 99);
+  const ReloadReport bad_push = host.reload_from_file(bad_path);
+  std::printf("\n[reload] corrupted push: %s\n", bad_push.summary().c_str());
+  std::remove(bad_path.c_str());
+
+  const ReloadReport good_push = host.reload_from_file(bundle_path);
+  std::printf("[reload] fixed push:     %s\n", good_push.summary().c_str());
+  const HostResult after = host.diagnose(recheck[0].series);
+  std::printf("[reload] generation %llu now serving (recheck: %s)\n",
+              static_cast<unsigned long long>(host.generation()),
+              after.ok()
+                  ? std::string(host.service()->label_name(after.diagnosis.label))
+                        .c_str()
+                  : std::string(to_string(after.status)).c_str());
+
+  // ---- end of day: drain ------------------------------------------------
+  // Everything admitted finishes; everything after is shed with a typed
+  // status a load balancer can act on.
+  host.drain();
+  const HostResult post_drain = host.diagnose(recheck[0].series);
+  std::printf("\n[drain] host %s; post-drain request -> %s\n",
+              std::string(to_string(host.health())).c_str(),
+              std::string(to_string(post_drain.status)).c_str());
+  std::printf("[host] %s\n", format_host_summary(host.stats()).c_str());
   return 0;
 }

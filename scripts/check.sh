@@ -1,15 +1,18 @@
 #!/usr/bin/env bash
 # Repo check: the tier-1 build + test suite, a serving smoke run (train a
 # tiny model, export a bundle, serve 100 windows, assert bit-identical
-# agreement with the offline pipeline), an ML train smoke run (histogram
-# vs exact split finders must agree on macro-F1 within the parity gate),
-# an AddressSanitizer + UndefinedBehaviorSanitizer build of the full suite
+# agreement with the offline pipeline), a serving chaos smoke (burst a
+# ServiceHost under injected slow/failing extractions and poisoned bundle
+# pushes; only typed shedding, deadline-honest Ok results, and rollback
+# bit-identity are acceptable), an ML train smoke run (histogram vs exact
+# split finders must agree on macro-F1 within the parity gate), an
+# AddressSanitizer + UndefinedBehaviorSanitizer build of the full suite
 # (the fault-injection paths shuffle NaNs and truncated buffers around —
 # exactly where silent out-of-bounds reads would hide), then a
 # ThreadSanitizer build of the concurrency-sensitive tests (thread pool,
 # tree training incl. the shared BinnedMatrix, active-learning loop, the
-# diagnosis service) to catch races in the parallel training/scoring/
-# serving paths.
+# diagnosis service and its overload-safe host) to catch races in the
+# parallel training/scoring/serving paths.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -22,6 +25,10 @@ cmake --build build -j"$(nproc)" > /dev/null
 echo
 echo "== serving smoke: export bundle + serve 100 windows =="
 ./build/bench/bench_serving --smoke
+
+echo
+echo "== serving chaos smoke: typed shedding + rollback under faults =="
+./build/bench/bench_serving --chaos-smoke
 
 echo
 echo "== ml train smoke: hist vs exact parity gate =="
@@ -38,7 +45,7 @@ cmake --build build-asan -j"$(nproc)" --target \
   test_stats_spectral test_anomaly test_telemetry test_features \
   test_preprocess test_ml_metrics test_binning test_ml_trees \
   test_ml_linear test_ml_tools test_active test_active_ext test_core \
-  test_properties test_faults test_serving > /dev/null
+  test_properties test_faults test_serving test_service_host > /dev/null
 (cd build-asan && ctest --output-on-failure -j"$(nproc)")
 
 echo
@@ -49,9 +56,9 @@ cmake -B build-tsan -S . \
   -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread" > /dev/null
 cmake --build build-tsan -j"$(nproc)" \
   --target test_thread_pool test_binning test_ml_trees test_ml_tools \
-  test_active test_active_ext test_serving > /dev/null
+  test_active test_active_ext test_serving test_service_host > /dev/null
 for t in test_thread_pool test_binning test_ml_trees test_ml_tools \
-         test_active test_active_ext test_serving; do
+         test_active test_active_ext test_serving test_service_host; do
   echo "-- $t (tsan)"
   ./build-tsan/tests/"$t"
 done

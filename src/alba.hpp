@@ -13,8 +13,11 @@
 //   explaining   QueryExplainer (annotator-assist views)
 //   persistence  save_classifier / load_classifier (bare models),
 //                ModelBundle / export_model_bundle (deployable bundles)
-//   serving      DiagnosisService, ServingConfig, Diagnosis, ServingStats
-//   utilities    logging, CLI flags, text tables, string helpers, ThreadPool
+//   serving      DiagnosisService, ServingConfig, Diagnosis, ServingStats;
+//                ServiceHost (admission control, deadlines, health, drain,
+//                hot reload with rollback), ServingChaos (fault injection)
+//   utilities    logging, CLI flags, text tables, string helpers,
+//                ThreadPool, Deadline, backoff/retry
 //
 // Subsystem headers (core/..., ml/..., features/...) remain includable as
 // the Tier-2 surface for tools that need more than the facade, but
@@ -24,7 +27,9 @@
 #include "active/explain.hpp"
 #include "active/learner.hpp"
 #include "anomaly/anomaly.hpp"
+#include "common/backoff.hpp"
 #include "common/cli.hpp"
+#include "common/deadline.hpp"
 #include "common/log.hpp"
 #include "common/string_util.hpp"
 #include "common/table.hpp"
@@ -36,5 +41,8 @@
 #include "ml/metrics.hpp"
 #include "ml/random_forest.hpp"
 #include "ml/serialize.hpp"
+#include "serving/chaos.hpp"
 #include "serving/diagnosis_service.hpp"
+#include "serving/hot_reload.hpp"
 #include "serving/model_bundle.hpp"
+#include "serving/service_host.hpp"

@@ -1,0 +1,58 @@
+#include "common/backoff.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <thread>
+
+namespace alba {
+
+void validate_backoff(const BackoffConfig& config) {
+  ALBA_CHECK(config.max_attempts >= 1)
+      << "backoff needs at least one attempt, got " << config.max_attempts;
+  ALBA_CHECK(config.initial_delay_ms >= 0.0 && config.max_delay_ms >= 0.0)
+      << "backoff delays must be non-negative";
+  ALBA_CHECK(config.multiplier >= 1.0)
+      << "backoff multiplier must be >= 1, got " << config.multiplier;
+  ALBA_CHECK(config.jitter >= 0.0 && config.jitter <= 1.0)
+      << "backoff jitter must be in [0, 1], got " << config.jitter;
+}
+
+double backoff_delay_ms(const BackoffConfig& config, int attempt, Rng& rng) {
+  ALBA_CHECK(attempt >= 1) << "retry attempts are 1-based, got " << attempt;
+  const double base =
+      config.initial_delay_ms *
+      std::pow(config.multiplier, static_cast<double>(attempt - 1));
+  const double capped = std::min(base, config.max_delay_ms);
+  const double scale =
+      rng.uniform(1.0 - config.jitter, 1.0 + config.jitter);
+  return capped * scale;
+}
+
+bool backoff_sleep(double ms, const Deadline& deadline) {
+  const double budget = deadline.remaining_ms();
+  if (budget <= 0.0) return false;
+  const bool cut = ms > budget;
+  const double sleep_ms = cut ? budget : ms;
+  std::this_thread::sleep_for(
+      std::chrono::duration<double, std::milli>(sleep_ms));
+  return !cut;
+}
+
+bool retry_with_backoff(const BackoffConfig& config,
+                        const std::function<bool()>& attempt,
+                        const Deadline& deadline) {
+  validate_backoff(config);
+  Rng rng(config.seed);
+  for (int tried = 1; tried <= config.max_attempts; ++tried) {
+    if (deadline.expired()) return false;
+    if (attempt()) return true;
+    if (tried == config.max_attempts) return false;
+    if (!backoff_sleep(backoff_delay_ms(config, tried, rng), deadline)) {
+      return false;
+    }
+  }
+  return false;
+}
+
+}  // namespace alba

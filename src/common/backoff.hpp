@@ -1,0 +1,49 @@
+// Exponential backoff with deterministic jitter, for retrying transient
+// failures on the serving path (a queue momentarily full, one extraction
+// hit by a collector fault). The delay schedule is seeded like every other
+// stochastic component in the library: the same config and seed produce the
+// same delays, so retry behavior in tests and benches is replayable.
+#pragma once
+
+#include <functional>
+
+#include "common/deadline.hpp"
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace alba {
+
+struct BackoffConfig {
+  // Total tries including the first; 1 means no retries.
+  int max_attempts = 4;
+  double initial_delay_ms = 1.0;
+  double multiplier = 2.0;
+  double max_delay_ms = 250.0;
+  // Each delay is scaled by a uniform draw in [1 - jitter, 1 + jitter].
+  double jitter = 0.2;
+  std::uint64_t seed = 0;
+};
+
+/// Validates rates/ranges; throws alba::Error on nonsense (max_attempts < 1,
+/// negative delays, multiplier < 1, jitter outside [0, 1]).
+void validate_backoff(const BackoffConfig& config);
+
+/// The delay before retry number `attempt` (1-based: attempt 1 is the first
+/// retry). Exponential in `attempt`, capped at max_delay_ms, jittered by a
+/// draw from `rng`.
+double backoff_delay_ms(const BackoffConfig& config, int attempt, Rng& rng);
+
+/// Sleeps for `ms` but never past `deadline`. Returns false when the
+/// deadline cut the sleep short (the caller should stop retrying).
+bool backoff_sleep(double ms, const Deadline& deadline);
+
+/// Runs `attempt()` until it returns true, retrying with the configured
+/// backoff while `attempt` returns false. Returns true on success, false
+/// when attempts or the deadline ran out. Exceptions from `attempt`
+/// propagate immediately — only explicit `false` (a typed transient
+/// failure) is retried.
+bool retry_with_backoff(const BackoffConfig& config,
+                        const std::function<bool()>& attempt,
+                        const Deadline& deadline = Deadline::never());
+
+}  // namespace alba

@@ -1,0 +1,54 @@
+// Request deadlines for the serving path. A Deadline is an absolute
+// steady-clock point a piece of work must finish by; it travels with the
+// request so every layer (admission queue, worker, retry loop) can make the
+// same shed-or-proceed decision without re-deriving budgets. `never()` is
+// the explicit no-deadline value — callers that don't care never pay for a
+// clock read.
+#pragma once
+
+#include <chrono>
+#include <limits>
+
+namespace alba {
+
+class Deadline {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// No deadline: never expires, infinite budget.
+  static Deadline never() noexcept { return Deadline(Clock::time_point::max()); }
+
+  /// Expires `ms` milliseconds from now; ms <= 0 is already expired.
+  static Deadline after_ms(double ms) noexcept {
+    return Deadline(Clock::now() +
+                    std::chrono::duration_cast<Clock::duration>(
+                        std::chrono::duration<double, std::milli>(ms)));
+  }
+
+  static Deadline at(Clock::time_point when) noexcept { return Deadline(when); }
+
+  bool is_never() const noexcept {
+    return when_ == Clock::time_point::max();
+  }
+
+  bool expired() const noexcept {
+    return !is_never() && Clock::now() >= when_;
+  }
+
+  /// Remaining budget in milliseconds; +inf when never, <= 0 when expired.
+  double remaining_ms() const noexcept {
+    if (is_never()) return std::numeric_limits<double>::infinity();
+    return std::chrono::duration<double, std::milli>(when_ - Clock::now())
+        .count();
+  }
+
+  /// The absolute point, for condition-variable wait_until.
+  Clock::time_point time_point() const noexcept { return when_; }
+
+ private:
+  explicit Deadline(Clock::time_point when) noexcept : when_(when) {}
+
+  Clock::time_point when_;
+};
+
+}  // namespace alba

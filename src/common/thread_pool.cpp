@@ -35,13 +35,22 @@ ThreadPool::ThreadPool(std::size_t num_threads) {
   }
 }
 
-ThreadPool::~ThreadPool() {
+ThreadPool::~ThreadPool() { shutdown(); }
+
+void ThreadPool::shutdown() {
   {
     std::lock_guard<std::mutex> lock(mutex_);
+    if (joined_) return;
     stop_ = true;
+    joined_ = true;  // claimed by this caller; concurrent shutdowns no-op
   }
   cv_.notify_all();
   for (auto& w : workers_) w.join();
+}
+
+bool ThreadPool::stopped() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stop_;
 }
 
 void ThreadPool::worker_loop() {
@@ -70,6 +79,10 @@ void ThreadPool::worker_loop() {
 void ThreadPool::enqueue(std::function<void()> task) {
   {
     std::lock_guard<std::mutex> lock(mutex_);
+    if (stop_) {
+      throw Error("ThreadPool::enqueue after shutdown: the workers are "
+                  "joined and the task would never run");
+    }
     tasks_.push(std::move(task));
   }
   cv_.notify_one();
@@ -79,6 +92,10 @@ void ThreadPool::parallel_for_chunked(
     std::size_t n,
     const std::function<void(std::size_t, std::size_t)>& body) {
   if (n == 0) return;
+  if (stopped()) {
+    throw Error("ThreadPool::parallel_for after shutdown: the workers are "
+                "joined and the loop would never run");
+  }
   const std::size_t nchunks = std::min(n, workers_.size());
   if (nchunks <= 1 || t_in_worker) {
     body(0, n);

@@ -29,6 +29,16 @@ class ThreadPool {
 
   std::size_t size() const noexcept { return workers_.size(); }
 
+  /// Drains the queue and joins the workers. Idempotent; called by the
+  /// destructor. After shutdown, enqueue/parallel_for throw alba::Error —
+  /// submitting to a dead pool used to dangle on the joined workers'
+  /// condition variable, which is exactly the kind of shutdown-ordering
+  /// bug a draining ServiceHost would otherwise hit.
+  void shutdown();
+
+  /// True once shutdown has begun; submissions are rejected from then on.
+  bool stopped() const;
+
   /// Runs body(i) for every i in [0, n), blocking until all complete.
   /// The range is split into contiguous chunks, one queue entry per worker,
   /// so per-iteration overhead stays negligible even for tiny bodies.
@@ -53,9 +63,10 @@ class ThreadPool {
 
   std::vector<std::thread> workers_;
   std::queue<std::function<void()>> tasks_;
-  std::mutex mutex_;
+  mutable std::mutex mutex_;
   std::condition_variable cv_;
   bool stop_ = false;
+  bool joined_ = false;
 };
 
 /// Process-wide pool. Lazily constructed; sized from ALBA_THREADS if set.

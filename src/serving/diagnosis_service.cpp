@@ -83,6 +83,7 @@ DiagnosisService::DiagnosisService(ModelBundle bundle, ServingConfig config)
 void DiagnosisService::extract_row(const Matrix& window,
                                    std::span<double> out) const {
   ALBA_DCHECK(out.size() == bundle_.selected.size());
+  if (config_.extraction_hook) config_.extraction_hook(window);
   std::vector<double> features(extractor_->num_features());
   for (const MetricPlan& mp : plan_) {
     const std::vector<double> clean = preprocess_metric_column(

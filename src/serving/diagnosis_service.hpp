@@ -25,6 +25,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <list>
 #include <memory>
 #include <mutex>
@@ -51,6 +52,12 @@ struct ServingConfig {
   // Pool for parallel feature extraction; nullptr = the process-wide
   // global_pool().
   ThreadPool* pool = nullptr;
+  // Called once per window at the start of feature extraction; the chaos
+  // harness (serving/chaos.hpp) uses it to inject slow or failing
+  // extractions. A throw from the hook aborts that window's pipeline pass
+  // and propagates out of diagnose — exactly like a real extraction
+  // failure. Leave empty in production.
+  std::function<void(const Matrix&)> extraction_hook;
 };
 
 /// One window's diagnosis. `probs` has one entry per class, summing to 1;
@@ -85,6 +92,7 @@ class DiagnosisService {
   std::vector<Diagnosis> diagnose_batch(std::span<const Matrix> windows);
 
   const ModelBundle& bundle() const noexcept { return bundle_; }
+  const ServingConfig& config() const noexcept { return config_; }
   const MetricRegistry& registry() const noexcept { return registry_; }
   std::string_view label_name(int label) const;
 

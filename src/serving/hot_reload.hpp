@@ -1,0 +1,49 @@
+// Probe-validated construction of a DiagnosisService from an incoming
+// ModelBundle — the validation half of hot reload. ServiceHost owns the
+// atomic swap; this unit owns the question "is this bundle safe to swap
+// in?": the archive must load, the service must construct (every selected
+// feature resolvable against the bundle's own registry/extractor config),
+// and every probe window must produce a well-formed diagnosis (finite
+// probabilities over the advertised label set, summing to ~1). A bundle
+// that fails any step never becomes a service, so the host's rollback is
+// simply "keep the pointer it already has".
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+
+#include "linalg/matrix.hpp"
+#include "serving/diagnosis_service.hpp"
+
+namespace alba {
+
+/// What one reload attempt did. `ok` is the only success flag; on failure
+/// `error` names the failing stage and `rolled_back` reports whether a
+/// previous service kept serving (filled by ServiceHost).
+struct ReloadReport {
+  bool ok = false;
+  bool rolled_back = false;
+  std::size_t probes_run = 0;
+  std::uint64_t generation = 0;  // host's bundle generation after the attempt
+  std::string error;
+
+  std::string summary() const;
+};
+
+/// Builds a service from `bundle` and validates it against every probe
+/// window. Returns the ready-to-swap service, or nullptr with
+/// `report.error` set (report.ok mirrors the return). An empty probe set
+/// skips the probe stage (construction-time validation still applies).
+std::shared_ptr<DiagnosisService> build_validated_service(
+    ModelBundle bundle, const ServingConfig& config,
+    std::span<const Matrix> probes, ReloadReport& report);
+
+/// Like build_validated_service but starting from a bundle file — the
+/// hot-reload entry point. Load failures (missing file, poisoned archive)
+/// land in `report.error` instead of throwing.
+std::shared_ptr<DiagnosisService> load_validated_service(
+    const std::string& path, const ServingConfig& config,
+    std::span<const Matrix> probes, ReloadReport& report);
+
+}  // namespace alba

@@ -1,5 +1,8 @@
 #include "serving/model_bundle.hpp"
 
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <sstream>
 
@@ -164,9 +167,40 @@ void export_model_bundle(const std::string& path, const ExperimentData& data,
 
 void save_model_bundle_file(const std::string& path,
                             const ModelBundle& bundle) {
-  std::ofstream out(path, std::ios::binary);
-  ALBA_CHECK(out.good()) << "cannot open '" << path << "' for writing";
-  save_model_bundle(out, bundle);
+  // Write-to-temp + atomic rename: a crash (or a thrown serialization
+  // error) mid-save must never leave a torn archive at `path` — the
+  // serving host hot-reloads from that path, and a half-written file
+  // would only fail at load time, after the old bundle is gone.
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out.good()) {
+      const int err = errno;
+      throw Error("cannot open '" + tmp + "' for writing: " +
+                  std::strerror(err));
+    }
+    try {
+      save_model_bundle(out, bundle);
+    } catch (...) {
+      out.close();
+      std::remove(tmp.c_str());
+      throw;
+    }
+    out.flush();
+    if (!out.good()) {
+      const int err = errno;
+      out.close();
+      std::remove(tmp.c_str());
+      throw Error("writing bundle to '" + tmp + "' failed: " +
+                  std::strerror(err));
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    const int err = errno;
+    std::remove(tmp.c_str());
+    throw Error("renaming '" + tmp + "' to '" + path + "' failed: " +
+                std::strerror(err));
+  }
 }
 
 ModelBundle load_model_bundle_file(const std::string& path) {

@@ -63,6 +63,9 @@ ModelBundle load_model_bundle(std::istream& in);
 void export_model_bundle(const std::string& path, const ExperimentData& data,
                          const PreparedSplit& split, const Classifier& model);
 
+/// Writes to `path + ".tmp"` and atomically renames into place, so a crash
+/// mid-save never leaves a torn archive at `path` (hot-reload loads from
+/// it). File-IO failures throw alba::Error carrying strerror(errno).
 void save_model_bundle_file(const std::string& path,
                             const ModelBundle& bundle);
 ModelBundle load_model_bundle_file(const std::string& path);

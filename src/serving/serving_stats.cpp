@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <ostream>
 #include <vector>
 
 #include "common/string_util.hpp"
@@ -48,6 +49,15 @@ std::string serving_stats_csv_row(std::string_view label,
       static_cast<unsigned long long>(s.cache_misses), s.extract_seconds,
       s.predict_seconds, s.total_seconds, s.windows_per_second(),
       s.latency_p50_ms, s.latency_p99_ms);
+}
+
+void write_serving_stats_csv(
+    std::ostream& os,
+    std::span<const std::pair<std::string, ServingStats>> rows) {
+  os << serving_stats_csv_header() << "\n";
+  for (const auto& [label, stats] : rows) {
+    os << serving_stats_csv_row(label, stats) << "\n";
+  }
 }
 
 }  // namespace alba

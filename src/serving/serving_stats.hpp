@@ -9,9 +9,11 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <iosfwd>
 #include <span>
 #include <string>
 #include <string_view>
+#include <utility>
 
 namespace alba {
 
@@ -57,5 +59,11 @@ std::string format_serving_summary(const ServingStats& s);
 std::string serving_stats_csv_header();
 std::string serving_stats_csv_row(std::string_view label,
                                   const ServingStats& s);
+
+/// Writes header + one row per (label, stats) entry — the serving twin of
+/// write_round_stats_csv, so sweep output lands in one file per run.
+void write_serving_stats_csv(
+    std::ostream& os,
+    std::span<const std::pair<std::string, ServingStats>> rows);
 
 }  // namespace alba

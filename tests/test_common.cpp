@@ -2,14 +2,19 @@
 // CLI, table rendering, thread pool.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
+#include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <set>
 
+#include "common/backoff.hpp"
 #include "common/cli.hpp"
 #include "common/csv.hpp"
+#include "common/deadline.hpp"
 #include "common/error.hpp"
 #include "common/rng.hpp"
 #include "common/string_util.hpp"
@@ -466,6 +471,122 @@ TEST(Timer, MeasuresElapsed) {
   const double s = t.seconds();
   EXPECT_GE(s, 0.0);
   EXPECT_LT(s, 5.0);
+}
+
+// ------------------------------------------------------------- deadline ---
+
+TEST(Deadline, NeverNeverExpires) {
+  const Deadline d = Deadline::never();
+  EXPECT_TRUE(d.is_never());
+  EXPECT_FALSE(d.expired());
+  EXPECT_TRUE(std::isinf(d.remaining_ms()));
+}
+
+TEST(Deadline, NonPositiveBudgetIsAlreadyExpired) {
+  EXPECT_TRUE(Deadline::after_ms(0.0).expired());
+  EXPECT_TRUE(Deadline::after_ms(-5.0).expired());
+  EXPECT_LE(Deadline::after_ms(-5.0).remaining_ms(), 0.0);
+}
+
+TEST(Deadline, FutureDeadlineHasBudgetThenExpires) {
+  const Deadline d = Deadline::after_ms(1e7);  // far future
+  EXPECT_FALSE(d.is_never());
+  EXPECT_FALSE(d.expired());
+  EXPECT_GT(d.remaining_ms(), 0.0);
+  const Deadline past = Deadline::at(Deadline::Clock::now() -
+                                     std::chrono::milliseconds(1));
+  EXPECT_TRUE(past.expired());
+}
+
+// -------------------------------------------------------------- backoff ---
+
+TEST(Backoff, ValidatesConfig) {
+  BackoffConfig bad;
+  bad.max_attempts = 0;
+  EXPECT_THROW(validate_backoff(bad), Error);
+  bad = BackoffConfig{};
+  bad.multiplier = 0.5;
+  EXPECT_THROW(validate_backoff(bad), Error);
+  bad = BackoffConfig{};
+  bad.jitter = 1.5;
+  EXPECT_THROW(validate_backoff(bad), Error);
+  validate_backoff(BackoffConfig{});  // defaults are sane
+}
+
+TEST(Backoff, DelaysGrowExponentiallyAndCap) {
+  BackoffConfig config;
+  config.initial_delay_ms = 2.0;
+  config.multiplier = 2.0;
+  config.max_delay_ms = 10.0;
+  config.jitter = 0.0;  // exact schedule
+  Rng rng(1);
+  EXPECT_DOUBLE_EQ(backoff_delay_ms(config, 1, rng), 2.0);
+  EXPECT_DOUBLE_EQ(backoff_delay_ms(config, 2, rng), 4.0);
+  EXPECT_DOUBLE_EQ(backoff_delay_ms(config, 3, rng), 8.0);
+  EXPECT_DOUBLE_EQ(backoff_delay_ms(config, 4, rng), 10.0);  // capped
+}
+
+TEST(Backoff, JitteredDelaysAreSeededDeterministic) {
+  BackoffConfig config;
+  config.jitter = 0.5;
+  Rng a(42);
+  Rng b(42);
+  for (int attempt = 1; attempt <= 4; ++attempt) {
+    const double lo = config.initial_delay_ms *
+                      std::pow(config.multiplier, attempt - 1) * 0.5;
+    const double da = backoff_delay_ms(config, attempt, a);
+    EXPECT_DOUBLE_EQ(da, backoff_delay_ms(config, attempt, b));
+    EXPECT_GE(da, std::min(lo, config.max_delay_ms * 0.5));
+  }
+}
+
+TEST(Backoff, RetriesUntilSuccess) {
+  BackoffConfig config;
+  config.max_attempts = 5;
+  config.initial_delay_ms = 0.1;
+  int calls = 0;
+  EXPECT_TRUE(retry_with_backoff(config, [&] { return ++calls == 3; }));
+  EXPECT_EQ(calls, 3);
+}
+
+TEST(Backoff, GivesUpAfterMaxAttempts) {
+  BackoffConfig config;
+  config.max_attempts = 3;
+  config.initial_delay_ms = 0.1;
+  int calls = 0;
+  EXPECT_FALSE(retry_with_backoff(config, [&] {
+    ++calls;
+    return false;
+  }));
+  EXPECT_EQ(calls, 3);
+}
+
+TEST(Backoff, ExpiredDeadlineStopsRetrying) {
+  BackoffConfig config;
+  config.max_attempts = 100;
+  config.initial_delay_ms = 0.1;
+  int calls = 0;
+  EXPECT_FALSE(retry_with_backoff(
+      config,
+      [&] {
+        ++calls;
+        return false;
+      },
+      Deadline::after_ms(0.0)));
+  EXPECT_EQ(calls, 0);  // dead on arrival: no attempt at all
+}
+
+TEST(Backoff, ExceptionsPropagateWithoutRetry) {
+  BackoffConfig config;
+  config.max_attempts = 5;
+  int calls = 0;
+  EXPECT_THROW(retry_with_backoff(config,
+                                  [&]() -> bool {
+                                    ++calls;
+                                    throw Error("hard failure");
+                                  }),
+               Error);
+  EXPECT_EQ(calls, 1);
 }
 
 }  // namespace

@@ -5,8 +5,10 @@
 // thread-safety contract — this file runs under TSan in CI).
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cstring>
+#include <fstream>
 #include <sstream>
 #include <thread>
 
@@ -406,6 +408,130 @@ TEST(DiagnosisService, HashWindowDistinguishesContentAndShape) {
   EXPECT_NE(hash_window(a), hash_window(b));
   const Matrix flat = Matrix::from_rows({{1.0, 2.0, 3.0, 4.0}});
   EXPECT_NE(hash_window(a), hash_window(flat));
+}
+
+// --------------------------------------------------------- ServingStats ---
+
+TEST(ServingStats, PercentilesOnZeroAndOneSample) {
+  EXPECT_DOUBLE_EQ(latency_percentile({}, 0.50), 0.0);
+  EXPECT_DOUBLE_EQ(latency_percentile({}, 0.99), 0.0);
+  const double one[] = {7.25};
+  EXPECT_DOUBLE_EQ(latency_percentile(one, 0.0), 7.25);
+  EXPECT_DOUBLE_EQ(latency_percentile(one, 0.50), 7.25);
+  EXPECT_DOUBLE_EQ(latency_percentile(one, 0.99), 7.25);
+  EXPECT_DOUBLE_EQ(latency_percentile(one, 1.0), 7.25);
+  // Out-of-range quantiles clamp instead of indexing out of bounds.
+  const double two[] = {1.0, 3.0};
+  EXPECT_DOUBLE_EQ(latency_percentile(two, -0.5), 1.0);
+  EXPECT_DOUBLE_EQ(latency_percentile(two, 1.5), 3.0);
+}
+
+TEST(ServingStats, CountersAccumulateWithoutLoss) {
+  const ServingEnv& e = env();
+  const std::vector<Sample> samples = fresh_samples(e, 1, 991);
+  DiagnosisService service(load_from_bytes(e.bundle_bytes));
+  // Many small requests: every request must land in the counters exactly
+  // once, and the stats snapshot must agree with itself.
+  constexpr std::uint64_t kRequests = 64;
+  for (std::uint64_t i = 0; i < kRequests; ++i) {
+    service.diagnose(samples[i % samples.size()].series);
+  }
+  const ServingStats s = service.stats();
+  EXPECT_EQ(s.requests, kRequests);
+  EXPECT_EQ(s.windows, kRequests);
+  EXPECT_EQ(s.cache_hits + s.cache_misses, s.windows);
+  EXPECT_EQ(s.cache_misses, samples.size());  // each distinct window once
+  EXPECT_GE(s.total_seconds, s.predict_seconds);
+  EXPECT_GT(s.latency_p99_ms, 0.0);
+  EXPECT_GE(s.latency_p99_ms, s.latency_p50_ms);
+}
+
+TEST(ServingStats, SnapshotIsConsistentUnderConcurrentDiagnose) {
+  const ServingEnv& e = env();
+  const std::vector<Sample> samples = fresh_samples(e, 1, 992);
+  DiagnosisService service(load_from_bytes(e.bundle_bytes));
+  std::atomic<bool> stop{false};
+  std::atomic<int> violations{0};
+  std::thread reader([&] {
+    while (!stop.load()) {
+      const ServingStats s = service.stats();
+      // Snapshot invariants must hold at every instant, not just at rest.
+      if (s.cache_hits + s.cache_misses != s.windows) violations++;
+      if (s.windows < s.requests) violations++;
+    }
+  });
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 3; ++t) {
+    writers.emplace_back([&, t] {
+      for (int i = 0; i < 12; ++i) {
+        service.diagnose(samples[(t + i) % samples.size()].series);
+      }
+    });
+  }
+  for (auto& w : writers) w.join();
+  stop = true;
+  reader.join();
+  EXPECT_EQ(violations.load(), 0);
+  EXPECT_EQ(service.stats().requests, 36u);
+}
+
+TEST(ServingStats, CsvExporterMatchesRoundStatsConvention) {
+  ServingStats a;
+  a.requests = 3;
+  a.windows = 5;
+  a.cache_hits = 1;
+  a.cache_misses = 4;
+  a.total_seconds = 0.5;
+  std::vector<std::pair<std::string, ServingStats>> rows;
+  rows.emplace_back("batch=8/threads=2", a);
+  rows.emplace_back("batch=32/threads=4", ServingStats{});
+  std::ostringstream os;
+  write_serving_stats_csv(os, rows);
+  std::istringstream is(os.str());
+  std::string line;
+  ASSERT_TRUE(std::getline(is, line));
+  EXPECT_EQ(line, serving_stats_csv_header());
+  // Header and rows agree on column count, and the label leads each row.
+  const auto columns = [](const std::string& s) {
+    return std::count(s.begin(), s.end(), ',') + 1;
+  };
+  const auto header_cols = columns(line);
+  ASSERT_TRUE(std::getline(is, line));
+  EXPECT_EQ(columns(line), header_cols);
+  EXPECT_EQ(line.rfind("batch=8/threads=2,", 0), 0u);
+  ASSERT_TRUE(std::getline(is, line));
+  EXPECT_EQ(columns(line), header_cols);
+  EXPECT_FALSE(std::getline(is, line));
+}
+
+// ------------------------------------------------------- atomic save ---
+
+TEST(ModelBundle, SaveIsAtomicViaTempFileRename) {
+  const ServingEnv& e = env();
+  const std::string path = "/tmp/alba_bundle_atomic_test.bin";
+  export_model_bundle(path, e.data, e.prepared, *e.model);
+  // The temp file must be gone after a successful save...
+  std::ifstream tmp(path + ".tmp", std::ios::binary);
+  EXPECT_FALSE(tmp.good());
+  // ...and the renamed-in-place file must be a loadable bundle.
+  const ModelBundle restored = load_model_bundle_file(path);
+  expect_bit_identical(restored.model->predict_proba(e.prepared.test_x),
+                       e.model->predict_proba(e.prepared.test_x));
+  std::remove(path.c_str());
+}
+
+TEST(ModelBundle, SaveFailureCarriesErrno) {
+  const ServingEnv& e = env();
+  const ModelBundle bundle = load_from_bytes(e.bundle_bytes);
+  try {
+    save_model_bundle_file("/nonexistent_dir/bundle.bin", bundle);
+    FAIL() << "save into a missing directory succeeded";
+  } catch (const Error& err) {
+    // The message must carry the OS reason, not just "cannot open".
+    EXPECT_NE(std::string(err.what()).find("No such file or directory"),
+              std::string::npos)
+        << err.what();
+  }
 }
 
 // The TSan target: concurrent diagnose/diagnose_batch/stats on one shared

@@ -6,6 +6,8 @@
 
 #include <gtest/gtest.h>
 
+#include "common/error.hpp"
+
 #include <atomic>
 #include <chrono>
 #include <stdexcept>
@@ -66,6 +68,38 @@ TEST(ThreadPool, NestedParallelForRunsInline) {
     pool.parallel_for(5, [&](std::size_t) { inner_total++; });
   });
   EXPECT_EQ(inner_total.load(), 30);
+}
+
+TEST(ThreadPool, SubmitAfterShutdownThrowsTypedError) {
+  ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  pool.parallel_for(4, [&](std::size_t) { ran++; });
+  EXPECT_EQ(ran.load(), 4);
+
+  pool.shutdown();
+  EXPECT_TRUE(pool.stopped());
+  // Submitting to a joined pool used to be undefined behavior (a notify
+  // on a condition variable nobody waits on, a task that never runs); it
+  // must now be a typed alba::Error.
+  EXPECT_THROW(pool.enqueue([] {}), Error);
+  EXPECT_THROW(pool.parallel_for(8, [](std::size_t) {}), Error);
+  EXPECT_THROW(
+      pool.parallel_for_chunked(8, [](std::size_t, std::size_t) {}),
+      Error);
+  // n == 0 stays a no-op even after shutdown (nothing would ever run).
+  pool.parallel_for(0, [](std::size_t) { FAIL() << "must not run"; });
+}
+
+TEST(ThreadPool, ShutdownIsIdempotentAndDrainsQueuedTasks) {
+  ThreadPool pool(1);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 8; ++i) {
+    pool.enqueue([&] { ran++; });
+  }
+  pool.shutdown();  // must run everything already queued before joining
+  EXPECT_EQ(ran.load(), 8);
+  pool.shutdown();  // second call is a no-op (and the destructor a third)
+  EXPECT_TRUE(pool.stopped());
 }
 
 TEST(ThreadPool, WorkerFlagResetAfterThrowingTask) {
