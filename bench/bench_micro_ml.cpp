@@ -10,10 +10,12 @@
 // down sweep + parity gate, the CI entry point.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <limits>
 #include <numeric>
 #include <string>
 #include <vector>
@@ -352,13 +354,206 @@ bool run_train_sweep(bool smoke, const char* json_path) {
   return ok;
 }
 
+// --------------------------------------------------- predict-path sweep ---
+
+struct PredictEntry {
+  std::string model;
+  std::size_t n = 0;
+  std::size_t f = 0;
+  double reference_s = 0.0;  // object-traversal walk
+  double compiled_s = 0.0;   // flat-SoA batched path
+  double speedup = 0.0;
+  double max_abs_diff = 0.0;
+};
+
+// Best-of-k wall time of one predict call (both paths parallelize on the
+// same pool, so the comparison isolates the layout, not the threading).
+template <typename Fn>
+double time_best_of(int reps, Fn&& fn) {
+  double best = std::numeric_limits<double>::infinity();
+  for (int r = 0; r < reps; ++r) {
+    Timer timer;
+    fn();
+    best = std::min(best, timer.seconds());
+  }
+  return best;
+}
+
+// Times one fitted model's compiled predict against its reference
+// traversal over `pool` and verifies the agreement gates: identical argmax
+// on every row and probabilities within 1e-9 (the paths are bit-identical
+// by construction; the gate is deliberately looser so it measures the
+// contract, not the implementation).
+template <typename Model>
+PredictEntry run_predict_cell(const char* name, const Model& model,
+                              const Matrix& pool, bool gate_speedup,
+                              bool& ok) {
+  PredictEntry e;
+  e.model = name;
+  e.n = pool.rows();
+  e.f = pool.cols();
+
+  Matrix reference;
+  Matrix compiled;
+  e.reference_s = time_best_of(
+      3, [&] { reference = model.predict_proba_reference(pool); });
+  e.compiled_s =
+      time_best_of(3, [&] { compiled = model.predict_proba(pool); });
+  e.speedup = e.compiled_s > 0.0 ? e.reference_s / e.compiled_s : 0.0;
+
+  if (model.compiled() == nullptr) {
+    std::fprintf(stderr, "PREDICT FAIL: %s did not compile\n", name);
+    ok = false;
+  }
+  for (std::size_t i = 0; i < pool.rows(); ++i) {
+    if (argmax_label(compiled.row(i)) != argmax_label(reference.row(i))) {
+      std::fprintf(stderr, "PREDICT FAIL: %s argmax mismatch on row %zu\n",
+                   name, i);
+      ok = false;
+      break;
+    }
+    for (std::size_t c = 0; c < compiled.cols(); ++c) {
+      e.max_abs_diff = std::max(e.max_abs_diff,
+                                std::abs(compiled(i, c) - reference(i, c)));
+    }
+  }
+  if (e.max_abs_diff > 1e-9) {
+    std::fprintf(stderr,
+                 "PREDICT FAIL: %s max proba diff %.3e > 1e-9 gate\n", name,
+                 e.max_abs_diff);
+    ok = false;
+  }
+  std::printf(
+      "predict sweep %-5s %5zux%-5zu reference %8.4fs | compiled %8.4fs | "
+      "speedup %5.2fx | max diff %.1e\n",
+      name, e.n, e.f, e.reference_s, e.compiled_s, e.speedup,
+      e.max_abs_diff);
+  if (gate_speedup && e.speedup < 3.0) {
+    std::fprintf(stderr, "SPEEDUP FAIL: %s %zux%zu compiled %.2fx < 3x\n",
+                 name, e.n, e.f, e.speedup);
+    ok = false;
+  }
+  return e;
+}
+
+// Weak-signal synth with flipped labels for the predict sweep: the strong
+// make_synth signal lets hist trees separate classes in a handful of
+// nodes, which benchmarks almost no traversal. Here the signal barely
+// clears the noise floor and `label_noise` of the rows are relabeled
+// uniformly, so trees must grow deep to fit — the shape a forest trained
+// on messy production telemetry actually has.
+Synth make_hard_synth(std::size_t n, std::size_t f, int classes,
+                      double label_noise, std::uint64_t seed) {
+  Rng rng(seed);
+  const auto k = static_cast<std::size_t>(classes);
+  Synth s;
+  s.x = Matrix(n, f);
+  for (std::size_t i = 0; i < n; ++i) {
+    auto c = static_cast<int>(i % k);
+    // Features always track the original class; a flipped label is real
+    // noise the trees can only memorize, not a pattern they can learn.
+    if (rng.uniform() < label_noise) {
+      c = static_cast<int>(rng.uniform() * static_cast<double>(k)) %
+          classes;
+    }
+    s.y.push_back(c);
+    for (std::size_t j = 0; j < f; ++j) {
+      const double signal = j % k == i % k ? 0.15 : 0.0;
+      s.x(i, j) = signal + 0.3 * rng.uniform();
+    }
+  }
+  return s;
+}
+
+// Compiled-vs-reference predict sweep over pool shapes up to 2000×2000.
+// Gates (same argmax everywhere, probas within 1e-9, ≥3× at the
+// 2000×2000 scale) apply in smoke and full mode alike — smoke just skips
+// the smaller warm-up shapes. Returns false when a gate fails.
+//
+// The models are deliberately large ensembles of moderate trees. That is
+// where batch inference cost lives in production — and where the layouts
+// genuinely diverge: the object walk visits every tree per row, an
+// essentially random access over the whole multi-megabyte forest, while
+// the compiled path walks tree-major over 64-row blocks so each tree's
+// few KB of SoA nodes stays cache-hot for the whole block and one binning
+// pass is shared by all trees. Small single-model predicts (the serving
+// hot path) ride the same code but win less; the train sweep covers them.
+bool run_predict_sweep(bool smoke, const char* json_path) {
+  struct Shape {
+    std::size_t n;
+    std::size_t f;
+  };
+  const std::vector<Shape> shapes =
+      smoke ? std::vector<Shape>{{2000, 2000}}
+            : std::vector<Shape>{{500, 500}, {2000, 500}, {2000, 2000}};
+
+  std::vector<PredictEntry> entries;
+  bool ok = true;
+  for (const Shape& shape : shapes) {
+    // Hist-trained on a small slice: tree size is bounded by training
+    // rows, so the sweep's budget goes to predict, which is what is being
+    // measured; the ensembles are wide enough that the forests still
+    // reach production size (~300k nodes at the gated shape).
+    const Synth rf_train = make_hard_synth(
+        std::min<std::size_t>(shape.n, 600), shape.f, 6, 0.35, 31);
+    const Synth gbm_train = make_hard_synth(
+        std::min<std::size_t>(shape.n, 600), shape.f, 6, 0.5, 33);
+    const Synth pool = make_hard_synth(shape.n, shape.f, 6, 0.2, 32);
+    const bool gate = shape.n >= 2000 && shape.f >= 2000;
+
+    ForestConfig rf_cfg;
+    rf_cfg.num_classes = 6;
+    rf_cfg.n_estimators = 1600;
+    rf_cfg.max_depth = -1;
+    rf_cfg.split_algo = SplitAlgo::Hist;
+    RandomForest rf(rf_cfg, 1);
+    rf.fit(rf_train.x, rf_train.y);
+    entries.push_back(run_predict_cell("rf", rf, pool.x, gate, ok));
+
+    // Coarse 64-bin histograms and a small column sample keep the 400
+    // boosting rounds affordable to train without shrinking the fitted
+    // forest the predict path has to traverse.
+    GbmConfig gbm_cfg;
+    gbm_cfg.num_classes = 6;
+    gbm_cfg.n_estimators = 400;
+    gbm_cfg.num_leaves = 63;
+    gbm_cfg.colsample_bytree = 0.05;
+    gbm_cfg.max_bins = 64;
+    gbm_cfg.split_algo = SplitAlgo::Hist;
+    GbmClassifier gbm(gbm_cfg, 1);
+    gbm.fit(gbm_train.x, gbm_train.y);
+    entries.push_back(run_predict_cell("lgbm", gbm, pool.x, gate, ok));
+  }
+
+  std::ofstream os(json_path);
+  os << "[\n";
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    const PredictEntry& e = entries[i];
+    os << "  {\"model\": \"" << e.model << "\", \"n\": " << e.n
+       << ", \"f\": " << e.f << ", \"reference_s\": " << e.reference_s
+       << ", \"compiled_s\": " << e.compiled_s
+       << ", \"speedup\": " << e.speedup
+       << ", \"max_abs_diff\": " << e.max_abs_diff << "}"
+       << (i + 1 < entries.size() ? "," : "") << "\n";
+  }
+  os << "]\n";
+  std::printf("predict sweep written to %s (%zu entries)%s\n", json_path,
+              entries.size(), ok ? "" : " — GATES FAILED");
+  return ok;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) {
-      // CI gate: scaled-down Exact-vs-Hist sweep + macro-F1 parity only.
-      return run_train_sweep(true, "BENCH_ml_train.json") ? 0 : 1;
+      // CI gate: scaled-down Exact-vs-Hist train sweep + macro-F1 parity,
+      // then the compiled-vs-reference predict sweep at 2000×2000 (same
+      // argmax, probas within 1e-9, ≥3× speedup).
+      const bool train_ok = run_train_sweep(true, "BENCH_ml_train.json");
+      const bool predict_ok =
+          run_predict_sweep(true, "BENCH_ml_predict.json");
+      return train_ok && predict_ok ? 0 : 1;
     }
   }
   benchmark::Initialize(&argc, argv);
@@ -366,5 +561,7 @@ int main(int argc, char** argv) {
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   write_al_round_stats("micro_ml_round_stats.csv");
-  return run_train_sweep(false, "BENCH_ml_train.json") ? 0 : 1;
+  const bool train_ok = run_train_sweep(false, "BENCH_ml_train.json");
+  const bool predict_ok = run_predict_sweep(false, "BENCH_ml_predict.json");
+  return train_ok && predict_ok ? 0 : 1;
 }

@@ -5,7 +5,11 @@
 # ServiceHost under injected slow/failing extractions and poisoned bundle
 # pushes; only typed shedding, deadline-honest Ok results, and rollback
 # bit-identity are acceptable), an ML train smoke run (histogram vs exact
-# split finders must agree on macro-F1 within the parity gate), an
+# split finders must agree on macro-F1 within the parity gate), an ML
+# predict smoke run (compiled flat-SoA inference must match the
+# object-traversal reference on every argmax, stay within 1e-9 on
+# probabilities, and clear the 3x speedup gate at the 2000x2000 pool
+# scale; timings land in BENCH_ml_predict.json), an
 # AddressSanitizer + UndefinedBehaviorSanitizer build of the full suite
 # (the fault-injection paths shuffle NaNs and truncated buffers around —
 # exactly where silent out-of-bounds reads would hide), then a
@@ -31,7 +35,7 @@ echo "== serving chaos smoke: typed shedding + rollback under faults =="
 ./build/bench/bench_serving --chaos-smoke
 
 echo
-echo "== ml train smoke: hist vs exact parity gate =="
+echo "== ml smoke: hist/exact train parity + compiled predict gates =="
 (cd build/bench && ./bench_micro_ml --smoke)
 
 echo
@@ -44,8 +48,9 @@ cmake --build build-asan -j"$(nproc)" --target \
   test_common test_thread_pool test_linalg test_stats_descriptive \
   test_stats_spectral test_anomaly test_telemetry test_features \
   test_preprocess test_ml_metrics test_binning test_ml_trees \
-  test_ml_linear test_ml_tools test_active test_active_ext test_core \
-  test_properties test_faults test_serving test_service_host > /dev/null
+  test_compiled_tree test_ml_linear test_ml_tools test_active \
+  test_active_ext test_core test_properties test_faults test_serving \
+  test_service_host > /dev/null
 (cd build-asan && ctest --output-on-failure -j"$(nproc)")
 
 echo
@@ -55,10 +60,12 @@ cmake -B build-tsan -S . \
   -DCMAKE_CXX_FLAGS="-fsanitize=thread -fno-omit-frame-pointer" \
   -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread" > /dev/null
 cmake --build build-tsan -j"$(nproc)" \
-  --target test_thread_pool test_binning test_ml_trees test_ml_tools \
-  test_active test_active_ext test_serving test_service_host > /dev/null
-for t in test_thread_pool test_binning test_ml_trees test_ml_tools \
-         test_active test_active_ext test_serving test_service_host; do
+  --target test_thread_pool test_binning test_ml_trees test_compiled_tree \
+  test_ml_tools test_active test_active_ext test_serving \
+  test_service_host > /dev/null
+for t in test_thread_pool test_binning test_ml_trees test_compiled_tree \
+         test_ml_tools test_active test_active_ext test_serving \
+         test_service_host; do
   echo "-- $t (tsan)"
   ./build-tsan/tests/"$t"
 done

@@ -3,6 +3,8 @@
 #include <ostream>
 #include <sstream>
 
+#include "common/csv.hpp"
+
 namespace alba {
 
 RoundStatsSummary summarize_rounds(std::span<const RoundStats> rounds) {
@@ -34,9 +36,11 @@ std::string round_stats_csv_header() {
 
 std::string round_stats_csv_row(std::string_view label, const RoundStats& s) {
   std::ostringstream os;
-  os << label << ',' << s.round << ',' << s.labels_total << ','
-     << s.pool_size << ',' << s.batch << ',' << s.score_seconds << ','
-     << s.refit_seconds << ',' << s.eval_seconds;
+  // Labels carry free-form sweep configuration ("batch=8,threads=4");
+  // RFC-4180 quoting keeps embedded commas/quotes from shearing columns.
+  os << csv_escape(std::string(label)) << ',' << s.round << ','
+     << s.labels_total << ',' << s.pool_size << ',' << s.batch << ','
+     << s.score_seconds << ',' << s.refit_seconds << ',' << s.eval_seconds;
   return os.str();
 }
 

@@ -9,12 +9,43 @@
 // trees / boosting rounds; it never outlives training.
 #pragma once
 
+#include <cmath>
 #include <cstdint>
+#include <limits>
 #include <vector>
 
 #include "linalg/matrix.hpp"
 
 namespace alba {
+
+/// Value ordering for the exact split scans. Every non-finite value (NaN,
+/// ±inf) routes left at predict time — `v <= t || !isfinite(v)` — so no
+/// split can tell them apart: they form one equivalence class that sorts
+/// before every finite value. This also keeps std::sort away from raw NaN
+/// comparisons, which violate strict weak ordering.
+inline bool exact_value_less(double a, double b) noexcept {
+  const bool fa = std::isfinite(a);
+  const bool fb = std::isfinite(b);
+  if (fa != fb) return !fa;  // non-finite first
+  return fa && a < b;
+}
+
+inline bool exact_value_equal(double a, double b) noexcept {
+  const bool fa = std::isfinite(a);
+  const bool fb = std::isfinite(b);
+  if (fa != fb) return false;
+  return !fa || a == b;
+}
+
+/// Raw-value threshold realizing the cut "left group ends at `left`, right
+/// group starts at `right`" between adjacent distinct sort keys: -inf when
+/// the left group is the non-finite class (only non-finite values satisfy
+/// `v <= -inf || !isfinite(v)`), else the usual midpoint of the two finite
+/// neighbors — the same two forms the histogram splitter emits.
+inline double exact_cut_threshold(double left, double right) noexcept {
+  return std::isfinite(left) ? 0.5 * (left + right)
+                             : -std::numeric_limits<double>::infinity();
+}
 
 /// Split-finding algorithm for the tree models. `Exact` (the default) sorts
 /// raw feature values at every node and is the reference implementation;
@@ -63,11 +94,13 @@ class BinnedMatrix {
     return static_cast<int>(edges_[f].size()) + 1;
   }
 
-  /// Raw-value threshold realizing the split "finite bins 1..bin left,
-  /// everything else (higher bins and NaN) right": the upper edge of
-  /// `bin`. Trees store this so prediction works on raw features, where
-  /// `value <= edge` is false for NaN — the same right-routing the
-  /// histogram scan uses. `bin` must be in [1, num_bins(f) - 1].
+  /// Raw-value threshold realizing the split "bins 0..bin left, higher bins
+  /// right": the upper edge of `bin`. Trees store this so prediction works
+  /// on raw features, where `value <= edge || !isfinite(value)` routes left
+  /// — NaN travels with bin 0, the leftmost bin, at train and predict time
+  /// alike. `bin` must be in [1, num_bins(f) - 1]; a cut after bin 0 itself
+  /// (non-finite left, all finite right) is represented as -inf by the
+  /// tree builders.
   double upper_edge(std::size_t f, int bin) const noexcept {
     ALBA_DCHECK(bin >= 1 && bin < num_bins(f));
     return edges_[f][static_cast<std::size_t>(bin - 1)];

@@ -30,6 +30,15 @@ class Classifier {
   /// Per-class probabilities, one row per sample, rows sum to 1.
   virtual Matrix predict_proba(const Matrix& x) const = 0;
 
+  /// Reference (object-traversal) probabilities, bit-identical to
+  /// predict_proba by contract. Tree models route predict_proba through a
+  /// compiled flat-SoA predictor (ml/compiled_tree.hpp) and keep the
+  /// original per-row walk here; everything else answers with
+  /// predict_proba itself.
+  virtual Matrix predict_proba_reference(const Matrix& x) const {
+    return predict_proba(x);
+  }
+
   /// Probabilities for a row subset of `x` without materializing the subset:
   /// `out` is reshaped to rows.size() × num_classes and its row i holds the
   /// prediction for x.row(rows[i]). Results are bit-identical to

@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <numeric>
 
 #include "common/error.hpp"
+#include "common/thread_pool.hpp"
+#include "ml/compiled_tree.hpp"
 
 namespace alba {
 
@@ -87,6 +90,7 @@ void DecisionTree::fit(const Matrix& x, std::span<const int> y) {
   std::vector<std::size_t> idx(x.rows());
   std::iota(idx.begin(), idx.end(), std::size_t{0});
   fit_on(x, y, std::move(idx));
+  compiled_ = CompiledTreePredictor::compile(*this);
 }
 
 void DecisionTree::fit_on(const Matrix& x, std::span<const int> y,
@@ -105,6 +109,7 @@ void DecisionTree::fit_on(const Matrix& x, std::span<const int> y,
   }
   nodes_.clear();
   leaf_probs_.clear();
+  compiled_.reset();  // stale fast path must never outlive a refit
   Rng rng(seed_);
   if (config_.split_algo == SplitAlgo::Hist) {
     // Quantize locally when the caller didn't share a binned view (the
@@ -187,8 +192,20 @@ int DecisionTree::build_node(const Matrix& x, std::span<const int> y,
       const std::size_t row = node_span[i];
       sorted[i] = {x(row, f), y[row]};
     }
-    std::sort(sorted.begin(), sorted.end());
-    if (sorted.front().first == sorted.back().first) continue;  // constant
+    // Non-finite values sort first as one equivalence class (they all
+    // route left at predict time); the label tie-break keeps the order —
+    // and thus the scan — deterministic.
+    std::sort(sorted.begin(), sorted.end(),
+              [](const std::pair<double, int>& a,
+                 const std::pair<double, int>& b) {
+                if (!exact_value_equal(a.first, b.first)) {
+                  return exact_value_less(a.first, b.first);
+                }
+                return a.second < b.second;
+              });
+    if (exact_value_equal(sorted.front().first, sorted.back().first)) {
+      continue;  // constant column
+    }
 
     std::fill(left_counts.begin(), left_counts.end(), 0.0);
     for (std::size_t i = 0; i + 1 < n; ++i) {
@@ -196,7 +213,7 @@ int DecisionTree::build_node(const Matrix& x, std::span<const int> y,
       const std::size_t n_left = i + 1;
       const std::size_t n_right = n - n_left;
       if (n_left < min_leaf || n_right < min_leaf) continue;
-      if (sorted[i].first == sorted[i + 1].first) continue;  // same value
+      if (exact_value_equal(sorted[i].first, sorted[i + 1].first)) continue;
 
       double right_total = 0.0;
       double imp_left =
@@ -216,18 +233,23 @@ int DecisionTree::build_node(const Matrix& x, std::span<const int> y,
       if (gain > best_gain) {
         best_gain = gain;
         best_feature = f;
-        best_threshold = 0.5 * (sorted[i].first + sorted[i + 1].first);
+        best_threshold =
+            exact_cut_threshold(sorted[i].first, sorted[i + 1].first);
       }
     }
   }
 
   if (best_gain <= 1e-12) return make_leaf(y, node_span);
 
-  // Partition [begin, end) around the threshold.
+  // Partition [begin, end) around the threshold; non-finite values go left,
+  // the same routing raw-value prediction uses.
   const auto mid_it = std::partition(
       indices.begin() + static_cast<std::ptrdiff_t>(begin),
       indices.begin() + static_cast<std::ptrdiff_t>(end),
-      [&](std::size_t i) { return x(i, best_feature) <= best_threshold; });
+      [&](std::size_t i) {
+        const double v = x(i, best_feature);
+        return v <= best_threshold || !std::isfinite(v);
+      });
   const std::size_t mid =
       static_cast<std::size_t>(mid_it - indices.begin());
   if (mid == begin || mid == end) return make_leaf(y, node_span);
@@ -308,11 +330,14 @@ int DecisionTree::build_node_hist(const BinnedMatrix& binned,
   const auto min_leaf = static_cast<double>(config_.min_samples_leaf);
   double n_left = 0.0;  // reset per feature before each bin walk
 
-  // Cumulates `bin` into the left side and scores the cut "bins 1..b left,
-  // higher bins and NaN (bin 0) right" — matching the raw-value predicate
-  // `value <= upper_edge(f, b)`. Shared by both scans below; cumulating an
-  // empty bin is a no-op, so skipping empty bins entirely (the compact
-  // scan) picks the same split as walking every bin (the full scan).
+  // Cumulates `bin` into the left side and scores the cut "bins 0..b left,
+  // higher bins right" — NaN (bin 0, the leftmost) always rides with the
+  // left side, matching the raw-value predicate `value <= threshold ||
+  // !isfinite(value)`. A cut at b == 0 separates the non-finite rows from
+  // every finite one (threshold -inf). Shared by both scans below;
+  // cumulating an empty bin is a no-op, so skipping empty bins entirely
+  // (the compact scan) picks the same split as walking every bin (the full
+  // scan).
   const auto evaluate_cut = [&](std::size_t f, int b, const double* bin) {
     double bin_total = 0.0;
     for (std::size_t c = 0; c < k; ++c) {
@@ -349,7 +374,7 @@ int DecisionTree::build_node_hist(const BinnedMatrix& binned,
       const double* h = node_hist.data() + fi * stride;
       std::fill(left_counts.begin(), left_counts.end(), 0.0);
       n_left = 0.0;
-      for (int b = 1; b + 1 < nb; ++b) {
+      for (int b = 0; b + 1 < nb; ++b) {
         evaluate_cut(f, b, h + static_cast<std::size_t>(b) * k);
       }
     }
@@ -383,8 +408,8 @@ int DecisionTree::build_node_hist(const BinnedMatrix& binned,
       n_left = 0.0;
       for (const std::uint8_t c8 : occupied) {
         const int b = c8;
-        // NaN bin and the last finite bin always stay right.
-        if (b == 0 || b + 1 >= nb) continue;
+        // The last finite bin cannot host a cut (everything would go left).
+        if (b + 1 >= nb) continue;
         evaluate_cut(f, b, fhist.data() + static_cast<std::size_t>(b) * k);
       }
       for (const std::uint8_t c8 : occupied) {
@@ -399,15 +424,14 @@ int DecisionTree::build_node_hist(const BinnedMatrix& binned,
 
   if (best_gain <= 1e-12) return make_leaf(y, node_span);
 
-  // Partition [begin, end) by bin code; NaN (code 0) goes right, exactly as
-  // raw-value prediction routes it (`NaN <= threshold` is false).
+  // Partition [begin, end) by bin code; NaN (code 0) goes left, exactly as
+  // raw-value prediction routes it (non-finite values traverse left).
   const std::uint8_t* best_codes = binned.column(best_feature);
   const auto mid_it = std::partition(
       indices.begin() + static_cast<std::ptrdiff_t>(begin),
       indices.begin() + static_cast<std::ptrdiff_t>(end),
       [&](std::size_t i) {
-        const std::uint8_t c = best_codes[i];
-        return c >= 1 && static_cast<int>(c) <= best_bin;
+        return static_cast<int>(best_codes[i]) <= best_bin;
       });
   const std::size_t mid =
       static_cast<std::size_t>(mid_it - indices.begin());
@@ -415,7 +439,12 @@ int DecisionTree::build_node_hist(const BinnedMatrix& binned,
 
   Node node;
   node.feature = static_cast<int>(best_feature);
-  node.threshold = binned.upper_edge(best_feature, best_bin);
+  // A cut at bin 0 sends only the non-finite rows left: -inf realizes it in
+  // raw-value space (`v <= -inf` is false for every finite v, and non-finite
+  // values route left unconditionally).
+  node.threshold = best_bin == 0
+                       ? -std::numeric_limits<double>::infinity()
+                       : binned.upper_edge(best_feature, best_bin);
   node.importance = best_gain * static_cast<double>(n);
   const int self = static_cast<int>(nodes_.size());
   nodes_.push_back(node);
@@ -471,13 +500,15 @@ void DecisionTree::predict_proba_row(std::span<const double> row,
       std::copy_n(probs, out.size(), out.begin());
       return;
     }
-    node = (row[static_cast<std::size_t>(cur.feature)] <= cur.threshold)
-               ? cur.left
-               : cur.right;
+    // Non-finite values route left, matching BinnedMatrix's bin 0 — the
+    // leftmost bin — so a quarantined/NaN feature at serving time lands in
+    // the branch its training histogram actually saw.
+    const double v = row[static_cast<std::size_t>(cur.feature)];
+    node = (v <= cur.threshold || !std::isfinite(v)) ? cur.left : cur.right;
   }
 }
 
-Matrix DecisionTree::predict_proba(const Matrix& x) const {
+Matrix DecisionTree::predict_proba_reference(const Matrix& x) const {
   Matrix out(x.rows(), static_cast<std::size_t>(config_.num_classes));
   for (std::size_t i = 0; i < x.rows(); ++i) {
     predict_proba_row(x.row(i), out.row(i));
@@ -485,10 +516,24 @@ Matrix DecisionTree::predict_proba(const Matrix& x) const {
   return out;
 }
 
+Matrix DecisionTree::predict_proba(const Matrix& x) const {
+  if (compiled_ == nullptr) return predict_proba_reference(x);
+  Matrix out(x.rows(), static_cast<std::size_t>(config_.num_classes));
+  global_pool().parallel_for_chunked(
+      x.rows(), [&](std::size_t begin, std::size_t end) {
+        compiled_->predict_range(x, begin, end, out);
+      });
+  return out;
+}
+
 void DecisionTree::predict_proba_rows(const Matrix& x,
                                       std::span<const std::size_t> rows,
                                       Matrix& out) const {
   out.reshape(rows.size(), static_cast<std::size_t>(config_.num_classes));
+  if (compiled_ != nullptr) {
+    compiled_->predict_rows(x, rows, out);
+    return;
+  }
   for (std::size_t i = 0; i < rows.size(); ++i) {
     predict_proba_row(x.row(rows[i]), out.row(i));
   }
@@ -546,6 +591,7 @@ void DecisionTree::restore(std::vector<Node> nodes,
   ALBA_CHECK(!nodes.empty());
   nodes_ = std::move(nodes);
   leaf_probs_ = std::move(leaf_probs);
+  compiled_ = CompiledTreePredictor::compile(*this);
 }
 
 }  // namespace alba

@@ -14,6 +14,8 @@
 
 namespace alba {
 
+class CompiledTreePredictor;
+
 enum class SplitCriterion { Gini, Entropy };
 
 struct TreeConfig {
@@ -46,10 +48,19 @@ class DecisionTree final : public Classifier {
               std::vector<std::size_t> indices, const BinnedMatrix* binned);
 
   Matrix predict_proba(const Matrix& x) const override;
+  Matrix predict_proba_reference(const Matrix& x) const override;
   void predict_proba_rows(const Matrix& x, std::span<const std::size_t> rows,
                           Matrix& out) const override;
   void predict_proba_row(std::span<const double> row,
                          std::span<double> out) const;
+
+  /// Compiled flat-SoA predictor, built by fit()/restore(); null for trees
+  /// fitted via fit_on (forest members predict through the forest's own
+  /// compiled ensemble) or when compilation fell back.
+  const std::shared_ptr<const CompiledTreePredictor>& compiled()
+      const noexcept {
+    return compiled_;
+  }
 
   std::unique_ptr<Classifier> clone() const override;
   std::unique_ptr<Classifier> clone_reseeded(std::uint64_t seed) const override {
@@ -99,6 +110,7 @@ class DecisionTree final : public Classifier {
   std::uint64_t seed_;
   std::vector<Node> nodes_;
   std::vector<double> leaf_probs_;
+  std::shared_ptr<const CompiledTreePredictor> compiled_;
 };
 
 }  // namespace alba

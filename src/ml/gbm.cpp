@@ -2,12 +2,15 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <memory>
 #include <numeric>
 #include <queue>
 
 #include "common/error.hpp"
+#include "common/thread_pool.hpp"
 #include "linalg/ops.hpp"
+#include "ml/compiled_tree.hpp"
 
 namespace alba {
 
@@ -34,10 +37,6 @@ struct LeafCandidate {
   }
 };
 
-// Per-feature histogram stride: kMaxBins bins × (count, grad, hess).
-constexpr std::size_t kHistStride =
-    static_cast<std::size_t>(BinnedMatrix::kMaxBins) * 3;
-
 double leaf_value(double sum_grad, double sum_hess, double lambda) noexcept {
   return -sum_grad / (sum_hess + lambda);
 }
@@ -54,9 +53,10 @@ double GbmClassifier::RegTree::predict(
   for (;;) {
     const RegNode& cur = nodes[static_cast<std::size_t>(node)];
     if (cur.feature < 0) return cur.value;
-    node = (row[static_cast<std::size_t>(cur.feature)] <= cur.threshold)
-               ? cur.left
-               : cur.right;
+    // Non-finite values route left, matching BinnedMatrix's bin 0 (the
+    // leftmost bin) at training time.
+    const double v = row[static_cast<std::size_t>(cur.feature)];
+    node = (v <= cur.threshold || !std::isfinite(v)) ? cur.left : cur.right;
   }
 }
 
@@ -67,6 +67,7 @@ GbmClassifier::GbmClassifier(GbmConfig config, std::uint64_t seed)
   ALBA_CHECK(config_.num_leaves >= 2);
   ALBA_CHECK(config_.learning_rate > 0.0);
   ALBA_CHECK(config_.colsample_bytree > 0.0 && config_.colsample_bytree <= 1.0);
+  ALBA_CHECK(config_.max_bins >= 2 && config_.max_bins <= BinnedMatrix::kMaxBins);
 }
 
 GbmClassifier::RegTree GbmClassifier::fit_tree(
@@ -101,8 +102,20 @@ GbmClassifier::RegTree GbmClassifier::fit_tree(
         const std::size_t row = indices[cand.begin + i];
         sorted[i] = {x(row, f), row};
       }
-      std::sort(sorted.begin(), sorted.end());
-      if (sorted.front().first == sorted.back().first) continue;
+      // Non-finite values sort first as one equivalence class (they all
+      // route left at predict time); the row tie-break keeps the order —
+      // and thus the gradient scan — deterministic.
+      std::sort(sorted.begin(), sorted.end(),
+                [](const std::pair<double, std::size_t>& a,
+                   const std::pair<double, std::size_t>& b) {
+                  if (!exact_value_equal(a.first, b.first)) {
+                    return exact_value_less(a.first, b.first);
+                  }
+                  return a.second < b.second;
+                });
+      if (exact_value_equal(sorted.front().first, sorted.back().first)) {
+        continue;  // constant column
+      }
 
       double g_left = 0.0;
       double h_left = 0.0;
@@ -111,7 +124,7 @@ GbmClassifier::RegTree GbmClassifier::fit_tree(
         h_left += hess[sorted[i].second];
         const std::size_t n_left = i + 1;
         if (n_left < min_leaf || count - n_left < min_leaf) continue;
-        if (sorted[i].first == sorted[i + 1].first) continue;
+        if (exact_value_equal(sorted[i].first, sorted[i + 1].first)) continue;
         const double gain =
             split_score(g_left, h_left, config_.reg_lambda) +
             split_score(g_total - g_left, h_total - h_left,
@@ -120,7 +133,8 @@ GbmClassifier::RegTree GbmClassifier::fit_tree(
         if (gain > cand.gain) {
           cand.gain = gain;
           cand.feature = f;
-          cand.threshold = 0.5 * (sorted[i].first + sorted[i + 1].first);
+          cand.threshold =
+              exact_cut_threshold(sorted[i].first, sorted[i + 1].first);
         }
       }
     }
@@ -163,7 +177,8 @@ GbmClassifier::RegTree GbmClassifier::fit_tree(
         indices.begin() + static_cast<std::ptrdiff_t>(cand.begin);
     const auto end_it = indices.begin() + static_cast<std::ptrdiff_t>(cand.end);
     const auto mid_it = std::partition(begin_it, end_it, [&](std::size_t i) {
-      return x(i, cand.feature) <= cand.threshold;
+      const double v = x(i, cand.feature);
+      return v <= cand.threshold || !std::isfinite(v);
     });
     const std::size_t mid = static_cast<std::size_t>(mid_it - indices.begin());
     if (mid == cand.begin || mid == cand.end) {
@@ -220,6 +235,12 @@ GbmClassifier::RegTree GbmClassifier::fit_tree_hist(
     std::span<const double> hess,
     std::span<const std::size_t> feature_pool) const {
   const std::size_t n = binned.rows();
+  // Per-feature histogram stride: max_bins bins × (count, grad, hess).
+  // Following the configured bin budget (not kMaxBins) matters because a
+  // histogram build zeroes pool × stride doubles per node — at the default
+  // 256 bins that zeroing, not the fill, dominates training on deep trees.
+  const std::size_t hist_stride =
+      static_cast<std::size_t>(config_.max_bins) * 3;
   RegTree tree;
 
   std::vector<std::size_t> indices(n);
@@ -227,10 +248,10 @@ GbmClassifier::RegTree GbmClassifier::fit_tree_hist(
 
   auto build_hist = [&](std::size_t begin, std::size_t end,
                         std::vector<double>& hist) {
-    hist.assign(feature_pool.size() * kHistStride, 0.0);
+    hist.assign(feature_pool.size() * hist_stride, 0.0);
     for (std::size_t fi = 0; fi < feature_pool.size(); ++fi) {
       const std::uint8_t* codes = binned.column(feature_pool[fi]);
-      double* h = hist.data() + fi * kHistStride;
+      double* h = hist.data() + fi * hist_stride;
       for (std::size_t i = begin; i < end; ++i) {
         const std::size_t row = indices[i];
         double* cell = h + static_cast<std::size_t>(codes[row]) * 3;
@@ -269,15 +290,17 @@ GbmClassifier::RegTree GbmClassifier::fit_tree_hist(
       const std::size_t f = feature_pool[fi];
       const int nb = binned.num_bins(f);
       if (nb <= 2) continue;  // constant column
-      const double* h = cand.hist->data() + fi * kHistStride;
+      const double* h = cand.hist->data() + fi * hist_stride;
 
       double c_left = 0.0;
       double g_left = 0.0;
       double h_left = 0.0;
-      // Split after finite bin b: bins 1..b left, higher bins and the NaN
-      // bin 0 right — the raw-value predicate `value <= edge` routes NaN
-      // right the same way.
-      for (int b = 1; b + 1 < nb; ++b) {
+      // Split after bin b: bins 0..b left, higher bins right — NaN (bin 0,
+      // the leftmost) always rides with the left side, the same routing the
+      // raw-value predicate `value <= threshold || !isfinite(value)` uses.
+      // A cut at b == 0 separates the non-finite rows from every finite one
+      // (threshold -inf).
+      for (int b = 0; b + 1 < nb; ++b) {
         const double* cell = h + static_cast<std::size_t>(b) * 3;
         c_left += cell[0];
         g_left += cell[1];
@@ -296,7 +319,9 @@ GbmClassifier::RegTree GbmClassifier::fit_tree_hist(
           cand.gain = gain;
           cand.feature = f;
           cand.bin = b;
-          cand.threshold = binned.upper_edge(f, b);
+          cand.threshold =
+              b == 0 ? -std::numeric_limits<double>::infinity()
+                     : binned.upper_edge(f, b);
         }
       }
     }
@@ -334,14 +359,13 @@ GbmClassifier::RegTree GbmClassifier::fit_tree_hist(
       continue;
     }
 
-    // Partition the index range by bin code (NaN bin 0 goes right).
+    // Partition the index range by bin code (NaN bin 0 goes left).
     const std::uint8_t* codes = binned.column(cand.feature);
     const auto begin_it =
         indices.begin() + static_cast<std::ptrdiff_t>(cand.begin);
     const auto end_it = indices.begin() + static_cast<std::ptrdiff_t>(cand.end);
     const auto mid_it = std::partition(begin_it, end_it, [&](std::size_t i) {
-      const std::uint8_t c = codes[i];
-      return c >= 1 && static_cast<int>(c) <= cand.bin;
+      return static_cast<int>(codes[i]) <= cand.bin;
     });
     const std::size_t mid = static_cast<std::size_t>(mid_it - indices.begin());
     if (mid == cand.begin || mid == cand.end) {
@@ -414,6 +438,7 @@ void GbmClassifier::fit(const Matrix& x, std::span<const int> y) {
   }
 
   rounds_.clear();
+  compiled_.reset();
   // Base score: class-prior log-probabilities (clamped for empty classes).
   std::vector<double> prior(k, 0.0);
   for (const int label : y) prior[static_cast<std::size_t>(label)] += 1.0;
@@ -439,7 +464,7 @@ void GbmClassifier::fit(const Matrix& x, std::span<const int> y) {
   // Hist mode: quantize once, share the read-only view across every
   // boosting round and class tree.
   const BinnedMatrix binned = config_.split_algo == SplitAlgo::Hist
-                                  ? BinnedMatrix(x)
+                                  ? BinnedMatrix(x, config_.max_bins)
                                   : BinnedMatrix();
 
   for (int round = 0; round < config_.n_estimators; ++round) {
@@ -480,9 +505,10 @@ void GbmClassifier::fit(const Matrix& x, std::span<const int> y) {
     }
     rounds_.push_back(std::move(class_trees));
   }
+  compiled_ = CompiledTreePredictor::compile(*this);
 }
 
-Matrix GbmClassifier::predict_proba(const Matrix& x) const {
+Matrix GbmClassifier::predict_proba_reference(const Matrix& x) const {
   ALBA_CHECK(fitted()) << "predict before fit";
   const auto k = static_cast<std::size_t>(config_.num_classes);
   Matrix raw(x.rows(), k);
@@ -501,12 +527,26 @@ Matrix GbmClassifier::predict_proba(const Matrix& x) const {
   return raw;
 }
 
+Matrix GbmClassifier::predict_proba(const Matrix& x) const {
+  if (compiled_ == nullptr) return predict_proba_reference(x);
+  Matrix out(x.rows(), static_cast<std::size_t>(config_.num_classes));
+  global_pool().parallel_for_chunked(
+      x.rows(), [&](std::size_t begin, std::size_t end) {
+        compiled_->predict_range(x, begin, end, out);
+      });
+  return out;
+}
+
 void GbmClassifier::predict_proba_rows(const Matrix& x,
                                        std::span<const std::size_t> rows,
                                        Matrix& out) const {
   ALBA_CHECK(fitted()) << "predict before fit";
   const auto k = static_cast<std::size_t>(config_.num_classes);
   out.reshape(rows.size(), k);
+  if (compiled_ != nullptr) {
+    compiled_->predict_rows(x, rows, out);
+    return;
+  }
   for (std::size_t i = 0; i < rows.size(); ++i) {
     auto row = out.row(i);
     const auto features = x.row(rows[i]);
@@ -537,6 +577,7 @@ void GbmClassifier::restore(std::vector<std::vector<RegTree>> rounds,
   }
   rounds_ = std::move(rounds);
   base_score_ = std::move(base_score);
+  compiled_ = CompiledTreePredictor::compile(*this);
 }
 
 }  // namespace alba

@@ -13,6 +13,8 @@
 
 namespace alba {
 
+class CompiledTreePredictor;
+
 struct GbmConfig {
   int num_classes = 2;
   int n_estimators = 60;      // boosting rounds
@@ -20,6 +22,7 @@ struct GbmConfig {
   int max_depth = -1;         // -1 = unlimited
   double learning_rate = 0.1;
   double colsample_bytree = 1.0;
+  int max_bins = BinnedMatrix::kMaxBins;  // Hist mode: bins per feature
   double reg_lambda = 1.0;    // L2 on leaf values
   int min_samples_leaf = 1;
   double min_gain = 1e-7;
@@ -32,6 +35,7 @@ class GbmClassifier final : public Classifier {
 
   void fit(const Matrix& x, std::span<const int> y) override;
   Matrix predict_proba(const Matrix& x) const override;
+  Matrix predict_proba_reference(const Matrix& x) const override;
   void predict_proba_rows(const Matrix& x, std::span<const std::size_t> rows,
                           Matrix& out) const override;
 
@@ -68,6 +72,13 @@ class GbmClassifier final : public Classifier {
   void restore(std::vector<std::vector<RegTree>> rounds,
                std::vector<double> base_score);
 
+  /// Compiled flat-SoA predictor, built by fit()/restore(); null before
+  /// fit or when compilation fell back to the reference traversal.
+  const std::shared_ptr<const CompiledTreePredictor>& compiled()
+      const noexcept {
+    return compiled_;
+  }
+
  private:
   RegTree fit_tree(const Matrix& x, std::span<const double> grad,
                    std::span<const double> hess,
@@ -82,6 +93,7 @@ class GbmClassifier final : public Classifier {
   // rounds_[r][k] = tree for class k at boosting round r.
   std::vector<std::vector<RegTree>> rounds_;
   std::vector<double> base_score_;  // initial per-class log-odds
+  std::shared_ptr<const CompiledTreePredictor> compiled_;
 };
 
 }  // namespace alba

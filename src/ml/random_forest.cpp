@@ -4,6 +4,7 @@
 
 #include "common/error.hpp"
 #include "common/thread_pool.hpp"
+#include "ml/compiled_tree.hpp"
 
 namespace alba {
 
@@ -28,6 +29,7 @@ void RandomForest::fit(const Matrix& x, std::span<const int> y) {
 
   const auto t = static_cast<std::size_t>(config_.n_estimators);
   trees_.clear();
+  compiled_.reset();
   trees_.reserve(t);
   // Per-tree seeds derived up front so parallel tree fitting stays
   // deterministic regardless of scheduling.
@@ -57,9 +59,14 @@ void RandomForest::fit(const Matrix& x, std::span<const int> y) {
     }
     trees_[i].fit_on(x, y, std::move(idx), binned);
   });
+  recompile();
 }
 
-Matrix RandomForest::predict_proba(const Matrix& x) const {
+void RandomForest::recompile() {
+  compiled_ = CompiledTreePredictor::compile(*this);
+}
+
+Matrix RandomForest::predict_proba_reference(const Matrix& x) const {
   ALBA_CHECK(fitted()) << "predict before fit";
   const auto k = static_cast<std::size_t>(config_.num_classes);
   Matrix out(x.rows(), k, 0.0);
@@ -77,12 +84,26 @@ Matrix RandomForest::predict_proba(const Matrix& x) const {
   return out;
 }
 
+Matrix RandomForest::predict_proba(const Matrix& x) const {
+  if (compiled_ == nullptr) return predict_proba_reference(x);
+  Matrix out(x.rows(), static_cast<std::size_t>(config_.num_classes));
+  global_pool().parallel_for_chunked(
+      x.rows(), [&](std::size_t begin, std::size_t end) {
+        compiled_->predict_range(x, begin, end, out);
+      });
+  return out;
+}
+
 void RandomForest::predict_proba_rows(const Matrix& x,
                                       std::span<const std::size_t> rows,
                                       Matrix& out) const {
   ALBA_CHECK(fitted()) << "predict before fit";
   const auto k = static_cast<std::size_t>(config_.num_classes);
   out.reshape(rows.size(), k);
+  if (compiled_ != nullptr) {
+    compiled_->predict_rows(x, rows, out);
+    return;
+  }
   out.fill(0.0);
   const double inv = 1.0 / static_cast<double>(trees_.size());
   std::vector<double> buf(k);

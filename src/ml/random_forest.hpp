@@ -26,6 +26,7 @@ class RandomForest final : public Classifier {
 
   void fit(const Matrix& x, std::span<const int> y) override;
   Matrix predict_proba(const Matrix& x) const override;
+  Matrix predict_proba_reference(const Matrix& x) const override;
   void predict_proba_rows(const Matrix& x, std::span<const std::size_t> rows,
                           Matrix& out) const override;
 
@@ -48,10 +49,23 @@ class RandomForest final : public Classifier {
   std::vector<DecisionTree>& mutable_trees() noexcept { return trees_; }
   std::uint64_t seed() const noexcept { return seed_; }
 
+  /// Rebuilds the compiled flat-SoA ensemble predictor from the current
+  /// trees. fit() calls this itself; callers that mutate the forest through
+  /// mutable_trees() (the serializer's loader) must call it afterwards.
+  void recompile();
+
+  /// Compiled ensemble predictor; null before fit or when compilation
+  /// fell back to the reference traversal.
+  const std::shared_ptr<const CompiledTreePredictor>& compiled()
+      const noexcept {
+    return compiled_;
+  }
+
  private:
   ForestConfig config_;
   std::uint64_t seed_;
   std::vector<DecisionTree> trees_;
+  std::shared_ptr<const CompiledTreePredictor> compiled_;
 };
 
 }  // namespace alba

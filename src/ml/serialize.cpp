@@ -209,6 +209,9 @@ std::unique_ptr<Classifier> load_forest(ArchiveReader& r) {
     tree.restore(std::move(nodes), r.read_doubles());
     rf->mutable_trees().push_back(std::move(tree));
   }
+  // The trees were installed behind fit()'s back; rebuild the forest-level
+  // compiled predictor so the loaded model serves on the fast path.
+  rf->recompile();
   return rf;
 }
 

@@ -30,12 +30,83 @@ std::uint64_t hash_window(const Matrix& window) noexcept {
   return h;
 }
 
+namespace {
+
+std::uint64_t cell_bits(const double* p) noexcept {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, p, sizeof(bits));
+  return bits;
+}
+
+}  // namespace
+
+WindowKey window_key(const Matrix& window) noexcept {
+  WindowKey key;
+  key.hash = hash_window(window);
+  key.rows = window.rows();
+  key.cols = window.cols();
+  if (window.size() > 0) {
+    key.first_bits = cell_bits(window.data());
+    key.last_bits = cell_bits(window.data() + window.size() - 1);
+  }
+  return key;
+}
+
+bool WindowCache::lookup(const WindowKey& key, Diagnosis& out) {
+  if (capacity_ == 0) return false;
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = index_.find(key.hash);
+  if (it == index_.end()) return false;
+  // Verified hit only: a hash match with a differing full key is another
+  // window's entry, which must not be served as this window's answer.
+  if (!it->second->key.matches(key)) return false;
+  lru_.splice(lru_.begin(), lru_, it->second);
+  out = it->second->result;
+  out.cache_hit = true;
+  return true;
+}
+
+void WindowCache::insert(const WindowKey& key, const Diagnosis& d) {
+  if (capacity_ == 0) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = index_.find(key.hash);
+  if (it != index_.end()) {
+    if (it->second->key.matches(key)) return;  // a concurrent miss won
+    // Hash collision between distinct windows: evict the old entry in
+    // favor of the new one and account for it.
+    ++collision_evictions_;
+    it->second->key = key;
+    it->second->result = d;
+    it->second->result.cache_hit = false;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  lru_.push_front(Entry{key, d});
+  lru_.front().result.cache_hit = false;
+  index_.emplace(key.hash, lru_.begin());
+  while (lru_.size() > capacity_) {
+    index_.erase(lru_.back().key.hash);
+    lru_.pop_back();
+  }
+}
+
+std::size_t WindowCache::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return lru_.size();
+}
+
+std::uint64_t WindowCache::collision_evictions() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return collision_evictions_;
+}
+
 DiagnosisService::DiagnosisService(ModelBundle bundle, ServingConfig config)
     : bundle_(std::move(bundle)),
       config_(config),
       registry_(bundle_.features.system, bundle_.features.registry),
       extractor_(make_extractor(bundle_.features.extractor)),
-      pool_(config.pool != nullptr ? config.pool : &global_pool()) {
+      pool_(config.pool != nullptr ? config.pool : &global_pool()),
+      cache_(config.cache_capacity) {
   ALBA_CHECK(bundle_.model && bundle_.model->fitted())
       << "DiagnosisService needs a fitted model";
   ALBA_CHECK(config_.max_batch > 0);
@@ -102,49 +173,28 @@ void DiagnosisService::extract_row(const Matrix& window,
   }
 }
 
-bool DiagnosisService::cache_lookup(std::uint64_t key, Diagnosis& out) {
-  if (config_.cache_capacity == 0) return false;
-  std::lock_guard<std::mutex> lock(cache_mutex_);
-  const auto it = index_.find(key);
-  if (it == index_.end()) return false;
-  lru_.splice(lru_.begin(), lru_, it->second);
-  out = it->second->result;
-  out.cache_hit = true;
-  return true;
-}
-
-void DiagnosisService::cache_insert(std::uint64_t key, const Diagnosis& d) {
-  if (config_.cache_capacity == 0) return;
-  std::lock_guard<std::mutex> lock(cache_mutex_);
-  if (index_.count(key) != 0) return;  // a concurrent miss got there first
-  lru_.push_front(CacheEntry{key, d});
-  lru_.front().result.cache_hit = false;
-  index_.emplace(key, lru_.begin());
-  while (lru_.size() > config_.cache_capacity) {
-    index_.erase(lru_.back().key);
-    lru_.pop_back();
-  }
-}
-
 void DiagnosisService::serve_micro_batch(std::span<const Matrix> windows,
                                          std::span<Diagnosis> out) {
   const std::size_t n = windows.size();
-  Timer total;
+  const auto start = std::chrono::steady_clock::now();
 
   // Cache pass: answer hits, dedup identical windows within the batch.
-  std::vector<std::uint64_t> keys(n);
+  // Intra-batch dedup keys on the full WindowKey, so two distinct windows
+  // whose hashes collide are still extracted and predicted separately.
+  std::vector<WindowKey> keys(n);
   std::vector<std::size_t> miss;            // window index per miss slot
-  std::unordered_map<std::uint64_t, std::size_t> pending;  // key -> miss slot
+  std::unordered_map<std::uint64_t, std::size_t> pending;  // hash -> miss slot
   std::vector<std::pair<std::size_t, std::size_t>> aliases;  // (window, slot)
   std::size_t hits = 0;
   for (std::size_t i = 0; i < n; ++i) {
-    keys[i] = hash_window(windows[i]);
-    if (cache_lookup(keys[i], out[i])) {
+    keys[i] = window_key(windows[i]);
+    if (cache_.lookup(keys[i], out[i])) {
       ++hits;
       continue;
     }
-    const auto [it, inserted] = pending.emplace(keys[i], miss.size());
-    if (inserted) {
+    const auto [it, inserted] = pending.emplace(keys[i].hash, miss.size());
+    if (inserted || !keys[miss[it->second]].matches(keys[i])) {
+      if (!inserted) pending[keys[i].hash] = miss.size();  // colliding pair
       miss.push_back(i);
     } else {
       aliases.emplace_back(i, it->second);
@@ -176,7 +226,7 @@ void DiagnosisService::serve_micro_batch(std::span<const Matrix> windows,
       d.label = argmax_label(row);
       d.confidence = row[static_cast<std::size_t>(d.label)];
       d.cache_hit = false;
-      cache_insert(keys[i], d);
+      cache_.insert(keys[i], d);
     }
     for (const auto& [i, slot] : aliases) {
       out[i] = out[miss[slot]];
@@ -186,9 +236,8 @@ void DiagnosisService::serve_micro_batch(std::span<const Matrix> windows,
 
   // Intra-batch duplicates count as hits: they were answered without a
   // pipeline pass, exactly what the hit rate measures.
-  const double total_s = total.seconds();
-  record_request(total_s * 1e3, n, extract_s, predict_s, total_s,
-                 hits + aliases.size(), miss.size(), batches);
+  record_request(start, std::chrono::steady_clock::now(), n, extract_s,
+                 predict_s, hits + aliases.size(), miss.size(), batches);
 }
 
 std::vector<Diagnosis> DiagnosisService::diagnose_batch(
@@ -217,11 +266,12 @@ std::string_view DiagnosisService::label_name(int label) const {
   return bundle_.label_names[static_cast<std::size_t>(label)];
 }
 
-void DiagnosisService::record_request(double latency_ms, std::size_t windows,
-                                      double extract_s, double predict_s,
-                                      double total_s, std::size_t hits,
-                                      std::size_t misses,
-                                      std::size_t batches) {
+void DiagnosisService::record_request(
+    std::chrono::steady_clock::time_point start,
+    std::chrono::steady_clock::time_point end, std::size_t windows,
+    double extract_s, double predict_s, std::size_t hits, std::size_t misses,
+    std::size_t batches) {
+  const double total_s = std::chrono::duration<double>(end - start).count();
   std::lock_guard<std::mutex> lock(stats_mutex_);
   totals_.requests += 1;
   totals_.windows += windows;
@@ -231,10 +281,20 @@ void DiagnosisService::record_request(double latency_ms, std::size_t windows,
   totals_.extract_seconds += extract_s;
   totals_.predict_seconds += predict_s;
   totals_.total_seconds += total_s;
+  // Wall-clock span: first request's start to the latest end, so
+  // concurrent workers don't double-count overlapping time the way the
+  // summed total_seconds does.
+  if (!span_started_ || start < span_first_) {
+    span_first_ = start;
+    span_started_ = true;
+  }
+  if (end > span_last_) span_last_ = end;
+  totals_.wall_seconds =
+      std::chrono::duration<double>(span_last_ - span_first_).count();
   if (latency_ring_.size() < kLatencyWindow) {
-    latency_ring_.push_back(latency_ms);
+    latency_ring_.push_back(total_s * 1e3);
   } else {
-    latency_ring_[latency_next_] = latency_ms;
+    latency_ring_[latency_next_] = total_s * 1e3;
   }
   latency_next_ = (latency_next_ + 1) % kLatencyWindow;
 }
@@ -242,6 +302,10 @@ void DiagnosisService::record_request(double latency_ms, std::size_t windows,
 ServingStats DiagnosisService::stats() const {
   std::lock_guard<std::mutex> lock(stats_mutex_);
   ServingStats s = totals_;
+  // The cache owns its collision counter; report growth since the last
+  // reset_stats so the snapshot window matches every other counter.
+  s.collision_evictions =
+      cache_.collision_evictions() - collisions_at_reset_;
   s.latency_p50_ms = latency_percentile(latency_ring_, 0.50);
   s.latency_p99_ms = latency_percentile(latency_ring_, 0.99);
   return s;
@@ -252,6 +316,8 @@ void DiagnosisService::reset_stats() {
   totals_ = ServingStats{};
   latency_ring_.clear();
   latency_next_ = 0;
+  span_started_ = false;
+  collisions_at_reset_ = cache_.collision_evictions();
 }
 
 }  // namespace alba

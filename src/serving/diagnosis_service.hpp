@@ -24,6 +24,7 @@
 // stats()/reset_stats() are safe concurrently with serving.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <list>
@@ -70,6 +71,59 @@ struct Diagnosis {
   bool cache_hit = false;
 };
 
+/// Full cache identity of a raw window: the 64-bit FNV-1a content hash
+/// plus a cheap verifier (shape and the bit patterns of the first and last
+/// cells). The cache indexes by `hash` but only answers when the verifier
+/// matches too — a 64-bit hash collision between distinct windows must not
+/// silently return another window's diagnosis.
+struct WindowKey {
+  std::uint64_t hash = 0;
+  std::uint64_t rows = 0;
+  std::uint64_t cols = 0;
+  std::uint64_t first_bits = 0;  // bit pattern of cell (0, 0); 0 if empty
+  std::uint64_t last_bits = 0;   // bit pattern of the last cell; 0 if empty
+
+  bool matches(const WindowKey& o) const noexcept {
+    return hash == o.hash && rows == o.rows && cols == o.cols &&
+           first_bits == o.first_bits && last_bits == o.last_bits;
+  }
+};
+
+/// Computes the full cache key of a window. Exposed for tests.
+WindowKey window_key(const Matrix& window) noexcept;
+
+/// Thread-safe LRU keyed on WindowKey — the DiagnosisService's window
+/// cache, factored out so hash-collision handling is testable with
+/// synthetic keys (crafting real 64-bit FNV collisions is infeasible).
+/// A lookup whose hash matches but whose verifier does not is a miss; an
+/// insert over such an entry evicts it and counts a collision eviction.
+class WindowCache {
+ public:
+  /// `capacity` of 0 disables the cache (lookup misses, insert drops).
+  explicit WindowCache(std::size_t capacity) : capacity_(capacity) {}
+
+  /// On a verified hit, copies the stored diagnosis into `out` with
+  /// cache_hit flagged and refreshes recency.
+  bool lookup(const WindowKey& key, Diagnosis& out);
+  void insert(const WindowKey& key, const Diagnosis& d);
+
+  std::size_t size() const;
+  /// Entries replaced because the full key disproved a hash match.
+  std::uint64_t collision_evictions() const;
+
+ private:
+  struct Entry {
+    WindowKey key;
+    Diagnosis result;  // stored with cache_hit=false; flagged on lookup
+  };
+
+  mutable std::mutex mutex_;
+  std::size_t capacity_;
+  std::list<Entry> lru_;  // most-recent at the front; map points into it
+  std::unordered_map<std::uint64_t, std::list<Entry>::iterator> index_;
+  std::uint64_t collision_evictions_ = 0;
+};
+
 class DiagnosisService {
  public:
   /// Latency-percentile window: stats() computes p50/p99 over at most this
@@ -109,19 +163,14 @@ class DiagnosisService {
     std::vector<std::pair<std::size_t, std::size_t>> outputs;
   };
 
-  struct CacheEntry {
-    std::uint64_t key = 0;
-    Diagnosis result;  // stored with cache_hit=false; flagged on lookup
-  };
-
   void extract_row(const Matrix& window, std::span<double> out) const;
   void serve_micro_batch(std::span<const Matrix> windows,
                          std::span<Diagnosis> out);
-  bool cache_lookup(std::uint64_t key, Diagnosis& out);
-  void cache_insert(std::uint64_t key, const Diagnosis& d);
-  void record_request(double latency_ms, std::size_t windows, double extract_s,
-                      double predict_s, double total_s, std::size_t hits,
-                      std::size_t misses, std::size_t batches);
+  void record_request(std::chrono::steady_clock::time_point start,
+                      std::chrono::steady_clock::time_point end,
+                      std::size_t windows, double extract_s, double predict_s,
+                      std::size_t hits, std::size_t misses,
+                      std::size_t batches);
 
   ModelBundle bundle_;
   ServingConfig config_;
@@ -135,16 +184,21 @@ class DiagnosisService {
   std::vector<double> col_min_;
   std::vector<double> col_max_;
 
-  // LRU cache: most-recent at the front; map points into the list.
-  mutable std::mutex cache_mutex_;
-  std::list<CacheEntry> lru_;
-  std::unordered_map<std::uint64_t, std::list<CacheEntry>::iterator> index_;
+  // Window cache with verified (collision-safe) hits.
+  WindowCache cache_;
 
   // Aggregate counters + per-request latency ring (RoundStats idiom).
+  // wall-clock span endpoints: first request start, latest request end.
   mutable std::mutex stats_mutex_;
   ServingStats totals_;
   std::vector<double> latency_ring_;
   std::size_t latency_next_ = 0;
+  bool span_started_ = false;
+  std::chrono::steady_clock::time_point span_first_{};
+  std::chrono::steady_clock::time_point span_last_{};
+  // Cache collision count at the last reset_stats (the cache itself is
+  // not reset, so stats() reports the delta).
+  std::uint64_t collisions_at_reset_ = 0;
 };
 
 /// Content hash of a raw window (shape + bit pattern of every cell) — the

@@ -5,6 +5,7 @@
 #include <ostream>
 #include <vector>
 
+#include "common/csv.hpp"
 #include "common/string_util.hpp"
 
 namespace alba {
@@ -33,22 +34,27 @@ std::string format_serving_summary(const ServingStats& s) {
 
 std::string serving_stats_csv_header() {
   return "label,requests,windows,batches,cache_hits,cache_misses,"
-         "extract_seconds,predict_seconds,total_seconds,windows_per_second,"
-         "latency_p50_ms,latency_p99_ms";
+         "collision_evictions,extract_seconds,predict_seconds,total_seconds,"
+         "wall_seconds,windows_per_second,latency_p50_ms,latency_p99_ms";
 }
 
 std::string serving_stats_csv_row(std::string_view label,
                                   const ServingStats& s) {
-  return strformat(
-      "%.*s,%llu,%llu,%llu,%llu,%llu,%.6f,%.6f,%.6f,%.3f,%.4f,%.4f",
-      static_cast<int>(label.size()), label.data(),
-      static_cast<unsigned long long>(s.requests),
-      static_cast<unsigned long long>(s.windows),
-      static_cast<unsigned long long>(s.batches),
-      static_cast<unsigned long long>(s.cache_hits),
-      static_cast<unsigned long long>(s.cache_misses), s.extract_seconds,
-      s.predict_seconds, s.total_seconds, s.windows_per_second(),
-      s.latency_p50_ms, s.latency_p99_ms);
+  // The label is free-form configuration text (e.g. "batch=8,threads=4");
+  // RFC-4180 quoting keeps a comma or quote in it from shearing columns.
+  return csv_escape(std::string(label)) +
+         strformat(
+             ",%llu,%llu,%llu,%llu,%llu,%llu,%.6f,%.6f,%.6f,%.6f,%.3f,"
+             "%.4f,%.4f",
+             static_cast<unsigned long long>(s.requests),
+             static_cast<unsigned long long>(s.windows),
+             static_cast<unsigned long long>(s.batches),
+             static_cast<unsigned long long>(s.cache_hits),
+             static_cast<unsigned long long>(s.cache_misses),
+             static_cast<unsigned long long>(s.collision_evictions),
+             s.extract_seconds, s.predict_seconds, s.total_seconds,
+             s.wall_seconds, s.windows_per_second(), s.latency_p50_ms,
+             s.latency_p99_ms);
 }
 
 void write_serving_stats_csv(

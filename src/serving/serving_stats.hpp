@@ -26,9 +26,17 @@ struct ServingStats {
   std::uint64_t batches = 0;       // model micro-batches actually predicted
   std::uint64_t cache_hits = 0;    // windows answered from the LRU cache
   std::uint64_t cache_misses = 0;  // windows that ran the full pipeline
+  // Cache entries evicted because a full-key check disproved a 64-bit hash
+  // match (two distinct windows colliding on the same content hash).
+  std::uint64_t collision_evictions = 0;
   double extract_seconds = 0.0;    // preprocess + feature extraction
   double predict_seconds = 0.0;    // classifier forward passes
-  double total_seconds = 0.0;      // wall time inside diagnose calls
+  // Per-call time summed across workers — under concurrent serving this
+  // exceeds elapsed time, so throughput must not divide by it.
+  double total_seconds = 0.0;
+  // Monotonic span from the first request's start to the latest request's
+  // end — the denominator of windows_per_second().
+  double wall_seconds = 0.0;
   double latency_p50_ms = 0.0;     // per-request latency percentiles
   double latency_p99_ms = 0.0;
 
@@ -37,10 +45,12 @@ struct ServingStats {
     return n == 0 ? 0.0
                   : static_cast<double>(cache_hits) / static_cast<double>(n);
   }
+  /// Throughput over the wall-clock serving span. Falls back to the
+  /// accumulated per-call time for hand-built snapshots that never set
+  /// wall_seconds (single-threaded, the two coincide).
   double windows_per_second() const noexcept {
-    return total_seconds > 0.0
-               ? static_cast<double>(windows) / total_seconds
-               : 0.0;
+    const double denom = wall_seconds > 0.0 ? wall_seconds : total_seconds;
+    return denom > 0.0 ? static_cast<double>(windows) / denom : 0.0;
   }
 };
 

@@ -4,11 +4,14 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdio>
+#include <fstream>
 #include <limits>
 #include <numeric>
 #include <set>
 
 #include "active/committee.hpp"
+#include "common/csv.hpp"
 #include "active/explain.hpp"
 #include "active/learner.hpp"
 #include "active/stream.hpp"
@@ -517,6 +520,33 @@ TEST(RoundStats, InstrumentationMatchesTheLoop) {
   EXPECT_NE(header.find("score_seconds"), std::string::npos);
   const std::string row = round_stats_csv_row("test", result.rounds.back());
   EXPECT_EQ(row.rfind("test,", 0), 0u);
+}
+
+// Sweep labels carry free-form configuration text; an embedded comma or
+// quote must be RFC-4180-quoted so the file parses back column-true.
+TEST(RoundStats, CsvLabelsWithCommasSurviveParseBack) {
+  RoundStats r;
+  r.round = 2;
+  r.labels_total = 8;
+  r.pool_size = 90;
+  r.batch = 4;
+  const std::string tricky = "batch=4,threads=2,\"warm\"";
+  const std::vector<RoundStats> rounds{r};
+
+  const std::string path = "/tmp/alba_round_stats_csv_test.csv";
+  {
+    std::ofstream out(path);
+    ASSERT_TRUE(out.good());
+    write_round_stats_csv(out, tricky, rounds);
+  }
+  const CsvTable table = read_csv(path);  // throws on ragged rows
+  std::remove(path.c_str());
+
+  ASSERT_EQ(table.rows.size(), 1u);
+  EXPECT_EQ(table.rows[0].size(), table.header.size());
+  EXPECT_EQ(table.rows[0][table.column_index("label")], tricky);
+  EXPECT_EQ(table.rows[0][table.column_index("round")], "2");
+  EXPECT_EQ(table.rows[0][table.column_index("batch")], "4");
 }
 
 // --------------------------------------------------------------- stream ---

@@ -426,9 +426,61 @@ TEST(HistSplit, DeterministicForSeed) {
   }
 }
 
+TEST(NaNRouting, NonFiniteValuesGoLeftAtPredictTime) {
+  // Regression test for the NaN-routing fix: BinnedMatrix codes non-finite
+  // values as bin 0, the leftmost bin, so raw-value traversal must send
+  // them left too. Before the fix `NaN <= threshold` evaluated false and
+  // NaN windows were scored by a branch the training histogram never saw.
+  std::vector<DecisionTree::Node> nodes(3);
+  nodes[0].feature = 0;
+  nodes[0].threshold = 0.5;
+  nodes[0].left = 1;
+  nodes[0].right = 2;
+  nodes[1].leaf_start = 0;  // left leaf: class 0
+  nodes[2].leaf_start = 2;  // right leaf: class 1
+  TreeConfig cfg;
+  cfg.num_classes = 2;
+  DecisionTree tree(cfg, 0);
+  tree.restore(std::move(nodes), {1.0, 0.0, 0.0, 1.0});
+
+  double probs[2];
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  for (double v : {nan, -inf, inf}) {
+    const double row[1] = {v};
+    tree.predict_proba_row(std::span<const double>(row, 1),
+                           std::span<double>(probs, 2));
+    EXPECT_DOUBLE_EQ(probs[0], 1.0) << "value " << v << " must route left";
+  }
+  const double row[1] = {0.7};
+  tree.predict_proba_row(std::span<const double>(row, 1),
+                         std::span<double>(probs, 2));
+  EXPECT_DOUBLE_EQ(probs[1], 1.0);
+}
+
+TEST(NaNRouting, HistTreesCanIsolateNaNWithMinusInfThreshold) {
+  // When missingness itself carries the label, the hist splitter can cut
+  // after bin 0 (all non-finite left, all finite right); the stored
+  // threshold is -inf so raw traversal reproduces the partition exactly.
+  Rng rng(41);
+  Matrix x(80, 1);
+  std::vector<int> y(80);
+  for (std::size_t i = 0; i < 80; ++i) {
+    y[i] = static_cast<int>(i % 2);
+    x(i, 0) = y[i] == 0 ? std::numeric_limits<double>::quiet_NaN()
+                        : rng.normal();
+  }
+  TreeConfig cfg;
+  cfg.num_classes = 2;
+  cfg.split_algo = SplitAlgo::Hist;
+  DecisionTree tree(cfg, 7);
+  tree.fit(x, y);
+  EXPECT_DOUBLE_EQ(accuracy(y, tree.predict(x)), 1.0);
+}
+
 TEST(HistSplit, HandlesNaNFeaturesEndToEnd) {
-  // Exact splitting cannot sort NaN; Hist routes NaN (bin 0) right at
-  // every split, consistently between training and raw-value prediction.
+  // Hist routes NaN (bin 0) left at every split, consistently between
+  // training and raw-value prediction.
   Blobs blobs = make_blobs(40, 0.6, 38);
   Rng rng(39);
   for (std::size_t i = 0; i < blobs.x.rows(); ++i) {

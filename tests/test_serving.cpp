@@ -7,10 +7,14 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
+#include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <sstream>
 #include <thread>
+
+#include "common/csv.hpp"
 
 #include "common/error.hpp"
 #include "core/pipeline.hpp"
@@ -502,6 +506,186 @@ TEST(ServingStats, CsvExporterMatchesRoundStatsConvention) {
   ASSERT_TRUE(std::getline(is, line));
   EXPECT_EQ(columns(line), header_cols);
   EXPECT_FALSE(std::getline(is, line));
+}
+
+// -------------------------------------------------------- WindowCache ---
+
+Diagnosis labeled_diagnosis(int label) {
+  Diagnosis d;
+  d.label = label;
+  d.confidence = 1.0;
+  d.probs = {label == 0 ? 1.0 : 0.0, label == 0 ? 0.0 : 1.0};
+  return d;
+}
+
+// The collision regression: two distinct windows sharing a 64-bit content
+// hash must never be served each other's diagnosis. Real FNV collisions
+// are infeasible to craft, so the cache is probed with synthetic keys.
+TEST(WindowCache, HashCollisionIsAVerifiedMissNotAWrongAnswer) {
+  WindowKey a{42, 4, 2, 111, 222};
+  WindowKey b{42, 4, 2, 999, 222};  // same hash, different first cell
+  ASSERT_FALSE(a.matches(b));
+
+  WindowCache cache(8);
+  cache.insert(a, labeled_diagnosis(0));
+  Diagnosis out;
+  ASSERT_TRUE(cache.lookup(a, out));
+  EXPECT_EQ(out.label, 0);
+  EXPECT_TRUE(out.cache_hit);
+
+  // Before the fix this returned window a's diagnosis for window b.
+  EXPECT_FALSE(cache.lookup(b, out));
+  EXPECT_EQ(cache.collision_evictions(), 0u);
+
+  // Inserting the collider evicts the disproved entry and counts it.
+  cache.insert(b, labeled_diagnosis(1));
+  EXPECT_EQ(cache.collision_evictions(), 1u);
+  EXPECT_EQ(cache.size(), 1u);
+  ASSERT_TRUE(cache.lookup(b, out));
+  EXPECT_EQ(out.label, 1);
+  EXPECT_FALSE(cache.lookup(a, out));  // the evicted original
+}
+
+TEST(WindowCache, LruEvictionRespectsLookupRecency) {
+  const WindowKey k1{1, 1, 1, 0, 0};
+  const WindowKey k2{2, 1, 1, 0, 0};
+  const WindowKey k3{3, 1, 1, 0, 0};
+  WindowCache cache(2);
+  cache.insert(k1, labeled_diagnosis(0));
+  cache.insert(k2, labeled_diagnosis(1));
+  Diagnosis out;
+  ASSERT_TRUE(cache.lookup(k1, out));  // refresh k1: k2 is now oldest
+  cache.insert(k3, labeled_diagnosis(0));
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_TRUE(cache.lookup(k1, out));
+  EXPECT_FALSE(cache.lookup(k2, out));
+  EXPECT_TRUE(cache.lookup(k3, out));
+  EXPECT_EQ(cache.collision_evictions(), 0u);  // capacity, not collision
+}
+
+TEST(WindowCache, CapacityZeroDropsEverything) {
+  WindowCache cache(0);
+  const WindowKey k{7, 1, 1, 0, 0};
+  cache.insert(k, labeled_diagnosis(1));
+  Diagnosis out;
+  EXPECT_FALSE(cache.lookup(k, out));
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(WindowCache, WindowKeyCarriesShapeAndBoundaryCells) {
+  Matrix m = Matrix::from_rows({{1.0, 2.0}, {3.0, 4.0}});
+  const WindowKey k = window_key(m);
+  EXPECT_EQ(k.rows, 2u);
+  EXPECT_EQ(k.cols, 2u);
+  EXPECT_EQ(k.hash, hash_window(m));
+  EXPECT_TRUE(k.matches(window_key(m)));
+
+  Matrix changed = m;
+  changed(1, 1) = 5.0;  // last cell differs -> verifier differs too
+  EXPECT_FALSE(k.matches(window_key(changed)));
+  EXPECT_NE(k.last_bits, window_key(changed).last_bits);
+
+  const WindowKey empty = window_key(Matrix(0, 0));
+  EXPECT_EQ(empty.first_bits, 0u);
+  EXPECT_EQ(empty.last_bits, 0u);
+}
+
+// ------------------------------------------- wall-clock throughput ---
+
+// The throughput regression: windows_per_second() used to divide by
+// per-request time summed across workers, so concurrent serving reported
+// a fraction of its real throughput. Sleeping in the extraction hook makes
+// the overlap deterministic: 4 threads sleeping 5ms each overlap even on
+// one core, so summed time must clearly exceed the wall-clock span.
+TEST(ServingStats, ThroughputUsesWallClockSpanNotSummedWorkerTime) {
+  const ServingEnv& e = env();
+  constexpr int kThreads = 4;
+  std::vector<std::vector<Matrix>> per_thread(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    for (const Sample& s : fresh_samples(e, 2, 900 + t)) {
+      per_thread[t].push_back(s.series);
+    }
+  }
+
+  ServingConfig serving;
+  serving.extraction_hook = [](const Matrix&) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  };
+  DiagnosisService service(load_from_bytes(e.bundle_bytes), serving);
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (const Matrix& w : per_thread[t]) (void)service.diagnose(w);
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  const ServingStats s = service.stats();
+  EXPECT_GT(s.wall_seconds, 0.0);
+  // All windows were distinct, so every request slept in extraction; the
+  // summed time is ~4x the span when the threads overlap.
+  EXPECT_LT(s.wall_seconds, 0.8 * s.total_seconds);
+  EXPECT_DOUBLE_EQ(s.windows_per_second(),
+                   static_cast<double>(s.windows) / s.wall_seconds);
+  // The old computation would have under-reported throughput:
+  EXPECT_GT(s.windows_per_second(),
+            static_cast<double>(s.windows) / s.total_seconds);
+}
+
+TEST(ServingStats, HandBuiltSnapshotsFallBackToSummedTime) {
+  ServingStats s;
+  s.windows = 10;
+  s.total_seconds = 2.0;
+  EXPECT_DOUBLE_EQ(s.windows_per_second(), 5.0);  // no wall span recorded
+  s.wall_seconds = 0.5;
+  EXPECT_DOUBLE_EQ(s.windows_per_second(), 20.0);  // wall span wins
+}
+
+TEST(ServingStats, ResetClearsTheWallClockSpan) {
+  const ServingEnv& e = env();
+  const std::vector<Sample> samples = fresh_samples(e, 1, 885);
+  DiagnosisService service(load_from_bytes(e.bundle_bytes));
+  (void)service.diagnose(samples[0].series);
+  EXPECT_GT(service.stats().wall_seconds, 0.0);
+  service.reset_stats();
+  EXPECT_DOUBLE_EQ(service.stats().wall_seconds, 0.0);
+  (void)service.diagnose(samples[0].series);
+  EXPECT_GT(service.stats().wall_seconds, 0.0);
+}
+
+// ----------------------------------------------- CSV label escaping ---
+
+// A sweep label with an embedded comma and quote must survive a full
+// write -> parse round trip instead of shearing the columns.
+TEST(ServingStats, CsvLabelsWithCommasSurviveParseBack) {
+  ServingStats a;
+  a.requests = 2;
+  a.windows = 4;
+  a.cache_misses = 4;
+  a.total_seconds = 0.25;
+  a.wall_seconds = 0.125;
+  const std::string tricky = "batch=8,threads=4,\"hot\" pool";
+  std::vector<std::pair<std::string, ServingStats>> rows;
+  rows.emplace_back(tricky, a);
+  rows.emplace_back("plain", ServingStats{});
+
+  const std::string path = "/tmp/alba_serving_stats_csv_test.csv";
+  {
+    std::ofstream out(path);
+    ASSERT_TRUE(out.good());
+    write_serving_stats_csv(out, rows);
+  }
+  const CsvTable table = read_csv(path);  // throws on ragged rows
+  std::remove(path.c_str());
+
+  ASSERT_EQ(table.rows.size(), 2u);
+  EXPECT_EQ(table.rows[0].size(), table.header.size());
+  EXPECT_EQ(table.rows[0][table.column_index("label")], tricky);
+  EXPECT_EQ(table.rows[0][table.column_index("windows")], "4");
+  EXPECT_EQ(table.rows[0][table.column_index("wall_seconds")], "0.125000");
+  EXPECT_EQ(table.rows[0][table.column_index("collision_evictions")], "0");
+  EXPECT_EQ(table.rows[1][table.column_index("label")], "plain");
 }
 
 // ------------------------------------------------------- atomic save ---
