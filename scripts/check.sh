@@ -10,13 +10,17 @@
 # object-traversal reference on every argmax, stay within 1e-9 on
 # probabilities, and clear the 3x speedup gate at the 2000x2000 pool
 # scale; timings land in BENCH_ml_predict.json), an
+# fleet smoke run (deterministic consistent-hash routing must beat
+# round-robin on cache hit rate; timings land in BENCH_fleet.json), a
+# fleet chaos smoke (kill-under-load conservation, poisoned-canary
+# containment, guard-window rollback, promote, typed drain), an
 # AddressSanitizer + UndefinedBehaviorSanitizer build of the full suite
 # (the fault-injection paths shuffle NaNs and truncated buffers around —
 # exactly where silent out-of-bounds reads would hide), then a
 # ThreadSanitizer build of the concurrency-sensitive tests (thread pool,
 # tree training incl. the shared BinnedMatrix, active-learning loop, the
-# diagnosis service and its overload-safe host) to catch races in the
-# parallel training/scoring/serving paths.
+# diagnosis service, its overload-safe host, and the replicated fleet)
+# to catch races in the parallel training/scoring/serving paths.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -39,6 +43,14 @@ echo "== ml smoke: hist/exact train parity + compiled predict gates =="
 (cd build/bench && ./bench_micro_ml --smoke)
 
 echo
+echo "== fleet smoke: routing determinism + hash vs round-robin hit rate =="
+(cd build/bench && ./bench_fleet --smoke)
+
+echo
+echo "== fleet chaos smoke: kill/canary/rollback containment gates =="
+(cd build/bench && ./bench_fleet --chaos-smoke)
+
+echo
 echo "== asan+ubsan: full test suite =="
 cmake -B build-asan -S . \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
@@ -50,11 +62,11 @@ cmake --build build-asan -j"$(nproc)" --target \
   test_preprocess test_ml_metrics test_binning test_ml_trees \
   test_compiled_tree test_ml_linear test_ml_tools test_active \
   test_active_ext test_core test_properties test_faults test_serving \
-  test_service_host > /dev/null
+  test_service_host test_fleet > /dev/null
 (cd build-asan && ctest --output-on-failure -j"$(nproc)")
 
 echo
-echo "== tsan: thread pool + tree training + active learning + serving =="
+echo "== tsan: thread pool + tree training + active learning + serving + fleet =="
 cmake -B build-tsan -S . \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DCMAKE_CXX_FLAGS="-fsanitize=thread -fno-omit-frame-pointer" \
@@ -62,10 +74,10 @@ cmake -B build-tsan -S . \
 cmake --build build-tsan -j"$(nproc)" \
   --target test_thread_pool test_binning test_ml_trees test_compiled_tree \
   test_ml_tools test_active test_active_ext test_serving \
-  test_service_host > /dev/null
+  test_service_host test_fleet > /dev/null
 for t in test_thread_pool test_binning test_ml_trees test_compiled_tree \
          test_ml_tools test_active test_active_ext test_serving \
-         test_service_host; do
+         test_service_host test_fleet; do
   echo "-- $t (tsan)"
   ./build-tsan/tests/"$t"
 done

@@ -15,7 +15,9 @@
 //                ModelBundle / export_model_bundle (deployable bundles)
 //   serving      DiagnosisService, ServingConfig, Diagnosis, ServingStats;
 //                ServiceHost (admission control, deadlines, health, drain,
-//                hot reload with rollback), ServingChaos (fault injection)
+//                hot reload with rollback), ServingFleet (consistent-hash
+//                routing, failover, canary rollout), ServingChaos /
+//                FleetChaos (fault injection)
 //   utilities    logging, CLI flags, text tables, string helpers,
 //                ThreadPool, Deadline, backoff/retry
 //
@@ -43,6 +45,7 @@
 #include "ml/serialize.hpp"
 #include "serving/chaos.hpp"
 #include "serving/diagnosis_service.hpp"
+#include "serving/fleet.hpp"
 #include "serving/hot_reload.hpp"
 #include "serving/model_bundle.hpp"
 #include "serving/service_host.hpp"

@@ -30,29 +30,28 @@ double backoff_delay_ms(const BackoffConfig& config, int attempt, Rng& rng) {
 }
 
 bool backoff_sleep(double ms, const Deadline& deadline) {
-  const double budget = deadline.remaining_ms();
-  if (budget <= 0.0) return false;
-  const bool cut = ms > budget;
-  const double sleep_ms = cut ? budget : ms;
-  std::this_thread::sleep_for(
-      std::chrono::duration<double, std::milli>(sleep_ms));
-  return !cut;
+  // A sleep that cannot end before the deadline is pure waste: skip it and
+  // report the veto so the caller returns its deadline-typed status now
+  // instead of after burning the whole remaining budget asleep.
+  if (ms > deadline.remaining_ms()) return false;
+  std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(ms));
+  return true;
 }
 
-bool retry_with_backoff(const BackoffConfig& config,
-                        const std::function<bool()>& attempt,
-                        const Deadline& deadline) {
+RetryResult retry_with_backoff(const BackoffConfig& config,
+                               const std::function<bool()>& attempt,
+                               const Deadline& deadline) {
   validate_backoff(config);
   Rng rng(config.seed);
   for (int tried = 1; tried <= config.max_attempts; ++tried) {
-    if (deadline.expired()) return false;
-    if (attempt()) return true;
-    if (tried == config.max_attempts) return false;
+    if (deadline.expired()) return RetryResult::DeadlineExpired;
+    if (attempt()) return RetryResult::Ok;
+    if (tried == config.max_attempts) return RetryResult::ExhaustedAttempts;
     if (!backoff_sleep(backoff_delay_ms(config, tried, rng), deadline)) {
-      return false;
+      return RetryResult::DeadlineExpired;
     }
   }
-  return false;
+  return RetryResult::ExhaustedAttempts;
 }
 
 }  // namespace alba

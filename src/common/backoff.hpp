@@ -33,17 +33,26 @@ void validate_backoff(const BackoffConfig& config);
 /// draw from `rng`.
 double backoff_delay_ms(const BackoffConfig& config, int attempt, Rng& rng);
 
-/// Sleeps for `ms` but never past `deadline`. Returns false when the
-/// deadline cut the sleep short (the caller should stop retrying).
+/// Sleeps for `ms` but never past `deadline`. A sleep that would overrun
+/// the remaining budget is skipped entirely — burning the rest of the
+/// budget asleep only to wake up expired helps nobody. Returns false when
+/// the deadline vetoed the sleep (the caller should stop retrying).
 bool backoff_sleep(double ms, const Deadline& deadline);
 
+/// How a retry loop ended: the attempt succeeded, the attempt budget ran
+/// out, or the deadline did. The distinction matters to callers that
+/// translate outcomes into typed statuses (a deadline-expired retry is
+/// RejectedDeadline, not "still failing").
+enum class RetryResult { Ok, ExhaustedAttempts, DeadlineExpired };
+
 /// Runs `attempt()` until it returns true, retrying with the configured
-/// backoff while `attempt` returns false. Returns true on success, false
-/// when attempts or the deadline ran out. Exceptions from `attempt`
-/// propagate immediately — only explicit `false` (a typed transient
-/// failure) is retried.
-bool retry_with_backoff(const BackoffConfig& config,
-                        const std::function<bool()>& attempt,
-                        const Deadline& deadline = Deadline::never());
+/// backoff while `attempt` returns false. Sleeps are capped by `deadline`:
+/// a backoff delay that would overrun the remaining budget is never slept —
+/// the loop returns DeadlineExpired immediately instead of retrying.
+/// Exceptions from `attempt` propagate immediately — only explicit `false`
+/// (a typed transient failure) is retried.
+RetryResult retry_with_backoff(const BackoffConfig& config,
+                               const std::function<bool()>& attempt,
+                               const Deadline& deadline = Deadline::never());
 
 }  // namespace alba

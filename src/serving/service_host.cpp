@@ -304,13 +304,21 @@ HostResult ServiceHost::diagnose_with_retry(const Matrix& window,
   // and `last` is returned as-is — which is then the correct status.
   HostResult last;
   last.status = RequestStatus::RejectedDeadline;
-  retry_with_backoff(
+  const RetryResult outcome = retry_with_backoff(
       backoff,
       [&] {
         last = diagnose(window, deadline);
         return !is_retriable(last.status);
       },
       deadline);
+  if (outcome == RetryResult::DeadlineExpired &&
+      is_retriable(last.status)) {
+    // The budget, not the host, ended the retry: the caller's answer is
+    // "your deadline passed", not the last transient status we happened
+    // to see.
+    last = HostResult{};
+    last.status = RequestStatus::RejectedDeadline;
+  }
   return last;
 }
 

@@ -66,4 +66,44 @@ void write_serving_stats_csv(
   }
 }
 
+ServingStats merge_serving_stats(std::span<const ServingStats> parts) {
+  ServingStats merged;
+  double weighted_p50 = 0.0;
+  double weighted_p99 = 0.0;
+  std::uint64_t weight = 0;
+  for (const ServingStats& s : parts) {
+    merged.requests += s.requests;
+    merged.windows += s.windows;
+    merged.batches += s.batches;
+    merged.cache_hits += s.cache_hits;
+    merged.cache_misses += s.cache_misses;
+    merged.collision_evictions += s.collision_evictions;
+    merged.extract_seconds += s.extract_seconds;
+    merged.predict_seconds += s.predict_seconds;
+    merged.total_seconds += s.total_seconds;
+    merged.wall_seconds = std::max(merged.wall_seconds, s.wall_seconds);
+    weighted_p50 += static_cast<double>(s.requests) * s.latency_p50_ms;
+    weighted_p99 += static_cast<double>(s.requests) * s.latency_p99_ms;
+    weight += s.requests;
+  }
+  if (weight > 0) {
+    merged.latency_p50_ms = weighted_p50 / static_cast<double>(weight);
+    merged.latency_p99_ms = weighted_p99 / static_cast<double>(weight);
+  }
+  return merged;
+}
+
+void write_fleet_serving_csv(
+    std::ostream& os,
+    std::span<const std::pair<std::string, ServingStats>> replicas) {
+  os << serving_stats_csv_header() << "\n";
+  std::vector<ServingStats> parts;
+  parts.reserve(replicas.size());
+  for (const auto& [label, stats] : replicas) {
+    os << serving_stats_csv_row(label, stats) << "\n";
+    parts.push_back(stats);
+  }
+  os << serving_stats_csv_row("fleet", merge_serving_stats(parts)) << "\n";
+}
+
 }  // namespace alba

@@ -76,4 +76,21 @@ void write_serving_stats_csv(
     std::ostream& os,
     std::span<const std::pair<std::string, ServingStats>> rows);
 
+/// Fleet-level roll-up of per-replica snapshots: counters and phase times
+/// sum exactly; wall_seconds is the max (replicas serve concurrently, so
+/// their spans overlap rather than concatenate); latency percentiles are
+/// request-count-weighted means of the per-replica percentiles — replicas
+/// with zero requests contribute nothing. The weighting is a reporting
+/// approximation (percentiles do not compose); exact fleet percentiles
+/// come from ServingFleet's merged latency sample windows (fleet.hpp).
+ServingStats merge_serving_stats(std::span<const ServingStats> parts);
+
+/// write_serving_stats_csv with one per-replica row per entry plus a
+/// trailing fleet-aggregate row (label "fleet") from merge_serving_stats.
+/// Same RFC-4180 escaping rules, so per-replica labels with commas or
+/// quotes parse back intact.
+void write_fleet_serving_csv(
+    std::ostream& os,
+    std::span<const std::pair<std::string, ServingStats>> replicas);
+
 }  // namespace alba

@@ -545,7 +545,8 @@ TEST(Backoff, RetriesUntilSuccess) {
   config.max_attempts = 5;
   config.initial_delay_ms = 0.1;
   int calls = 0;
-  EXPECT_TRUE(retry_with_backoff(config, [&] { return ++calls == 3; }));
+  EXPECT_EQ(retry_with_backoff(config, [&] { return ++calls == 3; }),
+            RetryResult::Ok);
   EXPECT_EQ(calls, 3);
 }
 
@@ -554,10 +555,12 @@ TEST(Backoff, GivesUpAfterMaxAttempts) {
   config.max_attempts = 3;
   config.initial_delay_ms = 0.1;
   int calls = 0;
-  EXPECT_FALSE(retry_with_backoff(config, [&] {
-    ++calls;
-    return false;
-  }));
+  EXPECT_EQ(retry_with_backoff(config,
+                               [&] {
+                                 ++calls;
+                                 return false;
+                               }),
+            RetryResult::ExhaustedAttempts);
   EXPECT_EQ(calls, 3);
 }
 
@@ -566,14 +569,70 @@ TEST(Backoff, ExpiredDeadlineStopsRetrying) {
   config.max_attempts = 100;
   config.initial_delay_ms = 0.1;
   int calls = 0;
-  EXPECT_FALSE(retry_with_backoff(
-      config,
-      [&] {
-        ++calls;
-        return false;
-      },
-      Deadline::after_ms(0.0)));
+  EXPECT_EQ(retry_with_backoff(
+                config,
+                [&] {
+                  ++calls;
+                  return false;
+                },
+                Deadline::after_ms(0.0)),
+            RetryResult::DeadlineExpired);
   EXPECT_EQ(calls, 0);  // dead on arrival: no attempt at all
+}
+
+TEST(Backoff, SleepThatWouldOverrunTheDeadlineIsSkippedEntirely) {
+  // A 10-second backoff delay against a 50ms budget: the loop must give up
+  // *immediately* with the deadline-typed result instead of sleeping out
+  // the remaining budget (let alone the full delay).
+  BackoffConfig config;
+  config.max_attempts = 10;
+  config.initial_delay_ms = 10'000.0;
+  config.jitter = 0.0;
+  int calls = 0;
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_EQ(retry_with_backoff(
+                config,
+                [&] {
+                  ++calls;
+                  return false;
+                },
+                Deadline::after_ms(50.0)),
+            RetryResult::DeadlineExpired);
+  const double elapsed_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - start)
+          .count();
+  EXPECT_EQ(calls, 1);  // one attempt, then the delay was vetoed unslept
+  EXPECT_LT(elapsed_ms, 5'000.0);  // nowhere near the 10s delay
+}
+
+TEST(Backoff, SleepWithinBudgetStillRetries) {
+  BackoffConfig config;
+  config.max_attempts = 4;
+  config.initial_delay_ms = 0.1;
+  config.max_delay_ms = 0.2;
+  int calls = 0;
+  EXPECT_EQ(retry_with_backoff(
+                config,
+                [&] {
+                  ++calls;
+                  return false;
+                },
+                Deadline::after_ms(60'000.0)),
+            RetryResult::ExhaustedAttempts);
+  EXPECT_EQ(calls, 4);  // sub-ms delays fit the budget: all attempts ran
+}
+
+TEST(Backoff, BackoffSleepVetoesOverrunWithoutSleeping) {
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_FALSE(backoff_sleep(10'000.0, Deadline::after_ms(20.0)));
+  const double elapsed_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - start)
+          .count();
+  EXPECT_LT(elapsed_ms, 1'000.0);
+  EXPECT_TRUE(backoff_sleep(0.1, Deadline::after_ms(20.0)));
+  EXPECT_FALSE(backoff_sleep(0.1, Deadline::after_ms(0.0)));
 }
 
 TEST(Backoff, ExceptionsPropagateWithoutRetry) {

@@ -319,6 +319,67 @@ TEST(ServiceHost, DrainCompletesAdmittedWorkAndShedsNew) {
   host.drain();  // idempotent
 }
 
+// Many drain() callers racing a diagnose storm and a hot reload: every
+// caller must return, every request must carry a typed outcome, and
+// nothing admitted before the drain may be dropped. TSan target.
+TEST(ServiceHost, ConcurrentDrainsAreIdempotentAndLoseNoAdmittedWork) {
+  const HostEnv& e = env();
+  ServingConfig serving;
+  serving.cache_capacity = 0;
+  HostConfig config;
+  config.workers = 2;
+  config.queue_capacity = 16;
+  ServiceHost host(make_service(e.bundle_a, serving), config);
+  host.set_probe_windows({e.windows[0]});
+
+  constexpr int kClients = 4;
+  constexpr int kPerClient = 25;
+  std::atomic<std::uint64_t> ok{0};
+  std::atomic<std::uint64_t> rejected{0};
+  std::vector<std::thread> threads;
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([&, c] {
+      for (int i = 0; i < kPerClient; ++i) {
+        const Matrix& w = e.windows[(c * kPerClient + i) % e.windows.size()];
+        const HostResult r = host.diagnose(w);
+        if (r.ok()) {
+          ok.fetch_add(1);
+        } else {
+          ASSERT_TRUE(is_rejection(r.status)) << to_string(r.status);
+          rejected.fetch_add(1);
+        }
+      }
+    });
+  }
+  // A reload racing the drain must resolve to a typed report either way:
+  // swapped before the drain won, or refused after it.
+  threads.emplace_back([&] {
+    const ReloadReport report = host.reload(bundle_from_bytes(e.bundle_b));
+    EXPECT_TRUE(report.ok || !report.error.empty());
+  });
+  wait_submitted(host, 1);  // ensure the drains race live traffic
+  for (int d = 0; d < 3; ++d) {
+    threads.emplace_back([&] { host.drain(); });
+  }
+  for (std::thread& t : threads) t.join();
+
+  EXPECT_EQ(host.health(), HostHealth::Draining);
+  EXPECT_FALSE(host.ready());
+  const HostStats s = host.stats();
+  // Conservation: every client call is accounted for exactly once.
+  EXPECT_EQ(ok.load() + rejected.load(),
+            static_cast<std::uint64_t>(kClients) * kPerClient);
+  EXPECT_EQ(s.submitted, static_cast<std::uint64_t>(kClients) * kPerClient);
+  EXPECT_EQ(s.completed, ok.load());
+  EXPECT_EQ(s.failed, 0u);
+  EXPECT_EQ(s.completed + s.rejected(), s.submitted);
+  // Post-drain traffic is typed, and further drains stay no-ops.
+  EXPECT_EQ(host.diagnose(e.windows[1]).status,
+            RequestStatus::RejectedDraining);
+  host.drain();
+  host.drain();
+}
+
 // ---------------------------------------------------------------- health ---
 
 TEST(ServiceHost, HealthBreakerTripsAndRecoversThroughProbes) {

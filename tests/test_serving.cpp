@@ -688,6 +688,101 @@ TEST(ServingStats, CsvLabelsWithCommasSurviveParseBack) {
   EXPECT_EQ(table.rows[1][table.column_index("label")], "plain");
 }
 
+// ---------------------------------------------------- fleet roll-up ---
+
+TEST(ServingStats, MergeSumsCountersAndWeightsPercentilesByRequests) {
+  ServingStats a;
+  a.requests = 3;
+  a.windows = 6;
+  a.batches = 2;
+  a.cache_hits = 1;
+  a.cache_misses = 5;
+  a.extract_seconds = 0.5;
+  a.predict_seconds = 0.25;
+  a.total_seconds = 1.0;
+  a.wall_seconds = 2.0;
+  a.latency_p50_ms = 10.0;
+  a.latency_p99_ms = 20.0;
+  ServingStats b;
+  b.requests = 1;
+  b.windows = 1;
+  b.batches = 1;
+  b.cache_misses = 1;
+  b.collision_evictions = 2;
+  b.extract_seconds = 0.1;
+  b.total_seconds = 0.2;
+  b.wall_seconds = 3.0;  // replicas overlap: max, not sum
+  b.latency_p50_ms = 2.0;
+  b.latency_p99_ms = 4.0;
+  ServingStats idle;  // zero requests: must contribute nothing
+
+  const std::vector<ServingStats> parts{a, b, idle};
+  const ServingStats m = merge_serving_stats(parts);
+  EXPECT_EQ(m.requests, 4u);
+  EXPECT_EQ(m.windows, 7u);
+  EXPECT_EQ(m.batches, 3u);
+  EXPECT_EQ(m.cache_hits, 1u);
+  EXPECT_EQ(m.cache_misses, 6u);
+  EXPECT_EQ(m.collision_evictions, 2u);
+  EXPECT_DOUBLE_EQ(m.extract_seconds, 0.6);
+  EXPECT_DOUBLE_EQ(m.predict_seconds, 0.25);
+  EXPECT_DOUBLE_EQ(m.total_seconds, 1.2);
+  EXPECT_DOUBLE_EQ(m.wall_seconds, 3.0);
+  // Request-weighted: (3*10 + 1*2 + 0*anything) / 4.
+  EXPECT_DOUBLE_EQ(m.latency_p50_ms, 8.0);
+  EXPECT_DOUBLE_EQ(m.latency_p99_ms, 16.0);
+
+  // All-idle merge: no weight, percentiles stay 0 instead of NaN.
+  const std::vector<ServingStats> idles{idle, idle};
+  const ServingStats z = merge_serving_stats(idles);
+  EXPECT_EQ(z.requests, 0u);
+  EXPECT_DOUBLE_EQ(z.latency_p50_ms, 0.0);
+  EXPECT_DOUBLE_EQ(z.latency_p99_ms, 0.0);
+}
+
+// Per-replica rows plus the trailing fleet-aggregate row must survive an
+// RFC-4180 round trip, tricky replica labels included.
+TEST(ServingStats, FleetCsvParseBackIncludesAggregateRow) {
+  ServingStats a;
+  a.requests = 2;
+  a.windows = 2;
+  a.cache_hits = 1;
+  a.cache_misses = 1;
+  a.total_seconds = 0.5;
+  a.latency_p50_ms = 4.0;
+  a.latency_p99_ms = 8.0;
+  ServingStats b;
+  b.requests = 6;
+  b.windows = 6;
+  b.cache_misses = 6;
+  b.total_seconds = 0.25;
+  b.latency_p50_ms = 1.0;
+  b.latency_p99_ms = 2.0;
+  std::vector<std::pair<std::string, ServingStats>> replicas;
+  replicas.emplace_back("replica=0,zone=\"a\"", a);  // comma + quote
+  replicas.emplace_back("replica=1", b);
+
+  const std::string path = "/tmp/alba_fleet_stats_csv_test.csv";
+  {
+    std::ofstream out(path);
+    ASSERT_TRUE(out.good());
+    write_fleet_serving_csv(out, replicas);
+  }
+  const CsvTable table = read_csv(path);  // throws on ragged rows
+  std::remove(path.c_str());
+
+  ASSERT_EQ(table.rows.size(), 3u);  // 2 replicas + the fleet roll-up
+  EXPECT_EQ(table.rows[0][table.column_index("label")],
+            "replica=0,zone=\"a\"");
+  EXPECT_EQ(table.rows[1][table.column_index("label")], "replica=1");
+  EXPECT_EQ(table.rows[2][table.column_index("label")], "fleet");
+  EXPECT_EQ(table.rows[2][table.column_index("requests")], "8");
+  EXPECT_EQ(table.rows[2][table.column_index("windows")], "8");
+  EXPECT_EQ(table.rows[2][table.column_index("cache_hits")], "1");
+  // Weighted p50: (2*4 + 6*1) / 8 = 1.75.
+  EXPECT_EQ(table.rows[2][table.column_index("latency_p50_ms")], "1.7500");
+}
+
 // ------------------------------------------------------- atomic save ---
 
 TEST(ModelBundle, SaveIsAtomicViaTempFileRename) {
