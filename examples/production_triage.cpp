@@ -124,7 +124,7 @@ int main() {
   backoff.initial_delay_ms = 2.0;
   const auto recheck = generator.generate_run(incoming[3]);
   for (const Sample& s : recheck) {
-    host.diagnose_with_retry(s.series, Deadline::after_ms(500.0), backoff);
+    diagnose_with_retry(host, {&s.series, Deadline::after_ms(500.0)}, backoff);
   }
 
   std::printf("\n(ground truth: run 901 memleak@node0, 903 membw@node0, "

@@ -13,7 +13,10 @@
 # fleet smoke run (deterministic consistent-hash routing must beat
 # round-robin on cache hit rate; timings land in BENCH_fleet.json), a
 # fleet chaos smoke (kill-under-load conservation, poisoned-canary
-# containment, guard-window rollback, promote, typed drain), an
+# containment, guard-window rollback, promote, typed drain), a stream
+# ingest smoke (replay a gapped/NaN-ridden 1 Hz feed, assert incremental
+# vs batch feature parity on every emitted window and the 5x emit
+# speedup gate; timings land in BENCH_stream.json), an
 # AddressSanitizer + UndefinedBehaviorSanitizer build of the full suite
 # (the fault-injection paths shuffle NaNs and truncated buffers around —
 # exactly where silent out-of-bounds reads would hide), then a
@@ -51,6 +54,10 @@ echo "== fleet chaos smoke: kill/canary/rollback containment gates =="
 (cd build/bench && ./bench_fleet --chaos-smoke)
 
 echo
+echo "== stream smoke: incremental/batch parity + emit speedup gate =="
+(cd build/bench && ./bench_stream_ingest --smoke)
+
+echo
 echo "== asan+ubsan: full test suite =="
 cmake -B build-asan -S . \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
@@ -62,11 +69,11 @@ cmake --build build-asan -j"$(nproc)" --target \
   test_preprocess test_ml_metrics test_binning test_ml_trees \
   test_compiled_tree test_ml_linear test_ml_tools test_active \
   test_active_ext test_core test_properties test_faults test_serving \
-  test_service_host test_fleet > /dev/null
+  test_service_host test_fleet test_streaming > /dev/null
 (cd build-asan && ctest --output-on-failure -j"$(nproc)")
 
 echo
-echo "== tsan: thread pool + tree training + active learning + serving + fleet =="
+echo "== tsan: thread pool + tree training + active learning + serving + fleet + streaming =="
 cmake -B build-tsan -S . \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DCMAKE_CXX_FLAGS="-fsanitize=thread -fno-omit-frame-pointer" \
@@ -74,10 +81,10 @@ cmake -B build-tsan -S . \
 cmake --build build-tsan -j"$(nproc)" \
   --target test_thread_pool test_binning test_ml_trees test_compiled_tree \
   test_ml_tools test_active test_active_ext test_serving \
-  test_service_host test_fleet > /dev/null
+  test_service_host test_fleet test_streaming > /dev/null
 for t in test_thread_pool test_binning test_ml_trees test_compiled_tree \
          test_ml_tools test_active test_active_ext test_serving \
-         test_service_host test_fleet; do
+         test_service_host test_fleet test_streaming; do
   echo "-- $t (tsan)"
   ./build-tsan/tests/"$t"
 done

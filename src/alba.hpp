@@ -13,11 +13,17 @@
 //   explaining   QueryExplainer (annotator-assist views)
 //   persistence  save_classifier / load_classifier (bare models),
 //                ModelBundle / export_model_bundle (deployable bundles)
-//   serving      DiagnosisService, ServingConfig, Diagnosis, ServingStats;
-//                ServiceHost (admission control, deadlines, health, drain,
-//                hot reload with rollback), ServingFleet (consistent-hash
-//                routing, failover, canary rollout), ServingChaos /
-//                FleetChaos (fault injection)
+//   streaming    StreamIngestor, StreamIngestConfig, GapPolicy (per-node
+//                ring buffers over a 1 Hz feed, sliding-window triggering,
+//                incremental O(M) features), TriggeredWindow, IngestStats,
+//                stream_feature_names
+//   serving      Diagnoser (the tier-uniform interface: DiagnoseRequest in,
+//                DiagnosisResult out, free diagnose_with_retry over any
+//                tier); DiagnosisService, ServingConfig, Diagnosis,
+//                ServingStats; ServiceHost (admission control, deadlines,
+//                health, drain, hot reload with rollback), ServingFleet
+//                (consistent-hash routing, failover, canary rollout),
+//                ServingChaos / FleetChaos (fault injection)
 //   utilities    logging, CLI flags, text tables, string helpers,
 //                ThreadPool, Deadline, backoff/retry
 //
@@ -44,8 +50,10 @@
 #include "ml/random_forest.hpp"
 #include "ml/serialize.hpp"
 #include "serving/chaos.hpp"
+#include "serving/diagnoser.hpp"
 #include "serving/diagnosis_service.hpp"
 #include "serving/fleet.hpp"
 #include "serving/hot_reload.hpp"
 #include "serving/model_bundle.hpp"
 #include "serving/service_host.hpp"
+#include "streaming/ingest.hpp"

@@ -1,0 +1,68 @@
+#include "serving/diagnoser.hpp"
+
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace alba {
+
+std::string_view to_string(RequestStatus status) noexcept {
+  switch (status) {
+    case RequestStatus::Ok: return "ok";
+    case RequestStatus::RejectedQueueFull: return "rejected:queue_full";
+    case RequestStatus::RejectedDeadline: return "rejected:deadline";
+    case RequestStatus::RejectedDraining: return "rejected:draining";
+    case RequestStatus::RejectedUnhealthy: return "rejected:unhealthy";
+    case RequestStatus::Failed: return "failed";
+  }
+  return "unknown";
+}
+
+bool is_rejection(RequestStatus status) noexcept {
+  switch (status) {
+    case RequestStatus::RejectedQueueFull:
+    case RequestStatus::RejectedDeadline:
+    case RequestStatus::RejectedDraining:
+    case RequestStatus::RejectedUnhealthy:
+      return true;
+    case RequestStatus::Ok:
+    case RequestStatus::Failed:
+      return false;
+  }
+  return false;
+}
+
+bool is_retriable(RequestStatus status) noexcept {
+  return status == RequestStatus::Failed ||
+         status == RequestStatus::RejectedQueueFull;
+}
+
+DiagnosisResult diagnose_with_retry(Diagnoser& diagnoser,
+                                    const DiagnoseRequest& request,
+                                    const BackoffConfig& backoff) {
+  ALBA_CHECK(request.window != nullptr) << "diagnose_with_retry needs a window";
+  // If the deadline is already gone, retry_with_backoff never attempts
+  // and `last` is returned as-is — which is then the correct status.
+  DiagnosisResult last;
+  last.status = RequestStatus::RejectedDeadline;
+  std::size_t attempts = 0;
+  const RetryResult outcome = retry_with_backoff(
+      backoff,
+      [&] {
+        last = diagnoser.diagnose(request);
+        ++attempts;
+        return !is_retriable(last.status);
+      },
+      request.deadline);
+  if (outcome == RetryResult::DeadlineExpired && is_retriable(last.status)) {
+    // The budget, not the tier, ended the retry: the caller's answer is
+    // "your deadline passed", not the last transient status we happened
+    // to see.
+    last = DiagnosisResult{};
+    last.status = RequestStatus::RejectedDeadline;
+  }
+  last.attempts = attempts > 0 ? attempts : 1;
+  return last;
+}
+
+}  // namespace alba

@@ -1,6 +1,7 @@
 #include "serving/diagnosis_service.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <cstring>
 #include <unordered_map>
@@ -257,6 +258,33 @@ Diagnosis DiagnosisService::diagnose(const Matrix& window) {
   std::vector<Diagnosis> out(1);
   serve_micro_batch({&window, 1}, out);
   return std::move(out[0]);
+}
+
+DiagnosisResult DiagnosisService::diagnose(const DiagnoseRequest& request) {
+  ALBA_CHECK(request.window != nullptr) << "DiagnoseRequest needs a window";
+  DiagnosisResult r;
+  r.generation = 1;
+  if (request.deadline.expired()) {
+    r.status = RequestStatus::RejectedDeadline;
+    return r;
+  }
+  const auto start = std::chrono::steady_clock::now();
+  try {
+    r.diagnosis = diagnose(*request.window);
+    r.status = RequestStatus::Ok;
+  } catch (const std::exception& e) {
+    r.status = RequestStatus::Failed;
+    r.error = e.what();
+  }
+  const auto end = std::chrono::steady_clock::now();
+  r.service_ms = std::chrono::duration<double, std::milli>(end - start).count();
+  r.total_ms = r.service_ms;
+  if (r.status == RequestStatus::Ok && request.deadline.expired()) {
+    // Ok always met its deadline — same contract as the hosted tiers.
+    r.status = RequestStatus::RejectedDeadline;
+    r.diagnosis = Diagnosis{};
+  }
+  return r;
 }
 
 std::string_view DiagnosisService::label_name(int label) const {

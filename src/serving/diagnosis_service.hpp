@@ -38,6 +38,7 @@
 #include "common/thread_pool.hpp"
 #include "features/extractor.hpp"
 #include "linalg/matrix.hpp"
+#include "serving/diagnoser.hpp"
 #include "serving/model_bundle.hpp"
 #include "serving/serving_stats.hpp"
 #include "telemetry/registry.hpp"
@@ -61,15 +62,8 @@ struct ServingConfig {
   std::function<void(const Matrix&)> extraction_hook;
 };
 
-/// One window's diagnosis. `probs` has one entry per class, summing to 1;
-/// `label` is its argmax and `confidence` the winning probability —
-/// bit-identical to Classifier::predict on the offline pipeline's row.
-struct Diagnosis {
-  int label = 0;
-  double confidence = 0.0;
-  std::vector<double> probs;
-  bool cache_hit = false;
-};
+// Diagnosis itself lives in serving/diagnoser.hpp with the rest of the
+// tier-uniform request/response types.
 
 /// Full cache identity of a raw window: the 64-bit FNV-1a content hash
 /// plus a cheap verifier (shape and the bit patterns of the first and last
@@ -124,7 +118,7 @@ class WindowCache {
   std::uint64_t collision_evictions_ = 0;
 };
 
-class DiagnosisService {
+class DiagnosisService : public Diagnoser {
  public:
   /// Latency-percentile window: stats() computes p50/p99 over at most this
   /// many most-recent requests.
@@ -139,6 +133,14 @@ class DiagnosisService {
   /// Diagnoses one raw T x M window (M must match the bundle's registry,
   /// T must exceed the configured trim; throws alba::Error otherwise).
   Diagnosis diagnose(const Matrix& window);
+
+  /// Diagnoser interface: the non-throwing, deadline-aware entry point.
+  /// Pipeline exceptions become status Failed; a request whose deadline is
+  /// already expired (or that finishes past it) comes back RejectedDeadline
+  /// with no diagnosis — the Ok-met-its-deadline contract of the hosted
+  /// tiers, honored here too. Reports generation 1 (a bare service never
+  /// reloads), replica 0, attempts 1.
+  DiagnosisResult diagnose(const DiagnoseRequest& request) override;
 
   /// Diagnoses a stream of windows as micro-batches of at most
   /// config.max_batch, preserving order. Duplicate windows — within the

@@ -357,6 +357,25 @@ FleetResult ServingFleet::diagnose(const Matrix& window, Deadline deadline) {
   return out;
 }
 
+DiagnosisResult ServingFleet::diagnose(const DiagnoseRequest& request) {
+  ALBA_CHECK(request.window != nullptr) << "DiagnoseRequest needs a window";
+  const FleetResult f = request.deadline.is_never()
+                            ? diagnose(*request.window)
+                            : diagnose(*request.window, request.deadline);
+  DiagnosisResult r;
+  r.status = f.result.status;
+  r.diagnosis = f.result.diagnosis;
+  r.error = f.result.error;
+  r.generation = f.result.generation;
+  r.replica = f.replica;
+  r.attempts = f.attempts > 0 ? f.attempts : 1;
+  r.spilled = f.spilled;
+  r.queue_ms = f.result.queue_ms;
+  r.service_ms = f.result.service_ms;
+  r.total_ms = f.result.total_ms;
+  return r;
+}
+
 std::size_t ServingFleet::preferred_replica(const Matrix& window) const {
   const std::uint64_t hash = hash_window(window);
   std::lock_guard<std::mutex> lock(mutex_);

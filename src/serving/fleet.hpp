@@ -196,7 +196,7 @@ struct RolloutReport {
   std::string summary() const;
 };
 
-class ServingFleet {
+class ServingFleet : public Diagnoser {
  public:
   /// Takes one ready service per replica and starts a ServiceHost around
   /// each (config.host applies to all). At least one replica required.
@@ -213,6 +213,13 @@ class ServingFleet {
   /// gets served by some replica or comes back AllShed/Failed.
   FleetResult diagnose(const Matrix& window);
   FleetResult diagnose(const Matrix& window, Deadline deadline);
+
+  /// Diagnoser interface: routes exactly like the FleetResult overloads
+  /// and flattens the outcome — status is the last candidate's typed
+  /// status (so AllShed surfaces as the concrete rejection, e.g.
+  /// rejected:draining on a draining fleet), with replica/attempts/spilled
+  /// carried over. A never() deadline applies config.host.default_deadline_ms.
+  DiagnosisResult diagnose(const DiagnoseRequest& request) override;
 
   std::size_t replica_count() const noexcept { return hosts_.size(); }
 

@@ -24,36 +24,8 @@ std::future<HostResult> rejected_future(HostResult result) {
 
 }  // namespace
 
-std::string_view to_string(RequestStatus status) noexcept {
-  switch (status) {
-    case RequestStatus::Ok: return "ok";
-    case RequestStatus::RejectedQueueFull: return "rejected:queue_full";
-    case RequestStatus::RejectedDeadline: return "rejected:deadline";
-    case RequestStatus::RejectedDraining: return "rejected:draining";
-    case RequestStatus::RejectedUnhealthy: return "rejected:unhealthy";
-    case RequestStatus::Failed: return "failed";
-  }
-  return "unknown";
-}
-
-bool is_rejection(RequestStatus status) noexcept {
-  switch (status) {
-    case RequestStatus::RejectedQueueFull:
-    case RequestStatus::RejectedDeadline:
-    case RequestStatus::RejectedDraining:
-    case RequestStatus::RejectedUnhealthy:
-      return true;
-    case RequestStatus::Ok:
-    case RequestStatus::Failed:
-      return false;
-  }
-  return false;
-}
-
-bool is_retriable(RequestStatus status) noexcept {
-  return status == RequestStatus::Failed ||
-         status == RequestStatus::RejectedQueueFull;
-}
+// to_string(RequestStatus)/is_rejection/is_retriable moved to
+// serving/diagnoser.cpp with the RequestStatus type itself.
 
 std::string_view to_string(HostHealth health) noexcept {
   switch (health) {
@@ -284,6 +256,22 @@ HostResult ServiceHost::diagnose(const Matrix& window) {
 
 HostResult ServiceHost::diagnose(const Matrix& window, Deadline deadline) {
   return submit(window, deadline).get();
+}
+
+DiagnosisResult ServiceHost::diagnose(const DiagnoseRequest& request) {
+  ALBA_CHECK(request.window != nullptr) << "DiagnoseRequest needs a window";
+  const HostResult h =
+      request.deadline.is_never() ? diagnose(*request.window)
+                                  : diagnose(*request.window, request.deadline);
+  DiagnosisResult r;
+  r.status = h.status;
+  r.diagnosis = h.diagnosis;
+  r.error = h.error;
+  r.generation = h.generation;
+  r.queue_ms = h.queue_ms;
+  r.service_ms = h.service_ms;
+  r.total_ms = h.total_ms;
+  return r;
 }
 
 std::vector<HostResult> ServiceHost::diagnose_batch(

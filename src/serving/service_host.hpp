@@ -52,28 +52,9 @@
 
 namespace alba {
 
-/// Every way a hosted request can end. Ok is the only outcome carrying a
-/// diagnosis; the four Rejected* values are the typed load-shedding
-/// answers; Failed is a transient pipeline error (worth retrying, see
-/// diagnose_with_retry).
-enum class RequestStatus {
-  Ok,
-  RejectedQueueFull,   // admission queue at capacity
-  RejectedDeadline,    // expired while queued, or finished past deadline
-  RejectedDraining,    // host is draining / shut down
-  RejectedUnhealthy,   // health tripped; shed (probe trickle excepted)
-  Failed,              // pipeline threw (e.g. extraction fault)
-};
-
-std::string_view to_string(RequestStatus status) noexcept;
-
-/// True for the four load-shedding rejections (not Ok, not Failed).
-bool is_rejection(RequestStatus status) noexcept;
-
-/// Transient outcomes a caller should retry with backoff: a momentarily
-/// full queue or a failed pipeline pass. Deadline/draining/unhealthy
-/// rejections are deliberate shedding — retrying them defeats the host.
-bool is_retriable(RequestStatus status) noexcept;
+// RequestStatus and its to_string/is_rejection/is_retriable helpers live in
+// serving/diagnoser.hpp (pulled in via diagnosis_service.hpp) — they are
+// the tier-uniform outcome vocabulary, not a host-only concept.
 
 struct HostConfig {
   // Worker threads serving the queue; also the bound on concurrent
@@ -146,7 +127,7 @@ struct HostStats {
 
 std::string format_host_summary(const HostStats& s);
 
-class ServiceHost {
+class ServiceHost : public Diagnoser {
  public:
   /// Takes a ready service (generation 1) and starts the workers. The
   /// service's ServingConfig is reused for every reloaded generation.
@@ -164,6 +145,12 @@ class ServiceHost {
   HostResult diagnose(const Matrix& window);
   HostResult diagnose(const Matrix& window, Deadline deadline);
 
+  /// Diagnoser interface: same admission/deadline/health semantics as the
+  /// HostResult overloads, mapped onto the uniform result (replica 0,
+  /// attempts 1). A never() deadline applies config.default_deadline_ms,
+  /// matching diagnose(window).
+  DiagnosisResult diagnose(const DiagnoseRequest& request) override;
+
   /// Submits every window up front (so they share the queue and the
   /// worker set — a burst, not a sequence) and waits for all outcomes.
   /// Windows past the admission bound come back RejectedQueueFull.
@@ -173,6 +160,9 @@ class ServiceHost {
   /// diagnose + seeded-backoff retry of retriable outcomes (Failed,
   /// RejectedQueueFull), bounded by the deadline. Rejections that express
   /// deliberate shedding are returned immediately.
+  [[deprecated(
+      "use the tier-agnostic diagnose_with_retry(Diagnoser&, "
+      "DiagnoseRequest, BackoffConfig) from serving/diagnoser.hpp")]]
   HostResult diagnose_with_retry(const Matrix& window, Deadline deadline,
                                  const BackoffConfig& backoff);
 

@@ -1,0 +1,384 @@
+#include "streaming/ingest.hpp"
+
+#include <chrono>
+#include <cmath>
+#include <limits>
+#include <utility>
+
+#include "common/error.hpp"
+#include "common/string_util.hpp"
+
+namespace alba {
+
+namespace {
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+double seconds_between(std::chrono::steady_clock::time_point from,
+                       std::chrono::steady_clock::time_point to) noexcept {
+  return std::chrono::duration<double>(to - from).count();
+}
+
+}  // namespace
+
+std::string_view to_string(GapPolicy policy) noexcept {
+  switch (policy) {
+    case GapPolicy::Repair: return "repair";
+    case GapPolicy::Strict: return "strict";
+  }
+  return "unknown";
+}
+
+IngestStats& IngestStats::operator+=(const IngestStats& o) noexcept {
+  accepted += o.accepted;
+  duplicates += o.duplicates;
+  reordered += o.reordered;
+  late_dropped += o.late_dropped;
+  missing_rows += o.missing_rows;
+  resets += o.resets;
+  windows_emitted += o.windows_emitted;
+  windows_dropped += o.windows_dropped;
+  windows_recomputed += o.windows_recomputed;
+  windows_flushed += o.windows_flushed;
+  emit_seconds += o.emit_seconds;
+  return *this;
+}
+
+std::string format_ingest_summary(const IngestStats& s) {
+  return strformat(
+      "rows: %llu accepted (%llu repaired), %llu dup, %llu late, "
+      "%llu missing, %llu resets; windows: %llu emitted (%llu recomputed), "
+      "%llu dropped, %llu flushed",
+      static_cast<unsigned long long>(s.accepted),
+      static_cast<unsigned long long>(s.reordered),
+      static_cast<unsigned long long>(s.duplicates),
+      static_cast<unsigned long long>(s.late_dropped),
+      static_cast<unsigned long long>(s.missing_rows),
+      static_cast<unsigned long long>(s.resets),
+      static_cast<unsigned long long>(s.windows_emitted),
+      static_cast<unsigned long long>(s.windows_recomputed),
+      static_cast<unsigned long long>(s.windows_dropped),
+      static_cast<unsigned long long>(s.windows_flushed));
+}
+
+StreamIngestor::StreamIngestor(MetricRegistry registry,
+                               StreamIngestConfig config)
+    : registry_(std::move(registry)), config_(config) {
+  ALBA_CHECK(config_.stride > 0) << "stride must be positive";
+  ALBA_CHECK(config_.preprocess.trim_head >= 0 &&
+             config_.preprocess.trim_tail >= 0);
+  const auto head = static_cast<std::size_t>(config_.preprocess.trim_head);
+  const auto tail = static_cast<std::size_t>(config_.preprocess.trim_tail);
+  ALBA_CHECK(config_.window_length > head + tail + 1)
+      << "window_length " << config_.window_length << " too short for trim "
+      << head << "+" << tail;
+  kept_head_ = head;
+  kept_len_ = config_.window_length - head - tail;
+  capacity_ = config_.window_length + config_.stride;
+}
+
+void StreamIngestor::push_resolved(MetricFold& fold, std::size_t metric,
+                                   double r) {
+  if (fold.have_prev) {
+    if (registry_.metrics()[metric].kind == MetricKind::Counter) {
+      const double d = r - fold.prev;
+      fold.acc.add(d < 0.0 ? 0.0 : d);  // counter reset/wrap, like the batch
+    } else {
+      // Gauges drop their first kept sample to align with counter rates.
+      fold.acc.add(r);
+    }
+  }
+  fold.prev = r;
+  fold.have_prev = true;
+}
+
+void StreamIngestor::resolve_run(MetricFold& fold, std::size_t metric,
+                                 std::size_t run, double right) {
+  if (run == 0) return;
+  if (!fold.have_prev) {
+    // Leading NaNs take the nearest (right) finite value.
+    for (std::size_t t = 0; t < run; ++t) push_resolved(fold, metric, right);
+    return;
+  }
+  // Interior gap: the interpolate_nans recurrence, bit for bit.
+  const double left = fold.prev;
+  const double span_len = static_cast<double>(run + 1);
+  for (std::size_t t = 1; t <= run; ++t) {
+    const double frac = static_cast<double>(t) / span_len;
+    push_resolved(fold, metric, left + frac * (right - left));
+  }
+}
+
+void StreamIngestor::feed_window(WindowState& w, std::uint64_t s,
+                                 std::span<const double> values,
+                                 bool delivered) {
+  if (w.dirty) return;  // fold abandoned; emit will batch-recompute
+  if (s < w.start + kept_head_ || s >= w.start + kept_head_ + kept_len_) {
+    return;  // trimmed region: raw/missing bookkeeping only
+  }
+  const std::size_t m_count = registry_.size();
+  for (std::size_t m = 0; m < m_count; ++m) {
+    MetricFold& fold = w.folds[m];
+    const double v = delivered ? values[m] : kNaN;
+    if (std::isnan(v)) {
+      ++fold.pending;
+    } else {
+      if (fold.pending > 0) {
+        resolve_run(fold, m, fold.pending, v);
+        fold.pending = 0;
+      }
+      push_resolved(fold, m, v);
+    }
+    ++fold.examined;
+  }
+}
+
+void StreamIngestor::mark_row(NodeState& ns, int node, std::uint64_t s,
+                              std::span<const double> values, bool delivered,
+                              std::vector<TriggeredWindow>& out) {
+  if (s == ns.next_open) {
+    WindowState w;
+    w.start = s;
+    w.folds.assign(registry_.size(), MetricFold{});
+    ns.windows.push_back(std::move(w));
+    ns.next_open += config_.stride;
+  }
+
+  const std::size_t idx = slot(ns, s);
+  if (delivered) {
+    double* row = ns.ring.data() + idx * registry_.size();
+    for (std::size_t m = 0; m < registry_.size(); ++m) row[m] = values[m];
+    ns.present[idx] = 1;
+    ++ns.stats.accepted;
+  } else {
+    ns.present[idx] = 0;
+    ++ns.stats.missing_rows;
+  }
+
+  for (WindowState& w : ns.windows) {
+    if (s < w.start || s >= w.start + config_.window_length) continue;
+    if (!delivered) ++w.missing;
+    feed_window(w, s, values, delivered);
+  }
+
+  // Window ends are strictly increasing by stride, so only the front can
+  // complete at this row.
+  if (!ns.windows.empty() &&
+      s + 1 == ns.windows.front().start + config_.window_length) {
+    emit_front(ns, node, out);
+  }
+}
+
+void StreamIngestor::repair_row(NodeState& ns, std::uint64_t seq,
+                                std::span<const double> values) {
+  const std::size_t idx = slot(ns, seq);
+  double* row = ns.ring.data() + idx * registry_.size();
+  for (std::size_t m = 0; m < registry_.size(); ++m) row[m] = values[m];
+  ns.present[idx] = 1;
+  ++ns.stats.accepted;
+  ++ns.stats.reordered;
+  --ns.stats.missing_rows;
+
+  for (WindowState& w : ns.windows) {
+    if (seq < w.start || seq >= w.start + config_.window_length) continue;
+    --w.missing;
+    if (w.dirty) continue;
+    if (seq < w.start + kept_head_ ||
+        seq >= w.start + kept_head_ + kept_len_) {
+      continue;  // trimmed region never feeds the fold
+    }
+    const auto k = static_cast<std::uint32_t>(seq - (w.start + kept_head_));
+    for (std::size_t m = 0; m < registry_.size(); ++m) {
+      const double v = values[m];
+      if (std::isnan(v)) continue;  // NaN cell repairing a NaN slot: no-op
+      MetricFold& fold = w.folds[m];
+      const std::uint32_t resolved = fold.examined - fold.pending;
+      if (k < resolved) {
+        // The fold already committed values past this row; its incremental
+        // state cannot be rewound exactly, so the window falls back to the
+        // batch recompute at emit — correctness over speed.
+        w.dirty = true;
+        break;
+      }
+      // The row lands inside the still-unresolved trailing NaN run: the
+      // NaNs before it now have their right anchor (this value is the
+      // first finite at-or-after `resolved`), exactly as the batch
+      // interpolation will see them.
+      resolve_run(fold, m, k - resolved, v);
+      push_resolved(fold, m, v);
+      fold.pending = fold.examined - (k + 1);
+    }
+  }
+}
+
+void StreamIngestor::emit_front(NodeState& ns, int node,
+                                std::vector<TriggeredWindow>& out) {
+  WindowState w = std::move(ns.windows.front());
+  ns.windows.pop_front();
+  ns.frontier = ns.windows.empty() ? ns.next_open : ns.windows.front().start;
+
+  const bool drop =
+      config_.gap_policy == GapPolicy::Strict
+          ? w.missing > 0
+          : w.missing > config_.max_missing;
+  if (drop) {
+    ++ns.stats.windows_dropped;
+    return;
+  }
+
+  const std::size_t m_count = registry_.size();
+  const std::size_t length = config_.window_length;
+  Matrix raw(length, m_count);
+  for (std::size_t i = 0; i < length; ++i) {
+    const std::size_t idx = slot(ns, w.start + i);
+    std::span<double> dst = raw.row(i);
+    if (ns.present[idx]) {
+      const double* src = ns.ring.data() + idx * m_count;
+      for (std::size_t m = 0; m < m_count; ++m) dst[m] = src[m];
+    } else {
+      for (std::size_t m = 0; m < m_count; ++m) dst[m] = kNaN;
+    }
+  }
+
+  TriggeredWindow t;
+  t.node = node;
+  t.start_seq = w.start;
+  t.missing_rows = w.missing;
+  if (w.dirty) {
+    t.features = batch_features(raw, registry_, config_.preprocess);
+    t.recomputed = true;
+    ++ns.stats.windows_recomputed;
+  } else {
+    // The O(M) emit: resolve each metric's trailing NaN run and read its
+    // accumulators. No per-row work happens here.
+    const auto t0 = std::chrono::steady_clock::now();
+    t.features.resize(m_count * kStreamFeaturesPerMetric);
+    for (std::size_t m = 0; m < m_count; ++m) {
+      MetricFold& fold = w.folds[m];
+      if (fold.pending == fold.examined) {
+        // No finite sample in the kept region: the batch path zero-fills.
+        fold.pending = 0;
+        for (std::size_t k = 0; k < kept_len_; ++k) {
+          push_resolved(fold, m, 0.0);
+        }
+      } else if (fold.pending > 0) {
+        // Trailing NaNs take the nearest (left) finite value.
+        const std::size_t run = fold.pending;
+        fold.pending = 0;
+        for (std::size_t k = 0; k < run; ++k) {
+          push_resolved(fold, m, fold.prev);
+        }
+      }
+      fold.acc.emit(std::span<double>(t.features)
+                        .subspan(m * kStreamFeaturesPerMetric,
+                                 kStreamFeaturesPerMetric));
+    }
+    ns.stats.emit_seconds +=
+        seconds_between(t0, std::chrono::steady_clock::now());
+  }
+  t.raw = std::move(raw);
+  ++ns.stats.windows_emitted;
+  out.push_back(std::move(t));
+}
+
+void StreamIngestor::reset_node(NodeState& ns, std::uint64_t seq) {
+  ns.stats.windows_dropped += ns.windows.size();
+  ++ns.stats.resets;
+  ns.windows.clear();
+  ns.base = seq;
+  ns.frontier = seq;
+  ns.next_open = seq;
+  ns.next_mark = seq;
+}
+
+std::vector<TriggeredWindow> StreamIngestor::push(
+    int node, std::uint64_t seq, std::span<const double> values) {
+  ALBA_CHECK(values.size() == registry_.size())
+      << "row has " << values.size() << " metrics, registry has "
+      << registry_.size();
+  std::vector<TriggeredWindow> out;
+  NodeState& ns = nodes_[node];
+  if (!ns.started) {
+    ns.started = true;
+    ns.ring.assign(capacity_ * registry_.size(), 0.0);
+    ns.present.assign(capacity_, 0);
+    ns.base = seq;
+    ns.frontier = seq;
+    ns.next_open = seq;
+    ns.next_mark = seq;
+  } else if (seq < ns.next_mark) {
+    if (seq < ns.frontier) {
+      // The row lands inside an already-emitted (or skipped) span: emitted
+      // windows are immutable history, so the ring is NOT overwritten.
+      ++ns.stats.late_dropped;
+      return out;
+    }
+    if (ns.present[slot(ns, seq)]) {
+      ++ns.stats.duplicates;  // first value wins
+      return out;
+    }
+    repair_row(ns, seq, values);
+    return out;
+  } else if (seq - ns.next_mark >= capacity_) {
+    // Forward jump past everything the ring could still complete (a
+    // collector restart): drop the in-flight windows and re-anchor.
+    reset_node(ns, seq);
+  }
+
+  for (std::uint64_t s = ns.next_mark; s <= seq; ++s) {
+    mark_row(ns, node, s, values, /*delivered=*/s == seq, out);
+  }
+  ns.next_mark = seq + 1;
+  return out;
+}
+
+void StreamIngestor::flush() {
+  for (auto& [node, ns] : nodes_) {
+    ns.stats.windows_flushed += ns.windows.size();
+    ns.windows.clear();
+    ns.frontier = ns.next_open;
+  }
+}
+
+IngestStats StreamIngestor::stats(int node) const {
+  const auto it = nodes_.find(node);
+  return it == nodes_.end() ? IngestStats{} : it->second.stats;
+}
+
+IngestStats StreamIngestor::total_stats() const {
+  IngestStats total;
+  for (const auto& [node, ns] : nodes_) total += ns.stats;
+  return total;
+}
+
+std::size_t StreamIngestor::windows_in_flight(int node) const {
+  const auto it = nodes_.find(node);
+  return it == nodes_.end() ? 0 : it->second.windows.size();
+}
+
+std::vector<double> StreamIngestor::batch_features(
+    const Matrix& raw, const MetricRegistry& registry,
+    const PreprocessConfig& config) {
+  std::vector<double> out(registry.size() * kStreamFeaturesPerMetric);
+  for (std::size_t m = 0; m < registry.size(); ++m) {
+    const std::vector<double> col =
+        preprocess_metric_column(raw, m, registry, config);
+    stream_features_batch(col, std::span<double>(out).subspan(
+                                   m * kStreamFeaturesPerMetric,
+                                   kStreamFeaturesPerMetric));
+  }
+  return out;
+}
+
+std::vector<std::string> stream_feature_names(const MetricRegistry& registry) {
+  std::vector<std::string> names;
+  names.reserve(registry.size() * kStreamFeaturesPerMetric);
+  for (std::size_t m = 0; m < registry.size(); ++m) {
+    for (const std::string& suffix : stream_feature_suffixes()) {
+      names.push_back(registry.metric(m).name + "_" + suffix);
+    }
+  }
+  return names;
+}
+
+}  // namespace alba

@@ -1,0 +1,221 @@
+// Streaming ingestion front end: from a 1 Hz per-node telemetry feed to
+// triggered diagnosis windows with ready-made feature vectors.
+//
+// ALBADross's offline pipeline assumes a complete T x M window arrives at
+// once; a production LDMS feed delivers one row per node per second, out
+// of order, with drops. StreamIngestor closes that gap:
+//
+//  * per-node ring buffers — each node's rows land in a fixed ring indexed
+//    by sequence number (1 Hz epoch). Arrivals are classified against the
+//    node's watermark (highest sequence processed) and frontier (start of
+//    the oldest window not yet emitted): new rows advance the watermark,
+//    rows behind the watermark but at-or-after the frontier repair a gap
+//    (`reordered`), duplicates are dropped keeping the first value, and a
+//    row behind the frontier — it would land inside an already-emitted
+//    window — is counted `late_dropped` and NEVER written to the ring
+//    (emitted results are immutable history; see IngestStats);
+//
+//  * sliding-window triggering — windows of `window_length` rows open
+//    every `stride` rows; a window emits the moment the watermark reaches
+//    its last row. The gap policy decides what a window with undelivered
+//    rows does: Repair emits with the missing rows as NaN (the serving
+//    pipeline interpolates) up to `max_missing`, Strict drops any
+//    incomplete window. Either way the decision is typed and counted;
+//
+//  * incremental O(M) features — every in-flight window maintains, per
+//    metric, the full preprocess-equivalent fold (trim, NaN interpolation,
+//    counter differencing — the preprocess_metric_column semantics) feeding
+//    a StreamAccumulator (Welford mean/var, min/max, P² quantile sketches).
+//    Emitting the feature vector costs O(M): resolve any trailing NaN run
+//    and read the accumulators. Mean/var/min/max are bit-identical to the
+//    batch path (StreamIngestor::batch_features); quantiles are exact
+//    (also bit-identical) up to kQuantileExactCap resolved values per
+//    window and pinned by the kQuantileDeltaGate contract beyond
+//    (stream_features.hpp).
+//
+// Out-of-order repairs keep exactness where possible: a gap-fill landing
+// inside a window's still-unresolved trailing NaN run is resolved in place
+// (still bit-identical); a fill behind a window's resolution point marks
+// that window dirty, and its features are recomputed from the assembled
+// raw window via the batch path at emit (`windows_recomputed`) — repaired
+// data never silently diverges from the batch reference.
+//
+// Thread-safety: none. A StreamIngestor is a single collector thread's
+// object; shard nodes across instances to parallelize (results are
+// per-node deterministic regardless of sharding).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "features/preprocessing.hpp"
+#include "linalg/matrix.hpp"
+#include "streaming/stream_features.hpp"
+#include "telemetry/registry.hpp"
+
+namespace alba {
+
+/// What a window with undelivered rows does at trigger time. Repair: emit
+/// with missing rows as NaN (interpolated downstream) unless more than
+/// `max_missing` rows are absent; Strict: drop any incomplete window.
+enum class GapPolicy { Repair, Strict };
+
+std::string_view to_string(GapPolicy policy) noexcept;
+
+struct StreamIngestConfig {
+  // Rows per triggered window (the serving T). Must exceed
+  // preprocess.trim_head + preprocess.trim_tail + 1.
+  std::size_t window_length = 48;
+  // Rows between consecutive window starts; stride < window_length slides
+  // (overlapping windows), stride == window_length tumbles, stride >
+  // window_length samples with gaps.
+  std::size_t stride = 24;
+  // Trim semantics the incremental fold replicates (must match the serving
+  // bundle's preprocessing for the raw windows to diagnose identically).
+  PreprocessConfig preprocess;
+  GapPolicy gap_policy = GapPolicy::Repair;
+  // Repair tolerance: max undelivered rows an emitted window may carry.
+  std::size_t max_missing = 8;
+};
+
+/// Per-node loss/reorder/gap accounting. All counters are cumulative per
+/// node except `missing_rows`, which is net: incremented when the
+/// watermark passes an undelivered row, decremented when a reordered
+/// arrival repairs it.
+struct IngestStats {
+  std::uint64_t accepted = 0;       // rows written (in-order + repairs)
+  std::uint64_t duplicates = 0;     // re-delivered rows (first value kept)
+  std::uint64_t reordered = 0;      // gap repairs behind the watermark
+  std::uint64_t late_dropped = 0;   // rows behind the frontier, dropped
+  std::uint64_t missing_rows = 0;   // rows passed and still undelivered
+  std::uint64_t resets = 0;         // forward jumps past the ring capacity
+  std::uint64_t windows_emitted = 0;
+  std::uint64_t windows_dropped = 0;    // gap policy vetoed the emit
+  std::uint64_t windows_recomputed = 0; // emitted via batch fallback (dirty)
+  std::uint64_t windows_flushed = 0;    // in-flight, discarded by flush()
+  // Wall-clock seconds spent producing feature vectors at emit time on the
+  // incremental path (dirty recomputes excluded) — the O(M) cost the bench
+  // compares against batch recomputation.
+  double emit_seconds = 0.0;
+
+  IngestStats& operator+=(const IngestStats& o) noexcept;
+};
+
+std::string format_ingest_summary(const IngestStats& s);
+
+/// One triggered window, ready for serving: the raw window_length x M
+/// matrix (undelivered rows are NaN; serving's preprocessing interpolates
+/// them) plus the streaming feature vector, M x kStreamFeaturesPerMetric,
+/// metric-major.
+struct TriggeredWindow {
+  int node = 0;
+  std::uint64_t start_seq = 0;
+  Matrix raw;
+  std::vector<double> features;
+  std::size_t missing_rows = 0;
+  bool recomputed = false;  // features came from the batch fallback
+};
+
+class StreamIngestor {
+ public:
+  explicit StreamIngestor(MetricRegistry registry,
+                          StreamIngestConfig config = {});
+
+  /// Ingests one row: node's metric values (size M, NaN cells allowed) at
+  /// 1 Hz sequence number `seq`. Returns the windows this row triggered
+  /// (usually none; possibly several after a gap), in start order.
+  std::vector<TriggeredWindow> push(int node, std::uint64_t seq,
+                                    std::span<const double> values);
+
+  /// Discards every in-flight window on every node (counted
+  /// windows_flushed) and advances each node's frontier past them, so a
+  /// replay can end without leaking partial state. Streaming may continue
+  /// afterwards; rows for the discarded spans count late_dropped.
+  void flush();
+
+  /// Per-node accounting (zero stats for a node never seen).
+  IngestStats stats(int node) const;
+  /// Sum over all nodes.
+  IngestStats total_stats() const;
+  /// Windows currently open on a node.
+  std::size_t windows_in_flight(int node) const;
+
+  const MetricRegistry& registry() const noexcept { return registry_; }
+  const StreamIngestConfig& config() const noexcept { return config_; }
+
+  /// The batch reference: preprocess_metric_column + stream_features_batch
+  /// per metric over an assembled raw window. The incremental path must
+  /// match this (bit-identical for mean/var/min/max, delta-gated for
+  /// quantiles); dirty windows fall back to it wholesale.
+  static std::vector<double> batch_features(const Matrix& raw,
+                                            const MetricRegistry& registry,
+                                            const PreprocessConfig& config);
+
+ private:
+  // One metric's window-local fold state: the resolved-value pipeline
+  // (interpolation + differencing) feeding the accumulator. `examined`
+  // counts kept rows the watermark has passed; the trailing `pending` of
+  // them are NaNs awaiting a right anchor.
+  struct MetricFold {
+    StreamAccumulator acc;
+    double prev = 0.0;  // last resolved value (interp anchor + diff base)
+    bool have_prev = false;
+    std::uint32_t examined = 0;
+    std::uint32_t pending = 0;
+  };
+
+  struct WindowState {
+    std::uint64_t start = 0;
+    std::size_t missing = 0;  // undelivered rows in [start, start + L)
+    bool dirty = false;       // repair behind a resolution point
+    std::vector<MetricFold> folds;  // one per metric
+  };
+
+  struct NodeState {
+    bool started = false;
+    std::uint64_t base = 0;       // ring origin (re-anchored on reset)
+    std::uint64_t next_mark = 0;  // watermark + 1: next row to process
+    std::uint64_t frontier = 0;   // oldest unemitted window's start
+    std::uint64_t next_open = 0;  // next window's start
+    std::vector<double> ring;     // capacity x M, row-major
+    std::vector<std::uint8_t> present;  // per ring slot
+    std::deque<WindowState> windows;    // in-flight, start order
+    IngestStats stats;
+  };
+
+  std::size_t slot(const NodeState& ns, std::uint64_t seq) const noexcept {
+    return static_cast<std::size_t>((seq - ns.base) % capacity_);
+  }
+
+  void reset_node(NodeState& ns, std::uint64_t seq);
+  void mark_row(NodeState& ns, int node, std::uint64_t s,
+                std::span<const double> values, bool delivered,
+                std::vector<TriggeredWindow>& out);
+  void feed_window(WindowState& w, std::uint64_t s,
+                   std::span<const double> values, bool delivered);
+  void repair_row(NodeState& ns, std::uint64_t seq,
+                  std::span<const double> values);
+  void emit_front(NodeState& ns, int node, std::vector<TriggeredWindow>& out);
+  void push_resolved(MetricFold& fold, std::size_t metric, double r);
+  void resolve_run(MetricFold& fold, std::size_t metric, std::size_t run,
+                   double right);
+
+  MetricRegistry registry_;
+  StreamIngestConfig config_;
+  std::size_t capacity_ = 0;
+  std::size_t kept_head_ = 0;  // trim_head
+  std::size_t kept_len_ = 0;   // rows in the kept (feature) region
+  std::map<int, NodeState> nodes_;
+};
+
+/// Feature names for the streaming vector, metric-major:
+/// "<metric>_<suffix>" for every registry metric x stream_feature_suffixes.
+std::vector<std::string> stream_feature_names(const MetricRegistry& registry);
+
+}  // namespace alba

@@ -1,0 +1,167 @@
+#include "streaming/stream_features.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace alba {
+
+const std::array<std::string, kStreamFeaturesPerMetric>&
+stream_feature_suffixes() {
+  static const std::array<std::string, kStreamFeaturesPerMetric> names = {
+      "mean", "var", "min", "max", "p05", "p25", "p50", "p75", "p95"};
+  return names;
+}
+
+P2Quantile::P2Quantile(double q) noexcept : q_(q) {
+  // Desired-position rates for the five markers: min, q/2, q, (1+q)/2, max.
+  rates_ = {0.0, q / 2.0, q, (1.0 + q) / 2.0, 1.0};
+}
+
+void P2Quantile::add(double v) noexcept {
+  if (n_ < 5) {
+    heights_[n_] = v;
+    ++n_;
+    if (n_ == 5) {
+      std::sort(heights_.begin(), heights_.end());
+      for (std::size_t i = 0; i < 5; ++i) {
+        positions_[i] = static_cast<double>(i + 1);
+        desired_[i] = 1.0 + 4.0 * rates_[i];
+      }
+    }
+    return;
+  }
+
+  // Locate the cell [k, k+1) holding v, extending the extremes in place.
+  std::size_t k = 0;
+  if (v < heights_[0]) {
+    heights_[0] = v;
+    k = 0;
+  } else if (v >= heights_[4]) {
+    heights_[4] = v;
+    k = 3;
+  } else {
+    while (k < 3 && v >= heights_[k + 1]) ++k;
+  }
+
+  ++n_;
+  for (std::size_t i = k + 1; i < 5; ++i) positions_[i] += 1.0;
+  for (std::size_t i = 0; i < 5; ++i) desired_[i] += rates_[i];
+
+  // Nudge the three interior markers toward their desired positions,
+  // re-estimating their heights with the piecewise-parabolic (P²) formula,
+  // falling back to linear when the parabola would leave the bracket.
+  for (std::size_t i = 1; i <= 3; ++i) {
+    const double d = desired_[i] - positions_[i];
+    const double below = positions_[i] - positions_[i - 1];
+    const double above = positions_[i + 1] - positions_[i];
+    if ((d >= 1.0 && above > 1.0) || (d <= -1.0 && below > 1.0)) {
+      const double s = d >= 0.0 ? 1.0 : -1.0;
+      const double qp =
+          heights_[i] +
+          s / (positions_[i + 1] - positions_[i - 1]) *
+              ((below + s) * (heights_[i + 1] - heights_[i]) / above +
+               (above - s) * (heights_[i] - heights_[i - 1]) / below);
+      if (heights_[i - 1] < qp && qp < heights_[i + 1]) {
+        heights_[i] = qp;
+      } else if (s > 0.0) {
+        heights_[i] += (heights_[i + 1] - heights_[i]) / above;
+      } else {
+        heights_[i] -= (heights_[i - 1] - heights_[i]) / below;
+      }
+      positions_[i] += s;
+    }
+  }
+}
+
+double P2Quantile::value() const noexcept {
+  if (n_ == 0) return 0.0;
+  if (n_ <= 5) {
+    // Exact linear-interpolation quantile over the buffered samples —
+    // the stats::quantile formula, so tiny windows have zero sketch error.
+    std::array<double, 5> v = heights_;
+    std::sort(v.begin(), v.begin() + n_);
+    const double pos = q_ * static_cast<double>(n_ - 1);
+    const auto lo = static_cast<std::size_t>(std::floor(pos));
+    const auto hi = static_cast<std::size_t>(std::ceil(pos));
+    const double frac = pos - static_cast<double>(lo);
+    return v[lo] * (1.0 - frac) + v[hi] * frac;
+  }
+  return heights_[2];
+}
+
+StreamAccumulator::StreamAccumulator() noexcept
+    : sketches_{P2Quantile(kStreamQuantiles[0]), P2Quantile(kStreamQuantiles[1]),
+                P2Quantile(kStreamQuantiles[2]), P2Quantile(kStreamQuantiles[3]),
+                P2Quantile(kStreamQuantiles[4])} {}
+
+void StreamAccumulator::add(double v) {
+  welford_.add(v);
+  minmax_.add(v);
+  for (P2Quantile& s : sketches_) s.add(v);
+  if (welford_.n <= kQuantileExactCap) {
+    // Sorted insertion: the order statistics are maintained HERE, at push
+    // time (a binary search + a short memmove), so emit never sorts. The
+    // multiset of values matches the batch path's sorted column, so the
+    // interpolated quantiles are value-identical.
+    exact_.insert(std::upper_bound(exact_.begin(), exact_.end(), v), v);
+  } else if (!exact_.empty()) {
+    // Outgrew the exact buffer: the sketches (fed since the first sample)
+    // take over; release the memory rather than capping the window count.
+    exact_.clear();
+    exact_.shrink_to_fit();
+  }
+}
+
+void StreamAccumulator::emit(std::span<double> out) const {
+  out[0] = welford_.mean;
+  out[1] = welford_.variance();
+  out[2] = minmax_.seen ? minmax_.min : 0.0;
+  out[3] = minmax_.seen ? minmax_.max : 0.0;
+  if (welford_.n > 0 && welford_.n == exact_.size()) {
+    // Exact path: the batch quantile (sorted linear interpolation) read
+    // straight off the already-sorted buffer — O(1) per quantile.
+    for (std::size_t i = 0; i < kStreamQuantiles.size(); ++i) {
+      const double pos =
+          kStreamQuantiles[i] * static_cast<double>(exact_.size() - 1);
+      const auto lo = static_cast<std::size_t>(std::floor(pos));
+      const auto hi = static_cast<std::size_t>(std::ceil(pos));
+      const double frac = pos - static_cast<double>(lo);
+      out[4 + i] = exact_[lo] * (1.0 - frac) + exact_[hi] * frac;
+    }
+    return;
+  }
+  for (std::size_t i = 0; i < sketches_.size(); ++i) {
+    out[4 + i] = sketches_[i].value();
+  }
+}
+
+void stream_features_batch(std::span<const double> processed,
+                           std::span<double> out) {
+  WelfordState welford;
+  MinMaxState minmax;
+  for (const double v : processed) {
+    welford.add(v);
+    minmax.add(v);
+  }
+  out[0] = welford.mean;
+  out[1] = welford.variance();
+  out[2] = minmax.seen ? minmax.min : 0.0;
+  out[3] = minmax.seen ? minmax.max : 0.0;
+
+  std::vector<double> sorted(processed.begin(), processed.end());
+  std::sort(sorted.begin(), sorted.end());
+  for (std::size_t i = 0; i < kStreamQuantiles.size(); ++i) {
+    if (sorted.empty()) {
+      out[4 + i] = 0.0;
+      continue;
+    }
+    const double pos =
+        kStreamQuantiles[i] * static_cast<double>(sorted.size() - 1);
+    const auto lo = static_cast<std::size_t>(std::floor(pos));
+    const auto hi = static_cast<std::size_t>(std::ceil(pos));
+    const double frac = pos - static_cast<double>(lo);
+    out[4 + i] = sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+  }
+}
+
+}  // namespace alba

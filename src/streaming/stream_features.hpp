@@ -1,0 +1,158 @@
+// Incremental per-metric window features for the streaming front end.
+//
+// A triggered window's feature vector is maintained *as samples arrive*:
+// each metric carries a Welford mean/variance accumulator, a running
+// min/max, and one P² quantile sketch per tracked percentile. Emitting the
+// vector at trigger time is then O(M) — read the accumulators — instead of
+// the O(T x M) batch recompute (copy column, interpolate, difference, sort
+// for every quantile).
+//
+// Parity contract against the batch path (stream_features_batch, which
+// consumes a preprocess_metric_column output):
+//   * mean, var, min, max are BIT-IDENTICAL: both paths fold the same
+//     resolved value sequence through the same recurrences in the same
+//     order (WelfordState / MinMaxState below are the shared code);
+//   * quantiles are VALUE-IDENTICAL (== compares true; only a +-0.0 bit
+//     pattern could differ) while the window holds at most
+//     kQuantileExactCap resolved values: the accumulator keeps a sorted
+//     buffer — order statistics are maintained at push time by binary
+//     insertion, so emit reads the same sorted-interpolation quantile as
+//     the batch path in O(1) without sorting. Production window lengths
+//     (48-128 rows) stay entirely on this exact path. Past the cap the
+//     buffer is released and the P² sketches (fed
+//     from the first sample, 5 markers, O(1) space) answer instead, pinned
+//     by the documented delta gate: for a window whose resolved values
+//     span `range = max - min`,
+//         |sketch - exact| <= kQuantileDeltaGate * range + 1e-9.
+//     P² has no worst-case guarantee (tie-heavy fault shapes can push it
+//     toward the gate), which is exactly why small windows use the exact
+//     buffer. Tests and the CI smoke (bench_stream_ingest --smoke)
+//     enforce both halves.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace alba {
+
+/// Percentiles tracked per metric, in emit order after mean/var/min/max.
+inline constexpr std::array<double, 5> kStreamQuantiles = {0.05, 0.25, 0.50,
+                                                           0.75, 0.95};
+
+/// Features per metric: mean, var, min, max, then kStreamQuantiles.
+inline constexpr std::size_t kStreamFeaturesPerMetric =
+    4 + kStreamQuantiles.size();
+
+/// Resolved values per window up to which quantiles come from an exact
+/// in-order buffer (bit-identical to the batch sort) instead of the P²
+/// sketch. 128 covers every production window length; the buffer costs at
+/// most 1 KiB per metric per in-flight window and is released the moment
+/// a window outgrows it.
+inline constexpr std::size_t kQuantileExactCap = 128;
+
+/// Sketch-vs-exact quantile tolerance, as a fraction of the window's value
+/// range (see the parity contract above); only reachable for windows past
+/// kQuantileExactCap. Empirically P² on smooth telemetry stays well inside
+/// 0.15 x range; 0.35 leaves headroom for adversarial fault-injected
+/// shapes without ever accepting a quantile that left the window's value
+/// range.
+inline constexpr double kQuantileDeltaGate = 0.35;
+
+/// "m<metric>_<name>" suffixes in emit order: mean, var, min, max, p05,
+/// p25, p50, p75, p95.
+const std::array<std::string, kStreamFeaturesPerMetric>&
+stream_feature_suffixes();
+
+/// Welford's online mean/variance — the recurrence both the incremental
+/// and the batch path fold, so their outputs are bit-identical.
+struct WelfordState {
+  std::size_t n = 0;
+  double mean = 0.0;
+  double m2 = 0.0;
+
+  void add(double v) noexcept {
+    ++n;
+    const double d1 = v - mean;
+    mean += d1 / static_cast<double>(n);
+    const double d2 = v - mean;
+    m2 += d1 * d2;
+  }
+
+  /// Population variance (the n divisor), 0 for an empty accumulator.
+  double variance() const noexcept {
+    return n > 0 ? m2 / static_cast<double>(n) : 0.0;
+  }
+};
+
+/// Running min/max, shared by both paths for the same reason.
+struct MinMaxState {
+  bool seen = false;
+  double min = 0.0;
+  double max = 0.0;
+
+  void add(double v) noexcept {
+    if (!seen) {
+      seen = true;
+      min = v;
+      max = v;
+      return;
+    }
+    if (v < min) min = v;
+    if (v > max) max = v;
+  }
+};
+
+/// P² (Jain & Chlamtac 1985) single-quantile estimator: five markers, O(1)
+/// per sample, O(1) space. Exact (linear-interpolation quantile, matching
+/// stats::quantile) while n <= 5; a parabolic-update estimate afterwards.
+/// Pure arithmetic — deterministic for a given sample sequence.
+class P2Quantile {
+ public:
+  explicit P2Quantile(double q) noexcept;
+
+  void add(double v) noexcept;
+  double value() const noexcept;
+  std::size_t count() const noexcept { return n_; }
+
+ private:
+  double q_;
+  std::size_t n_ = 0;
+  std::array<double, 5> heights_{};    // marker values, ascending
+  std::array<double, 5> positions_{};  // actual marker positions (1-based)
+  std::array<double, 5> desired_{};    // desired marker positions
+  std::array<double, 5> rates_{};      // desired-position increments
+};
+
+/// One metric's per-window accumulator bundle: fold resolved values in
+/// arrival order, emit kStreamFeaturesPerMetric features in O(1).
+class StreamAccumulator {
+ public:
+  StreamAccumulator() noexcept;
+
+  void add(double v);
+  std::size_t count() const noexcept { return welford_.n; }
+
+  /// Writes mean, var, min, max, then the quantiles (exact while the
+  /// buffer holds, sketch-backed past the cap) into
+  /// out[0..kStreamFeaturesPerMetric).
+  void emit(std::span<double> out) const;
+
+ private:
+  WelfordState welford_;
+  MinMaxState minmax_;
+  std::array<P2Quantile, kStreamQuantiles.size()> sketches_;
+  std::vector<double> exact_;  // kept sorted; emptied past the cap
+};
+
+/// Batch reference for one preprocessed column (a preprocess_metric_column
+/// output): mean/var/min/max via the shared recurrences above —
+/// bit-identical to the incremental path by construction — and *exact*
+/// quantiles via the sorted-column linear interpolation (stats::quantile
+/// semantics). Writes kStreamFeaturesPerMetric values into `out`.
+void stream_features_batch(std::span<const double> processed,
+                           std::span<double> out);
+
+}  // namespace alba

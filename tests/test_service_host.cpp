@@ -539,9 +539,10 @@ TEST(ServiceHost, RetryWithBackoffRecoversFromTransientFailures) {
   backoff.max_attempts = 5;
   backoff.initial_delay_ms = 0.5;
   backoff.seed = 7;
-  const HostResult r =
-      host.diagnose_with_retry(e.windows[0], Deadline::never(), backoff);
+  const DiagnosisResult r = diagnose_with_retry(
+      host, DiagnoseRequest{&e.windows[0], Deadline::never()}, backoff);
   EXPECT_TRUE(r.ok()) << to_string(r.status) << ": " << r.error;
+  EXPECT_EQ(r.attempts, 3u);
   EXPECT_EQ(calls.load(), 3);
   const HostStats s = host.stats();
   EXPECT_EQ(s.failed, 2u);

@@ -1,0 +1,871 @@
+// Tests for the streaming front end and the unified Diagnoser interface:
+// P² sketch accuracy, incremental-vs-batch feature parity (bit-identity
+// for mean/var/min/max, the documented delta gate for sketch quantiles)
+// across clean / NaN-cell / gapped / out-of-order / fault-injected
+// replays, the late_dropped ring-immutability regression, and streamed
+// windows flowing through all three serving tiers behind one Diagnoser.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <limits>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "core/pipeline.hpp"
+#include "ml/grid_search.hpp"
+#include "serving/fleet.hpp"
+#include "serving/model_bundle.hpp"
+#include "stats/descriptive.hpp"
+#include "streaming/ingest.hpp"
+#include "telemetry/faults.hpp"
+#include "telemetry/run_generator.hpp"
+
+namespace alba {
+namespace {
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+constexpr std::size_t kF = kStreamFeaturesPerMetric;
+
+MetricRegistry test_registry() {
+  RegistryConfig cfg;
+  cfg.cores = 2;
+  cfg.nics = 1;
+  cfg.filler_gauges = 1;
+  return MetricRegistry(SystemKind::Volta, cfg);
+}
+
+// Synthetic raw rows: counters cumulative (non-negative increments),
+// gauges sinusoid + noise; optional per-cell NaN dropout like the
+// simulator's sparse misses.
+std::vector<std::vector<double>> make_rows(const MetricRegistry& registry,
+                                           std::size_t t_total,
+                                           std::uint64_t seed,
+                                           double nan_cell_rate = 0.0) {
+  Rng rng(seed);
+  const std::size_t m_count = registry.size();
+  std::vector<double> level(m_count, 0.0);
+  std::vector<std::vector<double>> rows(t_total,
+                                        std::vector<double>(m_count));
+  for (std::size_t t = 0; t < t_total; ++t) {
+    for (std::size_t m = 0; m < m_count; ++m) {
+      if (registry.metric(m).kind == MetricKind::Counter) {
+        level[m] += rng.uniform(0.0, 5.0);
+        rows[t][m] = level[m];
+      } else {
+        rows[t][m] = std::sin(0.3 * static_cast<double>(t) +
+                              static_cast<double>(m)) +
+                     0.1 * rng.normal();
+      }
+      if (nan_cell_rate > 0.0 && rng.uniform() < nan_cell_rate) {
+        rows[t][m] = kNaN;
+      }
+    }
+  }
+  return rows;
+}
+
+// Incremental-vs-batch parity for one emitted window: bit-identity for
+// mean/var/min/max always; quantiles bit-identical while the processed
+// column fits the exact buffer, the kQuantileDeltaGate contract beyond.
+void expect_window_parity(const TriggeredWindow& w,
+                          const MetricRegistry& registry,
+                          const PreprocessConfig& preprocess) {
+  const std::vector<double> batch =
+      StreamIngestor::batch_features(w.raw, registry, preprocess);
+  ASSERT_EQ(w.features.size(), batch.size());
+  // The processed column a window folds: kept rows minus the one sample
+  // the rate/drop-first alignment consumes.
+  const std::size_t processed_len =
+      w.raw.rows() - static_cast<std::size_t>(preprocess.trim_head) -
+      static_cast<std::size_t>(preprocess.trim_tail) - 1;
+  const bool exact_quantiles = processed_len <= kQuantileExactCap;
+  for (std::size_t m = 0; m < registry.size(); ++m) {
+    for (std::size_t f = 0; f < 4; ++f) {
+      const std::size_t i = m * kF + f;
+      EXPECT_EQ(w.features[i], batch[i])
+          << "metric " << m << " " << stream_feature_suffixes()[f]
+          << " (window " << w.start_seq << ")";
+    }
+    const double range = batch[m * kF + 3] - batch[m * kF + 2];
+    const double tol = kQuantileDeltaGate * range + 1e-9;
+    for (std::size_t f = 4; f < kF; ++f) {
+      const std::size_t i = m * kF + f;
+      if (exact_quantiles) {
+        EXPECT_EQ(w.features[i], batch[i])
+            << "metric " << m << " " << stream_feature_suffixes()[f]
+            << " (window " << w.start_seq << ")";
+      } else {
+        EXPECT_NEAR(w.features[i], batch[i], tol)
+            << "metric " << m << " " << stream_feature_suffixes()[f]
+            << " (window " << w.start_seq << ")";
+      }
+    }
+  }
+}
+
+std::vector<TriggeredWindow> replay(
+    StreamIngestor& ingestor, int node,
+    const std::vector<std::vector<double>>& rows,
+    std::uint64_t first_seq = 0) {
+  std::vector<TriggeredWindow> out;
+  for (std::size_t t = 0; t < rows.size(); ++t) {
+    for (TriggeredWindow& w : ingestor.push(node, first_seq + t, rows[t])) {
+      out.push_back(std::move(w));
+    }
+  }
+  return out;
+}
+
+// ------------------------------------------------------- stream features ---
+
+TEST(StreamFeatures, P2IsExactUpToFiveSamples) {
+  const std::vector<double> samples = {3.0, -1.0, 7.5, 2.0, 4.25};
+  for (const double q : kStreamQuantiles) {
+    P2Quantile sketch(q);
+    for (std::size_t n = 0; n < samples.size(); ++n) {
+      sketch.add(samples[n]);
+      const std::span<const double> seen(samples.data(), n + 1);
+      EXPECT_EQ(sketch.value(), stats::quantile(seen, q))
+          << "q=" << q << " n=" << n + 1;
+    }
+  }
+}
+
+TEST(StreamFeatures, P2StaysInsideTheDeltaGateOnWindowSizedData) {
+  Rng rng(42);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<double> x(48);
+    for (double& v : x) {
+      v = trial % 2 == 0 ? rng.normal() : rng.uniform(-3.0, 11.0);
+    }
+    const double range = *std::max_element(x.begin(), x.end()) -
+                         *std::min_element(x.begin(), x.end());
+    for (const double q : kStreamQuantiles) {
+      P2Quantile sketch(q);
+      for (const double v : x) sketch.add(v);
+      EXPECT_NEAR(sketch.value(), stats::quantile(x, q),
+                  kQuantileDeltaGate * range + 1e-9)
+          << "q=" << q << " trial=" << trial;
+    }
+  }
+}
+
+TEST(StreamFeatures, BatchReferenceMatchesDescriptiveStats) {
+  Rng rng(7);
+  std::vector<double> x(37);
+  for (double& v : x) v = rng.uniform(-5.0, 5.0);
+  std::vector<double> out(kF);
+  stream_features_batch(x, out);
+  EXPECT_NEAR(out[0], stats::mean(x), 1e-12);
+  EXPECT_EQ(out[2], *std::min_element(x.begin(), x.end()));
+  EXPECT_EQ(out[3], *std::max_element(x.begin(), x.end()));
+  for (std::size_t i = 0; i < kStreamQuantiles.size(); ++i) {
+    EXPECT_EQ(out[4 + i], stats::quantile(x, kStreamQuantiles[i]));
+  }
+}
+
+TEST(StreamFeatures, NamesAreMetricMajor) {
+  const MetricRegistry registry = test_registry();
+  const std::vector<std::string> names = stream_feature_names(registry);
+  ASSERT_EQ(names.size(), registry.size() * kF);
+  EXPECT_EQ(names[0], registry.metric(0).name + "_mean");
+  EXPECT_EQ(names[kF - 1], registry.metric(0).name + "_p95");
+  EXPECT_EQ(names[kF], registry.metric(1).name + "_mean");
+}
+
+// --------------------------------------------------------- clean replays ---
+
+TEST(StreamIngest, CleanReplayTriggersSlidingWindowsWithParity) {
+  const MetricRegistry registry = test_registry();
+  StreamIngestConfig cfg;
+  cfg.window_length = 48;
+  cfg.stride = 24;
+  StreamIngestor ingestor(registry, cfg);
+
+  const auto rows = make_rows(registry, 200, 11);
+  const auto windows = replay(ingestor, 0, rows);
+
+  // Starts 0, 24, ..., 144: the last window fitting 200 rows.
+  ASSERT_EQ(windows.size(), 7u);
+  for (std::size_t i = 0; i < windows.size(); ++i) {
+    EXPECT_EQ(windows[i].start_seq, 24u * i);
+    EXPECT_EQ(windows[i].raw.rows(), cfg.window_length);
+    EXPECT_EQ(windows[i].raw.cols(), registry.size());
+    EXPECT_EQ(windows[i].missing_rows, 0u);
+    EXPECT_FALSE(windows[i].recomputed);
+    expect_window_parity(windows[i], registry, cfg.preprocess);
+  }
+
+  const IngestStats s = ingestor.stats(0);
+  EXPECT_EQ(s.accepted, 200u);
+  EXPECT_EQ(s.windows_emitted, 7u);
+  EXPECT_EQ(s.reordered + s.duplicates + s.late_dropped + s.missing_rows, 0u);
+  EXPECT_EQ(ingestor.windows_in_flight(0), 2u);  // starts 168 and 192
+  ingestor.flush();
+  EXPECT_EQ(ingestor.stats(0).windows_flushed, 2u);
+  EXPECT_EQ(ingestor.windows_in_flight(0), 0u);
+}
+
+TEST(StreamIngest, WindowRawIsTheDeliveredRows) {
+  const MetricRegistry registry = test_registry();
+  StreamIngestConfig cfg;
+  cfg.window_length = 16;
+  cfg.stride = 16;
+  StreamIngestor ingestor(registry, cfg);
+  const auto rows = make_rows(registry, 16, 3);
+  const auto windows = replay(ingestor, 4, rows);
+  ASSERT_EQ(windows.size(), 1u);
+  for (std::size_t t = 0; t < rows.size(); ++t) {
+    for (std::size_t m = 0; m < registry.size(); ++m) {
+      EXPECT_EQ(windows[0].raw(t, m), rows[t][m]);
+    }
+  }
+  EXPECT_EQ(windows[0].node, 4);
+}
+
+TEST(StreamIngest, NaNCellsResolveBitIdenticallyToBatchInterpolation) {
+  const MetricRegistry registry = test_registry();
+  StreamIngestConfig cfg;
+  cfg.window_length = 48;
+  cfg.stride = 24;
+  StreamIngestor ingestor(registry, cfg);
+  const auto rows = make_rows(registry, 160, 23, /*nan_cell_rate=*/0.15);
+  const auto windows = replay(ingestor, 0, rows);
+  ASSERT_GE(windows.size(), 4u);
+  for (const TriggeredWindow& w : windows) {
+    EXPECT_FALSE(w.recomputed);  // in-order NaNs never dirty the fold
+    expect_window_parity(w, registry, cfg.preprocess);
+  }
+}
+
+TEST(StreamIngest, WindowsPastTheExactCapUseTheSketchWithinTheGate) {
+  const MetricRegistry registry = test_registry();
+  StreamIngestConfig cfg;
+  cfg.window_length = 160;  // processed column 148 > kQuantileExactCap
+  cfg.stride = 160;
+  StreamIngestor ingestor(registry, cfg);
+  const auto rows = make_rows(registry, 160, 13);
+  const auto windows = replay(ingestor, 0, rows);
+  ASSERT_EQ(windows.size(), 1u);
+  // expect_window_parity switches to the delta gate past the cap;
+  // mean/var/min/max stay bit-identical regardless.
+  expect_window_parity(windows[0], registry, cfg.preprocess);
+}
+
+// ------------------------------------------------------ gaps and repairs ---
+
+TEST(StreamIngest, UndeliveredRowsEmitAsNaNUnderRepairPolicy) {
+  const MetricRegistry registry = test_registry();
+  StreamIngestConfig cfg;
+  cfg.window_length = 48;
+  cfg.stride = 48;
+  cfg.max_missing = 8;
+  StreamIngestor ingestor(registry, cfg);
+  const auto rows = make_rows(registry, 96, 31);
+
+  std::vector<TriggeredWindow> windows;
+  for (std::size_t t = 0; t < rows.size(); ++t) {
+    if (t % 13 == 7) continue;  // drop ~7% of rows outright
+    for (TriggeredWindow& w : ingestor.push(0, t, rows[t])) {
+      windows.push_back(std::move(w));
+    }
+  }
+  ASSERT_EQ(windows.size(), 2u);
+  for (const TriggeredWindow& w : windows) {
+    EXPECT_GT(w.missing_rows, 0u);
+    EXPECT_LE(w.missing_rows, cfg.max_missing);
+    bool saw_nan_row = false;
+    for (std::size_t t = 0; t < w.raw.rows() && !saw_nan_row; ++t) {
+      saw_nan_row = std::isnan(w.raw(t, 0));
+    }
+    EXPECT_TRUE(saw_nan_row);
+    EXPECT_FALSE(w.recomputed);
+    expect_window_parity(w, registry, cfg.preprocess);
+  }
+  EXPECT_GT(ingestor.stats(0).missing_rows, 0u);
+}
+
+TEST(StreamIngest, StrictPolicyDropsIncompleteWindows) {
+  const MetricRegistry registry = test_registry();
+  StreamIngestConfig cfg;
+  cfg.window_length = 16;
+  cfg.stride = 16;
+  cfg.gap_policy = GapPolicy::Strict;
+  StreamIngestor ingestor(registry, cfg);
+  const auto rows = make_rows(registry, 48, 5);
+
+  std::vector<TriggeredWindow> windows;
+  for (std::size_t t = 0; t < rows.size(); ++t) {
+    if (t == 20) continue;  // one hole, inside the second window
+    for (TriggeredWindow& w : ingestor.push(0, t, rows[t])) {
+      windows.push_back(std::move(w));
+    }
+  }
+  ASSERT_EQ(windows.size(), 2u);  // windows 0 and 32 emit; 16 is dropped
+  EXPECT_EQ(windows[0].start_seq, 0u);
+  EXPECT_EQ(windows[1].start_seq, 32u);
+  EXPECT_EQ(ingestor.stats(0).windows_dropped, 1u);
+}
+
+TEST(StreamIngest, RepairPolicyDropsWindowsPastMaxMissing) {
+  const MetricRegistry registry = test_registry();
+  StreamIngestConfig cfg;
+  cfg.window_length = 16;
+  cfg.stride = 16;
+  cfg.max_missing = 2;
+  StreamIngestor ingestor(registry, cfg);
+  const auto rows = make_rows(registry, 32, 5);
+
+  std::vector<TriggeredWindow> windows;
+  for (std::size_t t = 0; t < rows.size(); ++t) {
+    if (t >= 18 && t < 22) continue;  // 4 missing rows > max_missing
+    for (TriggeredWindow& w : ingestor.push(0, t, rows[t])) {
+      windows.push_back(std::move(w));
+    }
+  }
+  ASSERT_EQ(windows.size(), 1u);
+  EXPECT_EQ(windows[0].start_seq, 0u);
+  EXPECT_EQ(ingestor.stats(0).windows_dropped, 1u);
+}
+
+TEST(StreamIngest, GapFillAheadOfTheAnchorRepairsExactly) {
+  const MetricRegistry registry = test_registry();
+  StreamIngestConfig cfg;
+  cfg.window_length = 48;
+  cfg.stride = 48;
+  StreamIngestor ingestor(registry, cfg);
+  const auto rows = make_rows(registry, 48, 17);
+
+  // Row 20 goes missing while rows 21-22 arrive as all-NaN rows: the
+  // watermark moves past 20 but no finite value lands after it, so the
+  // fold's NaN run 20-22 is still unresolved when 20 shows up late — the
+  // repair resolves it in place and stays exact. No batch fallback.
+  const std::vector<double> nan_row(registry.size(), kNaN);
+  std::vector<TriggeredWindow> windows;
+  for (std::size_t t = 0; t < rows.size(); ++t) {
+    if (t == 20) continue;
+    const std::span<const double> row =
+        (t == 21 || t == 22) ? std::span<const double>(nan_row)
+                             : std::span<const double>(rows[t]);
+    if (t == 23) {
+      for (TriggeredWindow& w : ingestor.push(0, 20, rows[20])) {
+        windows.push_back(std::move(w));
+      }
+    }
+    for (TriggeredWindow& w : ingestor.push(0, t, row)) {
+      windows.push_back(std::move(w));
+    }
+  }
+  ASSERT_EQ(windows.size(), 1u);
+  EXPECT_FALSE(windows[0].recomputed);
+  EXPECT_EQ(windows[0].missing_rows, 0u);  // 20 repaired; 21-22 delivered
+  EXPECT_EQ(windows[0].raw(20, 0), rows[20][0]);
+  EXPECT_TRUE(std::isnan(windows[0].raw(21, 0)));
+  expect_window_parity(windows[0], registry, cfg.preprocess);
+  const IngestStats s = ingestor.stats(0);
+  EXPECT_EQ(s.reordered, 1u);
+  EXPECT_EQ(s.windows_recomputed, 0u);
+  EXPECT_EQ(s.missing_rows, 0u);  // net: marked missing, then repaired
+}
+
+TEST(StreamIngest, RepairBehindTheFoldFallsBackToBatchRecompute) {
+  const MetricRegistry registry = test_registry();
+  StreamIngestConfig cfg;
+  cfg.window_length = 48;
+  cfg.stride = 48;
+  StreamIngestor ingestor(registry, cfg);
+  const auto rows = make_rows(registry, 48, 19);
+
+  // Row 20 goes missing, rows 21.. are delivered (the fold resolves past
+  // 20 the moment 21 arrives), THEN 20 shows up: the fold cannot rewind,
+  // so the window is recomputed from the assembled raw — and the late
+  // value is in it.
+  std::vector<TriggeredWindow> windows;
+  for (std::size_t t = 0; t < rows.size(); ++t) {
+    if (t == 20) continue;
+    if (t == 25) {
+      for (TriggeredWindow& w : ingestor.push(0, 20, rows[20])) {
+        windows.push_back(std::move(w));
+      }
+    }
+    for (TriggeredWindow& w : ingestor.push(0, t, rows[t])) {
+      windows.push_back(std::move(w));
+    }
+  }
+  ASSERT_EQ(windows.size(), 1u);
+  EXPECT_TRUE(windows[0].recomputed);
+  EXPECT_EQ(windows[0].missing_rows, 0u);
+  EXPECT_EQ(windows[0].raw(20, 0), rows[20][0]);
+  expect_window_parity(windows[0], registry, cfg.preprocess);
+  const IngestStats s = ingestor.stats(0);
+  EXPECT_EQ(s.reordered, 1u);
+  EXPECT_EQ(s.windows_recomputed, 1u);
+}
+
+TEST(StreamIngest, BoundedSkewReplayStaysCorrectViaRecompute) {
+  const MetricRegistry registry = test_registry();
+  StreamIngestConfig cfg;
+  cfg.window_length = 48;
+  cfg.stride = 24;
+  StreamIngestor ingestor(registry, cfg);
+  const auto rows = make_rows(registry, 144, 29);
+
+  // Swap every 6th adjacent pair (offset so no swap touches the stream
+  // head or a window's last row): a dense out-of-order trace. Every swap
+  // lands behind an already-resolved fold position, so affected windows
+  // take the batch fallback — parity must hold regardless.
+  std::vector<std::size_t> order(rows.size());
+  for (std::size_t t = 0; t < rows.size(); ++t) order[t] = t;
+  for (std::size_t t = 2; t + 1 < order.size(); t += 6) {
+    std::swap(order[t], order[t + 1]);
+  }
+  std::vector<TriggeredWindow> windows;
+  for (const std::size_t t : order) {
+    for (TriggeredWindow& w : ingestor.push(0, t, rows[t])) {
+      windows.push_back(std::move(w));
+    }
+  }
+  ASSERT_GE(windows.size(), 4u);
+  for (const TriggeredWindow& w : windows) {
+    EXPECT_EQ(w.missing_rows, 0u);
+    expect_window_parity(w, registry, cfg.preprocess);
+  }
+  const IngestStats s = ingestor.stats(0);
+  EXPECT_GT(s.reordered, 0u);
+  EXPECT_GT(s.windows_recomputed, 0u);
+  EXPECT_EQ(s.late_dropped, 0u);
+  EXPECT_EQ(s.missing_rows, 0u);
+}
+
+// ------------------------------------------- late arrivals + duplicates ---
+
+// The regression this PR fixes: a sample landing inside an already-emitted
+// window must be counted late_dropped and must NOT be written into the
+// ring, where a future window mapping onto the same slot would read it as
+// a delivered row.
+TEST(StreamIngest, LateArrivalInsideEmittedWindowIsDroppedNotWritten) {
+  const MetricRegistry registry = test_registry();
+  StreamIngestConfig cfg;
+  cfg.window_length = 16;
+  cfg.stride = 16;
+  cfg.max_missing = 2;
+  StreamIngestor ingestor(registry, cfg);
+  const auto rows = make_rows(registry, 48, 37);
+
+  std::vector<TriggeredWindow> windows;
+  for (std::size_t t = 0; t < 16; ++t) {
+    for (TriggeredWindow& w : ingestor.push(0, t, rows[t])) {
+      windows.push_back(std::move(w));
+    }
+  }
+  ASSERT_EQ(windows.size(), 1u);  // window [0, 16) emitted
+
+  // Row 7 re-arrives late. Ring capacity is window_length + stride = 32,
+  // so seq 39 of the third window maps onto the same ring slot as seq 7:
+  // a buggy write-through would make the (undelivered) row 39 look
+  // delivered with row 7's stale values.
+  std::vector<double> poison(registry.size(), 1e9);
+  EXPECT_TRUE(ingestor.push(0, 7, poison).empty());
+  const IngestStats after_late = ingestor.stats(0);
+  EXPECT_EQ(after_late.late_dropped, 1u);
+  EXPECT_EQ(after_late.duplicates, 0u);
+  EXPECT_EQ(after_late.accepted, 16u);
+
+  for (std::size_t t = 16; t < 48; ++t) {
+    if (t == 39) continue;  // never delivered
+    for (TriggeredWindow& w : ingestor.push(0, t, rows[t])) {
+      windows.push_back(std::move(w));
+    }
+  }
+  ASSERT_EQ(windows.size(), 3u);
+  const TriggeredWindow& third = windows[2];
+  EXPECT_EQ(third.start_seq, 32u);
+  EXPECT_EQ(third.missing_rows, 1u);
+  // Row 39 (slot shared with the dropped late row 7) must be NaN, not 1e9.
+  EXPECT_TRUE(std::isnan(third.raw(7, 0)));
+  expect_window_parity(third, registry, cfg.preprocess);
+}
+
+TEST(StreamIngest, DuplicateRowsKeepTheFirstValue) {
+  const MetricRegistry registry = test_registry();
+  StreamIngestConfig cfg;
+  cfg.window_length = 16;
+  cfg.stride = 16;
+  StreamIngestor ingestor(registry, cfg);
+  const auto rows = make_rows(registry, 16, 41);
+
+  std::vector<TriggeredWindow> windows;
+  std::vector<double> poison(registry.size(), -777.0);
+  for (std::size_t t = 0; t < rows.size(); ++t) {
+    for (TriggeredWindow& w : ingestor.push(0, t, rows[t])) {
+      windows.push_back(std::move(w));
+    }
+    if (t == 5) {
+      EXPECT_TRUE(ingestor.push(0, 5, poison).empty());
+    }
+  }
+  ASSERT_EQ(windows.size(), 1u);
+  EXPECT_EQ(ingestor.stats(0).duplicates, 1u);
+  EXPECT_EQ(windows[0].raw(5, 0), rows[5][0]);  // first delivery won
+  expect_window_parity(windows[0], registry, cfg.preprocess);
+}
+
+TEST(StreamIngest, ForwardJumpPastTheRingResetsAndRecovers) {
+  const MetricRegistry registry = test_registry();
+  StreamIngestConfig cfg;
+  cfg.window_length = 16;
+  cfg.stride = 16;
+  StreamIngestor ingestor(registry, cfg);
+  const auto rows = make_rows(registry, 48, 43);
+
+  std::vector<TriggeredWindow> windows;
+  for (std::size_t t = 0; t < 24; ++t) {
+    for (TriggeredWindow& w : ingestor.push(0, t, rows[t])) {
+      windows.push_back(std::move(w));
+    }
+  }
+  ASSERT_EQ(windows.size(), 1u);
+  EXPECT_EQ(ingestor.windows_in_flight(0), 1u);
+
+  // A collector restart: the sequence jumps far past the ring. In-flight
+  // windows are dropped; streaming re-anchors at the new sequence.
+  for (std::size_t t = 0; t < 16; ++t) {
+    for (TriggeredWindow& w : ingestor.push(0, 5000 + t, rows[24 + t])) {
+      windows.push_back(std::move(w));
+    }
+  }
+  ASSERT_EQ(windows.size(), 2u);
+  EXPECT_EQ(windows[1].start_seq, 5000u);
+  EXPECT_EQ(windows[1].missing_rows, 0u);
+  expect_window_parity(windows[1], registry, cfg.preprocess);
+  const IngestStats s = ingestor.stats(0);
+  EXPECT_EQ(s.resets, 1u);
+  EXPECT_EQ(s.windows_dropped, 1u);
+}
+
+// ------------------------------------------------- fault-injected replay ---
+
+TEST(StreamIngest, FaultInjectedReplayKeepsParity) {
+  NodeSimConfig sim;
+  sim.duration_steps = 96;
+  const RunGenerator generator(SystemKind::Volta, RegistryConfig{2, 1, 1},
+                               sim);
+
+  FaultConfig faults = production_faults();
+  faults.truncate_prob = 0.0;  // keep full-length streams for this replay
+  const TelemetryFaultInjector injector(faults);
+
+  StreamIngestConfig cfg;
+  cfg.window_length = 32;
+  cfg.stride = 16;
+  std::size_t windows_checked = 0;
+  for (int run = 0; run < 3; ++run) {
+    RunSpec spec;
+    spec.app_id = run % 2;
+    spec.nodes = 1;
+    spec.run_id = 7000 + run;
+    spec.seed = 100 + static_cast<std::uint64_t>(run);
+    if (run != 0) {
+      spec.anomaly = kAnomalyTypes[static_cast<std::size_t>(run) %
+                                   kAnomalyTypes.size()];
+      spec.intensity = 1.0;
+    }
+    for (Sample& sample : generator.generate_run(spec)) {
+      Rng rng(900 + static_cast<std::uint64_t>(run));
+      injector.apply(sample.series, generator.registry(), rng);
+
+      StreamIngestor ingestor(generator.registry(), cfg);
+      for (std::size_t t = 0; t < sample.series.rows(); ++t) {
+        for (const TriggeredWindow& w :
+             ingestor.push(sample.node_index, t, sample.series.row(t))) {
+          expect_window_parity(w, generator.registry(), cfg.preprocess);
+          ++windows_checked;
+        }
+      }
+    }
+  }
+  EXPECT_GE(windows_checked, 10u);
+}
+
+TEST(StreamIngest, NodesAreIndependentOfInterleaving) {
+  const MetricRegistry registry = test_registry();
+  StreamIngestConfig cfg;
+  cfg.window_length = 32;
+  cfg.stride = 16;
+
+  const auto rows_a = make_rows(registry, 96, 51);
+  const auto rows_b = make_rows(registry, 96, 53, /*nan_cell_rate=*/0.1);
+
+  StreamIngestor solo_a(registry, cfg);
+  StreamIngestor solo_b(registry, cfg);
+  const auto windows_a = replay(solo_a, 1, rows_a);
+  const auto windows_b = replay(solo_b, 2, rows_b);
+
+  StreamIngestor mixed(registry, cfg);
+  std::vector<TriggeredWindow> windows_1;
+  std::vector<TriggeredWindow> windows_2;
+  for (std::size_t t = 0; t < rows_a.size(); ++t) {
+    for (TriggeredWindow& w : mixed.push(1, t, rows_a[t])) {
+      windows_1.push_back(std::move(w));
+    }
+    for (TriggeredWindow& w : mixed.push(2, t, rows_b[t])) {
+      windows_2.push_back(std::move(w));
+    }
+  }
+
+  ASSERT_EQ(windows_1.size(), windows_a.size());
+  ASSERT_EQ(windows_2.size(), windows_b.size());
+  for (std::size_t i = 0; i < windows_a.size(); ++i) {
+    ASSERT_EQ(windows_1[i].features.size(), windows_a[i].features.size());
+    for (std::size_t j = 0; j < windows_a[i].features.size(); ++j) {
+      EXPECT_EQ(windows_1[i].features[j], windows_a[i].features[j]);
+    }
+  }
+  const IngestStats total = mixed.total_stats();
+  EXPECT_EQ(total.accepted,
+            mixed.stats(1).accepted + mixed.stats(2).accepted);
+}
+
+// -------------------------------------------- determinism across threads ---
+
+std::uint64_t fnv1a(std::uint64_t h, std::uint64_t v) {
+  for (int b = 0; b < 8; ++b) {
+    h ^= (v >> (8 * b)) & 0xFF;
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+// Replays a gapped, NaN-ridden, partially out-of-order stream and hashes
+// every emitted feature bit plus the stats counters. Run directly it
+// asserts parity; run from the re-exec harness below it also prints the
+// hash for the parent to compare across ALBA_THREADS settings.
+TEST(StreamThreads, ChildReplayAndHash) {
+  const MetricRegistry registry = test_registry();
+  StreamIngestConfig cfg;
+  cfg.window_length = 48;
+  cfg.stride = 24;
+  StreamIngestor ingestor(registry, cfg);
+  const auto rows = make_rows(registry, 240, 61, /*nan_cell_rate=*/0.05);
+
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  std::size_t emitted = 0;
+  for (std::size_t t = 0; t < rows.size(); ++t) {
+    if (t % 17 == 5) continue;  // gap
+    if (t % 29 == 11 && t > 0) {
+      (void)ingestor.push(0, t - 1, rows[t - 1]);  // duplicate
+    }
+    for (const TriggeredWindow& w : ingestor.push(0, t, rows[t])) {
+      expect_window_parity(w, registry, cfg.preprocess);
+      ++emitted;
+      for (const double f : w.features) {
+        std::uint64_t bits = 0;
+        std::memcpy(&bits, &f, sizeof bits);
+        h = fnv1a(h, bits);
+      }
+    }
+  }
+  const IngestStats s = ingestor.stats(0);
+  h = fnv1a(h, s.accepted);
+  h = fnv1a(h, s.reordered);
+  h = fnv1a(h, s.duplicates);
+  h = fnv1a(h, s.missing_rows);
+  h = fnv1a(h, s.windows_recomputed);
+  EXPECT_GT(emitted, 4u);
+  std::printf("STREAM_HASH=%016llx\n", static_cast<unsigned long long>(h));
+}
+
+// Streaming is single-threaded by design, but its outputs must not depend
+// on the process-wide pool size (the batch fallback and registry setup
+// must stay off the pool): re-exec with ALBA_THREADS pinned and compare.
+TEST(StreamThreads, FeaturesIdenticalAcrossPoolSizes) {
+  char self[4096];
+  const ssize_t len = readlink("/proc/self/exe", self, sizeof self - 1);
+  if (len <= 0) GTEST_SKIP() << "/proc/self/exe unavailable";
+  self[len] = '\0';
+
+  std::vector<std::string> hashes;
+  for (const char* threads : {"1", "2", "8"}) {
+    const std::string cmd =
+        std::string("ALBA_THREADS=") + threads + " '" + self +
+        "' --gtest_filter=StreamThreads.ChildReplayAndHash 2>/dev/null";
+    std::FILE* pipe = popen(cmd.c_str(), "r");
+    ASSERT_NE(pipe, nullptr);
+    std::string hash;
+    char line[512];
+    while (std::fgets(line, sizeof line, pipe) != nullptr) {
+      const std::string s(line);
+      const auto pos = s.find("STREAM_HASH=");
+      if (pos != std::string::npos) hash = s.substr(pos + 12, 16);
+    }
+    const int rc = pclose(pipe);
+    ASSERT_EQ(rc, 0) << "child run with ALBA_THREADS=" << threads
+                     << " failed";
+    ASSERT_EQ(hash.size(), 16u) << "child printed no hash";
+    hashes.push_back(hash);
+  }
+  EXPECT_EQ(hashes[0], hashes[1]);
+  EXPECT_EQ(hashes[0], hashes[2]);
+}
+
+// --------------------------------------------------- the Diagnoser tiers ---
+
+// One tiny trained bundle shared by the tier tests (building the dataset
+// is the expensive part; everything downstream is cheap).
+struct TierEnv {
+  DatasetConfig cfg = tiny_config();
+  ExperimentData data;
+  SplitIndices split;
+  PreparedSplit prepared;
+  std::unique_ptr<Classifier> model;
+  std::string bundle_bytes;
+};
+
+const TierEnv& tier_env() {
+  static const TierEnv* shared = [] {
+    auto* e = new TierEnv;
+    e->data = build_experiment_data(e->cfg);
+    e->split = make_split(e->data, e->cfg.test_fraction, 5);
+    e->prepared = prepare_split(e->data, e->split, e->cfg.select_k);
+    ParamSet params = table4_optimum("rf", false);
+    params["n_estimators"] = "15";
+    e->model = make_model_factory("rf", kNumClasses, 9)(params);
+    e->model->fit(e->prepared.train_x, e->prepared.train_y);
+    std::stringstream ss(std::ios::in | std::ios::out | std::ios::binary);
+    save_model_bundle(ss, make_model_bundle(e->data, e->prepared, *e->model));
+    e->bundle_bytes = ss.str();
+    return e;
+  }();
+  return *shared;
+}
+
+std::shared_ptr<DiagnosisService> tier_service(const TierEnv& e,
+                                               ServingConfig serving = {}) {
+  std::stringstream ss(e.bundle_bytes,
+                       std::ios::in | std::ios::out | std::ios::binary);
+  return std::make_shared<DiagnosisService>(load_model_bundle(ss), serving);
+}
+
+Sample fresh_sample(const TierEnv& e, std::uint64_t seed) {
+  const RunGenerator generator(e.cfg.system, e.cfg.registry, e.cfg.sim);
+  RunSpec spec;
+  spec.app_id = 0;
+  spec.nodes = 1;
+  spec.anomaly = kAnomalyTypes[0];
+  spec.intensity = 1.0;
+  spec.run_id = 9900;
+  spec.seed = seed;
+  return generator.generate_run(spec)[0];
+}
+
+TEST(DiagnoserTiers, StreamedWindowDiagnosesIdenticallyAcrossAllTiers) {
+  const TierEnv& e = tier_env();
+  const Sample sample = fresh_sample(e, 777);
+
+  // Stream the sample's series as a 1 Hz feed; one tumbling window spans
+  // the full run, so its raw matrix is bit-identical to the series.
+  StreamIngestConfig cfg;
+  cfg.window_length = sample.series.rows();
+  cfg.stride = sample.series.rows();
+  cfg.preprocess = e.cfg.preprocess;
+  StreamIngestor ingestor(MetricRegistry(e.cfg.system, e.cfg.registry), cfg);
+  std::vector<TriggeredWindow> windows;
+  for (std::size_t t = 0; t < sample.series.rows(); ++t) {
+    for (TriggeredWindow& w : ingestor.push(0, t, sample.series.row(t))) {
+      windows.push_back(std::move(w));
+    }
+  }
+  ASSERT_EQ(windows.size(), 1u);
+  ASSERT_EQ(windows[0].features.size(), ingestor.registry().size() * kF);
+
+  auto service = tier_service(e);
+  const Diagnosis reference = service->diagnose(sample.series);
+
+  ServiceHost host(tier_service(e));
+  ServingFleet fleet({tier_service(e), tier_service(e)});
+
+  const std::vector<Diagnoser*> tiers = {service.get(), &host, &fleet};
+  for (Diagnoser* tier : tiers) {
+    const DiagnosisResult r = tier->diagnose(DiagnoseRequest{&windows[0].raw});
+    ASSERT_TRUE(r.ok()) << to_string(r.status) << ": " << r.error;
+    EXPECT_EQ(r.diagnosis.label, reference.label);
+    EXPECT_EQ(r.generation, 1u);
+    ASSERT_EQ(r.diagnosis.probs.size(), reference.probs.size());
+    for (std::size_t i = 0; i < reference.probs.size(); ++i) {
+      EXPECT_EQ(r.diagnosis.probs[i], reference.probs[i]);
+    }
+  }
+  fleet.drain();
+  host.drain();
+}
+
+TEST(DiagnoserTiers, ExpiredDeadlineIsATypedRejectionEverywhere) {
+  const TierEnv& e = tier_env();
+  const Sample sample = fresh_sample(e, 778);
+
+  auto service = tier_service(e);
+  ServiceHost host(tier_service(e));
+  ServingFleet fleet({tier_service(e)});
+
+  const std::vector<Diagnoser*> tiers = {service.get(), &host, &fleet};
+  for (Diagnoser* tier : tiers) {
+    const DiagnosisResult r = tier->diagnose(
+        DiagnoseRequest{&sample.series, Deadline::after_ms(-1.0)});
+    EXPECT_EQ(r.status, RequestStatus::RejectedDeadline);
+    EXPECT_FALSE(r.ok());
+    EXPECT_TRUE(r.diagnosis.probs.empty());
+  }
+  fleet.drain();
+  host.drain();
+}
+
+TEST(DiagnoserTiers, PipelineFaultIsAFailedStatusNotAnException) {
+  const TierEnv& e = tier_env();
+  const Sample sample = fresh_sample(e, 779);
+
+  ServingConfig serving;
+  serving.cache_capacity = 0;
+  serving.extraction_hook = [](const Matrix&) { throw Error("injected"); };
+  auto service = tier_service(e, serving);
+
+  Diagnoser& tier = *service;
+  const DiagnosisResult r = tier.diagnose(DiagnoseRequest{&sample.series});
+  EXPECT_EQ(r.status, RequestStatus::Failed);
+  EXPECT_NE(r.error.find("injected"), std::string::npos);
+}
+
+TEST(DiagnoserTiers, GenericRetryRecoversOnAnyTier) {
+  const TierEnv& e = tier_env();
+  const Sample sample = fresh_sample(e, 780);
+
+  std::atomic<int> calls{0};
+  ServingConfig serving;
+  serving.cache_capacity = 0;
+  serving.extraction_hook = [&](const Matrix&) {
+    if (calls.fetch_add(1) < 2) throw Error("transient");
+  };
+  auto service = tier_service(e, serving);
+
+  BackoffConfig backoff;
+  backoff.max_attempts = 5;
+  backoff.initial_delay_ms = 0.5;
+  backoff.seed = 7;
+  const DiagnosisResult r = diagnose_with_retry(
+      *service, DiagnoseRequest{&sample.series}, backoff);
+  EXPECT_TRUE(r.ok()) << to_string(r.status) << ": " << r.error;
+  EXPECT_EQ(r.attempts, 3u);
+  EXPECT_EQ(calls.load(), 3);
+}
+
+}  // namespace
+}  // namespace alba
