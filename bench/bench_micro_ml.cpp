@@ -26,6 +26,7 @@
 #include "active/strategy.hpp"
 #include "common/rng.hpp"
 #include "common/timer.hpp"
+#include "ml/compiled_tree.hpp"
 #include "ml/gbm.hpp"
 #include "ml/logreg.hpp"
 #include "ml/metrics.hpp"
@@ -436,6 +437,55 @@ PredictEntry run_predict_cell(const char* name, const Model& model,
   return e;
 }
 
+// One batch-size cell of the small-vs-block kernel sweep: per-call time of
+// the compiled predictor at `batch` rows with each variant forced via
+// set_small_batch_cutoff, so the crossover behind the predict_dispatch
+// default is reproducible from the published JSON.
+struct BatchEntry {
+  std::string model;
+  std::size_t n = 0;
+  std::size_t f = 0;
+  std::size_t batch = 0;
+  double block_s = 0.0;  // forced binned block path
+  double small_s = 0.0;  // forced threshold-SoA small kernel
+  double speedup = 0.0;  // block_s / small_s — >1 means small wins
+};
+
+template <typename Model>
+BatchEntry run_batch_cell(const char* name, const Model& model,
+                          const Matrix& pool, std::size_t batch) {
+  BatchEntry e;
+  e.model = name;
+  e.n = pool.rows();
+  e.f = pool.cols();
+  e.batch = batch;
+
+  Matrix xb(batch, pool.cols());
+  for (std::size_t i = 0; i < batch; ++i) {
+    const auto src = pool.row(i % pool.rows());
+    std::copy(src.begin(), src.end(), xb.row(i).begin());
+  }
+  Matrix out(batch, static_cast<std::size_t>(model.compiled()->num_classes()));
+  const CompiledTreePredictor& pred = *model.compiled();
+  const int reps = batch <= 4 ? 200 : (batch <= 16 ? 50 : 15);
+
+  const std::size_t prev = CompiledTreePredictor::set_small_batch_cutoff(0);
+  e.block_s =
+      time_best_of(reps, [&] { pred.predict_range(xb, 0, batch, out); });
+  CompiledTreePredictor::set_small_batch_cutoff(
+      std::numeric_limits<std::size_t>::max());
+  e.small_s =
+      time_best_of(reps, [&] { pred.predict_range(xb, 0, batch, out); });
+  CompiledTreePredictor::set_small_batch_cutoff(prev);
+  e.speedup = e.small_s > 0.0 ? e.block_s / e.small_s : 0.0;
+
+  std::printf(
+      "batch sweep   %-5s %5zux%-5zu batch %3zu | block %9.2fus | "
+      "small %9.2fus | small wins %5.2fx\n",
+      name, e.n, e.f, e.batch, 1e6 * e.block_s, 1e6 * e.small_s, e.speedup);
+  return e;
+}
+
 // Weak-signal synth with flipped labels for the predict sweep: the strong
 // make_synth signal lets hist trees separate classes in a handful of
 // nodes, which benchmarks almost no traversal. Here the signal barely
@@ -488,6 +538,8 @@ bool run_predict_sweep(bool smoke, const char* json_path) {
             : std::vector<Shape>{{500, 500}, {2000, 500}, {2000, 2000}};
 
   std::vector<PredictEntry> entries;
+  std::vector<BatchEntry> batch_entries;
+  const std::size_t batches[] = {1, 2, 4, 8, 16, 64};
   bool ok = true;
   for (const Shape& shape : shapes) {
     // Hist-trained on a small slice: tree size is bounded by training
@@ -523,22 +575,41 @@ bool run_predict_sweep(bool smoke, const char* json_path) {
     GbmClassifier gbm(gbm_cfg, 1);
     gbm.fit(gbm_train.x, gbm_train.y);
     entries.push_back(run_predict_cell("lgbm", gbm, pool.x, gate, ok));
+
+    // Batch-size column: forced small-kernel vs forced block-path times at
+    // each micro-batch size, so the dispatch crossover (and the effect of
+    // ALBA_SMALL_BATCH_CUTOFF overrides) can be read off the JSON instead
+    // of re-measured by hand.
+    for (const std::size_t batch : batches) {
+      batch_entries.push_back(run_batch_cell("rf", rf, pool.x, batch));
+      batch_entries.push_back(run_batch_cell("lgbm", gbm, pool.x, batch));
+    }
   }
 
   std::ofstream os(json_path);
-  os << "[\n";
+  os << "{\n  \"full\": [\n";
   for (std::size_t i = 0; i < entries.size(); ++i) {
     const PredictEntry& e = entries[i];
-    os << "  {\"model\": \"" << e.model << "\", \"n\": " << e.n
+    os << "    {\"model\": \"" << e.model << "\", \"n\": " << e.n
        << ", \"f\": " << e.f << ", \"reference_s\": " << e.reference_s
        << ", \"compiled_s\": " << e.compiled_s
        << ", \"speedup\": " << e.speedup
        << ", \"max_abs_diff\": " << e.max_abs_diff << "}"
        << (i + 1 < entries.size() ? "," : "") << "\n";
   }
-  os << "]\n";
-  std::printf("predict sweep written to %s (%zu entries)%s\n", json_path,
-              entries.size(), ok ? "" : " — GATES FAILED");
+  os << "  ],\n  \"batch_sweep\": [\n";
+  for (std::size_t i = 0; i < batch_entries.size(); ++i) {
+    const BatchEntry& e = batch_entries[i];
+    os << "    {\"model\": \"" << e.model << "\", \"n\": " << e.n
+       << ", \"f\": " << e.f << ", \"batch\": " << e.batch
+       << ", \"block_s\": " << e.block_s << ", \"small_s\": " << e.small_s
+       << ", \"speedup\": " << e.speedup << "}"
+       << (i + 1 < batch_entries.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n}\n";
+  std::printf("predict sweep written to %s (%zu full, %zu batch entries)%s\n",
+              json_path, entries.size(), batch_entries.size(),
+              ok ? "" : " — GATES FAILED");
   return ok;
 }
 

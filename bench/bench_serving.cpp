@@ -26,6 +26,7 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <limits>
 #include <memory>
 #include <string>
 #include <thread>
@@ -33,6 +34,9 @@
 #include <vector>
 
 #include "alba.hpp"
+#include "common/rng.hpp"
+#include "ml/compiled_tree.hpp"
+#include "ml/gbm.hpp"
 
 using namespace alba;
 
@@ -304,6 +308,302 @@ int run_chaos_smoke(const Stream& stream, std::uint64_t seed) {
   return 0;
 }
 
+// ------------------------------------- single-window latency sweep ------
+
+// One (model, algo, batch) cell: per-call latency percentiles of the
+// default dispatch, plus the forced small-kernel and forced block-path p50
+// so the crossover choice is reproducible from the JSON alone.
+struct LatencyCell {
+  std::string model;
+  std::string algo;
+  std::size_t batch = 0;
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+  double p999_us = 0.0;
+  double min_us = 0.0;
+  double small_p50_us = 0.0;
+  double block_p50_us = 0.0;
+};
+
+// Weak-signal rows with label noise (the bench_micro_ml idiom) so trees
+// must grow toward their depth budget, plus the NaN/±inf telemetry mix the
+// serving path sees from quarantined collectors.
+struct LatencySynth {
+  Matrix x;
+  std::vector<int> y;
+};
+
+LatencySynth make_latency_synth(std::size_t n, std::size_t f,
+                                std::uint64_t seed) {
+  Rng rng(seed);
+  LatencySynth s;
+  s.x = Matrix(n, f);
+  for (std::size_t i = 0; i < n; ++i) {
+    auto c = static_cast<int>(i % static_cast<std::size_t>(kNumClasses));
+    if (rng.uniform() < 0.3) {
+      c = static_cast<int>(rng.uniform() * kNumClasses) % kNumClasses;
+    }
+    s.y.push_back(c);
+    for (std::size_t j = 0; j < f; ++j) {
+      const double u = rng.uniform();
+      if (u < 0.01) {
+        s.x(i, j) = std::numeric_limits<double>::quiet_NaN();
+        continue;
+      }
+      if (u < 0.015) {
+        s.x(i, j) = (i + j) % 2 == 0
+                        ? std::numeric_limits<double>::infinity()
+                        : -std::numeric_limits<double>::infinity();
+        continue;
+      }
+      const double signal =
+          j % static_cast<std::size_t>(kNumClasses) ==
+                  i % static_cast<std::size_t>(kNumClasses)
+              ? 0.15
+              : 0.0;
+      s.x(i, j) = signal + 0.3 * rng.uniform();
+    }
+  }
+  return s;
+}
+
+// Per-call latencies (µs) of `fn` over `reps` calls, after one warm-up.
+template <typename Fn>
+std::vector<double> time_calls_us(int reps, Fn&& fn) {
+  fn();
+  std::vector<double> us(static_cast<std::size_t>(reps));
+  for (int r = 0; r < reps; ++r) {
+    Timer timer;
+    fn();
+    us[static_cast<std::size_t>(r)] = timer.seconds() * 1e6;
+  }
+  return us;
+}
+
+// Median per-call latency of the compiled predictor over the first `batch`
+// rows with the crossover pinned to `cutoff` for the duration.
+double forced_p50_us(const CompiledTreePredictor& pred, const Matrix& xb,
+                     Matrix& out, int reps, std::size_t cutoff) {
+  const std::size_t prev =
+      CompiledTreePredictor::set_small_batch_cutoff(cutoff);
+  const std::vector<double> us = time_calls_us(
+      reps, [&] { pred.predict_range(xb, 0, xb.rows(), out); });
+  CompiledTreePredictor::set_small_batch_cutoff(prev);
+  return latency_percentile(us, 0.50);
+}
+
+LatencyCell run_latency_cell(const char* model, const char* algo,
+                             const CompiledTreePredictor& pred,
+                             const Matrix& pool, std::size_t batch,
+                             int reps) {
+  Matrix xb(batch, pool.cols());
+  for (std::size_t i = 0; i < batch; ++i) {
+    const auto src = pool.row(i % pool.rows());
+    std::copy(src.begin(), src.end(), xb.row(i).begin());
+  }
+  Matrix out(batch, static_cast<std::size_t>(pred.num_classes()));
+
+  LatencyCell cell;
+  cell.model = model;
+  cell.algo = algo;
+  cell.batch = batch;
+  const std::vector<double> us = time_calls_us(
+      reps, [&] { pred.predict_range(xb, 0, batch, out); });
+  cell.p50_us = latency_percentile(us, 0.50);
+  cell.p99_us = latency_percentile(us, 0.99);
+  cell.p999_us = latency_percentile(us, 0.999);
+  cell.min_us = latency_percentile(us, 0.0);
+  cell.small_p50_us = forced_p50_us(
+      pred, xb, out, reps, std::numeric_limits<std::size_t>::max());
+  cell.block_p50_us = forced_p50_us(pred, xb, out, reps, 0);
+  return cell;
+}
+
+// Bit-identity across all three paths on one probe batch: forced small,
+// forced block, and the reference object walk must agree on every
+// probability bit and therefore on every argmax.
+bool paths_bit_identical(const char* name, const Classifier& model,
+                         const Matrix& probe) {
+  const Matrix reference = model.predict_proba_reference(probe);
+  const std::size_t prev = CompiledTreePredictor::set_small_batch_cutoff(
+      std::numeric_limits<std::size_t>::max());
+  const Matrix small_probs = model.predict_proba(probe);
+  CompiledTreePredictor::set_small_batch_cutoff(0);
+  const Matrix block_probs = model.predict_proba(probe);
+  CompiledTreePredictor::set_small_batch_cutoff(prev);
+  for (std::size_t i = 0; i < probe.rows(); ++i) {
+    if (argmax_label(small_probs.row(i)) != argmax_label(reference.row(i))) {
+      std::fprintf(stderr, "[latency] %s: argmax mismatch on row %zu\n",
+                   name, i);
+      return false;
+    }
+    for (std::size_t c = 0; c < reference.cols(); ++c) {
+      if (!bits_equal(small_probs(i, c), reference(i, c)) ||
+          !bits_equal(block_probs(i, c), reference(i, c))) {
+        std::fprintf(stderr,
+                     "[latency] %s: probability bits differ at (%zu, %zu)\n",
+                     name, i, c);
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+// The single-window latency sweep (batch 1/2/4/8/16/64 × DT/RF/GBM ×
+// Exact/Hist) written to BENCH_serving_latency.json. With `gate` set (the
+// --latency-smoke CI entry) it also enforces: small kernel ≥3× faster than
+// the forced block path at batch=1 for RF and GBM at paper-scale shapes,
+// and bit-identical probabilities across small / block / reference.
+int run_latency_sweep(bool gate, std::uint64_t seed) {
+  // Paper-scale shape: the raw per-window feature space before selection
+  // (hundreds of metrics x statistics), a few hundred training windows,
+  // six anomaly classes. Exact-trained ensembles are thinned (training
+  // cost, not predict cost, is the constraint); the gate reads the
+  // Hist-trained RF/GBM, the deployment configuration.
+  const std::size_t f = 1600;
+  const LatencySynth train = make_latency_synth(600, f, seed);
+  const LatencySynth exact_train = make_latency_synth(300, f, seed + 1);
+  const LatencySynth pool = make_latency_synth(64, f, seed + 2);
+  const int reps = gate ? 300 : 1000;
+
+  struct Fitted {
+    const char* model;
+    const char* algo;
+    std::unique_ptr<Classifier> clf;
+    std::shared_ptr<const CompiledTreePredictor> pred;
+  };
+  std::vector<Fitted> fitted;
+
+  std::printf("[latency] training DT/RF/GBM x Exact/Hist at %zu features\n",
+              f);
+  for (const auto algo : {SplitAlgo::Exact, SplitAlgo::Hist}) {
+    const char* algo_name = algo == SplitAlgo::Hist ? "hist" : "exact";
+    const bool exact = algo == SplitAlgo::Exact;
+    const LatencySynth& tr = exact ? exact_train : train;
+
+    TreeConfig tcfg;
+    tcfg.num_classes = kNumClasses;
+    tcfg.max_depth = 8;
+    tcfg.split_algo = algo;
+    auto dt = std::make_unique<DecisionTree>(tcfg, seed);
+    dt->fit(tr.x, tr.y);
+    auto dt_pred = dt->compiled();
+    fitted.push_back(Fitted{"dt", algo_name, std::move(dt), dt_pred});
+
+    // Paper-scale shapes (Table IV Volta optima): RF 20 trees x depth 8;
+    // GBM 31 leaves with column subsampling so trees spread over the
+    // feature space the way per-split sampling does at production scale.
+    ForestConfig fcfg;
+    fcfg.num_classes = kNumClasses;
+    fcfg.n_estimators = exact ? 10 : 20;
+    fcfg.max_depth = 8;
+    fcfg.split_algo = algo;
+    auto rf = std::make_unique<RandomForest>(fcfg, seed);
+    rf->fit(tr.x, tr.y);
+    auto rf_pred = rf->compiled();
+    fitted.push_back(Fitted{"rf", algo_name, std::move(rf), rf_pred});
+
+    GbmConfig gcfg;
+    gcfg.num_classes = kNumClasses;
+    gcfg.n_estimators = exact ? 5 : 10;
+    gcfg.num_leaves = 31;
+    gcfg.max_depth = 8;
+    gcfg.colsample_bytree = 0.3;
+    gcfg.split_algo = algo;
+    auto gbm = std::make_unique<GbmClassifier>(gcfg, seed);
+    gbm->fit(tr.x, tr.y);
+    auto gbm_pred = gbm->compiled();
+    fitted.push_back(Fitted{"lgbm", algo_name, std::move(gbm), gbm_pred});
+  }
+
+  const std::vector<std::size_t> batches{1, 2, 4, 8, 16, 64};
+  std::vector<LatencyCell> cells;
+  TextTable table({"model", "algo", "batch", "p50 us", "p99 us",
+                   "p99.9 us", "min us", "small p50", "block p50"});
+  for (const Fitted& m : fitted) {
+    if (m.pred == nullptr) {
+      std::fprintf(stderr, "[latency] %s/%s did not compile\n", m.model,
+                   m.algo);
+      return 1;
+    }
+    for (const std::size_t batch : batches) {
+      const int cell_reps =
+          batch >= 64 ? std::max(20, reps / 10) : reps;
+      cells.push_back(run_latency_cell(m.model, m.algo, *m.pred, pool.x,
+                                       batch, cell_reps));
+      const LatencyCell& c = cells.back();
+      table.add_row({c.model, c.algo, std::to_string(c.batch),
+                     strformat("%.2f", c.p50_us),
+                     strformat("%.2f", c.p99_us),
+                     strformat("%.2f", c.p999_us),
+                     strformat("%.2f", c.min_us),
+                     strformat("%.2f", c.small_p50_us),
+                     strformat("%.2f", c.block_p50_us)});
+    }
+  }
+  std::printf("\nsingle-window latency sweep (crossover cutoff %zu)\n%s\n",
+              CompiledTreePredictor::small_batch_cutoff(),
+              table.render().c_str());
+
+  const char* json_path = "BENCH_serving_latency.json";
+  {
+    std::ofstream os(json_path);
+    os << "{\n  \"cutoff\": "
+       << CompiledTreePredictor::small_batch_cutoff()
+       << ",\n  \"features\": " << f << ",\n  \"entries\": [\n";
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      const LatencyCell& c = cells[i];
+      os << "    {\"model\": \"" << c.model << "\", \"algo\": \"" << c.algo
+         << "\", \"batch\": " << c.batch << ", \"p50_us\": " << c.p50_us
+         << ", \"p99_us\": " << c.p99_us << ", \"p999_us\": " << c.p999_us
+         << ", \"min_us\": " << c.min_us
+         << ", \"small_p50_us\": " << c.small_p50_us
+         << ", \"block_p50_us\": " << c.block_p50_us << "}"
+         << (i + 1 < cells.size() ? "," : "") << "\n";
+    }
+    os << "  ]\n}\n";
+  }
+  std::printf("[latency] sweep written to %s (%zu cells)\n", json_path,
+              cells.size());
+
+  // The gate: deployment models (Hist RF + GBM), batch=1, small kernel at
+  // least 3× faster than the forced block path, all paths bit-identical.
+  bool ok = true;
+  for (const Fitted& m : fitted) {
+    const bool gated = std::strcmp(m.algo, "hist") == 0 &&
+                       (std::strcmp(m.model, "rf") == 0 ||
+                        std::strcmp(m.model, "lgbm") == 0);
+    if (!paths_bit_identical(m.model, *m.clf, pool.x)) ok = false;
+    if (!gated) continue;
+    const auto it = std::find_if(
+        cells.begin(), cells.end(), [&](const LatencyCell& c) {
+          return c.batch == 1 && c.model == m.model && c.algo == m.algo;
+        });
+    const double speedup = it->small_p50_us > 0.0
+                               ? it->block_p50_us / it->small_p50_us
+                               : 0.0;
+    std::printf("[latency] %s/%s batch=1: small %.2fus vs block %.2fus "
+                "(%.1fx)\n",
+                m.model, m.algo, it->small_p50_us, it->block_p50_us,
+                speedup);
+    if (gate && speedup < 3.0) {
+      std::fprintf(stderr,
+                   "[latency] GATE FAIL: %s/%s batch=1 small-kernel "
+                   "speedup %.2fx < 3x\n",
+                   m.model, m.algo, speedup);
+      ok = false;
+    }
+  }
+  if (!ok) {
+    std::printf("[latency] FAILED\n");
+    return 1;
+  }
+  std::printf("[latency] ok: small-batch kernel >=3x at batch=1 on RF+GBM, "
+              "bit-identical across small/block/reference\n");
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -311,20 +611,33 @@ int main(int argc, char** argv) {
   std::uint64_t seed = 7;
   bool smoke = false;
   bool chaos_smoke = false;
+  bool latency = false;
+  bool latency_smoke = false;
   std::string out_csv;
   Cli cli("bench_serving",
           "Online serving benchmark: latency/throughput/cache sweep over an "
           "exported ModelBundle (--smoke for the CI agreement gate, "
-          "--chaos-smoke for the resilience gate).");
+          "--chaos-smoke for the resilience gate, --latency-smoke for the "
+          "small-batch kernel gate).");
   cli.flag("windows", &windows, "windows in the served stream");
   cli.flag("seed", &seed, "stream generation seed");
   cli.flag("smoke", &smoke, "serve 100 windows, assert offline agreement");
   cli.flag("chaos-smoke", &chaos_smoke,
            "burst a chaos-injected ServiceHost, assert typed shedding, "
            "deadline honesty, and rollback bit-identity");
+  cli.flag("latency", &latency,
+           "full single-window latency sweep (batch x model x algo) to "
+           "BENCH_serving_latency.json");
+  cli.flag("latency-smoke", &latency_smoke,
+           "abridged latency sweep plus the CI gate: small-batch kernel "
+           ">=3x block path at batch=1 on RF+GBM, bit-identical probas");
   cli.flag("out", &out_csv, "CSV dump path (empty = none)");
   cli.parse(argc, argv);
   set_log_level(LogLevel::Warn);
+
+  // The latency sweep trains its own synthetic paper-scale models; it does
+  // not need the bundle/stream setup below.
+  if (latency || latency_smoke) return run_latency_sweep(latency_smoke, seed);
 
   // ---- train a small model and freeze it --------------------------------
   DatasetConfig cfg = tiny_config();

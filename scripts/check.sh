@@ -4,12 +4,17 @@
 # agreement with the offline pipeline), a serving chaos smoke (burst a
 # ServiceHost under injected slow/failing extractions and poisoned bundle
 # pushes; only typed shedding, deadline-honest Ok results, and rollback
-# bit-identity are acceptable), an ML train smoke run (histogram vs exact
+# bit-identity are acceptable), a serving latency smoke (single-window
+# sweep over batch x model x split algo; the small-batch threshold-SoA
+# kernel must be >=3x the forced block path at batch=1 on RF+GBM with
+# bit-identical probabilities; percentiles land in
+# BENCH_serving_latency.json), an ML train smoke run (histogram vs exact
 # split finders must agree on macro-F1 within the parity gate), an ML
 # predict smoke run (compiled flat-SoA inference must match the
 # object-traversal reference on every argmax, stay within 1e-9 on
 # probabilities, and clear the 3x speedup gate at the 2000x2000 pool
-# scale; timings land in BENCH_ml_predict.json), an
+# scale; timings plus the small/block batch-size sweep land in
+# BENCH_ml_predict.json), an
 # fleet smoke run (deterministic consistent-hash routing must beat
 # round-robin on cache hit rate; timings land in BENCH_fleet.json), a
 # fleet chaos smoke (kill-under-load conservation, poisoned-canary
@@ -40,6 +45,10 @@ echo "== serving smoke: export bundle + serve 100 windows =="
 echo
 echo "== serving chaos smoke: typed shedding + rollback under faults =="
 ./build/bench/bench_serving --chaos-smoke
+
+echo
+echo "== serving latency smoke: small-batch kernel >=3x at batch=1 =="
+(cd build/bench && ./bench_serving --latency-smoke)
 
 echo
 echo "== ml smoke: hist/exact train parity + compiled predict gates =="

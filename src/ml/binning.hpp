@@ -47,6 +47,19 @@ inline double exact_cut_threshold(double left, double right) noexcept {
                              : -std::numeric_limits<double>::infinity();
 }
 
+/// Predict-time routing against a stored raw threshold: `v` takes the
+/// right child iff it is finite and strictly above the cut — the
+/// complement of the NaN-left rule `v <= t || !isfinite(v)`. Every
+/// traversal (the object walk, the compiled block path via bin codes, the
+/// compiled small-batch threshold kernel) must agree on this one
+/// predicate, so it lives here next to the cut semantics it completes.
+/// The comparisons combine with `&`, not `&&`: a short-circuit compiles
+/// to a data-dependent branch, and the hot traversals want a select.
+inline bool split_routes_right(double v, double threshold) noexcept {
+  return (static_cast<int>(v > threshold) &
+          static_cast<int>(std::isfinite(v))) != 0;
+}
+
 /// Split-finding algorithm for the tree models. `Exact` (the default) sorts
 /// raw feature values at every node and is the reference implementation;
 /// `Hist` quantizes features once and scans bin histograms — near-identical

@@ -1,12 +1,15 @@
 #include "ml/compiled_tree.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <cstdlib>
 #include <limits>
 #include <utility>
 
 #include "common/error.hpp"
 #include "linalg/ops.hpp"
+#include "ml/binning.hpp"
 #include "ml/decision_tree.hpp"
 #include "ml/gbm.hpp"
 #include "ml/random_forest.hpp"
@@ -19,6 +22,44 @@ namespace {
 // keep the whole working set (codes + SoA nodes) L1/L2-resident while
 // amortizing the binning pass across every tree of the ensemble.
 constexpr std::size_t kBlockRows = 64;
+
+// Crossover between the small-batch threshold kernel and the binned block
+// path. The threshold kernel wins while the per-call binning cost (U used
+// features × one lower-bound each) dwarfs the traversal work it can
+// share. On serving-shaped ensembles (tens of trees — the bench_serving
+// latency sweep) that holds through mid-teens batches; very large
+// ensembles amortize binning across trees instead and cross by batch ~2
+// (the bench_micro_ml batch sweep records both curves), which is what the
+// ALBA_SMALL_BATCH_CUTOFF override is for.
+constexpr std::size_t kDefaultSmallBatchCutoff = 16;
+
+std::size_t cutoff_from_env() noexcept {
+  const char* env = std::getenv("ALBA_SMALL_BATCH_CUTOFF");
+  if (env == nullptr || *env == '\0') return kDefaultSmallBatchCutoff;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(env, &end, 10);
+  if (end == env || *end != '\0') return kDefaultSmallBatchCutoff;
+  return static_cast<std::size_t>(
+      std::min<unsigned long long>(v, std::numeric_limits<std::size_t>::max()));
+}
+
+std::atomic<std::size_t>& cutoff_atomic() noexcept {
+  static std::atomic<std::size_t> cutoff{cutoff_from_env()};
+  return cutoff;
+}
+
+// Per-thread scratch for the block path's code columns, reused across
+// calls so steady-state prediction never allocates — a malloc per serving
+// request is latency the small-batch work just removed elsewhere.
+struct BlockArena {
+  std::vector<std::uint8_t> codes8;
+  std::vector<std::uint16_t> codes16;
+};
+
+BlockArena& block_arena() noexcept {
+  thread_local BlockArena arena;
+  return arena;
+}
 
 // Rank of `v` against the ascending cut table: the number of cuts strictly
 // below v. Non-finite values take rank 0 so they ride left at every split
@@ -139,6 +180,7 @@ std::shared_ptr<const CompiledTreePredictor> CompiledTreePredictor::build(
   // left child + 1) and the traversal step needs no branch.
   p->feat_.reserve(total_nodes);
   p->bin_.reserve(total_nodes);
+  p->thresh_.reserve(total_nodes);
   p->child_.reserve(total_nodes);
   std::vector<int> order;
   for (const auto& src : trees) {
@@ -151,6 +193,7 @@ std::shared_ptr<const CompiledTreePredictor> CompiledTreePredictor::build(
       if (n.feature < 0) {
         p->feat_.push_back(-1);
         p->bin_.push_back(0);
+        p->thresh_.push_back(0.0);
         p->child_.push_back(n.payload);
         continue;
       }
@@ -169,6 +212,7 @@ std::shared_ptr<const CompiledTreePredictor> CompiledTreePredictor::build(
       order.push_back(n.right);
       p->feat_.push_back(slot);
       p->bin_.push_back(static_cast<std::uint16_t>(bin));
+      p->thresh_.push_back(n.threshold);
       p->child_.push_back(static_cast<std::int32_t>(left_new));
     }
   }
@@ -265,6 +309,97 @@ std::shared_ptr<const CompiledTreePredictor> CompiledTreePredictor::compile(
   return build(Kind::Boosted, gbm.num_classes(), gbm.config().learning_rate,
                gbm.base_score(), trees, std::move(leaf_values),
                std::move(tree_class));
+}
+
+std::size_t CompiledTreePredictor::small_batch_cutoff() noexcept {
+  return cutoff_atomic().load(std::memory_order_relaxed);
+}
+
+std::size_t CompiledTreePredictor::set_small_batch_cutoff(
+    std::size_t cutoff) noexcept {
+  return cutoff_atomic().exchange(cutoff, std::memory_order_relaxed);
+}
+
+void CompiledTreePredictor::reload_small_batch_cutoff_from_env() {
+  cutoff_atomic().store(cutoff_from_env(), std::memory_order_relaxed);
+}
+
+void CompiledTreePredictor::run_small(const double* const* rowp,
+                                      double* const* outp,
+                                      std::size_t b) const {
+  const auto k = static_cast<std::size_t>(num_classes_);
+  const std::int32_t* feat = feat_.data();
+  const double* thresh = thresh_.data();
+  const std::int32_t* child = child_.data();
+  const std::uint32_t* slot_col = slot_feature_.data();
+
+  // One traversal touches only the ~depth features on its taken path, read
+  // straight from the caller's row — no binning pass, no scratch. The
+  // routing predicate is the shared split_routes_right, so this reaches
+  // exactly the leaf the code-based step `child + (code > bin)` reaches.
+  //
+  // A single walk is a serial dependent-load chain (feat → column → row
+  // value → compare → child) the core cannot overlap, so trees are walked
+  // in interleaved groups of kLanes: independent chains fill the load
+  // ports the way the block path's 8-row lockstep does for large batches.
+  // Leaves land in `payload` per tree and are accumulated afterwards in
+  // tree order, so probabilities stay bit-identical to the block path and
+  // the object walk.
+  constexpr std::size_t kLanes = 8;
+  const std::size_t num_trees = tree_root_.size();
+
+  for (std::size_t r = 0; r < b; ++r) {
+    const double* row = rowp[r];
+    double* o = outp[r];
+    if (kind_ == Kind::Average) {
+      std::fill_n(o, k, 0.0);
+    } else {
+      std::copy_n(base_.data(), k, o);
+    }
+    for (std::size_t t0 = 0; t0 < num_trees; t0 += kLanes) {
+      const std::size_t g = std::min(kLanes, num_trees - t0);
+      std::size_t node[kLanes];
+      std::int32_t cur[kLanes];
+      for (std::size_t i = 0; i < g; ++i) {
+        node[i] = tree_root_[t0 + i];
+        cur[i] = feat[node[i]];
+      }
+      bool active = true;
+      while (active) {
+        active = false;
+        for (std::size_t i = 0; i < g; ++i) {
+          if (cur[i] >= 0) {
+            const double v = row[slot_col[cur[i]]];
+            node[i] =
+                static_cast<std::size_t>(child[node[i]]) +
+                static_cast<std::size_t>(split_routes_right(v, thresh[node[i]]));
+            cur[i] = feat[node[i]];
+            active |= cur[i] >= 0;
+          }
+        }
+      }
+      // Accumulate in reference order — per-tree adds in tree order — so
+      // floating-point summation matches the reference bit for bit.
+      if (kind_ == Kind::Average) {
+        for (std::size_t i = 0; i < g; ++i) {
+          const double* lv =
+              leaf_values_.data() + static_cast<std::size_t>(child[node[i]]);
+          for (std::size_t c = 0; c < k; ++c) o[c] += lv[c];
+        }
+      } else {
+        for (std::size_t i = 0; i < g; ++i) {
+          o[static_cast<std::size_t>(tree_class_[t0 + i])] +=
+              scale_ *
+              leaf_values_[static_cast<std::size_t>(child[node[i]])];
+        }
+      }
+    }
+    if (kind_ == Kind::Average) {
+      for (std::size_t c = 0; c < k; ++c) o[c] *= scale_;
+    } else {
+      softmax(std::span<double>(o, k));
+    }
+  }
 }
 
 template <typename CodeT>
@@ -395,15 +530,24 @@ void CompiledTreePredictor::predict_dispatch(const Matrix& x,
   const std::size_t cols = x.cols();
   const double* rowp[kBlockRows];
   double* outp[kBlockRows];
+  const bool small = n <= small_batch_cutoff();
+
   std::int32_t leaf_payload[kBlockRows];
-  const std::size_t scratch =
-      std::max<std::size_t>(1, slot_feature_.size()) * kBlockRows;
-  std::vector<std::uint8_t> codes8;
-  std::vector<std::uint16_t> codes16;
-  if (wide_codes_) {
-    codes16.resize(scratch);
-  } else {
-    codes8.resize(scratch);
+  std::uint8_t* codes8 = nullptr;
+  std::uint16_t* codes16 = nullptr;
+  if (!small) {
+    // Grow-only per-thread arena: the block path's code columns are
+    // reused across calls so steady-state prediction never allocates.
+    const std::size_t need =
+        std::max<std::size_t>(1, slot_feature_.size()) * kBlockRows;
+    BlockArena& arena = block_arena();
+    if (wide_codes_) {
+      if (arena.codes16.size() < need) arena.codes16.resize(need);
+      codes16 = arena.codes16.data();
+    } else {
+      if (arena.codes8.size() < need) arena.codes8.resize(need);
+      codes8 = arena.codes8.data();
+    }
   }
 
   for (std::size_t done = 0; done < n; done += kBlockRows) {
@@ -415,10 +559,12 @@ void CompiledTreePredictor::predict_dispatch(const Matrix& x,
       rowp[j] = x.data() + r * cols;
       outp[j] = out.data() + (out_first + done + j) * k;
     }
-    if (wide_codes_) {
-      run_block<std::uint16_t>(rowp, outp, b, codes16.data(), leaf_payload);
+    if (small) {
+      run_small(rowp, outp, b);
+    } else if (wide_codes_) {
+      run_block<std::uint16_t>(rowp, outp, b, codes16, leaf_payload);
     } else {
-      run_block<std::uint8_t>(rowp, outp, b, codes8.data(), leaf_payload);
+      run_block<std::uint8_t>(rowp, outp, b, codes8, leaf_payload);
     }
   }
 }

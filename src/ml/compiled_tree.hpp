@@ -25,6 +25,19 @@
 // table is built from the thresholds actually stored in the trees, so it
 // is the per-feature sorted-unique union of split points, not the training
 // histogram's edges.
+//
+// Small batches take a different kernel. Quantizing a block ranks every
+// used feature's value against its whole cut table, which amortizes
+// beautifully across 64 rows × all trees — and is pure overhead for the
+// single-window requests the streaming front end triggers: one traversal
+// only touches the ~depth features on its taken path. Below a crossover
+// batch size (ALBA_SMALL_BATCH_CUTOFF, default measured) predict takes the
+// threshold-SoA kernel instead: each node also carries its raw double
+// threshold in the same BFS-adjacent layout, and the walk compares
+// `value > threshold` directly on the taken path — no code quantization,
+// no scratch buffers, no allocation. Both kernels reproduce the NaN-left
+// rule through ml/binning.hpp's split_routes_right and accumulate leaf
+// payloads in reference order, so all three paths are bit-identical.
 #pragma once
 
 #include <cstdint>
@@ -77,6 +90,18 @@ class CompiledTreePredictor {
   /// Minimum x.cols() an input matrix must have.
   std::size_t min_features() const noexcept { return min_features_; }
 
+  /// Crossover batch size: predict calls with at most this many rows take
+  /// the small-batch threshold kernel, larger ones the binned block path.
+  /// Process-wide; initialized once from the ALBA_SMALL_BATCH_CUTOFF
+  /// environment variable (unset/unparsable = the measured default).
+  static std::size_t small_batch_cutoff() noexcept;
+  /// Overrides the crossover at runtime — benches and tests force each
+  /// variant with 0 (always block) or SIZE_MAX (always small). Returns
+  /// the previous value so callers can restore it.
+  static std::size_t set_small_batch_cutoff(std::size_t cutoff) noexcept;
+  /// Re-reads ALBA_SMALL_BATCH_CUTOFF (for tests that setenv mid-process).
+  static void reload_small_batch_cutoff_from_env();
+
  private:
   // Leaf payload semantics per model family: Average sums k-wide leaf
   // distributions then scales by 1/T (DT is the T = 1 case); Boosted adds
@@ -107,6 +132,10 @@ class CompiledTreePredictor {
   void run_block(const double* const* rowp, double* const* outp,
                  std::size_t b, CodeT* codes,
                  std::int32_t* leaf_payload) const;
+  // Small-batch kernel: row-at-a-time traversal with raw `value >
+  // threshold` compares on the taken path only — no binning, no scratch.
+  void run_small(const double* const* rowp, double* const* outp,
+                 std::size_t b) const;
 
   Kind kind_ = Kind::Average;
   int num_classes_ = 0;
@@ -125,6 +154,7 @@ class CompiledTreePredictor {
   std::vector<std::size_t> tree_root_;
   std::vector<std::int32_t> feat_;    // used-feature slot, -1 = leaf
   std::vector<std::uint16_t> bin_;    // cut index: go left when code <= bin
+  std::vector<double> thresh_;        // raw cut value: cuts[bin]; leaf: 0
   std::vector<std::int32_t> child_;   // internal: left child; leaf: payload
   std::vector<double> leaf_values_;   // Average: k per leaf; Boosted: 1
   std::vector<std::int32_t> tree_class_;  // Boosted: class each tree updates

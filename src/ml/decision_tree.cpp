@@ -504,7 +504,7 @@ void DecisionTree::predict_proba_row(std::span<const double> row,
     // leftmost bin — so a quarantined/NaN feature at serving time lands in
     // the branch its training histogram actually saw.
     const double v = row[static_cast<std::size_t>(cur.feature)];
-    node = (v <= cur.threshold || !std::isfinite(v)) ? cur.left : cur.right;
+    node = split_routes_right(v, cur.threshold) ? cur.right : cur.left;
   }
 }
 

@@ -56,7 +56,7 @@ double GbmClassifier::RegTree::predict(
     // Non-finite values route left, matching BinnedMatrix's bin 0 (the
     // leftmost bin) at training time.
     const double v = row[static_cast<std::size_t>(cur.feature)];
-    node = (v <= cur.threshold || !std::isfinite(v)) ? cur.left : cur.right;
+    node = split_routes_right(v, cur.threshold) ? cur.right : cur.left;
   }
 }
 

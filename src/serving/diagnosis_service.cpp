@@ -254,10 +254,47 @@ std::vector<Diagnosis> DiagnosisService::diagnose_batch(
   return out;
 }
 
+void DiagnosisService::serve_single(const Matrix& window, Diagnosis& out) {
+  const auto start = std::chrono::steady_clock::now();
+  const WindowKey key = window_key(window);
+  if (cache_.lookup(key, out)) {
+    record_request(start, std::chrono::steady_clock::now(), 1, 0.0, 0.0, 1,
+                   0, 0);
+    return;
+  }
+
+  // Per-thread scratch: reshape keeps capacity, so after the first request
+  // on a thread neither matrix allocates again. Extraction runs inline —
+  // one row cannot use the pool, and skipping the dispatch saves its
+  // latency too. The predictor sees a batch of one, which predict_dispatch
+  // routes to the small-batch threshold kernel.
+  Timer phase;
+  thread_local Matrix x;
+  thread_local Matrix probs;
+  x.reshape(1, bundle_.selected.size());
+  extract_row(window, x.row(0));
+  const double extract_s = phase.seconds();
+
+  phase.reset();
+  static constexpr std::size_t kRow0[1] = {0};
+  bundle_.model->predict_proba_rows(x, std::span<const std::size_t>(kRow0, 1),
+                                    probs);
+  const double predict_s = phase.seconds();
+
+  const auto row = probs.row(0);
+  out.probs.assign(row.begin(), row.end());
+  out.label = argmax_label(row);
+  out.confidence = row[static_cast<std::size_t>(out.label)];
+  out.cache_hit = false;
+  cache_.insert(key, out);
+  record_request(start, std::chrono::steady_clock::now(), 1, extract_s,
+                 predict_s, 0, 1, 1);
+}
+
 Diagnosis DiagnosisService::diagnose(const Matrix& window) {
-  std::vector<Diagnosis> out(1);
-  serve_micro_batch({&window, 1}, out);
-  return std::move(out[0]);
+  Diagnosis out;
+  serve_single(window, out);
+  return out;
 }
 
 DiagnosisResult DiagnosisService::diagnose(const DiagnoseRequest& request) {
@@ -336,6 +373,8 @@ ServingStats DiagnosisService::stats() const {
       cache_.collision_evictions() - collisions_at_reset_;
   s.latency_p50_ms = latency_percentile(latency_ring_, 0.50);
   s.latency_p99_ms = latency_percentile(latency_ring_, 0.99);
+  s.latency_p999_ms = latency_percentile(latency_ring_, 0.999);
+  s.latency_min_ms = latency_percentile(latency_ring_, 0.0);
   return s;
 }
 

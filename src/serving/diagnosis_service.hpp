@@ -168,6 +168,12 @@ class DiagnosisService : public Diagnoser {
   void extract_row(const Matrix& window, std::span<double> out) const;
   void serve_micro_batch(std::span<const Matrix> windows,
                          std::span<Diagnosis> out);
+  // Single-window fast path: no dedup bookkeeping, no pool dispatch, and
+  // the feature row + probability matrices are per-thread scratch reused
+  // across requests, so a cached-model request performs no batch-assembly
+  // copies or steady-state allocations before the predictor runs. Results
+  // are bit-identical to serve_micro_batch on a one-window span.
+  void serve_single(const Matrix& window, Diagnosis& out);
   void record_request(std::chrono::steady_clock::time_point start,
                       std::chrono::steady_clock::time_point end,
                       std::size_t windows, double extract_s, double predict_s,

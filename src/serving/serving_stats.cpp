@@ -25,17 +25,20 @@ double latency_percentile(std::span<const double> latencies_ms, double q) {
 std::string format_serving_summary(const ServingStats& s) {
   return strformat(
       "%llu windows in %llu requests: %.1f win/s, p50 %.2fms, p99 %.2fms, "
-      "cache %.1f%% (extract %.2fs, predict %.2fs)",
+      "p99.9 %.2fms, min %.2fms, cache %.1f%% (extract %.2fs, "
+      "predict %.2fs)",
       static_cast<unsigned long long>(s.windows),
       static_cast<unsigned long long>(s.requests), s.windows_per_second(),
-      s.latency_p50_ms, s.latency_p99_ms, 100.0 * s.hit_rate(),
-      s.extract_seconds, s.predict_seconds);
+      s.latency_p50_ms, s.latency_p99_ms, s.latency_p999_ms,
+      s.latency_min_ms, 100.0 * s.hit_rate(), s.extract_seconds,
+      s.predict_seconds);
 }
 
 std::string serving_stats_csv_header() {
   return "label,requests,windows,batches,cache_hits,cache_misses,"
          "collision_evictions,extract_seconds,predict_seconds,total_seconds,"
-         "wall_seconds,windows_per_second,latency_p50_ms,latency_p99_ms";
+         "wall_seconds,windows_per_second,latency_p50_ms,latency_p99_ms,"
+         "latency_p999_ms,latency_min_ms";
 }
 
 std::string serving_stats_csv_row(std::string_view label,
@@ -45,7 +48,7 @@ std::string serving_stats_csv_row(std::string_view label,
   return csv_escape(std::string(label)) +
          strformat(
              ",%llu,%llu,%llu,%llu,%llu,%llu,%.6f,%.6f,%.6f,%.6f,%.3f,"
-             "%.4f,%.4f",
+             "%.4f,%.4f,%.4f,%.4f",
              static_cast<unsigned long long>(s.requests),
              static_cast<unsigned long long>(s.windows),
              static_cast<unsigned long long>(s.batches),
@@ -54,7 +57,7 @@ std::string serving_stats_csv_row(std::string_view label,
              static_cast<unsigned long long>(s.collision_evictions),
              s.extract_seconds, s.predict_seconds, s.total_seconds,
              s.wall_seconds, s.windows_per_second(), s.latency_p50_ms,
-             s.latency_p99_ms);
+             s.latency_p99_ms, s.latency_p999_ms, s.latency_min_ms);
 }
 
 void write_serving_stats_csv(
@@ -70,7 +73,9 @@ ServingStats merge_serving_stats(std::span<const ServingStats> parts) {
   ServingStats merged;
   double weighted_p50 = 0.0;
   double weighted_p99 = 0.0;
+  double weighted_p999 = 0.0;
   std::uint64_t weight = 0;
+  bool any_min = false;
   for (const ServingStats& s : parts) {
     merged.requests += s.requests;
     merged.windows += s.windows;
@@ -84,11 +89,21 @@ ServingStats merge_serving_stats(std::span<const ServingStats> parts) {
     merged.wall_seconds = std::max(merged.wall_seconds, s.wall_seconds);
     weighted_p50 += static_cast<double>(s.requests) * s.latency_p50_ms;
     weighted_p99 += static_cast<double>(s.requests) * s.latency_p99_ms;
+    weighted_p999 += static_cast<double>(s.requests) * s.latency_p999_ms;
     weight += s.requests;
+    // The fleet minimum composes exactly (unlike the percentiles): it is
+    // the smallest per-replica minimum over replicas that served anything.
+    if (s.requests > 0) {
+      merged.latency_min_ms = any_min
+          ? std::min(merged.latency_min_ms, s.latency_min_ms)
+          : s.latency_min_ms;
+      any_min = true;
+    }
   }
   if (weight > 0) {
     merged.latency_p50_ms = weighted_p50 / static_cast<double>(weight);
     merged.latency_p99_ms = weighted_p99 / static_cast<double>(weight);
+    merged.latency_p999_ms = weighted_p999 / static_cast<double>(weight);
   }
   return merged;
 }

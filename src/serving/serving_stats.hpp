@@ -39,6 +39,10 @@ struct ServingStats {
   double wall_seconds = 0.0;
   double latency_p50_ms = 0.0;     // per-request latency percentiles
   double latency_p99_ms = 0.0;
+  // Tail and floor of the same ring: p99.9 is the metric the small-batch
+  // serving path optimizes, min bounds what the hardware allows.
+  double latency_p999_ms = 0.0;
+  double latency_min_ms = 0.0;
 
   double hit_rate() const noexcept {
     const std::uint64_t n = cache_hits + cache_misses;

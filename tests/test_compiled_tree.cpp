@@ -8,9 +8,12 @@
 
 #include <unistd.h>
 
+#include <atomic>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <limits>
+#include <new>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -23,8 +26,55 @@
 #include "ml/random_forest.hpp"
 #include "ml/serialize.hpp"
 
+// Global operator new/delete replacement counting every heap allocation in
+// the process, so tests can assert a region performs none (the no-scratch
+// contract of the small-batch kernel and the arena'd block path). Delete is
+// replaced alongside new so sanitizer builds see matched malloc/free pairs.
+namespace {
+std::atomic<std::size_t> g_heap_allocs{0};
+}  // namespace
+
+// GCC pairs `new` expressions elsewhere in the binary with the free()
+// inside these replacements and flags a mismatch it cannot see through;
+// the pairing is correct because the replacement new allocates via malloc.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+#endif
+
+void* operator new(std::size_t size) {
+  g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size == 0 ? 1 : size)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) { return ::operator new(size); }
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
+
 namespace alba {
 namespace {
+
+// Restores the process-wide small-batch crossover on scope exit so tests
+// forcing a variant cannot leak it into later tests.
+class ScopedCutoff {
+ public:
+  explicit ScopedCutoff(std::size_t cutoff)
+      : prev_(CompiledTreePredictor::set_small_batch_cutoff(cutoff)) {}
+  ~ScopedCutoff() { CompiledTreePredictor::set_small_batch_cutoff(prev_); }
+  ScopedCutoff(const ScopedCutoff&) = delete;
+  ScopedCutoff& operator=(const ScopedCutoff&) = delete;
+
+ private:
+  std::size_t prev_;
+};
 
 constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
 constexpr double kInf = std::numeric_limits<double>::infinity();
@@ -219,6 +269,199 @@ TEST(CompiledTree, WideCodePathStaysBitIdentical) {
   ASSERT_NE(rf.compiled(), nullptr);
   EXPECT_TRUE(rf.compiled()->wide_codes());
   expect_bit_identical(rf.predict_proba(x), rf.predict_proba_reference(x));
+}
+
+// --------------------------------------------------- dispatch boundary ---
+
+// Sweeps every batch size through the crossover (1..cutoff+1) with each
+// kernel forced in turn; both must reproduce the reference object walk bit
+// for bit on rows that include NaN/±inf telemetry.
+void check_dispatch_boundary(const Classifier& model, const Matrix& x) {
+  const Matrix reference = model.predict_proba_reference(x);
+  const std::size_t sweep_end =
+      std::min(CompiledTreePredictor::small_batch_cutoff() + 1, x.rows());
+  for (std::size_t b = 1; b <= sweep_end; ++b) {
+    Matrix xb(b, x.cols());
+    for (std::size_t i = 0; i < b; ++i) {
+      for (std::size_t j = 0; j < x.cols(); ++j) xb(i, j) = x(i, j);
+    }
+    Matrix small_probs, block_probs;
+    {
+      ScopedCutoff force_small(std::numeric_limits<std::size_t>::max());
+      small_probs = model.predict_proba(xb);
+    }
+    {
+      ScopedCutoff force_block(0);
+      block_probs = model.predict_proba(xb);
+    }
+    for (std::size_t i = 0; i < b; ++i) {
+      for (std::size_t c = 0; c < reference.cols(); ++c) {
+        ASSERT_EQ(bits_of(small_probs(i, c)), bits_of(reference(i, c)))
+            << model.name() << " small kernel, batch " << b << " row " << i;
+        ASSERT_EQ(bits_of(block_probs(i, c)), bits_of(reference(i, c)))
+            << model.name() << " block kernel, batch " << b << " row " << i;
+      }
+    }
+  }
+}
+
+TEST(CompiledTree, DispatchBoundarySweepAllFamiliesBothSplitAlgos) {
+  const Synth train = make_synth(240, 12, 111);
+  const Synth test = make_synth(40, 12, 112);
+  for (const auto algo : {SplitAlgo::Exact, SplitAlgo::Hist}) {
+    TreeConfig tcfg;
+    tcfg.num_classes = 4;
+    tcfg.max_depth = 8;
+    tcfg.split_algo = algo;
+    DecisionTree tree(tcfg, 5);
+    tree.fit(train.x, train.y);
+    ASSERT_NE(tree.compiled(), nullptr);
+    check_dispatch_boundary(tree, test.x);
+
+    ForestConfig fcfg;
+    fcfg.num_classes = 4;
+    fcfg.n_estimators = 9;
+    fcfg.max_depth = 6;
+    fcfg.split_algo = algo;
+    RandomForest rf(fcfg, 5);
+    rf.fit(train.x, train.y);
+    ASSERT_NE(rf.compiled(), nullptr);
+    check_dispatch_boundary(rf, test.x);
+
+    GbmConfig gcfg;
+    gcfg.num_classes = 4;
+    gcfg.n_estimators = 5;
+    gcfg.num_leaves = 15;
+    gcfg.split_algo = algo;
+    GbmClassifier gbm(gcfg, 5);
+    gbm.fit(train.x, train.y);
+    ASSERT_NE(gbm.compiled(), nullptr);
+    check_dispatch_boundary(gbm, test.x);
+  }
+}
+
+// Wide-code (uint16) models must stay bit-identical on the small kernel
+// too — its thresh_ array bypasses codes entirely, so the width must not
+// matter.
+TEST(CompiledTree, WideCodeModelBitIdenticalOnBothKernels) {
+  Rng rng(52);
+  const std::size_t n = 900;
+  Matrix x(n, 2);
+  std::vector<int> y;
+  for (std::size_t i = 0; i < n; ++i) {
+    x(i, 0) = rng.normal();
+    x(i, 1) = rng.normal();
+    y.push_back(static_cast<int>(
+        (x(i, 0) + 0.3 * rng.normal() > 0.0 ? 1 : 0) +
+        (x(i, 1) > 0.0 ? 2 : 0)));
+  }
+  ForestConfig cfg;
+  cfg.num_classes = 4;
+  cfg.n_estimators = 10;
+  cfg.max_depth = -1;  // unlimited: >255 thresholds per feature
+  cfg.split_algo = SplitAlgo::Exact;
+  RandomForest rf(cfg, 9);
+  rf.fit(x, y);
+  ASSERT_NE(rf.compiled(), nullptr);
+  ASSERT_TRUE(rf.compiled()->wide_codes());
+  Matrix probe(6, 2);
+  for (std::size_t i = 0; i < 6; ++i) {
+    probe(i, 0) = x(i, 0);
+    probe(i, 1) = x(i, 1);
+  }
+  probe(4, 0) = kNaN;
+  probe(5, 1) = kInf;
+  check_dispatch_boundary(rf, probe);
+}
+
+TEST(CompiledTree, CutoffEnvReloadParsesAndFallsBack) {
+  const std::size_t entry = CompiledTreePredictor::small_batch_cutoff();
+  setenv("ALBA_SMALL_BATCH_CUTOFF", "0", 1);
+  CompiledTreePredictor::reload_small_batch_cutoff_from_env();
+  EXPECT_EQ(CompiledTreePredictor::small_batch_cutoff(), 0u);
+  setenv("ALBA_SMALL_BATCH_CUTOFF", "1", 1);
+  CompiledTreePredictor::reload_small_batch_cutoff_from_env();
+  EXPECT_EQ(CompiledTreePredictor::small_batch_cutoff(), 1u);
+  setenv("ALBA_SMALL_BATCH_CUTOFF", "18446744073709551615", 1);
+  CompiledTreePredictor::reload_small_batch_cutoff_from_env();
+  EXPECT_EQ(CompiledTreePredictor::small_batch_cutoff(),
+            std::numeric_limits<std::size_t>::max());
+  // Unset and unparsable both fall back to the built-in default.
+  unsetenv("ALBA_SMALL_BATCH_CUTOFF");
+  CompiledTreePredictor::reload_small_batch_cutoff_from_env();
+  const std::size_t fallback = CompiledTreePredictor::small_batch_cutoff();
+  EXPECT_GT(fallback, 0u);
+  setenv("ALBA_SMALL_BATCH_CUTOFF", "not-a-number", 1);
+  CompiledTreePredictor::reload_small_batch_cutoff_from_env();
+  EXPECT_EQ(CompiledTreePredictor::small_batch_cutoff(), fallback);
+  unsetenv("ALBA_SMALL_BATCH_CUTOFF");
+  CompiledTreePredictor::reload_small_batch_cutoff_from_env();
+  CompiledTreePredictor::set_small_batch_cutoff(entry);
+}
+
+// ----------------------------------------------------------- allocation ---
+
+// The small-batch kernel promises zero heap traffic, and the block path
+// promises it at steady state (its per-thread arena grows once). Counted
+// via the global operator new replacement above; the compiled predictor is
+// driven directly so the thread pool's task machinery stays out of frame.
+TEST(CompiledTreeAlloc, SmallBatchKernelNeverAllocates) {
+  const Synth train = make_synth(240, 12, 121);
+  ForestConfig fcfg;
+  fcfg.num_classes = 4;
+  fcfg.n_estimators = 10;
+  fcfg.max_depth = 6;
+  fcfg.split_algo = SplitAlgo::Hist;
+  RandomForest rf(fcfg, 5);
+  rf.fit(train.x, train.y);
+
+  GbmConfig gcfg;
+  gcfg.num_classes = 4;
+  gcfg.n_estimators = 5;
+  gcfg.num_leaves = 15;
+  gcfg.split_algo = SplitAlgo::Hist;
+  GbmClassifier gbm(gcfg, 5);
+  gbm.fit(train.x, train.y);
+
+  const auto crf = rf.compiled();
+  const auto cgbm = gbm.compiled();
+  ASSERT_NE(crf, nullptr);
+  ASSERT_NE(cgbm, nullptr);
+
+  ScopedCutoff force_small(std::numeric_limits<std::size_t>::max());
+  Matrix x(1, 12);
+  for (std::size_t j = 0; j < 12; ++j) x(0, j) = train.x(0, j);
+  Matrix out(1, 4);
+  crf->predict_range(x, 0, 1, out);  // not a warm-up: small needs none
+  const std::size_t before = g_heap_allocs.load(std::memory_order_relaxed);
+  for (int i = 0; i < 200; ++i) {
+    crf->predict_range(x, 0, 1, out);
+    cgbm->predict_range(x, 0, 1, out);
+  }
+  EXPECT_EQ(g_heap_allocs.load(std::memory_order_relaxed), before);
+}
+
+TEST(CompiledTreeAlloc, BlockPathAllocationFreeAtSteadyState) {
+  const Synth train = make_synth(240, 12, 122);
+  ForestConfig cfg;
+  cfg.num_classes = 4;
+  cfg.n_estimators = 10;
+  cfg.max_depth = 6;
+  cfg.split_algo = SplitAlgo::Hist;
+  RandomForest rf(cfg, 5);
+  rf.fit(train.x, train.y);
+  const auto compiled = rf.compiled();
+  ASSERT_NE(compiled, nullptr);
+
+  ScopedCutoff force_block(0);
+  Matrix out(train.x.rows(), 4);
+  // First call may grow this thread's arena; after that, nothing.
+  compiled->predict_range(train.x, 0, train.x.rows(), out);
+  const std::size_t before = g_heap_allocs.load(std::memory_order_relaxed);
+  for (int i = 0; i < 100; ++i) {
+    compiled->predict_range(train.x, 0, train.x.rows(), out);
+  }
+  EXPECT_EQ(g_heap_allocs.load(std::memory_order_relaxed), before);
 }
 
 // ------------------------------------------------------------ lifecycle ---

@@ -448,6 +448,38 @@ TEST(ServingStats, CountersAccumulateWithoutLoss) {
   EXPECT_GE(s.total_seconds, s.predict_seconds);
   EXPECT_GT(s.latency_p99_ms, 0.0);
   EXPECT_GE(s.latency_p99_ms, s.latency_p50_ms);
+  // Tail and floor order correctly: min <= p50 <= p99 <= p99.9.
+  EXPECT_GE(s.latency_p999_ms, s.latency_p99_ms);
+  EXPECT_GT(s.latency_min_ms, 0.0);
+  EXPECT_LE(s.latency_min_ms, s.latency_p50_ms);
+}
+
+// The single-window fast path (diagnose) must be bit-identical to the
+// micro-batch path (diagnose_batch of one) — same label, confidence, and
+// probability bits — on fresh services so neither answers from cache.
+TEST(DiagnosisService, SingleWindowFastPathMatchesBatchPath) {
+  const ServingEnv& e = env();
+  const std::vector<Sample> samples = fresh_samples(e, 1, 993);
+  DiagnosisService single(load_from_bytes(e.bundle_bytes));
+  DiagnosisService batched(load_from_bytes(e.bundle_bytes));
+  for (const Sample& s : samples) {
+    const Diagnosis a = single.diagnose(s.series);
+    const auto b = batched.diagnose_batch({&s.series, 1});
+    ASSERT_EQ(b.size(), 1u);
+    EXPECT_EQ(a.label, b[0].label);
+    ASSERT_EQ(a.probs.size(), b[0].probs.size());
+    for (std::size_t c = 0; c < a.probs.size(); ++c) {
+      std::uint64_t ba = 0, bb = 0;
+      std::memcpy(&ba, &a.probs[c], sizeof ba);
+      std::memcpy(&bb, &b[0].probs[c], sizeof bb);
+      EXPECT_EQ(ba, bb) << "probability bits differ at class " << c;
+    }
+  }
+  // The fast path populates the same cache: a repeat is a hit.
+  EXPECT_TRUE(single.diagnose(samples[0].series).cache_hit);
+  const ServingStats s = single.stats();
+  EXPECT_EQ(s.requests, samples.size() + 1);
+  EXPECT_EQ(s.cache_hits, 1u);
 }
 
 TEST(ServingStats, SnapshotIsConsistentUnderConcurrentDiagnose) {
@@ -665,6 +697,8 @@ TEST(ServingStats, CsvLabelsWithCommasSurviveParseBack) {
   a.cache_misses = 4;
   a.total_seconds = 0.25;
   a.wall_seconds = 0.125;
+  a.latency_p999_ms = 7.5;
+  a.latency_min_ms = 0.25;
   const std::string tricky = "batch=8,threads=4,\"hot\" pool";
   std::vector<std::pair<std::string, ServingStats>> rows;
   rows.emplace_back(tricky, a);
@@ -685,6 +719,8 @@ TEST(ServingStats, CsvLabelsWithCommasSurviveParseBack) {
   EXPECT_EQ(table.rows[0][table.column_index("windows")], "4");
   EXPECT_EQ(table.rows[0][table.column_index("wall_seconds")], "0.125000");
   EXPECT_EQ(table.rows[0][table.column_index("collision_evictions")], "0");
+  EXPECT_EQ(table.rows[0][table.column_index("latency_p999_ms")], "7.5000");
+  EXPECT_EQ(table.rows[0][table.column_index("latency_min_ms")], "0.2500");
   EXPECT_EQ(table.rows[1][table.column_index("label")], "plain");
 }
 
@@ -703,6 +739,8 @@ TEST(ServingStats, MergeSumsCountersAndWeightsPercentilesByRequests) {
   a.wall_seconds = 2.0;
   a.latency_p50_ms = 10.0;
   a.latency_p99_ms = 20.0;
+  a.latency_p999_ms = 40.0;
+  a.latency_min_ms = 5.0;
   ServingStats b;
   b.requests = 1;
   b.windows = 1;
@@ -714,7 +752,10 @@ TEST(ServingStats, MergeSumsCountersAndWeightsPercentilesByRequests) {
   b.wall_seconds = 3.0;  // replicas overlap: max, not sum
   b.latency_p50_ms = 2.0;
   b.latency_p99_ms = 4.0;
+  b.latency_p999_ms = 8.0;
+  b.latency_min_ms = 1.0;
   ServingStats idle;  // zero requests: must contribute nothing
+  idle.latency_min_ms = 0.0;  // and must not drag the fleet minimum to 0
 
   const std::vector<ServingStats> parts{a, b, idle};
   const ServingStats m = merge_serving_stats(parts);
@@ -731,6 +772,10 @@ TEST(ServingStats, MergeSumsCountersAndWeightsPercentilesByRequests) {
   // Request-weighted: (3*10 + 1*2 + 0*anything) / 4.
   EXPECT_DOUBLE_EQ(m.latency_p50_ms, 8.0);
   EXPECT_DOUBLE_EQ(m.latency_p99_ms, 16.0);
+  EXPECT_DOUBLE_EQ(m.latency_p999_ms, 32.0);  // (3*40 + 1*8) / 4
+  // Min composes exactly: smallest over replicas that served requests,
+  // so the idle replica's 0 does not leak in.
+  EXPECT_DOUBLE_EQ(m.latency_min_ms, 1.0);
 
   // All-idle merge: no weight, percentiles stay 0 instead of NaN.
   const std::vector<ServingStats> idles{idle, idle};
@@ -738,6 +783,8 @@ TEST(ServingStats, MergeSumsCountersAndWeightsPercentilesByRequests) {
   EXPECT_EQ(z.requests, 0u);
   EXPECT_DOUBLE_EQ(z.latency_p50_ms, 0.0);
   EXPECT_DOUBLE_EQ(z.latency_p99_ms, 0.0);
+  EXPECT_DOUBLE_EQ(z.latency_p999_ms, 0.0);
+  EXPECT_DOUBLE_EQ(z.latency_min_ms, 0.0);
 }
 
 // Per-replica rows plus the trailing fleet-aggregate row must survive an
@@ -751,6 +798,8 @@ TEST(ServingStats, FleetCsvParseBackIncludesAggregateRow) {
   a.total_seconds = 0.5;
   a.latency_p50_ms = 4.0;
   a.latency_p99_ms = 8.0;
+  a.latency_p999_ms = 16.0;
+  a.latency_min_ms = 2.0;
   ServingStats b;
   b.requests = 6;
   b.windows = 6;
@@ -758,6 +807,8 @@ TEST(ServingStats, FleetCsvParseBackIncludesAggregateRow) {
   b.total_seconds = 0.25;
   b.latency_p50_ms = 1.0;
   b.latency_p99_ms = 2.0;
+  b.latency_p999_ms = 4.0;
+  b.latency_min_ms = 0.5;
   std::vector<std::pair<std::string, ServingStats>> replicas;
   replicas.emplace_back("replica=0,zone=\"a\"", a);  // comma + quote
   replicas.emplace_back("replica=1", b);
@@ -781,6 +832,9 @@ TEST(ServingStats, FleetCsvParseBackIncludesAggregateRow) {
   EXPECT_EQ(table.rows[2][table.column_index("cache_hits")], "1");
   // Weighted p50: (2*4 + 6*1) / 8 = 1.75.
   EXPECT_EQ(table.rows[2][table.column_index("latency_p50_ms")], "1.7500");
+  // Weighted p99.9: (2*16 + 6*4) / 8 = 7; min: min(2.0, 0.5).
+  EXPECT_EQ(table.rows[2][table.column_index("latency_p999_ms")], "7.0000");
+  EXPECT_EQ(table.rows[2][table.column_index("latency_min_ms")], "0.5000");
 }
 
 // ------------------------------------------------------- atomic save ---
