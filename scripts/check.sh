@@ -21,7 +21,13 @@
 # containment, guard-window rollback, promote, typed drain), a stream
 # ingest smoke (replay a gapped/NaN-ridden 1 Hz feed, assert incremental
 # vs batch feature parity on every emitted window and the 5x emit
-# speedup gate; timings land in BENCH_stream.json), an
+# speedup gate; timings land in BENCH_stream.json), a wire smoke (stream
+# a feed over the framed socket transport, assert row conservation,
+# bit-identical windows vs the in-process replay, and diagnosis parity
+# through a trained bundle; results land in BENCH_wire.json), a wire
+# chaos smoke (seeded corrupt/duplicate/drop/slow-loris/backpressure/
+# server-restart scenarios, each asserting every sent row ends exactly
+# once in {ingested, typed-rejected} with nothing silently lost), an
 # AddressSanitizer + UndefinedBehaviorSanitizer build of the full suite
 # (the fault-injection paths shuffle NaNs and truncated buffers around —
 # exactly where silent out-of-bounds reads would hide), then a
@@ -67,6 +73,14 @@ echo "== stream smoke: incremental/batch parity + emit speedup gate =="
 (cd build/bench && ./bench_stream_ingest --smoke)
 
 echo
+echo "== wire smoke: conservation + window/diagnosis parity over the socket =="
+(cd build/bench && ./bench_wire --smoke)
+
+echo
+echo "== wire chaos smoke: row conservation under network faults =="
+(cd build/bench && ./bench_wire --chaos-smoke)
+
+echo
 echo "== asan+ubsan: full test suite =="
 cmake -B build-asan -S . \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
@@ -78,7 +92,7 @@ cmake --build build-asan -j"$(nproc)" --target \
   test_preprocess test_ml_metrics test_binning test_ml_trees \
   test_compiled_tree test_ml_linear test_ml_tools test_active \
   test_active_ext test_core test_properties test_faults test_serving \
-  test_service_host test_fleet test_streaming > /dev/null
+  test_service_host test_fleet test_streaming test_wire > /dev/null
 (cd build-asan && ctest --output-on-failure -j"$(nproc)")
 
 echo
@@ -90,10 +104,10 @@ cmake -B build-tsan -S . \
 cmake --build build-tsan -j"$(nproc)" \
   --target test_thread_pool test_binning test_ml_trees test_compiled_tree \
   test_ml_tools test_active test_active_ext test_serving \
-  test_service_host test_fleet test_streaming > /dev/null
+  test_service_host test_fleet test_streaming test_wire > /dev/null
 for t in test_thread_pool test_binning test_ml_trees test_compiled_tree \
          test_ml_tools test_active test_active_ext test_serving \
-         test_service_host test_fleet test_streaming; do
+         test_service_host test_fleet test_streaming test_wire; do
   echo "-- $t (tsan)"
   ./build-tsan/tests/"$t"
 done

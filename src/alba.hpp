@@ -17,6 +17,12 @@
 //                ring buffers over a 1 Hz feed, sliding-window triggering,
 //                incremental O(M) features), TriggeredWindow, IngestStats,
 //                stream_feature_names
+//   wire         the framed socket transport in front of StreamIngestor:
+//                WireClient (buffered exactly-once delivery, reconnect and
+//                resume), IngestServer (typed decode errors, per-node
+//                backpressure budget, snapshot/restart), TcpListener /
+//                tcp_connect / LoopbackHub transports, WireChaos (seeded
+//                network fault injection)
 //   serving      Diagnoser (the tier-uniform interface: DiagnoseRequest in,
 //                DiagnosisResult out, free diagnose_with_retry over any
 //                tier); DiagnosisService, ServingConfig, Diagnosis,
@@ -57,3 +63,8 @@
 #include "serving/model_bundle.hpp"
 #include "serving/service_host.hpp"
 #include "streaming/ingest.hpp"
+#include "streaming/ingest_server.hpp"
+#include "wire/chaos.hpp"
+#include "wire/client.hpp"
+#include "wire/frame.hpp"
+#include "wire/transport.hpp"

@@ -1,0 +1,23 @@
+// Portable CRC32 (IEEE 802.3, reflected, polynomial 0xEDB88320) — the
+// checksum the wire frame format uses to detect bit-flips and torn frames,
+// shared with any future archive integrity check. Incremental: feed chunks
+// through crc32_update and finalize nothing — the returned value after any
+// prefix is the CRC of that prefix.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace alba {
+
+/// CRC32 of `data` continuing from `crc` (pass the previous return value to
+/// checksum a stream in chunks; start from kCrc32Init == 0).
+std::uint32_t crc32_update(std::uint32_t crc,
+                           std::span<const std::uint8_t> data) noexcept;
+
+/// One-shot CRC32 of a buffer. crc32("123456789") == 0xCBF43926.
+inline std::uint32_t crc32(std::span<const std::uint8_t> data) noexcept {
+  return crc32_update(0, data);
+}
+
+}  // namespace alba

@@ -1,0 +1,68 @@
+#include "common/net_io.hpp"
+
+#include <cerrno>
+#include <csignal>
+#include <mutex>
+
+#include <unistd.h>
+
+namespace alba {
+
+IoOutcome read_full(int fd, void* buf, std::size_t n) noexcept {
+  IoOutcome out;
+  char* p = static_cast<char*>(buf);
+  while (out.bytes < n) {
+    const ssize_t r = ::read(fd, p + out.bytes, n - out.bytes);
+    if (r > 0) {
+      out.bytes += static_cast<std::size_t>(r);
+      continue;
+    }
+    if (r == 0) {
+      out.eof = true;
+      return out;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      out.would_block = true;
+      return out;
+    }
+    out.error = errno;
+    return out;
+  }
+  return out;
+}
+
+IoOutcome write_full(int fd, const void* data, std::size_t n) noexcept {
+  IoOutcome out;
+  const char* p = static_cast<const char*>(data);
+  while (out.bytes < n) {
+    const ssize_t r = ::write(fd, p + out.bytes, n - out.bytes);
+    if (r >= 0) {
+      out.bytes += static_cast<std::size_t>(r);
+      continue;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      out.would_block = true;
+      return out;
+    }
+    out.error = errno;
+    return out;
+  }
+  return out;
+}
+
+void suppress_sigpipe() noexcept {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    struct sigaction current {};
+    if (::sigaction(SIGPIPE, nullptr, &current) == 0 &&
+        current.sa_handler == SIG_DFL) {
+      struct sigaction ignore {};
+      ignore.sa_handler = SIG_IGN;
+      ::sigaction(SIGPIPE, &ignore, nullptr);
+    }
+  });
+}
+
+}  // namespace alba

@@ -1,0 +1,42 @@
+// Signal-safe file-descriptor I/O for the wire transport: full-buffer
+// read/write loops that absorb EINTR and short transfers, and process-wide
+// SIGPIPE suppression so a peer hanging up mid-write surfaces as EPIPE on
+// the call instead of killing the process. Works on blocking descriptors
+// (the loops spin until done) and on non-blocking ones (EAGAIN/EWOULDBLOCK
+// ends the loop early with the partial byte count — the caller's event loop
+// resumes where it left off).
+#pragma once
+
+#include <cstddef>
+
+namespace alba {
+
+/// Outcome of a full-buffer transfer attempt. `bytes` counts what actually
+/// moved; exactly one of the three terminal conditions explains a short
+/// transfer: end-of-stream (`eof`, reads only), the descriptor would block
+/// (`would_block`, non-blocking fds only), or an errno (`error`).
+struct IoOutcome {
+  std::size_t bytes = 0;
+  bool eof = false;
+  bool would_block = false;
+  int error = 0;  // errno of the failing syscall, 0 if none
+
+  bool complete(std::size_t wanted) const noexcept { return bytes == wanted; }
+};
+
+/// Reads exactly `n` bytes into `buf` unless EOF, EAGAIN, or an error cuts
+/// the loop short. EINTR is retried, never surfaced.
+IoOutcome read_full(int fd, void* buf, std::size_t n) noexcept;
+
+/// Writes exactly `n` bytes from `data` unless EAGAIN or an error cuts the
+/// loop short. EINTR is retried, never surfaced. With SIGPIPE suppressed
+/// (see below), writing to a closed peer returns error == EPIPE.
+IoOutcome write_full(int fd, const void* data, std::size_t n) noexcept;
+
+/// Idempotently ignores SIGPIPE process-wide (unless the process already
+/// installed its own handler, which is left alone). Socket sends also pass
+/// MSG_NOSIGNAL where available; this covers pipes and any platform
+/// without it. Called by the transport layer on first use.
+void suppress_sigpipe() noexcept;
+
+}  // namespace alba

@@ -3,8 +3,10 @@
 #include <chrono>
 #include <cmath>
 #include <limits>
+#include <ostream>
 #include <utility>
 
+#include "common/csv.hpp"
 #include "common/error.hpp"
 #include "common/string_util.hpp"
 
@@ -40,12 +42,14 @@ IngestStats& IngestStats::operator+=(const IngestStats& o) noexcept {
   windows_dropped += o.windows_dropped;
   windows_recomputed += o.windows_recomputed;
   windows_flushed += o.windows_flushed;
+  rejected_backpressure += o.rejected_backpressure;
+  decode_errors += o.decode_errors;
   emit_seconds += o.emit_seconds;
   return *this;
 }
 
 std::string format_ingest_summary(const IngestStats& s) {
-  return strformat(
+  std::string line = strformat(
       "rows: %llu accepted (%llu repaired), %llu dup, %llu late, "
       "%llu missing, %llu resets; windows: %llu emitted (%llu recomputed), "
       "%llu dropped, %llu flushed",
@@ -59,6 +63,52 @@ std::string format_ingest_summary(const IngestStats& s) {
       static_cast<unsigned long long>(s.windows_recomputed),
       static_cast<unsigned long long>(s.windows_dropped),
       static_cast<unsigned long long>(s.windows_flushed));
+  if (s.rejected_backpressure > 0 || s.decode_errors > 0) {
+    line += strformat(
+        "; wire: %llu shed, %llu decode errors",
+        static_cast<unsigned long long>(s.rejected_backpressure),
+        static_cast<unsigned long long>(s.decode_errors));
+  }
+  return line;
+}
+
+std::string ingest_stats_csv_header() {
+  return "label,accepted,duplicates,reordered,late_dropped,missing_rows,"
+         "resets,windows_emitted,windows_dropped,windows_recomputed,"
+         "windows_flushed,rejected_backpressure,decode_errors,emit_seconds";
+}
+
+std::string ingest_stats_csv_row(std::string_view label,
+                                 const IngestStats& s) {
+  // The label is free-form source text (e.g. a node name from a recorded
+  // feed); RFC-4180 quoting keeps a comma or quote in it from shearing
+  // columns.
+  return csv_escape(std::string(label)) +
+         strformat(
+             ",%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu,"
+             "%llu,%.6f",
+             static_cast<unsigned long long>(s.accepted),
+             static_cast<unsigned long long>(s.duplicates),
+             static_cast<unsigned long long>(s.reordered),
+             static_cast<unsigned long long>(s.late_dropped),
+             static_cast<unsigned long long>(s.missing_rows),
+             static_cast<unsigned long long>(s.resets),
+             static_cast<unsigned long long>(s.windows_emitted),
+             static_cast<unsigned long long>(s.windows_dropped),
+             static_cast<unsigned long long>(s.windows_recomputed),
+             static_cast<unsigned long long>(s.windows_flushed),
+             static_cast<unsigned long long>(s.rejected_backpressure),
+             static_cast<unsigned long long>(s.decode_errors),
+             s.emit_seconds);
+}
+
+void write_ingest_stats_csv(
+    std::ostream& os,
+    std::span<const std::pair<std::string, IngestStats>> rows) {
+  os << ingest_stats_csv_header() << "\n";
+  for (const auto& [label, stats] : rows) {
+    os << ingest_stats_csv_row(label, stats) << "\n";
+  }
 }
 
 StreamIngestor::StreamIngestor(MetricRegistry registry,

@@ -48,10 +48,12 @@
 #include <cstddef>
 #include <cstdint>
 #include <deque>
+#include <iosfwd>
 #include <map>
 #include <span>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "features/preprocessing.hpp"
@@ -99,6 +101,11 @@ struct IngestStats {
   std::uint64_t windows_dropped = 0;    // gap policy vetoed the emit
   std::uint64_t windows_recomputed = 0; // emitted via batch fallback (dirty)
   std::uint64_t windows_flushed = 0;    // in-flight, discarded by flush()
+  // Wire-layer dispositions (filled by IngestServer, zero for in-process
+  // feeds): rows shed by the per-node backpressure budget, and connections
+  // closed on a typed frame decode error.
+  std::uint64_t rejected_backpressure = 0;
+  std::uint64_t decode_errors = 0;
   // Wall-clock seconds spent producing feature vectors at emit time on the
   // incremental path (dirty recomputes excluded) — the O(M) cost the bench
   // compares against batch recomputation.
@@ -108,6 +115,20 @@ struct IngestStats {
 };
 
 std::string format_ingest_summary(const IngestStats& s);
+
+/// CSV column names matching ingest_stats_csv_row field order; the leading
+/// `label` column tags the source (e.g. "node=3" or "total") so one file
+/// can hold a whole fleet. RFC-4180 escaping via csv_escape, so labels with
+/// commas or quotes parse back intact.
+std::string ingest_stats_csv_header();
+std::string ingest_stats_csv_row(std::string_view label,
+                                 const IngestStats& s);
+
+/// Writes header + one row per (label, stats) entry — the ingest twin of
+/// write_serving_stats_csv.
+void write_ingest_stats_csv(
+    std::ostream& os,
+    std::span<const std::pair<std::string, IngestStats>> rows);
 
 /// One triggered window, ready for serving: the raw window_length x M
 /// matrix (undelivered rows are NaN; serving's preprocessing interpolates

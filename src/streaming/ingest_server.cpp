@@ -1,0 +1,347 @@
+#include "streaming/ingest_server.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include <poll.h>
+
+#include "common/error.hpp"
+
+namespace alba {
+
+IngestServer::IngestServer(std::unique_ptr<Listener> listener,
+                           StreamIngestor& ingestor, IngestServerConfig config,
+                           Diagnoser* diagnoser)
+    : listener_(std::move(listener)), ingestor_(ingestor), config_(config),
+      diagnoser_(diagnoser) {
+  ALBA_CHECK(listener_ != nullptr) << "ingest server needs a listener";
+  ALBA_CHECK(config_.node_rows_per_poll > 0);
+}
+
+IngestServer::IngestServer(std::unique_ptr<Listener> listener,
+                           StreamIngestor& ingestor,
+                           const IngestServerSnapshot& resume,
+                           IngestServerConfig config, Diagnoser* diagnoser)
+    : IngestServer(std::move(listener), ingestor, config, diagnoser) {
+  for (const IngestServerSnapshot::Node& n : resume.nodes) {
+    NodeWire& nw = nodes_[n.node];
+    nw.watermark = n.watermark;
+    nw.rows_pushed = n.rows_pushed;
+    nw.rejected_backpressure = n.rejected_backpressure;
+    nw.decode_errors = n.decode_errors;
+  }
+}
+
+IngestServer::~IngestServer() { close(); }
+
+void IngestServer::close() {
+  if (closed_) return;
+  closed_ = true;
+  if (listener_) listener_->close();
+  for (auto& c : conns_) kill_conn(*c);
+  reap_dead();
+}
+
+void IngestServer::kill_conn(Conn& c) {
+  if (c.dead) return;
+  c.dead = true;
+  if (c.conn) c.conn->close();
+  if (c.hello_done) {
+    auto it = nodes_.find(c.node);
+    if (it != nodes_.end() && it->second.owner == &c) {
+      it->second.owner = nullptr;
+    }
+  }
+  ++wire_stats_.closed_connections;
+}
+
+void IngestServer::reap_dead() {
+  conns_.erase(std::remove_if(conns_.begin(), conns_.end(),
+                              [](const std::unique_ptr<Conn>& c) {
+                                return c->dead;
+                              }),
+               conns_.end());
+}
+
+void IngestServer::accept_pending(double now_ms) {
+  while (auto conn = listener_->accept_one()) {
+    if (conns_.size() >= config_.max_connections) {
+      conn->close();
+      ++wire_stats_.refused_connections;
+      continue;
+    }
+    auto c = std::make_unique<Conn>();
+    c->conn = std::move(conn);
+    c->last_rx_ms = now_ms;
+    c->last_tx_ms = now_ms;
+    conns_.push_back(std::move(c));
+    ++wire_stats_.accepted_connections;
+  }
+}
+
+void IngestServer::enqueue_frame(Conn& c, const Frame& frame) {
+  append_frame(c.outbuf, frame);
+}
+
+void IngestServer::flush_conn(Conn& c, double now_ms) {
+  if (c.dead || c.outbuf_head >= c.outbuf.size()) return;
+  const std::span<const std::uint8_t> chunk{c.outbuf.data() + c.outbuf_head,
+                                            c.outbuf.size() - c.outbuf_head};
+  const IoResult w = c.conn->write_some(chunk);
+  if (w.n > 0) {
+    c.outbuf_head += w.n;
+    wire_stats_.bytes_sent += w.n;
+    c.last_tx_ms = now_ms;
+  }
+  if (w.error != 0) {
+    kill_conn(c);
+    return;
+  }
+  if (c.outbuf_head >= c.outbuf.size()) {
+    c.outbuf.clear();
+    c.outbuf_head = 0;
+  }
+}
+
+void IngestServer::dispose_row(Conn& c, const RowFrame& row, NodeWire& nw,
+                               std::size_t& budget_used) {
+  if (budget_used >= config_.node_rows_per_poll) {
+    // Typed shed: the row is disposed (and will be acked) without touching
+    // the ingestor. The client must not retransmit it — backpressure is a
+    // decision about this row, not a transport failure.
+    ++nw.rejected_backpressure;
+    ++wire_stats_.rows_rejected;
+    ++nw.watermark;
+    return;
+  }
+  std::vector<TriggeredWindow> wins =
+      ingestor_.push(c.node, row.seq, row.values);
+  ++nw.rows_pushed;
+  ++wire_stats_.rows_ingested;
+  ++nw.watermark;
+  ++budget_used;
+  for (TriggeredWindow& w : wins) {
+    ServedWindow sw;
+    if (diagnoser_ != nullptr) {
+      DiagnoseRequest req;
+      req.window = &w.raw;
+      req.deadline = config_.diagnose_deadline_ms > 0.0
+                         ? Deadline::after_ms(config_.diagnose_deadline_ms)
+                         : Deadline::never();
+      sw.result = diagnoser_->diagnose(req);
+      sw.diagnosed = true;
+    }
+    sw.window = std::move(w);
+    served_.push_back(std::move(sw));
+  }
+}
+
+bool IngestServer::handle_frame(Conn& c, const Frame& frame, double now_ms,
+                                std::map<int, std::size_t>& rows_this_poll,
+                                std::size_t& disposed) {
+  (void)now_ms;
+  if (const auto* hello = std::get_if<HelloFrame>(&frame)) {
+    const auto node = static_cast<int>(hello->node);
+    if (c.hello_done || hello->protocol != kWireVersion ||
+        hello->metric_count != ingestor_.registry().size()) {
+      ++wire_stats_.protocol_errors;
+      kill_conn(c);
+      return false;
+    }
+    NodeWire& nw = nodes_[node];
+    if (nw.owner != nullptr && nw.owner != &c) {
+      // The reconnecting client wins; its stale previous socket is dead
+      // weight (often not yet timed out on our side).
+      ++wire_stats_.superseded;
+      kill_conn(*nw.owner);
+    }
+    c.hello_done = true;
+    c.node = node;
+    nw.owner = &c;
+    HelloAckFrame ack;
+    ack.node = hello->node;
+    ack.resume_index = nw.watermark;
+    enqueue_frame(c, ack);
+    return true;
+  }
+
+  if (const auto* row = std::get_if<RowFrame>(&frame)) {
+    ++wire_stats_.rows_received;
+    if (!c.hello_done || static_cast<int>(row->node) != c.node ||
+        row->values.size() != ingestor_.registry().size()) {
+      ++wire_stats_.protocol_errors;
+      kill_conn(c);
+      return false;
+    }
+    NodeWire& nw = nodes_[c.node];
+    if (row->wire_index < nw.watermark) {
+      // Retransmit of an already-disposed row (the ack was in flight when
+      // the client resent). Drop it and re-ack so the client catches up.
+      ++wire_stats_.duplicates_dropped;
+      ++disposed;
+      return true;
+    }
+    if (row->wire_index > nw.watermark) {
+      // The transport is ordered, so a gap means the peer skipped rows —
+      // that is a broken client, not a network fault.
+      ++wire_stats_.protocol_errors;
+      kill_conn(c);
+      return false;
+    }
+    dispose_row(c, *row, nw, rows_this_poll[c.node]);
+    ++disposed;
+    return true;
+  }
+
+  if (std::holds_alternative<HeartbeatFrame>(frame)) {
+    ++wire_stats_.heartbeats_received;
+    return true;
+  }
+
+  // HelloAck / Ack from a client is a protocol violation.
+  ++wire_stats_.protocol_errors;
+  kill_conn(c);
+  return false;
+}
+
+std::size_t IngestServer::service_conn(
+    Conn& c, double now_ms, std::map<int, std::size_t>& rows_this_poll) {
+  std::size_t disposed = 0;
+  std::uint8_t buf[4096];
+  while (!c.dead) {
+    const IoResult r = c.conn->read_some(buf);
+    if (r.n > 0) {
+      wire_stats_.bytes_received += r.n;
+      c.last_rx_ms = now_ms;
+      c.decoder.feed({buf, r.n});
+      Frame frame;
+      while (!c.dead) {
+        const FrameDecoder::State s = c.decoder.next(frame);
+        if (s == FrameDecoder::State::FrameReady) {
+          if (!handle_frame(c, frame, now_ms, rows_this_poll, disposed)) {
+            return disposed;
+          }
+          continue;
+        }
+        if (s == FrameDecoder::State::Error) {
+          ++wire_stats_.decode_errors;
+          if (c.hello_done) ++nodes_[c.node].decode_errors;
+          kill_conn(c);
+          return disposed;
+        }
+        break;  // NeedMore
+      }
+    }
+    if (r.eof || r.error != 0) {
+      kill_conn(c);
+      return disposed;
+    }
+    if (r.would_block || r.n == 0) break;
+  }
+
+  if (c.dead) return disposed;
+
+  if (now_ms - c.last_rx_ms >= config_.peer_timeout_ms) {
+    // Silent peer or a torn frame trickling in forever (slow-loris): shed.
+    ++wire_stats_.timeouts;
+    kill_conn(c);
+    return disposed;
+  }
+
+  if (disposed > 0 && c.hello_done) {
+    AckFrame ack;
+    ack.node = static_cast<std::uint32_t>(c.node);
+    ack.next_index = nodes_[c.node].watermark;
+    enqueue_frame(c, ack);
+    ++wire_stats_.acks_sent;
+  } else if (c.outbuf_head >= c.outbuf.size() &&
+             now_ms - c.last_tx_ms >= config_.heartbeat_interval_ms) {
+    HeartbeatFrame hb;
+    hb.counter = ++c.heartbeat_counter;
+    enqueue_frame(c, hb);
+  }
+  flush_conn(c, now_ms);
+  return disposed;
+}
+
+std::size_t IngestServer::poll_once(double now_ms) {
+  if (closed_) return 0;
+  accept_pending(now_ms);
+  std::map<int, std::size_t> rows_this_poll;
+  std::size_t disposed = 0;
+  // Index loop: handle_frame may append to conns_ via... it does not, but
+  // accept happens before, so iterators stay valid; kill_conn of a peer
+  // connection only marks it dead.
+  for (std::size_t i = 0; i < conns_.size(); ++i) {
+    Conn& c = *conns_[i];
+    if (c.dead) continue;
+    disposed += service_conn(c, now_ms, rows_this_poll);
+  }
+  reap_dead();
+  return disposed;
+}
+
+bool IngestServer::wait(double timeout_ms) {
+  if (closed_) return false;
+  std::vector<pollfd> fds;
+  const int lfd = listener_ ? listener_->fd() : -1;
+  if (lfd < 0) return false;
+  fds.push_back(pollfd{lfd, POLLIN, 0});
+  for (const auto& c : conns_) {
+    const int fd = c->conn ? c->conn->fd() : -1;
+    if (fd < 0) return false;  // mixed in-memory transport: caller paces
+    short events = POLLIN;
+    if (c->outbuf_head < c->outbuf.size()) events |= POLLOUT;
+    fds.push_back(pollfd{fd, events, 0});
+  }
+  const int rc = ::poll(fds.data(), fds.size(),
+                        timeout_ms < 0 ? -1 : static_cast<int>(timeout_ms));
+  return rc > 0;
+}
+
+std::vector<ServedWindow> IngestServer::take_served() {
+  std::vector<ServedWindow> out;
+  out.swap(served_);
+  return out;
+}
+
+IngestStats IngestServer::stats(int node) const {
+  IngestStats s = ingestor_.stats(node);
+  const auto it = nodes_.find(node);
+  if (it != nodes_.end()) {
+    s.rejected_backpressure = it->second.rejected_backpressure;
+    s.decode_errors = it->second.decode_errors;
+  }
+  return s;
+}
+
+IngestStats IngestServer::total_stats() const {
+  IngestStats s = ingestor_.total_stats();
+  for (const auto& [node, nw] : nodes_) {
+    s.rejected_backpressure += nw.rejected_backpressure;
+    s.decode_errors += nw.decode_errors;
+  }
+  return s;
+}
+
+std::uint64_t IngestServer::watermark(int node) const {
+  const auto it = nodes_.find(node);
+  return it == nodes_.end() ? 0 : it->second.watermark;
+}
+
+IngestServerSnapshot IngestServer::snapshot() const {
+  IngestServerSnapshot snap;
+  snap.nodes.reserve(nodes_.size());
+  for (const auto& [node, nw] : nodes_) {
+    IngestServerSnapshot::Node n;
+    n.node = node;
+    n.watermark = nw.watermark;
+    n.rows_pushed = nw.rows_pushed;
+    n.rejected_backpressure = nw.rejected_backpressure;
+    n.decode_errors = nw.decode_errors;
+    snap.nodes.push_back(n);
+  }
+  return snap;
+}
+
+}  // namespace alba

@@ -1,0 +1,88 @@
+// Seeded network fault injection for the wire transport. WireChaos wraps a
+// client's Connector; every connection it produces passes the client's
+// outbound bytes through a fault pipeline that can
+//
+//   * corrupt   — flip one random bit anywhere in a frame (header or
+//                 payload), which the server must surface as a typed
+//                 decode error, never a crash or a silently wrong row;
+//   * duplicate — send a frame's bytes twice (the server's wire-index
+//                 watermark must drop the duplicate without re-ingesting);
+//   * drop      — forward a random prefix of a frame, then cut the
+//                 connection (a torn frame plus a mid-stream disconnect —
+//                 the client must reconnect and resume from the last ack);
+//   * stall     — trickle bytes out in small chunks on a simulated-time
+//                 schedule (slow-loris; the server's torn-frame timeout
+//                 must shed the peer instead of waiting forever);
+//   * chunk     — split writes at arbitrary byte boundaries (exercises
+//                 incremental reassembly even when nothing else fires).
+//
+// All decisions draw from an Rng derived from (seed, connection ordinal),
+// so a scenario replays bit-identically. Faults apply to the
+// client->server direction; the server->client direction and the
+// server restart fault are driven by the harness (close the IngestServer,
+// build a new one from its snapshot).
+//
+// Time is injected: the harness calls set_now() with its simulated clock
+// before stepping the client, and stalled bytes release when their
+// scheduled time passes. With stall_ms == 0 no clock is needed.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "wire/transport.hpp"
+
+namespace alba {
+
+struct WireChaosConfig {
+  std::uint64_t seed = 1;
+  // Per-frame fault probabilities in [0, 1].
+  double corrupt_rate = 0.0;
+  double duplicate_rate = 0.0;
+  double drop_rate = 0.0;
+  // Split outgoing bytes into 1..16-byte chunks even when not stalling.
+  bool partial_writes = false;
+  // Simulated milliseconds between successive outgoing chunks (slow-loris
+  // when large relative to the server's torn-frame timeout). 0 = immediate.
+  double stall_ms = 0.0;
+  // Let this many frames through unfaulted after each (re)connect, so a
+  // handshake can complete before the storm resumes.
+  std::size_t grace_frames = 0;
+};
+
+struct WireChaosStats {
+  std::uint64_t connections = 0;
+  std::uint64_t frames_seen = 0;
+  std::uint64_t corrupted = 0;
+  std::uint64_t duplicated = 0;
+  std::uint64_t drops_injected = 0;
+};
+
+namespace detail {
+struct ChaosState;
+}
+
+class WireChaos {
+ public:
+  explicit WireChaos(WireChaosConfig config);
+  ~WireChaos();
+
+  /// Wraps `inner` so every connection it yields injects this chaos.
+  Connector wrap(Connector inner);
+
+  /// Advances the simulated clock and releases any stalled bytes that are
+  /// due on every live wrapped connection.
+  void set_now(double now_ms);
+
+  /// Master switch: while disarmed, wrapped connections pass bytes through
+  /// untouched (chunking included). Scenarios arm chaos after warm-up.
+  void arm(bool on);
+  bool armed() const;
+
+  WireChaosStats stats() const;
+
+ private:
+  std::shared_ptr<detail::ChaosState> state_;
+};
+
+}  // namespace alba

@@ -1,0 +1,230 @@
+#include "wire/client.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace alba {
+
+WireClient::WireClient(Connector connector, WireClientConfig config)
+    : connector_(std::move(connector)), config_(config),
+      backoff_rng_(config.reconnect.seed ^ (config.node + 1)) {
+  ALBA_CHECK(config_.metric_count > 0) << "wire client needs a metric count";
+  ALBA_CHECK(config_.max_inflight_rows > 0);
+}
+
+bool WireClient::offer(std::uint64_t seq, double timestamp,
+                       std::span<const double> values) {
+  ALBA_CHECK(values.size() == config_.metric_count)
+      << "row has " << values.size() << " values, registry expects "
+      << config_.metric_count;
+  if (pending_.size() >= config_.max_inflight_rows) return false;
+  PendingRow row;
+  row.index = next_assign_++;
+  row.seq = seq;
+  row.timestamp = timestamp;
+  row.values.assign(values.begin(), values.end());
+  pending_.push_back(std::move(row));
+  ++stats_.rows_offered;
+  return true;
+}
+
+bool WireClient::idle() const noexcept {
+  return state_ == State::Streaming && pending_.empty() &&
+         outbuf_head_ >= outbuf_.size();
+}
+
+void WireClient::disconnect() {
+  if (conn_) conn_->close();
+  conn_.reset();
+  state_ = State::Disconnected;
+  decoder_ = FrameDecoder();
+  outbuf_.clear();
+  outbuf_head_ = 0;
+  send_cursor_ = 0;  // everything unacked must be retransmitted
+}
+
+void WireClient::lose_connection(double now_ms) {
+  ++stats_.disconnects;
+  disconnect();
+  // First retry is immediate-ish; backoff grows with consecutive failures
+  // (backoff_delay_ms counts attempts 1-based).
+  ++attempt_;
+  next_attempt_ms_ = now_ms + backoff_delay_ms(config_.reconnect, attempt_,
+                                               backoff_rng_);
+}
+
+void WireClient::try_connect(double now_ms) {
+  conn_ = connector_();
+  if (!conn_) {
+    ++stats_.connect_failures;
+    ++attempt_;
+    next_attempt_ms_ = now_ms + backoff_delay_ms(config_.reconnect, attempt_,
+                                                 backoff_rng_);
+    return;
+  }
+  ++stats_.connects;
+  state_ = State::AwaitHelloAck;
+  decoder_ = FrameDecoder();
+  outbuf_.clear();
+  outbuf_head_ = 0;
+  last_rx_ms_ = now_ms;
+  last_tx_ms_ = now_ms;
+  HelloFrame hello;
+  hello.protocol = kWireVersion;
+  hello.node = config_.node;
+  hello.metric_count = config_.metric_count;
+  enqueue_frame(hello);
+}
+
+void WireClient::enqueue_frame(const Frame& frame) {
+  append_frame(outbuf_, frame);
+}
+
+void WireClient::flush(double now_ms) {
+  if (!conn_ || outbuf_head_ >= outbuf_.size()) return;
+  const std::span<const std::uint8_t> chunk{outbuf_.data() + outbuf_head_,
+                                            outbuf_.size() - outbuf_head_};
+  const IoResult w = conn_->write_some(chunk);
+  if (w.n > 0) {
+    outbuf_head_ += w.n;
+    stats_.bytes_sent += w.n;
+    last_tx_ms_ = now_ms;
+  }
+  if (w.error != 0) {
+    lose_connection(now_ms);
+    return;
+  }
+  if (outbuf_head_ >= outbuf_.size()) {
+    outbuf_.clear();
+    outbuf_head_ = 0;
+  } else if (outbuf_head_ > 4096 && outbuf_head_ * 2 > outbuf_.size()) {
+    outbuf_.erase(outbuf_.begin(),
+                  outbuf_.begin() + static_cast<std::ptrdiff_t>(outbuf_head_));
+    outbuf_head_ = 0;
+  }
+}
+
+void WireClient::drain_reads(double now_ms) {
+  if (!conn_) return;
+  std::uint8_t buf[4096];
+  while (conn_) {
+    const IoResult r = conn_->read_some(buf);
+    if (r.n > 0) {
+      stats_.bytes_received += r.n;
+      last_rx_ms_ = now_ms;
+      decoder_.feed({buf, r.n});
+      Frame frame;
+      while (true) {
+        const FrameDecoder::State s = decoder_.next(frame);
+        if (s == FrameDecoder::State::FrameReady) {
+          handle_frame(frame, now_ms);
+          if (!conn_) return;
+          continue;
+        }
+        if (s == FrameDecoder::State::Error) {
+          // A server speaking garbage is as dead as a closed socket.
+          lose_connection(now_ms);
+          return;
+        }
+        break;  // NeedMore
+      }
+    }
+    if (r.eof || r.error != 0) {
+      lose_connection(now_ms);
+      return;
+    }
+    if (r.would_block || r.n == 0) return;
+  }
+}
+
+void WireClient::advance_ack(std::uint64_t next_index) {
+  if (next_index <= acked_) return;  // stale/duplicate ack
+  acked_ = next_index;
+  std::size_t popped = 0;
+  while (!pending_.empty() && pending_.front().index < acked_) {
+    pending_.pop_front();
+    ++popped;
+    ++stats_.rows_acked;
+  }
+  send_cursor_ -= std::min(send_cursor_, popped);
+}
+
+void WireClient::handle_frame(const Frame& frame, double now_ms) {
+  if (const auto* ack = std::get_if<HelloAckFrame>(&frame)) {
+    if (state_ != State::AwaitHelloAck || ack->node != config_.node) {
+      lose_connection(now_ms);
+      return;
+    }
+    state_ = State::Streaming;
+    attempt_ = 0;
+    advance_ack(ack->resume_index);
+    send_cursor_ = 0;  // retransmit every surviving unacked row
+    return;
+  }
+  if (const auto* ack = std::get_if<AckFrame>(&frame)) {
+    if (ack->node != config_.node) {
+      lose_connection(now_ms);
+      return;
+    }
+    ++stats_.acks_received;
+    advance_ack(ack->next_index);
+    return;
+  }
+  if (std::holds_alternative<HeartbeatFrame>(frame)) {
+    return;  // rx timestamp already refreshed by the read
+  }
+  // Row/Hello from a server is a protocol violation.
+  lose_connection(now_ms);
+}
+
+void WireClient::step(double now_ms) {
+  if (!started_) {
+    started_ = true;
+    next_attempt_ms_ = now_ms;
+  }
+  if (state_ == State::Disconnected) {
+    if (now_ms < next_attempt_ms_) return;
+    try_connect(now_ms);
+    if (state_ == State::Disconnected) return;
+  }
+
+  drain_reads(now_ms);
+  if (!conn_) return;
+
+  if (now_ms - last_rx_ms_ >= config_.heartbeat_timeout_ms) {
+    lose_connection(now_ms);  // peer fell silent
+    return;
+  }
+
+  if (state_ == State::Streaming) {
+    std::size_t sent = 0;
+    while (send_cursor_ < pending_.size() &&
+           sent < config_.max_rows_per_step) {
+      PendingRow& row = pending_[send_cursor_];
+      RowFrame wire_row;
+      wire_row.node = config_.node;
+      wire_row.wire_index = row.index;
+      wire_row.seq = row.seq;
+      wire_row.timestamp = row.timestamp;
+      wire_row.values = row.values;
+      enqueue_frame(wire_row);
+      ++row.sends;
+      ++stats_.row_frames_sent;
+      if (row.sends > 1) ++stats_.retransmits;
+      ++send_cursor_;
+      ++sent;
+    }
+    if (sent == 0 && outbuf_head_ >= outbuf_.size() &&
+        now_ms - last_tx_ms_ >= config_.heartbeat_interval_ms) {
+      HeartbeatFrame hb;
+      hb.counter = ++heartbeat_counter_;
+      enqueue_frame(hb);
+      ++stats_.heartbeats_sent;
+    }
+  }
+
+  flush(now_ms);
+}
+
+}  // namespace alba

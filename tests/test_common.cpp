@@ -4,18 +4,27 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cerrno>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <set>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include <fcntl.h>
+#include <unistd.h>
 
 #include "common/backoff.hpp"
 #include "common/cli.hpp"
+#include "common/crc32.hpp"
 #include "common/csv.hpp"
 #include "common/deadline.hpp"
 #include "common/error.hpp"
+#include "common/net_io.hpp"
 #include "common/rng.hpp"
 #include "common/string_util.hpp"
 #include "common/table.hpp"
@@ -646,6 +655,106 @@ TEST(Backoff, ExceptionsPropagateWithoutRetry) {
                                   }),
                Error);
   EXPECT_EQ(calls, 1);
+}
+
+// ---------------------------------------------------------------- crc32 ---
+
+std::vector<std::uint8_t> bytes_of(std::string_view s) {
+  return {s.begin(), s.end()};
+}
+
+TEST(Crc32, KnownVectors) {
+  // The IEEE 802.3 check value plus a couple of independent references.
+  EXPECT_EQ(crc32(bytes_of("123456789")), 0xCBF43926u);
+  EXPECT_EQ(crc32(bytes_of("")), 0x00000000u);
+  EXPECT_EQ(crc32(bytes_of("a")), 0xE8B7BE43u);
+  EXPECT_EQ(crc32(bytes_of("abc")), 0x352441C2u);
+  EXPECT_EQ(crc32(bytes_of("The quick brown fox jumps over the lazy dog")),
+            0x414FA339u);
+}
+
+TEST(Crc32, IncrementalMatchesOneShot) {
+  const std::vector<std::uint8_t> data = bytes_of("123456789");
+  for (std::size_t cut = 0; cut <= data.size(); ++cut) {
+    std::uint32_t crc = crc32_update(
+        0, std::span<const std::uint8_t>(data.data(), cut));
+    crc = crc32_update(crc, std::span<const std::uint8_t>(data.data() + cut,
+                                                          data.size() - cut));
+    EXPECT_EQ(crc, 0xCBF43926u) << "split at " << cut;
+  }
+}
+
+TEST(Crc32, SingleBitFlipChangesChecksum) {
+  const std::vector<std::uint8_t> data = bytes_of("wire frame payload");
+  const std::uint32_t ref = crc32(data);
+  for (std::size_t byte = 0; byte < data.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::vector<std::uint8_t> flipped = data;
+      flipped[byte] ^= static_cast<std::uint8_t>(1u << bit);
+      EXPECT_NE(crc32(flipped), ref) << "byte " << byte << " bit " << bit;
+    }
+  }
+}
+
+// --------------------------------------------------------------- net_io ---
+
+TEST(NetIo, PipeRoundTripFullBuffers) {
+  int fds[2];
+  ASSERT_EQ(::pipe(fds), 0);
+  const std::string msg = "exactly this many bytes cross the pipe";
+  const IoOutcome w = write_full(fds[1], msg.data(), msg.size());
+  EXPECT_TRUE(w.complete(msg.size()));
+  EXPECT_EQ(w.error, 0);
+
+  std::string got(msg.size(), '\0');
+  const IoOutcome r = read_full(fds[0], got.data(), got.size());
+  EXPECT_TRUE(r.complete(msg.size()));
+  EXPECT_FALSE(r.eof);
+  EXPECT_EQ(got, msg);
+  ::close(fds[0]);
+  ::close(fds[1]);
+}
+
+TEST(NetIo, ReadFullReportsEofWithPartialBytes) {
+  int fds[2];
+  ASSERT_EQ(::pipe(fds), 0);
+  const std::string msg = "short";
+  ASSERT_TRUE(write_full(fds[1], msg.data(), msg.size()).complete(msg.size()));
+  ::close(fds[1]);  // writer gone: the next read past 5 bytes sees EOF
+
+  char buf[64];
+  const IoOutcome r = read_full(fds[0], buf, sizeof buf);
+  EXPECT_EQ(r.bytes, msg.size());
+  EXPECT_TRUE(r.eof);
+  EXPECT_FALSE(r.complete(sizeof buf));
+  ::close(fds[0]);
+}
+
+TEST(NetIo, WriteToClosedReaderIsEpipeNotDeath) {
+  suppress_sigpipe();
+  int fds[2];
+  ASSERT_EQ(::pipe(fds), 0);
+  ::close(fds[0]);  // reader gone
+  const std::string msg = "nobody listens";
+  const IoOutcome w = write_full(fds[1], msg.data(), msg.size());
+  // The whole point of suppress_sigpipe: the process is alive to see EPIPE.
+  EXPECT_EQ(w.error, EPIPE);
+  EXPECT_FALSE(w.complete(msg.size()));
+  ::close(fds[1]);
+}
+
+TEST(NetIo, NonblockingReadReportsWouldBlock) {
+  int fds[2];
+  ASSERT_EQ(::pipe(fds), 0);
+  ASSERT_EQ(::fcntl(fds[0], F_SETFL, O_NONBLOCK), 0);
+  char buf[8];
+  const IoOutcome r = read_full(fds[0], buf, sizeof buf);
+  EXPECT_EQ(r.bytes, 0u);
+  EXPECT_TRUE(r.would_block);
+  EXPECT_FALSE(r.eof);
+  EXPECT_EQ(r.error, 0);
+  ::close(fds[0]);
+  ::close(fds[1]);
 }
 
 }  // namespace
